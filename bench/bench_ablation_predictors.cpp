@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Ablation A3: value-predictor components.
+ *
+ * Section III-C: the limit study assumes "perfect hybridization" — a
+ * prediction counts when ANY of last-value / stride / 2-delta / FCM is
+ * right.  This harness replays every tracked register LCD's value stream
+ * through each component separately, plus the realistic
+ * confidence-counter selector, to show how much of the dep2 benefit each
+ * predictor family contributes per suite.
+ */
+
+#include "common.hpp"
+
+#include "interp/machine.hpp"
+#include "ir/module.hpp"
+#include "predict/predictor.hpp"
+
+namespace {
+
+using namespace lp;
+
+/** Collects per-phi value streams for every loop-header phi. */
+class StreamCollector : public interp::ExecListener
+{
+  public:
+    std::unordered_map<const ir::Instruction *,
+                       std::vector<std::uint64_t>> streams;
+
+    void
+    onPhiResolved(const ir::Instruction *phi, std::uint64_t bits) override
+    {
+        auto &v = streams[phi];
+        if (v.size() < kCap)
+            v.push_back(bits);
+    }
+
+  private:
+    static constexpr std::size_t kCap = 20000;
+};
+
+struct Tally
+{
+    std::uint64_t total = 0;
+    std::array<std::uint64_t, 4> componentHits{};
+    std::uint64_t anyHits = 0;
+    std::uint64_t selectedHits = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    using namespace lp;
+    bench::banner("Ablation: value-predictor component hit rates",
+                  "Section III-C");
+
+    TextTable t({"suite", "last-value", "stride", "2-delta", "fcm",
+                 "perfect hybrid", "realistic selector"});
+
+    for (const char *suiteName :
+         {"eembc", "cfp2000", "cfp2006", "cint2000", "cint2006"}) {
+        Tally tally;
+        for (const auto &prog : suites::programsInSuite(suiteName)) {
+            auto mod = prog.build();
+            StreamCollector collector;
+            interp::Machine machine(*mod, &collector);
+            machine.run();
+
+            for (const auto &[phi, stream] : collector.streams) {
+                if (stream.size() < 3)
+                    continue;
+                predict::HybridPredictor hybrid;
+                for (std::uint64_t v : stream) {
+                    predict::HybridOutcome out = hybrid.predictAndTrain(v);
+                    tally.total += 1;
+                    tally.anyHits += out.anyCorrect;
+                    tally.selectedHits += out.selectedCorrect;
+                    for (unsigned c = 0; c < 4; ++c)
+                        tally.componentHits[c] += out.componentCorrect[c];
+                }
+            }
+        }
+        auto pct = [&](std::uint64_t hits) {
+            return TextTable::num(
+                       tally.total
+                           ? 100.0 * static_cast<double>(hits) /
+                                 static_cast<double>(tally.total)
+                           : 0.0,
+                       1) + "%";
+        };
+        t.addRow({suiteName, pct(tally.componentHits[0]),
+                  pct(tally.componentHits[1]), pct(tally.componentHits[2]),
+                  pct(tally.componentHits[3]), pct(tally.anyHits),
+                  pct(tally.selectedHits)});
+    }
+    t.print(std::cout);
+    std::cout <<
+        "\nExpected: stride-family predictors dominate for the numeric\n"
+        "suites (induction-like carried values); the perfect hybrid is\n"
+        "only a few points above the realistic selector, supporting the\n"
+        "paper's choice to assume perfect hybridization.\n";
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Ablation A4: the Partial-DOALL serialization threshold.
+ *
+ * Section III-B: "when the number of conflicting iterations exceeds 80%
+ * of the total number of iterations, the loop is marked as sequential."
+ * This harness sweeps that threshold to show the paper's choice sits on
+ * a plateau: by the time a loop conflicts in most iterations, speculation
+ * has already lost — the exact cut-off barely matters.
+ */
+
+#include "common.hpp"
+
+int
+main()
+{
+    using namespace lp;
+    bench::banner("Ablation: PDOALL serialization-threshold sweep",
+                  "Section III-B");
+
+    core::Study study(suites::allPrograms());
+    const double thresholds[] = {0.05, 0.2, 0.4, 0.6, 0.8, 0.95, 1.0};
+
+    TextTable t({"threshold", "eembc", "cfp2000", "cfp2006", "cint2000",
+                 "cint2006"});
+    for (double th : thresholds) {
+        rt::LPConfig cfg = core::bestPdoall();
+        cfg.pdoallSerialThreshold = th;
+        std::vector<std::string> row = {TextTable::num(th * 100, 0) + "%"};
+        for (const char *suite :
+             {"eembc", "cfp2000", "cfp2006", "cint2000", "cint2006"}) {
+            row.push_back(
+                TextTable::num(bench::suiteSpeedup(study, suite, cfg)) +
+                "x");
+        }
+        t.addRow(row);
+    }
+    t.print(std::cout);
+    std::cout << "\nExpected: a rise from very strict thresholds (which\n"
+                 "discard mostly-clean loops over a few conflicts) to a\n"
+                 "plateau around the paper's 80% operating point.\n";
+    return 0;
+}

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * A1: framework micro-benchmarks (google-benchmark).
+ *
+ * The paper argues (Section III-A) that compile-time filtering keeps the
+ * run-time tracking overhead low enough to "scale to large applications".
+ * These benchmarks measure the moving parts of this implementation:
+ * interpreter throughput with and without a listener, full limit-study
+ * throughput, predictor cost, and the compile-time component itself.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/driver.hpp"
+#include "interp/machine.hpp"
+#include "ir/builder.hpp"
+#include "predict/predictor.hpp"
+#include "rt/tracker.hpp"
+#include "suites/kernels.hpp"
+
+namespace {
+
+using namespace lp;
+
+/** Plain interpretation, no instrumentation. */
+void
+BM_InterpreterBare(benchmark::State &state)
+{
+    auto mod = suites::buildEembcRgbcmyk();
+    std::uint64_t instructions = 0;
+    for (auto _ : state) {
+        interp::Machine m(*mod);
+        benchmark::DoNotOptimize(m.run());
+        instructions += m.cost();
+    }
+    state.counters["instr/s"] = benchmark::Counter(
+        static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InterpreterBare)->Unit(benchmark::kMillisecond);
+
+/** Interpretation with a no-op listener: virtual-dispatch overhead. */
+void
+BM_InterpreterNullListener(benchmark::State &state)
+{
+    auto mod = suites::buildEembcRgbcmyk();
+    interp::ExecListener nop;
+    std::uint64_t instructions = 0;
+    for (auto _ : state) {
+        interp::Machine m(*mod, &nop);
+        benchmark::DoNotOptimize(m.run());
+        instructions += m.cost();
+    }
+    state.counters["instr/s"] = benchmark::Counter(
+        static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InterpreterNullListener)->Unit(benchmark::kMillisecond);
+
+/** Full limit study (tracking + models) on a conflict-heavy kernel. */
+void
+BM_FullLimitStudy(benchmark::State &state)
+{
+    auto mod = suites::buildCint2000Bzip2();
+    core::Loopapalooza lp(*mod);
+    rt::LPConfig cfg =
+        rt::LPConfig::parse("reduc0-dep2-fn2", rt::ExecModel::Helix);
+    std::uint64_t instructions = 0;
+    for (auto _ : state) {
+        rt::ProgramReport rep = lp.run(cfg);
+        benchmark::DoNotOptimize(rep.parallelCost);
+        instructions += rep.serialCost;
+    }
+    state.counters["instr/s"] = benchmark::Counter(
+        static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FullLimitStudy)->Unit(benchmark::kMillisecond);
+
+/** Compile-time component alone (analyses + instrumentation plan). */
+void
+BM_CompileTimeComponent(benchmark::State &state)
+{
+    auto mod = suites::buildCint2000Gcc();
+    for (auto _ : state) {
+        rt::ModulePlan plan(*mod);
+        benchmark::DoNotOptimize(&plan);
+    }
+}
+BENCHMARK(BM_CompileTimeComponent)->Unit(benchmark::kMillisecond);
+
+/** Hybrid predictor training throughput. */
+void
+BM_HybridPredictor(benchmark::State &state)
+{
+    predict::HybridPredictor pred;
+    std::uint64_t x = 12345;
+    std::uint64_t n = 0;
+    for (auto _ : state) {
+        x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+        benchmark::DoNotOptimize(pred.predictAndTrain(x >> 33));
+        ++n;
+    }
+    state.counters["values/s"] = benchmark::Counter(
+        static_cast<double>(n), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_HybridPredictor);
+
+/** Module construction via IRBuilder (kernel build cost). */
+void
+BM_KernelConstruction(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto mod = suites::buildCfp2006Soplex();
+        benchmark::DoNotOptimize(mod.get());
+    }
+}
+BENCHMARK(BM_KernelConstruction)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared helpers for the per-figure bench harnesses.
+ *
+ * Every bench binary regenerates one table or figure of the paper: it
+ * runs the registered benchmark suites under the relevant configurations
+ * and prints measured values next to the paper's reported values (or
+ * reported ranges, where the figure only resolves to a range).
+ */
+
+#pragma once
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/configs.hpp"
+#include "core/study.hpp"
+#include "rt/report.hpp"
+#include "suites/registry.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "support/text.hpp"
+
+namespace lp::bench {
+
+/** Banner printed by every harness. */
+inline void
+banner(const std::string &what, const std::string &paperRef)
+{
+    std::cout << "==========================================================\n"
+              << "Loopapalooza reproduction — " << what << "\n"
+              << "Paper: Zaidi et al., ISPASS 2021 (" << paperRef << ")\n"
+              << "Costs are dynamic IR instruction counts; infinite-"
+                 "resource limit study.\n"
+              << "==========================================================\n";
+}
+
+/** Geomean speedup of one suite under one config. */
+inline double
+suiteSpeedup(const core::Study &study, const std::string &suite,
+             const rt::LPConfig &cfg)
+{
+    return core::Study::geomeanSpeedup(study.runSuite(suite, cfg));
+}
+
+/** Geomean coverage (percent) of one suite under one config. */
+inline double
+suiteCoverage(const core::Study &study, const std::string &suite,
+              const rt::LPConfig &cfg)
+{
+    return core::Study::geomeanCoverage(study.runSuite(suite, cfg));
+}
+
+} // namespace lp::bench

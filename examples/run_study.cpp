@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Command-line front end to the whole framework.
+ *
+ * Usage:
+ *   run_study                                  # all suites, key configs
+ *   run_study cint2000                         # one suite, key configs
+ *   run_study 164.gzip-like reduc1-dep1-fn2 helix   # one program/config
+ *   run_study --file prog.lir reduc1-dep1-fn2 helix # study a .lir file
+ *
+ * Models: doall | pdoall | helix.  Flags: reduc{0,1}-dep{0..3}-fn{0..3}.
+ */
+
+#include <iostream>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/configs.hpp"
+#include "core/driver.hpp"
+#include "interp/stdlib.hpp"
+#include "ir/parser.hpp"
+#include "core/study.hpp"
+#include "suites/registry.hpp"
+#include "support/error.hpp"
+#include "support/table.hpp"
+
+using namespace lp;
+
+namespace {
+
+rt::ExecModel
+parseModel(const std::string &s)
+{
+    if (s == "doall")
+        return rt::ExecModel::DoAll;
+    if (s == "pdoall")
+        return rt::ExecModel::PartialDoAll;
+    if (s == "helix")
+        return rt::ExecModel::Helix;
+    fatal("unknown model (want doall|pdoall|helix): " + s);
+}
+
+int
+runFile(const std::string &path, const std::string &flags,
+        const std::string &model)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "cannot open " << path << "\n";
+        return 1;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    auto mod = ir::parseModule(buf.str(), interp::stdlibImplFor);
+    core::Loopapalooza lp(*mod);
+    rt::LPConfig cfg = rt::LPConfig::parse(flags, parseModel(model));
+    rt::ProgramReport rep = lp.run(cfg);
+    rep.print(std::cout, /*perLoop=*/true);
+    return 0;
+}
+
+int
+runSingle(const std::string &name, const std::string &flags,
+          const std::string &model)
+{
+    for (const auto &prog : suites::allPrograms()) {
+        if (prog.name != name)
+            continue;
+        core::PreparedProgram prepared(prog);
+        rt::LPConfig cfg = rt::LPConfig::parse(flags, parseModel(model));
+        rt::ProgramReport rep = prepared.run(cfg);
+        rep.print(std::cout, /*perLoop=*/true);
+        return 0;
+    }
+    std::cerr << "unknown benchmark: " << name << "\n";
+    return 1;
+}
+
+int
+runSuites(const std::string &onlySuite)
+{
+    std::vector<core::BenchProgram> progs;
+    for (const auto &p : suites::allPrograms())
+        if (onlySuite.empty() || p.suite == onlySuite)
+            progs.push_back(p);
+    if (progs.empty()) {
+        std::cerr << "no benchmarks match suite '" << onlySuite << "'\n";
+        return 1;
+    }
+    core::Study study(progs);
+
+    TextTable t({"configuration", "suite", "geomean speedup",
+                 "geomean coverage"});
+    for (const core::NamedConfig &named : core::paperConfigs()) {
+        for (const std::string &suite : study.suites()) {
+            auto reports = study.runSuite(suite, named.config);
+            t.addRow({named.label, suite,
+                      TextTable::num(core::Study::geomeanSpeedup(reports))
+                          + "x",
+                      TextTable::num(
+                          core::Study::geomeanCoverage(reports), 1) +
+                          "%"});
+        }
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        if (argc >= 5 && std::string(argv[1]) == "--file")
+            return runFile(argv[2], argv[3], argv[4]);
+        if (argc >= 4)
+            return runSingle(argv[1], argv[2], argv[3]);
+        if (argc == 2)
+            return runSuites(argv[1]);
+        return runSuites("");
+    } catch (const FatalError &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}

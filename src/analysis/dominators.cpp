@@ -1,0 +1,109 @@
+#include "analysis/dominators.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace lp::analysis {
+
+DominatorTree::DominatorTree(const ir::Function &fn) : fn_(fn)
+{
+    panicIf(fn.blocks().empty(), "dominators over empty function");
+
+    // Depth-first search for postorder, then reverse.
+    std::vector<const ir::BasicBlock *> postorder;
+    std::unordered_map<const ir::BasicBlock *, unsigned> state; // 1=open,2=done
+    std::vector<std::pair<const ir::BasicBlock *, std::size_t>> stack;
+    stack.emplace_back(fn.entry(), 0);
+    state[fn.entry()] = 1;
+    while (!stack.empty()) {
+        auto &[bb, next] = stack.back();
+        auto succs = bb->successors();
+        if (next < succs.size()) {
+            const ir::BasicBlock *s = succs[next++];
+            if (!state.count(s)) {
+                state[s] = 1;
+                stack.emplace_back(s, 0);
+            }
+        } else {
+            postorder.push_back(bb);
+            stack.pop_back();
+        }
+    }
+    rpo_.assign(postorder.rbegin(), postorder.rend());
+    for (unsigned i = 0; i < rpo_.size(); ++i)
+        rpoIndex_[rpo_[i]] = i;
+
+    // Iterative dataflow: idom fixed point (Cooper et al., "A Simple, Fast
+    // Dominance Algorithm").
+    constexpr unsigned kUndef = ~0u;
+    idom_.assign(rpo_.size(), kUndef);
+    idom_[0] = 0;
+
+    auto intersect = [&](unsigned a, unsigned b) {
+        while (a != b) {
+            while (a > b)
+                a = idom_[a];
+            while (b > a)
+                b = idom_[b];
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (unsigned i = 1; i < rpo_.size(); ++i) {
+            unsigned newIdom = kUndef;
+            for (const ir::BasicBlock *pred : rpo_[i]->predecessors()) {
+                auto it = rpoIndex_.find(pred);
+                if (it == rpoIndex_.end())
+                    continue; // unreachable predecessor
+                unsigned p = it->second;
+                if (idom_[p] == kUndef)
+                    continue;
+                newIdom = (newIdom == kUndef) ? p : intersect(p, newIdom);
+            }
+            if (newIdom != kUndef && idom_[i] != newIdom) {
+                idom_[i] = newIdom;
+                changed = true;
+            }
+        }
+    }
+}
+
+unsigned
+DominatorTree::rpoIndex(const ir::BasicBlock *bb) const
+{
+    auto it = rpoIndex_.find(bb);
+    panicIf(it == rpoIndex_.end(), "block not reachable: " + bb->name());
+    return it->second;
+}
+
+const ir::BasicBlock *
+DominatorTree::idom(const ir::BasicBlock *bb) const
+{
+    auto it = rpoIndex_.find(bb);
+    if (it == rpoIndex_.end() || it->second == 0)
+        return nullptr;
+    return rpo_[idom_[it->second]];
+}
+
+bool
+DominatorTree::dominates(const ir::BasicBlock *a,
+                         const ir::BasicBlock *b) const
+{
+    unsigned ia = rpoIndex(a);
+    unsigned ib = rpoIndex(b);
+    while (ib > ia)
+        ib = idom_[ib];
+    return ib == ia;
+}
+
+bool
+DominatorTree::reachable(const ir::BasicBlock *bb) const
+{
+    return rpoIndex_.count(bb) != 0;
+}
+
+} // namespace lp::analysis

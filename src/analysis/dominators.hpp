@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Dominator tree construction (Cooper-Harvey-Kennedy iterative algorithm).
+ *
+ * Foundation for natural-loop detection and SSA dominance verification —
+ * the same role LLVM's DominatorTree plays for the paper's loopsimplify /
+ * indvars / SCEV pipeline.
+ */
+
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace lp::analysis {
+
+/** Immediate-dominator tree over the reachable blocks of one function. */
+class DominatorTree
+{
+  public:
+    /** Build for @p fn; blocks unreachable from entry are excluded. */
+    explicit DominatorTree(const ir::Function &fn);
+
+    /** Immediate dominator (null for the entry block and unreachable). */
+    const ir::BasicBlock *idom(const ir::BasicBlock *bb) const;
+
+    /** Does @p a dominate @p b?  (a dominates a.) */
+    bool dominates(const ir::BasicBlock *a, const ir::BasicBlock *b) const;
+
+    /** Is @p bb reachable from the entry block? */
+    bool reachable(const ir::BasicBlock *bb) const;
+
+    /** Blocks in reverse postorder of the CFG. */
+    const std::vector<const ir::BasicBlock *> &rpo() const { return rpo_; }
+
+  private:
+    unsigned rpoIndex(const ir::BasicBlock *bb) const;
+
+    const ir::Function &fn_;
+    std::vector<const ir::BasicBlock *> rpo_;
+    std::unordered_map<const ir::BasicBlock *, unsigned> rpoIndex_;
+    // idom_[i] = rpo index of the immediate dominator of rpo_[i].
+    std::vector<unsigned> idom_;
+};
+
+} // namespace lp::analysis

@@ -1,0 +1,181 @@
+#include "analysis/loop_info.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace lp::analysis {
+
+bool
+Loop::contains(const Loop *other) const
+{
+    for (const Loop *l = other; l; l = l->parent()) {
+        if (l == this)
+            return true;
+    }
+    return false;
+}
+
+unsigned
+Loop::depth() const
+{
+    unsigned d = 1;
+    for (const Loop *l = parent_; l; l = l->parent())
+        ++d;
+    return d;
+}
+
+std::vector<const ir::Instruction *>
+Loop::headerPhis() const
+{
+    std::vector<const ir::Instruction *> out;
+    for (const auto &instr : header_->instructions()) {
+        if (!instr->isPhi())
+            break;
+        out.push_back(instr.get());
+    }
+    return out;
+}
+
+std::string
+Loop::label() const
+{
+    return header_->parent()->name() + "." + header_->name();
+}
+
+LoopInfo::LoopInfo(const ir::Function &fn, const DominatorTree &dt)
+    : fn_(fn)
+{
+    // Find back edges: pred -> header where header dominates pred.
+    // Group by header so that multiple back edges form one loop.
+    std::unordered_map<const ir::BasicBlock *,
+                       std::vector<const ir::BasicBlock *>> backEdges;
+    for (const ir::BasicBlock *bb : dt.rpo()) {
+        for (const ir::BasicBlock *succ : bb->successors()) {
+            if (dt.reachable(succ) && dt.dominates(succ, bb))
+                backEdges[succ].push_back(bb);
+        }
+    }
+
+    // Discover loop bodies in RPO of headers (outer loops first).
+    for (const ir::BasicBlock *header : dt.rpo()) {
+        auto it = backEdges.find(header);
+        if (it == backEdges.end())
+            continue;
+
+        auto loop = std::make_unique<Loop>(
+            header, static_cast<unsigned>(loops_.size()));
+        Loop *l = loop.get();
+        l->latches_ = it->second;
+
+        // Natural loop: header plus every block that reaches a latch
+        // without passing through the header.
+        l->blockSet_.insert(header);
+        std::vector<const ir::BasicBlock *> work(it->second);
+        for (const ir::BasicBlock *latch : it->second)
+            l->blockSet_.insert(latch);
+        while (!work.empty()) {
+            const ir::BasicBlock *bb = work.back();
+            work.pop_back();
+            if (bb == header)
+                continue;
+            for (const ir::BasicBlock *pred : bb->predecessors()) {
+                if (dt.reachable(pred) && l->blockSet_.insert(pred).second)
+                    work.push_back(pred);
+            }
+        }
+        // Stable block order: header first, then RPO.
+        l->blocks_.push_back(header);
+        for (const ir::BasicBlock *bb : dt.rpo()) {
+            if (bb != header && l->blockSet_.count(bb))
+                l->blocks_.push_back(bb);
+        }
+
+        loops_.push_back(std::move(loop));
+        byHeader_[header] = l;
+    }
+
+    // Nesting: a loop's parent is the innermost other loop containing its
+    // header.  Because discovery is in RPO, outer loops precede inner ones.
+    for (auto &loopPtr : loops_) {
+        Loop *l = loopPtr.get();
+        Loop *parent = nullptr;
+        for (auto &otherPtr : loops_) {
+            Loop *o = otherPtr.get();
+            if (o == l || !o->blockSet_.count(l->header_))
+                continue;
+            if (!parent || parent->blockSet_.count(o->header_))
+                parent = o;
+        }
+        l->parent_ = parent;
+        if (parent)
+            parent->subLoops_.push_back(l);
+        else
+            topLevel_.push_back(l);
+    }
+
+    // Innermost-loop map.
+    for (auto &loopPtr : loops_) {
+        Loop *l = loopPtr.get();
+        for (const ir::BasicBlock *bb : l->blocks_) {
+            Loop *&slot = innermost_[bb];
+            if (!slot || l->depth() > slot->depth())
+                slot = l;
+        }
+    }
+
+    // Canonical-form features: preheader, exits, dedicated exits.
+    for (auto &loopPtr : loops_) {
+        Loop *l = loopPtr.get();
+
+        std::vector<const ir::BasicBlock *> outsidePreds;
+        for (const ir::BasicBlock *pred : l->header_->predecessors()) {
+            if (!l->blockSet_.count(pred))
+                outsidePreds.push_back(pred);
+        }
+        if (outsidePreds.size() == 1 &&
+            outsidePreds[0]->successors().size() == 1 &&
+            dt.reachable(outsidePreds[0])) {
+            l->preheader_ = outsidePreds[0];
+        }
+
+        std::unordered_set<const ir::BasicBlock *> exitSet;
+        for (const ir::BasicBlock *bb : l->blocks_) {
+            for (const ir::BasicBlock *succ : bb->successors()) {
+                if (!l->blockSet_.count(succ))
+                    exitSet.insert(succ);
+            }
+        }
+        l->exits_.assign(exitSet.begin(), exitSet.end());
+        std::sort(l->exits_.begin(), l->exits_.end(),
+                  [](const ir::BasicBlock *a, const ir::BasicBlock *b) {
+                      return a->index() < b->index();
+                  });
+
+        bool dedicated = true;
+        for (const ir::BasicBlock *exit : l->exits_) {
+            for (const ir::BasicBlock *pred : exit->predecessors()) {
+                if (!l->blockSet_.count(pred))
+                    dedicated = false;
+            }
+        }
+        l->canonical_ = l->preheader_ != nullptr &&
+                        l->latches_.size() == 1 && dedicated;
+    }
+}
+
+Loop *
+LoopInfo::loopFor(const ir::BasicBlock *bb) const
+{
+    auto it = innermost_.find(bb);
+    return it == innermost_.end() ? nullptr : it->second;
+}
+
+Loop *
+LoopInfo::loopAtHeader(const ir::BasicBlock *bb) const
+{
+    auto it = byHeader_.find(bb);
+    return it == byHeader_.end() ? nullptr : it->second;
+}
+
+} // namespace lp::analysis

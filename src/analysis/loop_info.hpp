@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Natural-loop detection and the loop nesting forest.
+ *
+ * Equivalent of LLVM's LoopInfo: identifies back edges via the dominator
+ * tree, builds each natural loop's block set, and nests loops into a
+ * forest.  Also records the canonical-form features the limit study needs
+ * (unique preheader, single latch, dedicated exits) — the properties the
+ * paper obtains by running LLVM's loopsimplify pass.
+ */
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/dominators.hpp"
+
+namespace lp::analysis {
+
+/** One natural loop. */
+class Loop
+{
+  public:
+    Loop(const ir::BasicBlock *header, unsigned id)
+        : header_(header), id_(id)
+    {}
+
+    const ir::BasicBlock *header() const { return header_; }
+
+    /** Stable, dense id within the function (discovery order). */
+    unsigned id() const { return id_; }
+
+    /** All blocks of the loop, header first. */
+    const std::vector<const ir::BasicBlock *> &blocks() const
+    {
+        return blocks_;
+    }
+
+    bool contains(const ir::BasicBlock *bb) const
+    {
+        return blockSet_.count(bb) != 0;
+    }
+
+    /** Does this loop (transitively) contain @p other? */
+    bool contains(const Loop *other) const;
+
+    Loop *parent() const { return parent_; }
+    const std::vector<Loop *> &subLoops() const { return subLoops_; }
+
+    /** Loop depth; top-level loops have depth 1. */
+    unsigned depth() const;
+
+    /** In-loop predecessors of the header (sources of back edges). */
+    const std::vector<const ir::BasicBlock *> &latches() const
+    {
+        return latches_;
+    }
+
+    /**
+     * The unique out-of-loop predecessor of the header whose only successor
+     * is the header; null if the loop is not in canonical form.
+     */
+    const ir::BasicBlock *preheader() const { return preheader_; }
+
+    /** Blocks outside the loop reachable from inside (exit targets). */
+    const std::vector<const ir::BasicBlock *> &exitBlocks() const
+    {
+        return exits_;
+    }
+
+    /**
+     * Canonical (loop-simplified) form: unique preheader, single latch,
+     * and every exit block has all predecessors inside the loop.  Only
+     * canonical loops are instrumented; this mirrors the paper's use of
+     * LLVM loopsimplify to "uniquely identify loops within arbitrarily
+     * complex loop nests".
+     */
+    bool isCanonical() const { return canonical_; }
+
+    /** Header phis: the loop-carried register state. */
+    std::vector<const ir::Instruction *> headerPhis() const;
+
+    /** "fn.header" label used in reports. */
+    std::string label() const;
+
+  private:
+    friend class LoopInfo;
+
+    const ir::BasicBlock *header_;
+    unsigned id_;
+    std::vector<const ir::BasicBlock *> blocks_;
+    std::unordered_set<const ir::BasicBlock *> blockSet_;
+    std::vector<const ir::BasicBlock *> latches_;
+    std::vector<const ir::BasicBlock *> exits_;
+    const ir::BasicBlock *preheader_ = nullptr;
+    Loop *parent_ = nullptr;
+    std::vector<Loop *> subLoops_;
+    bool canonical_ = false;
+};
+
+/** The loop forest of one function. */
+class LoopInfo
+{
+  public:
+    LoopInfo(const ir::Function &fn, const DominatorTree &dt);
+
+    /** All loops, outermost-first discovery order. */
+    const std::vector<std::unique_ptr<Loop>> &loops() const
+    {
+        return loops_;
+    }
+
+    /** Top-level loops only. */
+    const std::vector<Loop *> &topLevel() const { return topLevel_; }
+
+    /** Innermost loop containing @p bb (null if none). */
+    Loop *loopFor(const ir::BasicBlock *bb) const;
+
+    /** Loop headed exactly at @p bb (null if @p bb is not a header). */
+    Loop *loopAtHeader(const ir::BasicBlock *bb) const;
+
+    const ir::Function &function() const { return fn_; }
+
+  private:
+    const ir::Function &fn_;
+    std::vector<std::unique_ptr<Loop>> loops_;
+    std::vector<Loop *> topLevel_;
+    std::unordered_map<const ir::BasicBlock *, Loop *> innermost_;
+    std::unordered_map<const ir::BasicBlock *, Loop *> byHeader_;
+};
+
+} // namespace lp::analysis

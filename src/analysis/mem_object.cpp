@@ -1,0 +1,75 @@
+#include "analysis/mem_object.hpp"
+
+namespace lp::analysis {
+
+using ir::Instruction;
+using ir::Opcode;
+using ir::Value;
+using ir::ValueKind;
+
+const Value *
+resolveBaseObject(const Value *ptr)
+{
+    for (;;) {
+        switch (ptr->kind()) {
+          case ValueKind::Global:
+            return ptr;
+          case ValueKind::Instruction: {
+            const auto *instr = static_cast<const Instruction *>(ptr);
+            if (instr->opcode() == Opcode::Alloca)
+                return instr;
+            if (instr->opcode() == Opcode::PtrAdd) {
+                ptr = instr->operand(0);
+                continue;
+            }
+            return nullptr; // load, phi, select, call result, ...
+          }
+          default:
+            return nullptr; // argument, constant
+        }
+    }
+}
+
+std::unordered_set<const Instruction *>
+escapedAllocas(const ir::Function &fn, const UseMap &uses)
+{
+    std::unordered_set<const Instruction *> escaped;
+
+    // A pointer value "escapes" if it (or a ptradd derived from it) is
+    // stored as data, passed to a call, returned, or merged via phi/select.
+    auto escapes = [&](auto &&self, const Value *v) -> bool {
+        for (const Instruction *user : uses.users(v)) {
+            switch (user->opcode()) {
+              case Opcode::Store:
+                if (user->operand(0) == v)
+                    return true; // stored as the *value*, not the address
+                break;
+              case Opcode::Call:
+              case Opcode::CallExt:
+              case Opcode::Ret:
+              case Opcode::Phi:
+              case Opcode::Select:
+                return true;
+              case Opcode::PtrAdd:
+                if (user->operand(0) == v && self(self, user))
+                    return true;
+                break;
+              default:
+                break;
+            }
+        }
+        return false;
+    };
+
+    for (const auto &bb : fn.blocks()) {
+        for (const auto &instr : bb->instructions()) {
+            if (instr->opcode() == Opcode::Alloca &&
+                escapes(escapes, instr.get())) {
+                escaped.insert(instr.get());
+            }
+        }
+    }
+    return escaped;
+}
+
+} // namespace lp::analysis

@@ -1,0 +1,90 @@
+#include "analysis/purity.hpp"
+
+#include "analysis/mem_object.hpp"
+#include "support/error.hpp"
+
+namespace lp::analysis {
+
+using ir::Instruction;
+using ir::Opcode;
+
+const char *
+purityName(Purity p)
+{
+    switch (p) {
+      case Purity::Pure: return "pure";
+      case Purity::ReadOnly: return "readonly";
+      case Purity::Impure: return "impure";
+    }
+    return "?";
+}
+
+PurityAnalysis::PurityAnalysis(const ir::Module &mod)
+{
+    // Optimistic initialization, then monotone demotion to fixpoint.
+    for (const auto &fn : mod.functions())
+        purity_[fn.get()] = Purity::Pure;
+
+    auto raise = [](Purity &p, Purity v) {
+        if (static_cast<int>(v) > static_cast<int>(p))
+            p = v;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const auto &fnPtr : mod.functions()) {
+            const ir::Function *fn = fnPtr.get();
+            Purity p = Purity::Pure;
+            for (const auto &bb : fn->blocks()) {
+                for (const auto &instr : bb->instructions()) {
+                    switch (instr->opcode()) {
+                      case Opcode::Load: {
+                        const ir::Value *base =
+                            resolveBaseObject(instr->operand(0));
+                        bool local = base &&
+                            base->kind() == ir::ValueKind::Instruction;
+                        if (!local)
+                            raise(p, Purity::ReadOnly);
+                        break;
+                      }
+                      case Opcode::Store: {
+                        const ir::Value *base =
+                            resolveBaseObject(instr->operand(1));
+                        bool local = base &&
+                            base->kind() == ir::ValueKind::Instruction;
+                        if (!local)
+                            raise(p, Purity::Impure);
+                        break;
+                      }
+                      case Opcode::Call:
+                        raise(p, purity_.at(instr->callee()));
+                        break;
+                      case Opcode::CallExt:
+                        if (instr->externalCallee()->attr() !=
+                            ir::ExtAttr::Pure) {
+                            raise(p, Purity::Impure);
+                        }
+                        break;
+                      default:
+                        break;
+                    }
+                }
+            }
+            if (p != purity_.at(fn)) {
+                purity_[fn] = p;
+                changed = true;
+            }
+        }
+    }
+}
+
+Purity
+PurityAnalysis::purity(const ir::Function *fn) const
+{
+    auto it = purity_.find(fn);
+    panicIf(it == purity_.end(), "purity query for unknown function");
+    return it->second;
+}
+
+} // namespace lp::analysis

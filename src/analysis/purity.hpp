@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Function purity analysis for the fn0..fn3 configuration flags.
+ *
+ * The paper's fn1 flag parallelizes loops whose calls are all "pure
+ * (read-only with no side effects)"; fn2 additionally admits thread-safe
+ * library routines and user functions whose read/write sets Loopapalooza
+ * can instrument.  This pass computes the static classification the
+ * compile-time component needs, as an optimistic fixpoint over the call
+ * graph (mutual recursion lands on the correct, most conservative level).
+ */
+
+#pragma once
+
+#include <unordered_map>
+
+#include "ir/module.hpp"
+
+namespace lp::analysis {
+
+/** Memory behaviour of a function with a body. */
+enum class Purity {
+    Pure,     ///< touches only its own frame; result depends on args alone
+    ReadOnly, ///< may read non-local memory; writes only its own frame
+    Impure,   ///< writes non-local memory or calls an unsafe external
+};
+
+/** Printable name. */
+const char *purityName(Purity p);
+
+/** Whole-module purity classification. */
+class PurityAnalysis
+{
+  public:
+    explicit PurityAnalysis(const ir::Module &mod);
+
+    Purity purity(const ir::Function *fn) const;
+
+    /**
+     * May a loop iteration calling @p fn run in parallel under fn1
+     * semantics (pure/read-only callees only)?
+     */
+    bool isPureEnoughForFn1(const ir::Function *fn) const
+    {
+        return purity(fn) != Purity::Impure;
+    }
+
+  private:
+    std::unordered_map<const ir::Function *, Purity> purity_;
+};
+
+} // namespace lp::analysis

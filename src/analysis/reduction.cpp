@@ -1,0 +1,225 @@
+#include "analysis/reduction.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "support/error.hpp"
+
+namespace lp::analysis {
+
+using ir::Instruction;
+using ir::Opcode;
+using ir::Value;
+
+const char *
+recurKindName(RecurKind k)
+{
+    switch (k) {
+      case RecurKind::Sum: return "sum";
+      case RecurKind::Product: return "product";
+      case RecurKind::FSum: return "fsum";
+      case RecurKind::FProduct: return "fproduct";
+      case RecurKind::BAnd: return "and";
+      case RecurKind::BOr: return "or";
+      case RecurKind::BXor: return "xor";
+      case RecurKind::SMin: return "smin";
+      case RecurKind::SMax: return "smax";
+      case RecurKind::FMin: return "fmin";
+      case RecurKind::FMax: return "fmax";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Accumulating opcode -> recurrence kind (Sub folds into Sum). */
+std::optional<RecurKind>
+kindForOpcode(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add:
+      case Opcode::Sub: return RecurKind::Sum;
+      case Opcode::Mul: return RecurKind::Product;
+      case Opcode::FAdd:
+      case Opcode::FSub: return RecurKind::FSum;
+      case Opcode::FMul: return RecurKind::FProduct;
+      case Opcode::And: return RecurKind::BAnd;
+      case Opcode::Or: return RecurKind::BOr;
+      case Opcode::Xor: return RecurKind::BXor;
+      default: return std::nullopt;
+    }
+}
+
+/** Match select(cmp(a,b), a, b) style min/max with one arm == chainVal. */
+std::optional<RecurKind>
+matchMinMax(const Instruction *sel, const Value *chainVal)
+{
+    if (sel->opcode() != Opcode::Select)
+        return std::nullopt;
+    const Value *condV = sel->operand(0);
+    const Value *a = sel->operand(1);
+    const Value *b = sel->operand(2);
+    if (a != chainVal && b != chainVal)
+        return std::nullopt;
+    if (condV->kind() != ir::ValueKind::Instruction)
+        return std::nullopt;
+    const auto *cmp = static_cast<const Instruction *>(condV);
+
+    // The compare must be over the two select arms.
+    bool straight = cmp->numOperands() == 2 && cmp->operand(0) == a &&
+                    cmp->operand(1) == b;
+    bool swapped = cmp->numOperands() == 2 && cmp->operand(0) == b &&
+                   cmp->operand(1) == a;
+    if (!straight && !swapped)
+        return std::nullopt;
+
+    bool isFloat;
+    bool takesSmaller; // does the select keep the smaller value?
+    switch (cmp->opcode()) {
+      case Opcode::ICmpLt: case Opcode::ICmpLe:
+        isFloat = false; takesSmaller = straight; break;
+      case Opcode::ICmpGt: case Opcode::ICmpGe:
+        isFloat = false; takesSmaller = !straight; break;
+      case Opcode::FCmpLt: case Opcode::FCmpLe:
+        isFloat = true; takesSmaller = straight; break;
+      case Opcode::FCmpGt: case Opcode::FCmpGe:
+        isFloat = true; takesSmaller = !straight; break;
+      default:
+        return std::nullopt;
+    }
+    if (isFloat)
+        return takesSmaller ? RecurKind::FMin : RecurKind::FMax;
+    return takesSmaller ? RecurKind::SMin : RecurKind::SMax;
+}
+
+} // namespace
+
+std::optional<ReductionDescriptor>
+matchReduction(const ir::Instruction *phi, const Loop *loop,
+               const UseMap &uses)
+{
+    if (!phi->isPhi() || phi->numOperands() != 2 || !loop->isCanonical())
+        return std::nullopt;
+    const ir::BasicBlock *latch = loop->latches().front();
+    const Value *latchVal = phi->incomingFor(latch);
+    if (latchVal->kind() != ir::ValueKind::Instruction)
+        return std::nullopt;
+    const auto *tail = static_cast<const Instruction *>(latchVal);
+    if (!loop->contains(tail->parent()))
+        return std::nullopt;
+
+    // Walk from the latch value back to the phi, collecting the chain.
+    // Each node must accumulate with a consistent kind, and continue the
+    // chain through exactly one operand.
+    std::optional<RecurKind> kind;
+    std::vector<const Instruction *> chain;
+    std::unordered_set<const Instruction *> chainSet;
+    std::unordered_set<const Instruction *> auxSet; // min/max compares
+
+    const Value *cur = latchVal;
+    constexpr unsigned kMaxChain = 64;
+    while (cur != phi) {
+        if (chain.size() > kMaxChain)
+            return std::nullopt;
+        if (cur->kind() != ir::ValueKind::Instruction)
+            return std::nullopt;
+        const auto *instr = static_cast<const Instruction *>(cur);
+        if (!loop->contains(instr->parent()))
+            return std::nullopt;
+
+        // Min/max step: select over a compare of the two arms.
+        if (instr->opcode() == Opcode::Select) {
+            const Value *a = instr->operand(1);
+            const Value *b = instr->operand(2);
+            const Value *next = nullptr;
+            // The chain continues through whichever arm eventually is the
+            // phi (simple one-level min/max chains only).
+            if (a == phi || (kind && a == chain.back()))
+                next = a;
+            else if (b == phi || (kind && b == chain.back()))
+                next = b;
+            // For robustness handle only direct phi arms.
+            if (a == phi)
+                next = a;
+            else if (b == phi)
+                next = b;
+            if (!next)
+                return std::nullopt;
+            auto mk = matchMinMax(instr, next);
+            if (!mk)
+                return std::nullopt;
+            if (kind && *kind != *mk)
+                return std::nullopt;
+            kind = *mk;
+            chain.push_back(instr);
+            chainSet.insert(instr);
+            auxSet.insert(
+                static_cast<const Instruction *>(instr->operand(0)));
+            cur = next;
+            continue;
+        }
+
+        auto ok = kindForOpcode(instr->opcode());
+        if (!ok)
+            return std::nullopt;
+        if (kind && *kind != *ok)
+            return std::nullopt;
+        kind = *ok;
+
+        // Find the operand that continues toward the phi.  A simple
+        // syntactic walk suffices: one operand must be the phi or the next
+        // same-kind instruction in the chain.
+        const Value *op0 = instr->operand(0);
+        const Value *op1 = instr->operand(1);
+        auto continues = [&](const Value *v) {
+            if (v == phi)
+                return true;
+            if (v->kind() != ir::ValueKind::Instruction)
+                return false;
+            const auto *vi = static_cast<const Instruction *>(v);
+            return loop->contains(vi->parent()) &&
+                   kindForOpcode(vi->opcode()) == kind;
+        };
+        const Value *next;
+        if (continues(op0))
+            next = op0;
+        else if (continues(op1) && instr->opcode() != Opcode::Sub &&
+                 instr->opcode() != Opcode::FSub)
+            next = op1; // acc on the right is fine except for subtraction
+        else
+            return std::nullopt;
+
+        chain.push_back(instr);
+        chainSet.insert(instr);
+        cur = next;
+    }
+    if (chain.empty() || !kind)
+        return std::nullopt;
+    std::reverse(chain.begin(), chain.end());
+
+    // Escape check: inside the loop, the phi and every intermediate chain
+    // value may only feed the chain itself (or min/max compares).  The
+    // final chain value additionally feeds the phi.
+    auto inLoopUsersOk = [&](const Value *v, bool isTail) {
+        for (const Instruction *user : uses.users(v)) {
+            if (!loop->contains(user->parent()))
+                continue; // post-loop uses of the final value are fine
+            if (chainSet.count(user) || auxSet.count(user))
+                continue;
+            if (isTail && user == phi)
+                continue;
+            return false;
+        }
+        return true;
+    };
+    if (!inLoopUsersOk(phi, false))
+        return std::nullopt;
+    for (const Instruction *node : chain) {
+        if (!inLoopUsersOk(node, node == chain.back()))
+            return std::nullopt;
+    }
+
+    return ReductionDescriptor{phi, *kind, std::move(chain)};
+}
+
+} // namespace lp::analysis

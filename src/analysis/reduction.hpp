@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Reduction (recurrence) detection.
+ *
+ * The paper uses LLVM's recurrence descriptors (from the induction-variable
+ * users pass) to recognize accumulator patterns: header phis updated each
+ * iteration exclusively through an associative/accumulating operation.
+ * Under the `reduc1` flag such LCDs are "decoupled" — computed off the
+ * critical path by tree/linear reduction hardware — and do not serialize
+ * iterations; under `reduc0` they count as ordinary non-computable LCDs.
+ */
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "analysis/loop_info.hpp"
+#include "analysis/uses.hpp"
+
+namespace lp::analysis {
+
+/** The accumulation operation of a recognized reduction. */
+enum class RecurKind {
+    Sum,      ///< integer add/sub chain
+    Product,  ///< integer multiply chain
+    FSum,     ///< float add/sub chain
+    FProduct, ///< float multiply chain
+    BAnd, BOr, BXor, ///< bitwise chains
+    SMin, SMax,      ///< integer select-based min/max
+    FMin, FMax,      ///< float select-based min/max
+};
+
+/** Printable name of a recurrence kind. */
+const char *recurKindName(RecurKind k);
+
+/** A recognized reduction rooted at a loop-header phi. */
+struct ReductionDescriptor
+{
+    const ir::Instruction *phi;
+    RecurKind kind;
+    /** The in-loop update chain from the phi to the latch value. */
+    std::vector<const ir::Instruction *> chain;
+};
+
+/**
+ * Try to match @p phi (a header phi of @p loop) against a reduction
+ * pattern.  The match is strict: the running value must not escape into
+ * the loop body other than through the chain, otherwise decoupling the
+ * accumulator would change program semantics.
+ */
+std::optional<ReductionDescriptor>
+matchReduction(const ir::Instruction *phi, const Loop *loop,
+               const UseMap &uses);
+
+} // namespace lp::analysis

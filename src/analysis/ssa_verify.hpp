@@ -1,0 +1,20 @@
+/**
+ * @file
+ * SSA dominance verification: every use of an instruction result must be
+ * dominated by its definition (phi uses checked at the incoming edge).
+ * Complements the structural checks in ir/verifier.
+ */
+
+#pragma once
+
+#include "ir/verifier.hpp"
+
+namespace lp::analysis {
+
+/** Verify SSA dominance for one function. */
+ir::VerifyResult verifySSA(const ir::Function &fn);
+
+/** Verify SSA dominance for all functions of a module. */
+ir::VerifyResult verifySSA(const ir::Module &mod);
+
+} // namespace lp::analysis

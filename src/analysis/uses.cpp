@@ -1,0 +1,22 @@
+#include "analysis/uses.hpp"
+
+namespace lp::analysis {
+
+UseMap::UseMap(const ir::Function &fn)
+{
+    for (const auto &bb : fn.blocks()) {
+        for (const auto &instr : bb->instructions()) {
+            for (const ir::Value *op : instr->operands())
+                users_[op].push_back(instr.get());
+        }
+    }
+}
+
+const std::vector<const ir::Instruction *> &
+UseMap::users(const ir::Value *v) const
+{
+    auto it = users_.find(v);
+    return it == users_.end() ? empty_ : it->second;
+}
+
+} // namespace lp::analysis

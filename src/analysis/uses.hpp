@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Def-use map.  Our IR stores only use->def edges (operands); analyses that
+ * need the reverse direction (reduction chains, escape analysis) build this
+ * map once per function.
+ */
+
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace lp::analysis {
+
+/** Reverse (def -> users) map over one function. */
+class UseMap
+{
+  public:
+    explicit UseMap(const ir::Function &fn);
+
+    /** Instructions that use @p v as an operand (in program order). */
+    const std::vector<const ir::Instruction *> &
+    users(const ir::Value *v) const;
+
+  private:
+    std::unordered_map<const ir::Value *,
+                       std::vector<const ir::Instruction *>> users_;
+    std::vector<const ir::Instruction *> empty_;
+};
+
+} // namespace lp::analysis

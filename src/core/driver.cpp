@@ -1,0 +1,23 @@
+#include "core/driver.hpp"
+
+#include "analysis/ssa_verify.hpp"
+#include "ir/verifier.hpp"
+#include "support/error.hpp"
+
+namespace lp::core {
+
+Loopapalooza::Loopapalooza(const ir::Module &mod) : mod_(mod)
+{
+    ir::verifyModuleOrDie(mod);
+    ir::VerifyResult ssa = analysis::verifySSA(mod);
+    fatalIf(!ssa.ok(), "SSA verification failed:\n" + ssa.message());
+    plan_ = std::make_unique<rt::ModulePlan>(mod);
+}
+
+rt::ProgramReport
+Loopapalooza::run(const rt::LPConfig &cfg) const
+{
+    return rt::runLimitStudy(mod_, *plan_, cfg, mod_.name());
+}
+
+} // namespace lp::core

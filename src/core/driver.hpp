@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Top-level Loopapalooza driver: the public entry point of the library.
+ *
+ * Wraps the full pipeline of the paper:
+ *   1. verify the module (structural + SSA);
+ *   2. compile-time component: analyses + instrumentation plan;
+ *   3. run-time component: interpret with the tracker attached;
+ *   4. report speedup, coverage, per-loop stats and the census.
+ */
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "ir/module.hpp"
+#include "rt/plan.hpp"
+#include "rt/report.hpp"
+#include "rt/tracker.hpp"
+
+namespace lp::core {
+
+/** Analyze once, run under as many configurations as desired. */
+class Loopapalooza
+{
+  public:
+    /**
+     * Verifies @p mod (fatal on malformed IR) and builds the compile-time
+     * plan.  The module must outlive this object and must already be
+     * finalized.
+     */
+    explicit Loopapalooza(const ir::Module &mod);
+
+    /** Execute the program under @p cfg and produce the report. */
+    rt::ProgramReport run(const rt::LPConfig &cfg) const;
+
+    /** The compile-time component's output. */
+    const rt::ModulePlan &plan() const { return *plan_; }
+
+    const ir::Module &module() const { return mod_; }
+
+  private:
+    const ir::Module &mod_;
+    std::unique_ptr<rt::ModulePlan> plan_;
+};
+
+} // namespace lp::core

@@ -1,0 +1,86 @@
+#include "core/study.hpp"
+
+#include <algorithm>
+
+#include "interp/machine.hpp"
+#include "support/error.hpp"
+#include "support/stats.hpp"
+#include "support/text.hpp"
+
+namespace lp::core {
+
+PreparedProgram::PreparedProgram(const BenchProgram &prog) : prog_(prog)
+{
+    mod_ = prog_.build();
+    fatalIf(!mod_, "program " + prog_.name + " built no module");
+    lp_ = std::make_unique<Loopapalooza>(*mod_);
+
+    if (prog_.checkExpected) {
+        // Self-check: a plain, uninstrumented run must produce the value
+        // the kernel author recorded.  Guards against kernels silently
+        // computing garbage (e.g. dead loops an optimizer would remove).
+        interp::Machine machine(*mod_);
+        std::uint64_t got = machine.run();
+        fatalIf(got != prog_.expected,
+                strf("program %s self-check failed: got %llu, want %llu",
+                     prog_.name.c_str(),
+                     static_cast<unsigned long long>(got),
+                     static_cast<unsigned long long>(prog_.expected)));
+    }
+}
+
+rt::ProgramReport
+PreparedProgram::run(const rt::LPConfig &cfg) const
+{
+    rt::ProgramReport rep = lp_->run(cfg);
+    rep.program = prog_.name;
+    return rep;
+}
+
+Study::Study(const std::vector<BenchProgram> &programs)
+{
+    for (const BenchProgram &p : programs)
+        programs_.push_back(std::make_unique<PreparedProgram>(p));
+}
+
+std::vector<std::string>
+Study::suites() const
+{
+    std::vector<std::string> out;
+    for (const auto &p : programs_) {
+        if (std::find(out.begin(), out.end(), p->suite()) == out.end())
+            out.push_back(p->suite());
+    }
+    return out;
+}
+
+std::vector<rt::ProgramReport>
+Study::runSuite(const std::string &suite, const rt::LPConfig &cfg) const
+{
+    std::vector<rt::ProgramReport> out;
+    for (const auto &p : programs_) {
+        if (p->suite() == suite)
+            out.push_back(p->run(cfg));
+    }
+    return out;
+}
+
+double
+Study::geomeanSpeedup(const std::vector<rt::ProgramReport> &reports)
+{
+    GeomeanAccum acc;
+    for (const auto &r : reports)
+        acc.add(r.speedup());
+    return acc.value();
+}
+
+double
+Study::geomeanCoverage(const std::vector<rt::ProgramReport> &reports)
+{
+    GeomeanAccum acc;
+    for (const auto &r : reports)
+        acc.add(std::max(r.coverage * 100.0, 0.1));
+    return acc.value();
+}
+
+} // namespace lp::core

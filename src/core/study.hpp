@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Study harness: prepares a set of benchmark programs (building each
+ * module once, running the compile-time component once) and executes them
+ * under arbitrary configurations, aggregating suite-level geomeans the way
+ * the paper's figures do.
+ */
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/driver.hpp"
+
+namespace lp::core {
+
+/** A benchmark program as registered by a suite. */
+struct BenchProgram
+{
+    std::string name;  ///< e.g. "181.mcf-like"
+    std::string suite; ///< e.g. "cint2000"
+    std::function<std::unique_ptr<ir::Module>()> build;
+    /** Expected main() return value (self-check); 0 = unchecked. */
+    std::uint64_t expected = 0;
+    bool checkExpected = false;
+};
+
+/** One prepared (built + analyzed) program. */
+class PreparedProgram
+{
+  public:
+    explicit PreparedProgram(const BenchProgram &prog);
+
+    const std::string &name() const { return prog_.name; }
+    const std::string &suite() const { return prog_.suite; }
+
+    /** Run under @p cfg; also self-checks the program output once. */
+    rt::ProgramReport run(const rt::LPConfig &cfg) const;
+
+    const Loopapalooza &driver() const { return *lp_; }
+
+  private:
+    BenchProgram prog_;
+    std::unique_ptr<ir::Module> mod_;
+    std::unique_ptr<Loopapalooza> lp_;
+};
+
+/** A set of prepared programs with suite-level aggregation. */
+class Study
+{
+  public:
+    /** Prepare all of @p programs (builds and analyzes every module). */
+    explicit Study(const std::vector<BenchProgram> &programs);
+
+    const std::vector<std::unique_ptr<PreparedProgram>> &programs() const
+    {
+        return programs_;
+    }
+
+    /** Distinct suite names, in first-seen order. */
+    std::vector<std::string> suites() const;
+
+    /** Run every program of @p suite under @p cfg. */
+    std::vector<rt::ProgramReport>
+    runSuite(const std::string &suite, const rt::LPConfig &cfg) const;
+
+    /** Geometric-mean speedup of a set of reports. */
+    static double geomeanSpeedup(const std::vector<rt::ProgramReport> &r);
+
+    /** Geometric-mean coverage (in percent) of a set of reports. */
+    static double geomeanCoverage(const std::vector<rt::ProgramReport> &r);
+
+  private:
+    std::vector<std::unique_ptr<PreparedProgram>> programs_;
+};
+
+} // namespace lp::core

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The instrumentation call-back interface.
+ *
+ * The paper's compile-time component inserts call-backs into the program;
+ * the run-time component implements them.  In this reproduction the
+ * interpreter plays the role of the instrumented binary: it fires exactly
+ * the events those call-backs would deliver — block (and hence loop)
+ * boundaries, header-phi values, memory access addresses, call sites and
+ * function entry/exit — while the dynamic IR instruction counter advances.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "ir/function.hpp"
+
+namespace lp::interp {
+
+/**
+ * Observer of an interpreted execution.  The default implementation
+ * ignores everything, so tools subscribe only to what they need.
+ */
+class ExecListener
+{
+  public:
+    virtual ~ExecListener() = default;
+
+    /** A basic block is entered (cost already includes this block). */
+    virtual void onBlockEnter(const ir::BasicBlock *) {}
+
+    /** A phi resolved to @p bits for this visit of its block. */
+    virtual void onPhiResolved(const ir::Instruction *, std::uint64_t) {}
+
+    /** A load is about to read @p addr. */
+    virtual void onLoad(const ir::Instruction *, std::uint64_t) {}
+
+    /** A store is about to write @p addr. */
+    virtual void onStore(const ir::Instruction *, std::uint64_t) {}
+
+    /** A Call or CallExt instruction is about to transfer control. */
+    virtual void onCallSite(const ir::Instruction *) {}
+
+    /** A function body was entered. */
+    virtual void onFunctionEnter(const ir::Function *) {}
+
+    /** A function body is returning. */
+    virtual void onFunctionExit(const ir::Function *) {}
+};
+
+} // namespace lp::interp

@@ -1,0 +1,267 @@
+#include "interp/machine.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/text.hpp"
+
+namespace lp::interp {
+
+using ir::Instruction;
+using ir::Opcode;
+using ir::Value;
+using ir::ValueKind;
+
+namespace {
+
+double
+asF64(std::uint64_t bits)
+{
+    return std::bit_cast<double>(bits);
+}
+
+std::uint64_t
+asBits(double v)
+{
+    return std::bit_cast<std::uint64_t>(v);
+}
+
+std::int64_t
+asI64(std::uint64_t bits)
+{
+    return static_cast<std::int64_t>(bits);
+}
+
+} // namespace
+
+Machine::Machine(const ir::Module &mod, ExecListener *listener)
+    : mod_(mod), listener_(listener)
+{
+    for (const auto &fn : mod.functions())
+        fatalIf(!fn->finalized(),
+                "module not finalized before interpretation");
+}
+
+std::uint64_t
+Machine::run()
+{
+    fatalIf(ran_, "Machine::run may only be called once");
+    ran_ = true;
+
+    for (const auto &g : mod_.globals())
+        g->setAddress(mem_.allocGlobal(g->sizeBytes()));
+
+    const ir::Function *main = mod_.mainFunction();
+    fatalIf(!main, "module has no main()");
+    fatalIf(!main->args().empty(), "main() must take no arguments");
+    return execFunction(main, {});
+}
+
+std::uint64_t
+Machine::evalValue(const Value *v,
+                   const std::vector<std::uint64_t> &regs) const
+{
+    switch (v->kind()) {
+      case ValueKind::ConstInt:
+        return static_cast<std::uint64_t>(
+            static_cast<const ir::ConstInt *>(v)->value());
+      case ValueKind::ConstFloat:
+        return asBits(static_cast<const ir::ConstFloat *>(v)->value());
+      case ValueKind::Global:
+        return static_cast<const ir::Global *>(v)->address();
+      case ValueKind::Argument:
+      case ValueKind::Instruction:
+        return regs[v->localId()];
+    }
+    panic("unreachable value kind");
+}
+
+std::uint64_t
+Machine::execFunction(const ir::Function *fn,
+                      const std::vector<std::uint64_t> &args)
+{
+    fatalIf(args.size() != fn->args().size(),
+            "argument count mismatch calling @" + fn->name());
+    fatalIf(++callDepth_ > 10'000, "simulated call stack overflow");
+
+    const std::uint64_t savedSp = sp_;
+    const std::uint64_t savedBlockSize = curBlockSize_;
+    const std::uint64_t savedIp = ipInBlock_;
+    if (listener_)
+        listener_->onFunctionEnter(fn);
+
+    std::vector<std::uint64_t> regs(fn->numLocals(), 0);
+    for (std::size_t i = 0; i < args.size(); ++i)
+        regs[fn->args()[i]->localId()] = args[i];
+
+    const ir::BasicBlock *bb = fn->entry();
+    const ir::BasicBlock *prev = nullptr;
+    std::uint64_t result = 0;
+
+    for (;;) {
+        cost_ += bb->instructions().size();
+        curBlockSize_ = bb->instructions().size();
+        ipInBlock_ = 0;
+        fatalIf(cost_ > costLimit_, "dynamic instruction limit exceeded");
+        if (listener_)
+            listener_->onBlockEnter(bb);
+
+        // Phis resolve in parallel against the incoming edge.
+        std::size_t ip = 0;
+        const auto &instrs = bb->instructions();
+        if (!instrs.empty() && instrs[0]->isPhi()) {
+            std::vector<std::pair<const Instruction *, std::uint64_t>>
+                resolved;
+            for (; ip < instrs.size() && instrs[ip]->isPhi(); ++ip) {
+                const Instruction *phi = instrs[ip].get();
+                panicIf(!prev, "phi in entry block of @" + fn->name());
+                resolved.emplace_back(
+                    phi, evalValue(phi->incomingFor(prev), regs));
+            }
+            for (const auto &[phi, bits] : resolved) {
+                regs[phi->localId()] = bits;
+                if (listener_)
+                    listener_->onPhiResolved(phi, bits);
+            }
+        }
+
+        const ir::BasicBlock *next = nullptr;
+        for (; ip < instrs.size(); ++ip) {
+            const Instruction &instr = *instrs[ip];
+            ipInBlock_ = ip;
+            switch (instr.opcode()) {
+              case Opcode::Br: {
+                std::uint64_t c = evalValue(instr.operand(0), regs);
+                next = instr.blocks()[c ? 0 : 1];
+                break;
+              }
+              case Opcode::Jmp:
+                next = instr.blocks()[0];
+                break;
+              case Opcode::Ret:
+                if (instr.numOperands() == 1)
+                    result = evalValue(instr.operand(0), regs);
+                if (listener_)
+                    listener_->onFunctionExit(fn);
+                sp_ = savedSp;
+                curBlockSize_ = savedBlockSize;
+                ipInBlock_ = savedIp;
+                --callDepth_;
+                return result;
+              default:
+                regs[instr.localId()] = execInstruction(instr, regs);
+                break;
+            }
+        }
+        panicIf(!next, "block fell through without terminator");
+        prev = bb;
+        bb = next;
+    }
+}
+
+std::uint64_t
+Machine::execInstruction(const Instruction &instr,
+                         std::vector<std::uint64_t> &regs)
+{
+    auto op = [&](unsigned i) { return evalValue(instr.operand(i), regs); };
+    auto iop = [&](unsigned i) { return asI64(op(i)); };
+    auto fop = [&](unsigned i) { return asF64(op(i)); };
+
+    switch (instr.opcode()) {
+      case Opcode::Add: return op(0) + op(1);
+      case Opcode::Sub: return op(0) - op(1);
+      case Opcode::Mul: return op(0) * op(1);
+      case Opcode::SDiv: {
+        std::int64_t d = iop(1);
+        fatalIf(d == 0, "division by zero");
+        return static_cast<std::uint64_t>(iop(0) / d);
+      }
+      case Opcode::SRem: {
+        std::int64_t d = iop(1);
+        fatalIf(d == 0, "remainder by zero");
+        return static_cast<std::uint64_t>(iop(0) % d);
+      }
+      case Opcode::And: return op(0) & op(1);
+      case Opcode::Or: return op(0) | op(1);
+      case Opcode::Xor: return op(0) ^ op(1);
+      case Opcode::Shl: return op(0) << (op(1) & 63);
+      case Opcode::AShr:
+        return static_cast<std::uint64_t>(iop(0) >> (op(1) & 63));
+
+      case Opcode::FAdd: return asBits(fop(0) + fop(1));
+      case Opcode::FSub: return asBits(fop(0) - fop(1));
+      case Opcode::FMul: return asBits(fop(0) * fop(1));
+      case Opcode::FDiv: return asBits(fop(0) / fop(1));
+
+      case Opcode::ICmpEq: return iop(0) == iop(1);
+      case Opcode::ICmpNe: return iop(0) != iop(1);
+      case Opcode::ICmpLt: return iop(0) < iop(1);
+      case Opcode::ICmpLe: return iop(0) <= iop(1);
+      case Opcode::ICmpGt: return iop(0) > iop(1);
+      case Opcode::ICmpGe: return iop(0) >= iop(1);
+
+      case Opcode::FCmpEq: return fop(0) == fop(1);
+      case Opcode::FCmpNe: return fop(0) != fop(1);
+      case Opcode::FCmpLt: return fop(0) < fop(1);
+      case Opcode::FCmpLe: return fop(0) <= fop(1);
+      case Opcode::FCmpGt: return fop(0) > fop(1);
+      case Opcode::FCmpGe: return fop(0) >= fop(1);
+
+      case Opcode::Select: return op(0) ? op(1) : op(2);
+      case Opcode::IToF: return asBits(static_cast<double>(iop(0)));
+      case Opcode::FToI:
+        return static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(fop(0)));
+
+      case Opcode::Alloca: {
+        std::uint64_t size = op(0);
+        std::uint64_t addr = sp_;
+        sp_ += (size + 7) & ~std::uint64_t{7};
+        mem_.ensureStack(sp_);
+        return addr;
+      }
+      case Opcode::Load: {
+        std::uint64_t addr = op(0);
+        if (listener_)
+            listener_->onLoad(&instr, addr);
+        return mem_.load64(addr);
+      }
+      case Opcode::Store: {
+        std::uint64_t addr = op(1);
+        if (listener_)
+            listener_->onStore(&instr, addr);
+        mem_.store64(addr, op(0));
+        return 0;
+      }
+      case Opcode::PtrAdd: return op(0) + op(1);
+
+      case Opcode::Call: {
+        if (listener_)
+            listener_->onCallSite(&instr);
+        std::vector<std::uint64_t> args(instr.numOperands());
+        for (unsigned i = 0; i < instr.numOperands(); ++i)
+            args[i] = op(i);
+        return execFunction(instr.callee(), args);
+      }
+      case Opcode::CallExt: {
+        if (listener_)
+            listener_->onCallSite(&instr);
+        std::vector<std::uint64_t> args(instr.numOperands());
+        for (unsigned i = 0; i < instr.numOperands(); ++i)
+            args[i] = op(i);
+        const ir::ExternalFunction *ext = instr.externalCallee();
+        cost_ += ext->cost();
+        return ext->impl()(*this, args);
+      }
+
+      case Opcode::Phi:
+      case Opcode::Br:
+      case Opcode::Jmp:
+      case Opcode::Ret:
+        break;
+    }
+    panic("unhandled opcode in execInstruction");
+}
+
+} // namespace lp::interp

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The IR interpreter ("Machine").
+ *
+ * Executes a finalized module, counting dynamic IR instructions — the
+ * paper's proxy for execution time — and firing instrumentation events.
+ * Determinism is total: same module, same result, same cost, every run.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "interp/events.hpp"
+#include "interp/memory.hpp"
+#include "ir/module.hpp"
+
+namespace lp::interp {
+
+/** Interprets one module. */
+class Machine
+{
+  public:
+    /**
+     * @param mod finalized, verified module
+     * @param listener optional instrumentation sink (not owned)
+     */
+    explicit Machine(const ir::Module &mod, ExecListener *listener = nullptr);
+
+    /**
+     * Lay out globals and run main(); returns main's result bits.
+     * May be called once per Machine.
+     */
+    std::uint64_t run();
+
+    /** Dynamic IR instructions executed so far (the sequential clock). */
+    std::uint64_t cost() const { return cost_; }
+
+    /**
+     * Instruction-resolution clock: like cost(), but only counting the
+     * instructions of the current basic block that have actually executed
+     * (cost() charges a whole block at entry, mirroring the paper's
+     * per-block counter call-backs).  The runtime uses this to measure
+     * producer/consumer offsets within an iteration for the HELIX
+     * synchronization-delay model.
+     */
+    std::uint64_t
+    preciseCost() const
+    {
+        return cost_ - curBlockSize_ + ipInBlock_ + 1;
+    }
+
+    /** Current top of the simulated stack. */
+    std::uint64_t stackPointer() const { return sp_; }
+
+    Memory &memory() { return mem_; }
+    const ir::Module &module() const { return mod_; }
+
+    /** Execute @p fn with @p args (bit patterns); used by call handling. */
+    std::uint64_t execFunction(const ir::Function *fn,
+                               const std::vector<std::uint64_t> &args);
+
+    /** Charge @p n extra cost units (external function bodies). */
+    void charge(std::uint64_t n) { cost_ += n; }
+
+    /** Abort execution when the dynamic instruction count exceeds this. */
+    void setCostLimit(std::uint64_t limit) { costLimit_ = limit; }
+
+  private:
+    std::uint64_t evalValue(const ir::Value *v,
+                            const std::vector<std::uint64_t> &regs) const;
+    std::uint64_t execInstruction(const ir::Instruction &instr,
+                                  std::vector<std::uint64_t> &regs);
+
+    const ir::Module &mod_;
+    ExecListener *listener_;
+    Memory mem_;
+    std::uint64_t cost_ = 0;
+    std::uint64_t costLimit_ = 50'000'000'000ULL;
+    std::uint64_t curBlockSize_ = 0;
+    std::uint64_t ipInBlock_ = 0;
+    std::uint64_t sp_ = Memory::kStackBase;
+    unsigned callDepth_ = 0;
+    bool ran_ = false;
+};
+
+} // namespace lp::interp

@@ -1,0 +1,86 @@
+#include "interp/memory.hpp"
+
+#include <cstring>
+
+#include "support/error.hpp"
+#include "support/text.hpp"
+
+namespace lp::interp {
+
+namespace {
+
+std::uint64_t
+align8(std::uint64_t v)
+{
+    return (v + 7) & ~std::uint64_t{7};
+}
+
+} // namespace
+
+std::uint64_t
+Memory::allocGlobal(std::uint64_t size)
+{
+    std::uint64_t addr = kGlobalBase + globals_.size();
+    globals_.resize(globals_.size() + align8(size), 0);
+    fatalIf(kGlobalBase + globals_.size() > kHeapBase,
+            "global segment overflow");
+    return addr;
+}
+
+std::uint64_t
+Memory::allocHeap(std::uint64_t size)
+{
+    std::uint64_t addr = kHeapBase + heapTop_;
+    heapTop_ += align8(size);
+    fatalIf(kHeapBase + heapTop_ > kStackBase, "heap segment overflow");
+    if (heapTop_ > heap_.size())
+        heap_.resize(std::max<std::uint64_t>(heapTop_, heap_.size() * 2),
+                     0);
+    return addr;
+}
+
+void
+Memory::ensureStack(std::uint64_t top)
+{
+    fatalIf(top > kStackLimit, "stack segment overflow");
+    std::uint64_t need = top - kStackBase;
+    if (need > stack_.size())
+        stack_.resize(std::max<std::uint64_t>(need, stack_.size() * 2 + 4096),
+                      0);
+}
+
+const std::uint8_t *
+Memory::locate(std::uint64_t addr, std::uint64_t size) const
+{
+    if (addr >= kGlobalBase && addr + size <= kGlobalBase + globals_.size())
+        return globals_.data() + (addr - kGlobalBase);
+    if (addr >= kHeapBase && addr + size <= kHeapBase + heap_.size())
+        return heap_.data() + (addr - kHeapBase);
+    if (addr >= kStackBase && addr + size <= kStackBase + stack_.size())
+        return stack_.data() + (addr - kStackBase);
+    fatal(strf("invalid memory access at 0x%llx",
+               static_cast<unsigned long long>(addr)));
+}
+
+std::uint8_t *
+Memory::locate(std::uint64_t addr, std::uint64_t size)
+{
+    return const_cast<std::uint8_t *>(
+        static_cast<const Memory *>(this)->locate(addr, size));
+}
+
+std::uint64_t
+Memory::load64(std::uint64_t addr) const
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, locate(addr, 8), 8);
+    return bits;
+}
+
+void
+Memory::store64(std::uint64_t addr, std::uint64_t bits)
+{
+    std::memcpy(locate(addr, 8), &bits, 8);
+}
+
+} // namespace lp::interp

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Simulated flat memory for the IR interpreter.
+ *
+ * Three disjoint segments — globals, heap, stack — at fixed virtual bases.
+ * All program data is 8 bytes wide; the runtime's conflict tracker works
+ * on 8-byte granules of the same address space, so the addresses reported
+ * by load/store events are directly comparable across iterations.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lp::interp {
+
+/** Segmented simulated address space. */
+class Memory
+{
+  public:
+    static constexpr std::uint64_t kGlobalBase = 0x0000'1000;
+    static constexpr std::uint64_t kHeapBase   = 0x1000'0000;
+    static constexpr std::uint64_t kStackBase  = 0x8000'0000;
+    static constexpr std::uint64_t kStackLimit = 0x9000'0000;
+
+    Memory() = default;
+
+    /** Reserve @p size bytes of zeroed global space; returns the address. */
+    std::uint64_t allocGlobal(std::uint64_t size);
+
+    /** Bump-allocate @p size bytes of heap; returns the address. */
+    std::uint64_t allocHeap(std::uint64_t size);
+
+    /** Read 8 bytes at @p addr. */
+    std::uint64_t load64(std::uint64_t addr) const;
+
+    /** Write 8 bytes at @p addr. */
+    void store64(std::uint64_t addr, std::uint64_t bits);
+
+    /** Is @p addr inside the (simulated) stack segment? */
+    static bool
+    isStackAddress(std::uint64_t addr)
+    {
+        return addr >= kStackBase && addr < kStackLimit;
+    }
+
+    /** Grow the stack segment to cover addresses below @p top. */
+    void ensureStack(std::uint64_t top);
+
+    /** Bytes of heap currently allocated. */
+    std::uint64_t heapUsed() const { return heapTop_; }
+
+  private:
+    const std::uint8_t *locate(std::uint64_t addr, std::uint64_t size) const;
+    std::uint8_t *locate(std::uint64_t addr, std::uint64_t size);
+
+    std::vector<std::uint8_t> globals_;
+    std::vector<std::uint8_t> heap_;
+    std::vector<std::uint8_t> stack_;
+    std::uint64_t heapTop_ = 0;
+};
+
+} // namespace lp::interp

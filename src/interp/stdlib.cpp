@@ -1,0 +1,93 @@
+#include "interp/stdlib.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "interp/machine.hpp"
+
+namespace lp::interp {
+
+namespace {
+
+using Args = std::vector<std::uint64_t>;
+
+std::uint64_t
+f1(double (*fn)(double), const Args &args)
+{
+    return std::bit_cast<std::uint64_t>(
+        fn(std::bit_cast<double>(args.at(0))));
+}
+
+} // namespace
+
+Stdlib
+registerStdlib(ir::Module &mod)
+{
+    using ir::ExtAttr;
+    using ir::Type;
+    Stdlib lib;
+
+    lib.sqrt = mod.addExternal(
+        "sqrt", Type::F64, ExtAttr::Pure, 20,
+        [](Machine &, const Args &a) { return f1(std::sqrt, a); });
+    lib.sin = mod.addExternal(
+        "sin", Type::F64, ExtAttr::Pure, 40,
+        [](Machine &, const Args &a) { return f1(std::sin, a); });
+    lib.cos = mod.addExternal(
+        "cos", Type::F64, ExtAttr::Pure, 40,
+        [](Machine &, const Args &a) { return f1(std::cos, a); });
+    lib.exp = mod.addExternal(
+        "exp", Type::F64, ExtAttr::Pure, 40,
+        [](Machine &, const Args &a) { return f1(std::exp, a); });
+    lib.log = mod.addExternal(
+        "log", Type::F64, ExtAttr::Pure, 40,
+        [](Machine &, const Args &a) { return f1(std::log, a); });
+    lib.fabs = mod.addExternal(
+        "fabs", Type::F64, ExtAttr::Pure, 4,
+        [](Machine &, const Args &a) { return f1(std::fabs, a); });
+
+    lib.malloc = mod.addExternal(
+        "malloc", Type::Ptr, ExtAttr::ThreadSafe, 30,
+        [](Machine &m, const Args &a) {
+            return m.memory().allocHeap(a.at(0));
+        });
+
+    // Deterministic LCG with shared hidden state: the canonical example of
+    // a non-re-entrant library routine (fn3 only).
+    lib.rand = mod.addExternal(
+        "rand", Type::I64, ExtAttr::Unsafe, 12,
+        [state = std::uint64_t{0x2545F4914F6CDD1DULL}](
+            Machine &, const Args &) mutable {
+            state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+            return (state >> 33) & 0x7fffffff;
+        });
+
+    // Models stdio: a strictly-ordered observable side effect.  The output
+    // itself is discarded (benchmarks must not spam), but the attribute
+    // forces sequential semantics.
+    lib.putchar = mod.addExternal(
+        "putchar", Type::I64, ExtAttr::Unsafe, 25,
+        [](Machine &, const Args &a) { return a.at(0); });
+
+    return lib;
+}
+
+} // namespace lp::interp
+
+namespace lp::interp {
+
+ir::ExternalFunction::Impl
+stdlibImplFor(const std::string &name)
+{
+    // One throwaway module: registerStdlib gives us the canonical
+    // implementations; we hand back the matching one by name.
+    static ir::Module scratch("stdlib-scratch");
+    static const Stdlib lib = registerStdlib(scratch);
+    (void)lib;
+    for (const auto &e : scratch.externals())
+        if (e->name() == name)
+            return e->impl();
+    return {};
+}
+
+} // namespace lp::interp

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The simulated C standard library.
+ *
+ * The paper's only uninstrumented code is the C/C++ standard library
+ * (Section III-D).  We model that boundary with external functions carrying
+ * thread-safety attributes and fixed dynamic-IR costs:
+ *
+ *  - pure math (sqrt, sin, cos, exp, log, fabs)        -> ExtAttr::Pure
+ *  - allocation (malloc)                               -> ExtAttr::ThreadSafe
+ *  - stateful PRNG (rand), stdio (putchar)             -> ExtAttr::Unsafe
+ *
+ * These attributes are exactly what the fn1/fn2/fn3 flags key on.
+ */
+
+#pragma once
+
+#include "ir/module.hpp"
+
+namespace lp::interp {
+
+/** Handles to the registered externals. */
+struct Stdlib
+{
+    ir::ExternalFunction *sqrt;
+    ir::ExternalFunction *sin;
+    ir::ExternalFunction *cos;
+    ir::ExternalFunction *exp;
+    ir::ExternalFunction *log;
+    ir::ExternalFunction *fabs;
+    ir::ExternalFunction *malloc; ///< bump allocation, thread-safe
+    ir::ExternalFunction *rand;   ///< deterministic LCG, shared state
+    ir::ExternalFunction *putchar;///< sequential side effect
+};
+
+/** Register the simulated standard library into @p mod. */
+Stdlib registerStdlib(ir::Module &mod);
+
+/**
+ * Extern resolver for ir::parseModule: supplies the simulated stdlib
+ * implementation for known names (sqrt, sin, ..., malloc, rand, putchar)
+ * and null for unknown ones (the parser then installs a zero stub).
+ */
+ir::ExternalFunction::Impl stdlibImplFor(const std::string &name);
+
+} // namespace lp::interp

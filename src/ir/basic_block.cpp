@@ -1,0 +1,63 @@
+#include "ir/basic_block.hpp"
+
+#include "support/error.hpp"
+
+namespace lp::ir {
+
+Instruction *
+BasicBlock::append(std::unique_ptr<Instruction> instr)
+{
+    panicIf(terminator() != nullptr,
+            "appending instruction after terminator in block " + name_);
+    Instruction *raw = instr.get();
+    raw->setParent(this);
+    instrs_.push_back(std::move(instr));
+    if (raw->isTerminator()) {
+        for (BasicBlock *succ : raw->blocks())
+            succ->preds_.push_back(this);
+    }
+    return raw;
+}
+
+Instruction *
+BasicBlock::terminator() const
+{
+    if (instrs_.empty())
+        return nullptr;
+    Instruction *last = instrs_.back().get();
+    return last->isTerminator() ? last : nullptr;
+}
+
+std::vector<BasicBlock *>
+BasicBlock::successors() const
+{
+    Instruction *term = terminator();
+    if (!term)
+        return {};
+    return term->blocks();
+}
+
+std::vector<Instruction *>
+BasicBlock::phis() const
+{
+    std::vector<Instruction *> out;
+    for (const auto &instr : instrs_) {
+        if (!instr->isPhi())
+            break;
+        out.push_back(instr.get());
+    }
+    return out;
+}
+
+unsigned
+BasicBlock::workCount() const
+{
+    unsigned n = 0;
+    for (const auto &instr : instrs_) {
+        if (!instr->isPhi() && !instr->isTerminator())
+            ++n;
+    }
+    return n;
+}
+
+} // namespace lp::ir

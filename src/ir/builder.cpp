@@ -1,0 +1,357 @@
+#include "ir/builder.hpp"
+
+#include <memory>
+
+#include "support/error.hpp"
+
+namespace lp::ir {
+
+Function *
+IRBuilder::createFunction(
+    const std::string &name, Type retType,
+    const std::vector<std::pair<Type, std::string>> &params)
+{
+    fn_ = mod_.addFunction(name, retType);
+    for (const auto &[t, pname] : params)
+        fn_->addArgument(t, pname);
+    bb_ = fn_->addBlock("entry");
+    return fn_;
+}
+
+BasicBlock *
+IRBuilder::newBlock(const std::string &name)
+{
+    panicIf(!fn_, "newBlock with no current function");
+    return fn_->addBlock(name);
+}
+
+Instruction *
+IRBuilder::emit(Opcode op, Type t, const std::string &name,
+                std::initializer_list<Value *> ops)
+{
+    panicIf(!bb_, "emit with no insertion point");
+    auto instr = std::make_unique<Instruction>(op, t, name);
+    for (Value *v : ops) {
+        panicIf(!v, "null operand");
+        instr->addOperand(v);
+    }
+    return bb_->append(std::move(instr));
+}
+
+Value *IRBuilder::add(Value *a, Value *b, const std::string &n)
+{ return emit(Opcode::Add, Type::I64, n, {a, b}); }
+Value *IRBuilder::sub(Value *a, Value *b, const std::string &n)
+{ return emit(Opcode::Sub, Type::I64, n, {a, b}); }
+Value *IRBuilder::mul(Value *a, Value *b, const std::string &n)
+{ return emit(Opcode::Mul, Type::I64, n, {a, b}); }
+Value *IRBuilder::sdiv(Value *a, Value *b, const std::string &n)
+{ return emit(Opcode::SDiv, Type::I64, n, {a, b}); }
+Value *IRBuilder::srem(Value *a, Value *b, const std::string &n)
+{ return emit(Opcode::SRem, Type::I64, n, {a, b}); }
+Value *IRBuilder::and_(Value *a, Value *b, const std::string &n)
+{ return emit(Opcode::And, Type::I64, n, {a, b}); }
+Value *IRBuilder::or_(Value *a, Value *b, const std::string &n)
+{ return emit(Opcode::Or, Type::I64, n, {a, b}); }
+Value *IRBuilder::xor_(Value *a, Value *b, const std::string &n)
+{ return emit(Opcode::Xor, Type::I64, n, {a, b}); }
+Value *IRBuilder::shl(Value *a, Value *b, const std::string &n)
+{ return emit(Opcode::Shl, Type::I64, n, {a, b}); }
+Value *IRBuilder::ashr(Value *a, Value *b, const std::string &n)
+{ return emit(Opcode::AShr, Type::I64, n, {a, b}); }
+
+Value *IRBuilder::fadd(Value *a, Value *b, const std::string &n)
+{ return emit(Opcode::FAdd, Type::F64, n, {a, b}); }
+Value *IRBuilder::fsub(Value *a, Value *b, const std::string &n)
+{ return emit(Opcode::FSub, Type::F64, n, {a, b}); }
+Value *IRBuilder::fmul(Value *a, Value *b, const std::string &n)
+{ return emit(Opcode::FMul, Type::F64, n, {a, b}); }
+Value *IRBuilder::fdiv(Value *a, Value *b, const std::string &n)
+{ return emit(Opcode::FDiv, Type::F64, n, {a, b}); }
+
+Value *
+IRBuilder::icmp(Opcode pred, Value *a, Value *b, const std::string &n)
+{
+    panicIf(pred < Opcode::ICmpEq || pred > Opcode::ICmpGe,
+            "icmp with non-icmp predicate");
+    return emit(pred, Type::I64, n, {a, b});
+}
+
+Value *IRBuilder::icmpEq(Value *a, Value *b, const std::string &n)
+{ return icmp(Opcode::ICmpEq, a, b, n); }
+Value *IRBuilder::icmpNe(Value *a, Value *b, const std::string &n)
+{ return icmp(Opcode::ICmpNe, a, b, n); }
+Value *IRBuilder::icmpLt(Value *a, Value *b, const std::string &n)
+{ return icmp(Opcode::ICmpLt, a, b, n); }
+Value *IRBuilder::icmpLe(Value *a, Value *b, const std::string &n)
+{ return icmp(Opcode::ICmpLe, a, b, n); }
+Value *IRBuilder::icmpGt(Value *a, Value *b, const std::string &n)
+{ return icmp(Opcode::ICmpGt, a, b, n); }
+Value *IRBuilder::icmpGe(Value *a, Value *b, const std::string &n)
+{ return icmp(Opcode::ICmpGe, a, b, n); }
+
+Value *
+IRBuilder::fcmp(Opcode pred, Value *a, Value *b, const std::string &n)
+{
+    panicIf(pred < Opcode::FCmpEq || pred > Opcode::FCmpGe,
+            "fcmp with non-fcmp predicate");
+    return emit(pred, Type::I64, n, {a, b});
+}
+
+Value *
+IRBuilder::select(Value *cond, Value *a, Value *b, const std::string &n)
+{
+    return emit(Opcode::Select, a->type(), n, {cond, a, b});
+}
+
+Value *IRBuilder::itof(Value *a, const std::string &n)
+{ return emit(Opcode::IToF, Type::F64, n, {a}); }
+Value *IRBuilder::ftoi(Value *a, const std::string &n)
+{ return emit(Opcode::FToI, Type::I64, n, {a}); }
+
+Value *
+IRBuilder::allocaBytes(std::uint64_t bytes, const std::string &n)
+{
+    return emit(Opcode::Alloca, Type::Ptr, n,
+                {i64(static_cast<std::int64_t>(bytes))});
+}
+
+Value *
+IRBuilder::load(Type t, Value *ptr, const std::string &n)
+{
+    return emit(Opcode::Load, t, n, {ptr});
+}
+
+void
+IRBuilder::store(Value *v, Value *ptr)
+{
+    emit(Opcode::Store, Type::Void, "", {v, ptr});
+}
+
+Value *
+IRBuilder::ptradd(Value *ptr, Value *offsetBytes, const std::string &n)
+{
+    return emit(Opcode::PtrAdd, Type::Ptr, n, {ptr, offsetBytes});
+}
+
+Value *
+IRBuilder::elem(Value *base, Value *index, const std::string &n)
+{
+    Value *off = mul(index, i64(8));
+    return ptradd(base, off, n);
+}
+
+Instruction *
+IRBuilder::phi(Type t, const std::string &n)
+{
+    return emit(Opcode::Phi, t, n, {});
+}
+
+void
+IRBuilder::addIncoming(Instruction *phi, Value *v, BasicBlock *from)
+{
+    panicIf(!phi->isPhi(), "addIncoming on non-phi");
+    phi->addOperand(v);
+    phi->addBlock(from);
+}
+
+Value *
+IRBuilder::call(Function *callee, const std::vector<Value *> &args,
+                const std::string &n)
+{
+    panicIf(!bb_, "call with no insertion point");
+    auto instr = std::make_unique<Instruction>(
+        Opcode::Call, callee->returnType(), n);
+    for (Value *a : args)
+        instr->addOperand(a);
+    instr->setCallee(callee);
+    return bb_->append(std::move(instr));
+}
+
+Value *
+IRBuilder::callExt(ExternalFunction *callee,
+                   const std::vector<Value *> &args, const std::string &n)
+{
+    panicIf(!bb_, "callExt with no insertion point");
+    auto instr = std::make_unique<Instruction>(
+        Opcode::CallExt, callee->returnType(), n);
+    for (Value *a : args)
+        instr->addOperand(a);
+    instr->setExternalCallee(callee);
+    return bb_->append(std::move(instr));
+}
+
+void
+IRBuilder::br(Value *cond, BasicBlock *taken, BasicBlock *fallthrough)
+{
+    panicIf(!bb_, "br with no insertion point");
+    auto instr = std::make_unique<Instruction>(Opcode::Br, Type::Void, "");
+    instr->addOperand(cond);
+    instr->addBlock(taken);
+    instr->addBlock(fallthrough);
+    bb_->append(std::move(instr));
+}
+
+void
+IRBuilder::jmp(BasicBlock *target)
+{
+    panicIf(!bb_, "jmp with no insertion point");
+    auto instr = std::make_unique<Instruction>(Opcode::Jmp, Type::Void, "");
+    instr->addBlock(target);
+    bb_->append(std::move(instr));
+}
+
+void
+IRBuilder::ret(Value *v)
+{
+    emit(Opcode::Ret, Type::Void, "", {v});
+}
+
+void
+IRBuilder::retVoid()
+{
+    emit(Opcode::Ret, Type::Void, "", {});
+}
+
+//
+// CountedLoop
+//
+
+CountedLoop::CountedLoop(IRBuilder &b, Value *begin, Value *end, Value *step,
+                         const std::string &tag)
+    : b_(b), end_(end), step_(step)
+{
+    preheader_ = b.insertBlock();
+    header_ = b.newBlock(tag + ".hdr");
+    body_ = b.newBlock(tag + ".body");
+    latch_ = b.newBlock(tag + ".latch");
+    exit_ = b.newBlock(tag + ".exit");
+
+    b.jmp(header_);
+
+    b.setInsertPoint(header_);
+    iv_ = b.phi(Type::I64, tag);
+    IRBuilder::addIncoming(iv_, begin, preheader_);
+    // Latch incoming is wired in finish(), once the increment exists.
+
+    b.setInsertPoint(body_);
+}
+
+Instruction *
+CountedLoop::addRecurrence(Type t, Value *init, const std::string &name)
+{
+    panicIf(finished_, "addRecurrence after finish");
+    BasicBlock *saved = b_.insertBlock();
+    b_.setInsertPoint(header_);
+    Instruction *p = b_.phi(t, name);
+    IRBuilder::addIncoming(p, init, preheader_);
+    recs_.emplace_back(p, nullptr);
+    b_.setInsertPoint(saved);
+    return p;
+}
+
+void
+CountedLoop::setNext(Instruction *phi, Value *next)
+{
+    for (auto &[p, v] : recs_) {
+        if (p == phi) {
+            v = next;
+            return;
+        }
+    }
+    panic("setNext: phi is not a recurrence of this loop");
+}
+
+void
+CountedLoop::finish()
+{
+    panicIf(finished_, "finish called twice");
+    finished_ = true;
+
+    // Fall from wherever the body ended into the latch.
+    b_.jmp(latch_);
+
+    b_.setInsertPoint(latch_);
+    Value *ivNext = b_.add(iv_, step_, iv_->name() + ".next");
+    b_.jmp(header_);
+    IRBuilder::addIncoming(iv_, ivNext, latch_);
+    for (auto &[p, v] : recs_) {
+        panicIf(!v, "recurrence " + p->name() + " has no next value");
+        IRBuilder::addIncoming(p, v, latch_);
+    }
+
+    // Header condition comes after all phis.
+    b_.setInsertPoint(header_);
+    Value *cond = b_.icmpLt(iv_, end_, iv_->name() + ".cond");
+    b_.br(cond, body_, exit_);
+
+    b_.setInsertPoint(exit_);
+}
+
+//
+// WhileLoop
+//
+
+WhileLoop::WhileLoop(IRBuilder &b, const std::string &tag) : b_(b)
+{
+    preheader_ = b.insertBlock();
+    header_ = b.newBlock(tag + ".hdr");
+    body_ = b.newBlock(tag + ".body");
+    latch_ = b.newBlock(tag + ".latch");
+    exit_ = b.newBlock(tag + ".exit");
+    b.jmp(header_);
+    b.setInsertPoint(header_);
+}
+
+Instruction *
+WhileLoop::addRecurrence(Type t, Value *init, const std::string &name)
+{
+    panicIf(b_.insertBlock() != header_,
+            "recurrences must be declared before beginCond");
+    Instruction *p = b_.phi(t, name);
+    IRBuilder::addIncoming(p, init, preheader_);
+    recs_.emplace_back(p, nullptr);
+    return p;
+}
+
+void
+WhileLoop::beginCond()
+{
+    b_.setInsertPoint(header_);
+}
+
+void
+WhileLoop::beginBody(Value *cond)
+{
+    b_.br(cond, body_, exit_);
+    b_.setInsertPoint(body_);
+}
+
+void
+WhileLoop::setNext(Instruction *phi, Value *next)
+{
+    for (auto &[p, v] : recs_) {
+        if (p == phi) {
+            v = next;
+            return;
+        }
+    }
+    panic("setNext: phi is not a recurrence of this loop");
+}
+
+void
+WhileLoop::finish()
+{
+    panicIf(finished_, "finish called twice");
+    finished_ = true;
+
+    b_.jmp(latch_);
+    b_.setInsertPoint(latch_);
+    b_.jmp(header_);
+    for (auto &[p, v] : recs_) {
+        panicIf(!v, "recurrence " + p->name() + " has no next value");
+        IRBuilder::addIncoming(p, v, latch_);
+    }
+    b_.setInsertPoint(exit_);
+}
+
+} // namespace lp::ir

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * IRBuilder: the construction API for Loopapalooza IR.
+ *
+ * Mirrors llvm::IRBuilder: it tracks an insertion point and offers one
+ * method per opcode.  All benchmark kernels and tests build their programs
+ * through this class.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace lp::ir {
+
+/** Streaming builder for instructions within a module. */
+class IRBuilder
+{
+  public:
+    explicit IRBuilder(Module &mod) : mod_(mod) {}
+
+    Module &module() { return mod_; }
+
+    /** Create a function, its entry block, and position the builder there. */
+    Function *createFunction(
+        const std::string &name, Type retType,
+        const std::vector<std::pair<Type, std::string>> &params = {});
+
+    /** Add a block to the current function. */
+    BasicBlock *newBlock(const std::string &name);
+
+    void setInsertPoint(BasicBlock *bb) { bb_ = bb; }
+    BasicBlock *insertBlock() const { return bb_; }
+    Function *currentFunction() const { return fn_; }
+
+    /// @name Constants
+    /// @{
+    ConstInt *i64(std::int64_t v) { return mod_.constI64(v); }
+    ConstFloat *f64(double v) { return mod_.constF64(v); }
+    /// @}
+
+    /// @name Integer arithmetic
+    /// @{
+    Value *add(Value *a, Value *b, const std::string &name = "");
+    Value *sub(Value *a, Value *b, const std::string &name = "");
+    Value *mul(Value *a, Value *b, const std::string &name = "");
+    Value *sdiv(Value *a, Value *b, const std::string &name = "");
+    Value *srem(Value *a, Value *b, const std::string &name = "");
+    Value *and_(Value *a, Value *b, const std::string &name = "");
+    Value *or_(Value *a, Value *b, const std::string &name = "");
+    Value *xor_(Value *a, Value *b, const std::string &name = "");
+    Value *shl(Value *a, Value *b, const std::string &name = "");
+    Value *ashr(Value *a, Value *b, const std::string &name = "");
+    /// @}
+
+    /// @name Float arithmetic
+    /// @{
+    Value *fadd(Value *a, Value *b, const std::string &name = "");
+    Value *fsub(Value *a, Value *b, const std::string &name = "");
+    Value *fmul(Value *a, Value *b, const std::string &name = "");
+    Value *fdiv(Value *a, Value *b, const std::string &name = "");
+    /// @}
+
+    /// @name Comparisons (result: i64 0/1)
+    /// @{
+    Value *icmp(Opcode pred, Value *a, Value *b,
+                const std::string &name = "");
+    Value *icmpEq(Value *a, Value *b, const std::string &n = "");
+    Value *icmpNe(Value *a, Value *b, const std::string &n = "");
+    Value *icmpLt(Value *a, Value *b, const std::string &n = "");
+    Value *icmpLe(Value *a, Value *b, const std::string &n = "");
+    Value *icmpGt(Value *a, Value *b, const std::string &n = "");
+    Value *icmpGe(Value *a, Value *b, const std::string &n = "");
+    Value *fcmp(Opcode pred, Value *a, Value *b,
+                const std::string &name = "");
+    /// @}
+
+    /// @name Misc scalar ops
+    /// @{
+    Value *select(Value *cond, Value *a, Value *b,
+                  const std::string &name = "");
+    Value *itof(Value *a, const std::string &name = "");
+    Value *ftoi(Value *a, const std::string &name = "");
+    /// @}
+
+    /// @name Memory
+    /// @{
+    Value *allocaBytes(std::uint64_t bytes, const std::string &name = "");
+    Value *load(Type t, Value *ptr, const std::string &name = "");
+    void store(Value *v, Value *ptr);
+    Value *ptradd(Value *ptr, Value *offsetBytes,
+                  const std::string &name = "");
+    /** ptr + index*8: the common array-of-8-byte-elements address form. */
+    Value *elem(Value *base, Value *index, const std::string &name = "");
+    /// @}
+
+    /// @name Phi nodes
+    /// @{
+    Instruction *phi(Type t, const std::string &name = "");
+    static void addIncoming(Instruction *phi, Value *v, BasicBlock *from);
+    /// @}
+
+    /// @name Calls
+    /// @{
+    Value *call(Function *callee, const std::vector<Value *> &args,
+                const std::string &name = "");
+    Value *callExt(ExternalFunction *callee,
+                   const std::vector<Value *> &args,
+                   const std::string &name = "");
+    /// @}
+
+    /// @name Terminators
+    /// @{
+    void br(Value *cond, BasicBlock *taken, BasicBlock *fallthrough);
+    void jmp(BasicBlock *target);
+    void ret(Value *v);
+    void retVoid();
+    /// @}
+
+  private:
+    Instruction *emit(Opcode op, Type t, const std::string &name,
+                      std::initializer_list<Value *> ops);
+
+    Module &mod_;
+    Function *fn_ = nullptr;
+    BasicBlock *bb_ = nullptr;
+};
+
+/**
+ * Scaffold for canonical counted loops:
+ *
+ *   preheader -> header(phis; cond; br body/exit)
+ *   body ... -> latch(iv += step; jmp header)
+ *   exit
+ *
+ * Usage:
+ *   CountedLoop loop(b, begin, end, step, "i");   // builder now in body
+ *   ... emit body using loop.iv() ...
+ *   loop.finish();                                 // builder now at exit
+ *
+ * Extra loop-carried recurrences (accumulators, pointers) are declared with
+ * addRecurrence() immediately after construction and closed with setNext()
+ * before finish().
+ */
+class CountedLoop
+{
+  public:
+    /** Trip condition is `iv < end` (signed). */
+    CountedLoop(IRBuilder &b, Value *begin, Value *end, Value *step,
+                const std::string &tag);
+
+    /** The canonical induction variable (header phi). */
+    Instruction *iv() const { return iv_; }
+
+    /** Declare an extra header phi carried around the loop. */
+    Instruction *addRecurrence(Type t, Value *init, const std::string &name);
+
+    /** Provide the next-iteration value for a recurrence phi. */
+    void setNext(Instruction *phi, Value *next);
+
+    /** Close the loop; the builder is left at the exit block. */
+    void finish();
+
+    BasicBlock *header() const { return header_; }
+    BasicBlock *body() const { return body_; }
+    BasicBlock *latch() const { return latch_; }
+    BasicBlock *exit() const { return exit_; }
+
+  private:
+    IRBuilder &b_;
+    Value *end_;
+    Value *step_;
+    BasicBlock *preheader_;
+    BasicBlock *header_;
+    BasicBlock *body_;
+    BasicBlock *latch_;
+    BasicBlock *exit_;
+    Instruction *iv_;
+    std::vector<std::pair<Instruction *, Value *>> recs_;
+    bool finished_ = false;
+};
+
+/**
+ * Scaffold for condition-at-header while loops (e.g. pointer chasing):
+ *
+ *   WhileLoop loop(b, "walk");
+ *   auto *p = loop.addRecurrence(Type::Ptr, head, "p");
+ *   loop.beginCond();            // builder in header, after phis
+ *   auto *c = b.icmpNe(p, b.module().constNullPtr());
+ *   loop.beginBody(c);           // builder in body
+ *   ...
+ *   loop.setNext(p, nextPtr);
+ *   loop.finish();               // builder at exit
+ */
+class WhileLoop
+{
+  public:
+    WhileLoop(IRBuilder &b, const std::string &tag);
+
+    /** Declare a header phi; must precede beginCond(). */
+    Instruction *addRecurrence(Type t, Value *init, const std::string &name);
+
+    /** Move the builder into the header to emit the continue condition. */
+    void beginCond();
+
+    /** Terminate the header with br(cond, body, exit); builder in body. */
+    void beginBody(Value *cond);
+
+    /** Provide the next-iteration value for a recurrence phi. */
+    void setNext(Instruction *phi, Value *next);
+
+    /** Close the loop; the builder is left at the exit block. */
+    void finish();
+
+    BasicBlock *header() const { return header_; }
+    BasicBlock *body() const { return body_; }
+    BasicBlock *latch() const { return latch_; }
+    BasicBlock *exit() const { return exit_; }
+
+  private:
+    IRBuilder &b_;
+    BasicBlock *preheader_;
+    BasicBlock *header_;
+    BasicBlock *body_;
+    BasicBlock *latch_;
+    BasicBlock *exit_;
+    std::vector<std::pair<Instruction *, Value *>> recs_;
+    bool finished_ = false;
+};
+
+} // namespace lp::ir

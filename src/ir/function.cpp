@@ -1,0 +1,50 @@
+#include "ir/function.hpp"
+
+#include "support/error.hpp"
+
+namespace lp::ir {
+
+const char *
+extAttrName(ExtAttr a)
+{
+    switch (a) {
+      case ExtAttr::Pure: return "pure";
+      case ExtAttr::ThreadSafe: return "threadsafe";
+      case ExtAttr::Unsafe: return "unsafe";
+    }
+    return "?";
+}
+
+Argument *
+Function::addArgument(Type t, std::string name)
+{
+    panicIf(!blocks_.empty(),
+            "arguments must be added before blocks in " + name_);
+    args_.push_back(std::make_unique<Argument>(
+        t, std::move(name), this, static_cast<unsigned>(args_.size())));
+    return args_.back().get();
+}
+
+BasicBlock *
+Function::addBlock(std::string name)
+{
+    blocks_.push_back(std::make_unique<BasicBlock>(std::move(name), this));
+    return blocks_.back().get();
+}
+
+void
+Function::renumberLocals()
+{
+    unsigned next = 0;
+    for (auto &arg : args_)
+        arg->setLocalId(next++);
+    unsigned bbIndex = 0;
+    for (auto &bb : blocks_) {
+        bb->setIndex(bbIndex++);
+        for (auto &instr : bb->instructions())
+            instr->setLocalId(next++);
+    }
+    numLocals_ = next;
+}
+
+} // namespace lp::ir

@@ -1,0 +1,72 @@
+#include "ir/instruction.hpp"
+
+#include "ir/basic_block.hpp"
+#include "support/error.hpp"
+
+namespace lp::ir {
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::SDiv: return "sdiv";
+      case Opcode::SRem: return "srem";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Shl: return "shl";
+      case Opcode::AShr: return "ashr";
+      case Opcode::FAdd: return "fadd";
+      case Opcode::FSub: return "fsub";
+      case Opcode::FMul: return "fmul";
+      case Opcode::FDiv: return "fdiv";
+      case Opcode::ICmpEq: return "icmp.eq";
+      case Opcode::ICmpNe: return "icmp.ne";
+      case Opcode::ICmpLt: return "icmp.lt";
+      case Opcode::ICmpLe: return "icmp.le";
+      case Opcode::ICmpGt: return "icmp.gt";
+      case Opcode::ICmpGe: return "icmp.ge";
+      case Opcode::FCmpEq: return "fcmp.eq";
+      case Opcode::FCmpNe: return "fcmp.ne";
+      case Opcode::FCmpLt: return "fcmp.lt";
+      case Opcode::FCmpLe: return "fcmp.le";
+      case Opcode::FCmpGt: return "fcmp.gt";
+      case Opcode::FCmpGe: return "fcmp.ge";
+      case Opcode::Select: return "select";
+      case Opcode::IToF: return "itof";
+      case Opcode::FToI: return "ftoi";
+      case Opcode::Alloca: return "alloca";
+      case Opcode::Load: return "load";
+      case Opcode::Store: return "store";
+      case Opcode::PtrAdd: return "ptradd";
+      case Opcode::Phi: return "phi";
+      case Opcode::Call: return "call";
+      case Opcode::CallExt: return "callext";
+      case Opcode::Br: return "br";
+      case Opcode::Jmp: return "jmp";
+      case Opcode::Ret: return "ret";
+    }
+    return "?";
+}
+
+bool
+isTerminator(Opcode op)
+{
+    return op == Opcode::Br || op == Opcode::Jmp || op == Opcode::Ret;
+}
+
+Value *
+Instruction::incomingFor(const BasicBlock *bb) const
+{
+    panicIf(op_ != Opcode::Phi, "incomingFor on non-phi");
+    for (unsigned i = 0; i < blocks_.size(); ++i) {
+        if (blocks_[i] == bb)
+            return ops_[i];
+    }
+    panic("phi has no incoming value for block " + bb->name());
+}
+
+} // namespace lp::ir

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Instruction set of the Loopapalooza IR.
+ *
+ * A deliberately small, LLVM-shaped instruction set: integer/float
+ * arithmetic, comparisons, select, casts, loads/stores/alloca/pointer
+ * arithmetic, phi nodes, calls (internal and external) and terminators.
+ * Each executed instruction costs one unit of "time" — the paper's dynamic
+ * IR instruction count metric.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/value.hpp"
+
+namespace lp::ir {
+
+class BasicBlock;
+class Function;
+class ExternalFunction;
+
+/** Every operation the IR supports. */
+enum class Opcode {
+    // Integer arithmetic (i64 x i64 -> i64).
+    Add, Sub, Mul, SDiv, SRem, And, Or, Xor, Shl, AShr,
+    // Float arithmetic (f64 x f64 -> f64).
+    FAdd, FSub, FMul, FDiv,
+    // Integer comparisons (i64 x i64 -> i64 0/1).
+    ICmpEq, ICmpNe, ICmpLt, ICmpLe, ICmpGt, ICmpGe,
+    // Float comparisons (f64 x f64 -> i64 0/1).
+    FCmpEq, FCmpNe, FCmpLt, FCmpLe, FCmpGt, FCmpGe,
+    // select(cond, a, b) -> type of a/b.
+    Select,
+    // Casts.
+    IToF, FToI,
+    // Memory.
+    Alloca,   ///< operand: byte size (ConstInt); result Ptr (frame-local)
+    Load,     ///< operand: Ptr; result type = instruction type (I64/F64/Ptr)
+    Store,    ///< operands: value, Ptr; no result
+    PtrAdd,   ///< operands: Ptr, i64 byte offset; result Ptr
+    // Phi node: operands are incoming values, blocks() the incoming blocks.
+    Phi,
+    // Calls.
+    Call,     ///< internal function; operands are arguments
+    CallExt,  ///< external (library) function; operands are arguments
+    // Terminators.
+    Br,       ///< operand: cond; blocks(): [taken, fallthrough]
+    Jmp,      ///< blocks(): [target]
+    Ret,      ///< optional operand: return value
+};
+
+/** Printable mnemonic. */
+const char *opcodeName(Opcode op);
+
+/** True for Br/Jmp/Ret. */
+bool isTerminator(Opcode op);
+
+/**
+ * A single IR operation.
+ *
+ * Operand Values are non-owning pointers.  Control-flow edges (branch
+ * targets, phi incoming blocks) live in the parallel blocks() vector.
+ */
+class Instruction : public Value
+{
+  public:
+    Instruction(Opcode op, Type type, std::string name)
+        : Value(ValueKind::Instruction, type, std::move(name)), op_(op)
+    {}
+
+    Opcode opcode() const { return op_; }
+
+    BasicBlock *parent() const { return parent_; }
+    void setParent(BasicBlock *bb) { parent_ = bb; }
+
+    const std::vector<Value *> &operands() const { return ops_; }
+    Value *operand(unsigned i) const { return ops_[i]; }
+    unsigned numOperands() const
+    {
+        return static_cast<unsigned>(ops_.size());
+    }
+    void addOperand(Value *v) { ops_.push_back(v); }
+    void setOperand(unsigned i, Value *v) { ops_[i] = v; }
+
+    /** Branch targets (Br/Jmp) or phi incoming blocks (Phi). */
+    const std::vector<BasicBlock *> &blocks() const { return blocks_; }
+    void addBlock(BasicBlock *bb) { blocks_.push_back(bb); }
+    void setBlock(unsigned i, BasicBlock *bb) { blocks_[i] = bb; }
+
+    /** Callee of a Call instruction (null otherwise). */
+    Function *callee() const { return callee_; }
+    void setCallee(Function *f) { callee_ = f; }
+
+    /** Callee of a CallExt instruction (null otherwise). */
+    ExternalFunction *externalCallee() const { return extCallee_; }
+    void setExternalCallee(ExternalFunction *f) { extCallee_ = f; }
+
+    bool isTerminator() const { return ir::isTerminator(op_); }
+    bool isPhi() const { return op_ == Opcode::Phi; }
+
+    /** For a phi: the value flowing in from predecessor @p bb. */
+    Value *incomingFor(const BasicBlock *bb) const;
+
+  private:
+    Opcode op_;
+    BasicBlock *parent_ = nullptr;
+    std::vector<Value *> ops_;
+    std::vector<BasicBlock *> blocks_;
+    Function *callee_ = nullptr;
+    ExternalFunction *extCallee_ = nullptr;
+};
+
+} // namespace lp::ir

@@ -1,0 +1,482 @@
+#include "ir/parser.hpp"
+
+#include <cctype>
+#include <cstring>
+#include <cstdlib>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/text.hpp"
+
+namespace lp::ir {
+
+namespace {
+
+/** Whitespace-and-punctuation tokenizer over one line. */
+class Cursor
+{
+  public:
+    Cursor(const std::string &line, unsigned lineNo)
+        : line_(line), lineNo_(lineNo)
+    {}
+
+    /** Next token; empty string at end of line. */
+    std::string
+    next()
+    {
+        while (pos_ < line_.size() &&
+               std::isspace(static_cast<unsigned char>(line_[pos_])))
+            ++pos_;
+        if (pos_ >= line_.size())
+            return "";
+        char c = line_[pos_];
+        if (std::strchr(",[]{}()=:", c)) {
+            ++pos_;
+            return std::string(1, c);
+        }
+        std::size_t start = pos_;
+        while (pos_ < line_.size()) {
+            char d = line_[pos_];
+            if (std::isspace(static_cast<unsigned char>(d)) ||
+                std::strchr(",[]{}()=:", d))
+                break;
+            ++pos_;
+        }
+        return line_.substr(start, pos_ - start);
+    }
+
+    std::string
+    expect(const std::string &what)
+    {
+        std::string t = next();
+        fatalIf(t.empty(), err("expected " + what + ", got end of line"));
+        return t;
+    }
+
+    void
+    expectToken(const std::string &tok)
+    {
+        std::string t = next();
+        fatalIf(t != tok, err("expected '" + tok + "', got '" + t + "'"));
+    }
+
+    bool
+    atEnd()
+    {
+        std::size_t save = pos_;
+        bool end = next().empty();
+        pos_ = save;
+        return end;
+    }
+
+    std::string
+    err(const std::string &msg) const
+    {
+        return strf("parse error (line %u): %s", lineNo_, msg.c_str());
+    }
+
+  private:
+    const std::string &line_;
+    std::size_t pos_ = 0;
+    unsigned lineNo_;
+};
+
+Type
+parseType(const std::string &t, const Cursor &c)
+{
+    if (t == "i64")
+        return Type::I64;
+    if (t == "f64")
+        return Type::F64;
+    if (t == "ptr")
+        return Type::Ptr;
+    if (t == "void")
+        return Type::Void;
+    fatal(c.err("unknown type: " + t));
+}
+
+const std::unordered_map<std::string, Opcode> &
+opcodeTable()
+{
+    static const auto *table = [] {
+        auto *m = new std::unordered_map<std::string, Opcode>;
+        for (int i = 0; i <= static_cast<int>(Opcode::Ret); ++i) {
+            Opcode op = static_cast<Opcode>(i);
+            (*m)[opcodeName(op)] = op;
+        }
+        return m;
+    }();
+    return *table;
+}
+
+/** Parser state for one module. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, const ExternResolver &resolver)
+        : resolver_(resolver)
+    {
+        std::istringstream is(text);
+        std::string line;
+        while (std::getline(is, line))
+            lines_.push_back(std::move(line));
+    }
+
+    std::unique_ptr<Module>
+    run()
+    {
+        parseHeader();
+        scanFunctionHeaders();
+        parseBodies();
+        mod_->finalize();
+        return std::move(mod_);
+    }
+
+  private:
+    static bool
+    startsWith(const std::string &s, const char *prefix)
+    {
+        return s.rfind(prefix, 0) == 0;
+    }
+
+    static std::string
+    strip(const std::string &s)
+    {
+        std::size_t a = s.find_first_not_of(" \t\r");
+        if (a == std::string::npos)
+            return "";
+        std::size_t b = s.find_last_not_of(" \t\r");
+        return s.substr(a, b - a + 1);
+    }
+
+    void
+    parseHeader()
+    {
+        // module NAME, then globals and externs until the first func.
+        unsigned i = 0;
+        for (; i < lines_.size(); ++i) {
+            std::string s = strip(lines_[i]);
+            if (s.empty())
+                continue;
+            Cursor c(lines_[i], i + 1);
+            c.expectToken("module");
+            mod_ = std::make_unique<Module>(c.expect("module name"));
+            ++i;
+            break;
+        }
+        fatalIf(!mod_, "parse error: no 'module' line");
+
+        for (; i < lines_.size(); ++i) {
+            std::string s = strip(lines_[i]);
+            if (s.empty())
+                continue;
+            if (startsWith(s, "func "))
+                break;
+            Cursor c(lines_[i], i + 1);
+            std::string kind = c.expect("declaration");
+            if (kind == "global") {
+                std::string name = c.expect("global name");
+                fatalIf(name[0] != '@', c.err("global name must be @x"));
+                c.expectToken("[");
+                std::string n = c.expect("size");
+                c.expectToken("bytes");
+                c.expectToken("]");
+                mod_->addGlobal(name.substr(1),
+                                std::strtoull(n.c_str(), nullptr, 10));
+            } else if (kind == "extern") {
+                Type ret = parseType(c.expect("type"), c);
+                std::string name = c.expect("extern name");
+                fatalIf(!startsWith(name, "@!"),
+                        c.err("extern name must be @!x"));
+                std::string attrTok = c.expect("attribute");
+                fatalIf(attrTok[0] != '#', c.err("attribute must be #x"));
+                ExtAttr attr;
+                std::string a = attrTok.substr(1);
+                if (a == "pure")
+                    attr = ExtAttr::Pure;
+                else if (a == "threadsafe")
+                    attr = ExtAttr::ThreadSafe;
+                else if (a == "unsafe")
+                    attr = ExtAttr::Unsafe;
+                else
+                    fatal(c.err("unknown attribute: " + a));
+                c.expectToken("cost");
+                c.expectToken("=");
+                std::uint64_t cost = std::strtoull(
+                    c.expect("cost value").c_str(), nullptr, 10);
+                std::string extName = name.substr(2);
+                ExternalFunction::Impl impl;
+                if (resolver_)
+                    impl = resolver_(extName);
+                if (!impl) {
+                    impl = [](interp::Machine &,
+                              const std::vector<std::uint64_t> &) {
+                        return std::uint64_t{0};
+                    };
+                }
+                mod_->addExternal(extName, ret, attr, cost,
+                                  std::move(impl));
+            } else {
+                fatal(c.err("unexpected declaration: " + kind));
+            }
+        }
+        firstFuncLine_ = i;
+    }
+
+    void
+    scanFunctionHeaders()
+    {
+        for (unsigned i = firstFuncLine_; i < lines_.size(); ++i) {
+            std::string s = strip(lines_[i]);
+            if (!startsWith(s, "func "))
+                continue;
+            Cursor c(lines_[i], i + 1);
+            c.expectToken("func");
+            Type ret = parseType(c.expect("return type"), c);
+            std::string name = c.expect("function name");
+            fatalIf(name[0] != '@', c.err("function name must be @x"));
+            Function *fn = mod_->addFunction(name.substr(1), ret);
+            c.expectToken("(");
+            std::string t = c.expect("parameter or )");
+            while (t != ")") {
+                if (t == ",")
+                    t = c.expect("parameter");
+                Type pt = parseType(t, c);
+                std::string pn = c.expect("parameter name");
+                fatalIf(pn[0] != '%', c.err("parameter must be %x"));
+                fn->addArgument(pt, pn.substr(1));
+                t = c.expect("parameter or )");
+            }
+            c.expectToken("{");
+        }
+    }
+
+    BasicBlock *
+    getBlock(Function *fn, const std::string &label, const Cursor &c)
+    {
+        auto it = blocks_.find(label);
+        if (it != blocks_.end())
+            return it->second;
+        (void)c;
+        BasicBlock *bb = fn->addBlock(label);
+        blocks_[label] = bb;
+        return bb;
+    }
+
+    Value *
+    operand(Function *fn, const std::string &tok, Instruction *user,
+            unsigned idx, Type hint, const Cursor &c)
+    {
+        (void)fn;
+        if (tok == "null")
+            return mod_->constNullPtr();
+        if (tok[0] == '@') {
+            for (const auto &g : mod_->globals())
+                if (g->name() == tok.substr(1))
+                    return g.get();
+            fatal(c.err("unknown global: " + tok));
+        }
+        if (tok[0] == '%') {
+            std::string name = tok.substr(1);
+            auto it = values_.find(name);
+            if (it != values_.end())
+                return it->second;
+            // Forward reference (e.g. a phi's latch value): patch later.
+            fixups_.push_back({user, idx, name, c.err("")});
+            return mod_->constI64(0); // placeholder
+        }
+        // Literal: float if it carries a point/exponent, else integer.
+        if (tok.find_first_of(".einfEINF") != std::string::npos &&
+            !(tok.size() > 2 && tok[0] == '0' && tok[1] == 'x')) {
+            return mod_->constF64(std::strtod(tok.c_str(), nullptr));
+        }
+        if (hint == Type::F64)
+            return mod_->constF64(std::strtod(tok.c_str(), nullptr));
+        return mod_->constI64(
+            std::strtoll(tok.c_str(), nullptr, 10));
+    }
+
+    void
+    parseBodies()
+    {
+        Function *fn = nullptr;
+        BasicBlock *bb = nullptr;
+        unsigned funcIndex = 0;
+
+        for (unsigned i = firstFuncLine_; i < lines_.size(); ++i) {
+            std::string s = strip(lines_[i]);
+            if (s.empty())
+                continue;
+            Cursor c(lines_[i], i + 1);
+
+            if (startsWith(s, "func ")) {
+                fn = mod_->functions()[funcIndex++].get();
+                values_.clear();
+                blocks_.clear();
+                fixups_.clear();
+                for (const auto &arg : fn->args())
+                    values_[arg->name()] = arg.get();
+                // Pre-create blocks in label order so the printed block
+                // order survives the round trip.
+                for (unsigned j = i + 1; j < lines_.size(); ++j) {
+                    std::string t = strip(lines_[j]);
+                    if (t == "}")
+                        break;
+                    if (!t.empty() && t.back() == ':')
+                        getBlock(fn, t.substr(0, t.size() - 1), c);
+                }
+                bb = nullptr;
+                continue;
+            }
+            if (s == "}") {
+                resolveFixups();
+                fn = nullptr;
+                continue;
+            }
+            fatalIf(!fn, c.err("instruction outside function"));
+
+            if (s.back() == ':' && s.find(' ') == std::string::npos) {
+                bb = getBlock(fn, s.substr(0, s.size() - 1), c);
+                continue;
+            }
+            fatalIf(!bb, c.err("instruction outside block"));
+            parseInstruction(fn, bb, c);
+        }
+    }
+
+    void
+    parseInstruction(Function *fn, BasicBlock *bb, Cursor &c)
+    {
+        std::string first = c.expect("instruction");
+        std::string resultName;
+        std::string mnem;
+        if (first[0] == '%') {
+            resultName = first.substr(1);
+            c.expectToken("=");
+            mnem = c.expect("opcode");
+        } else {
+            mnem = first;
+        }
+        auto opIt = opcodeTable().find(mnem);
+        fatalIf(opIt == opcodeTable().end(),
+                c.err("unknown opcode: " + mnem));
+        Opcode op = opIt->second;
+
+        Type type = Type::Void;
+        if (!resultName.empty())
+            type = parseType(c.expect("result type"), c);
+
+        auto instr =
+            std::make_unique<Instruction>(op, type, resultName);
+        Instruction *raw = instr.get();
+
+        // Callee, if any.
+        if (op == Opcode::Call) {
+            std::string callee = c.expect("callee");
+            fatalIf(callee[0] != '@', c.err("callee must be @x"));
+            Function *target = mod_->findFunction(callee.substr(1));
+            fatalIf(!target, c.err("unknown function: " + callee));
+            raw->setCallee(target);
+        } else if (op == Opcode::CallExt) {
+            std::string callee = c.expect("external callee");
+            fatalIf(!startsWith(callee, "@!"),
+                    c.err("external callee must be @!x"));
+            ExternalFunction *target = nullptr;
+            for (const auto &e : mod_->externals())
+                if (e->name() == callee.substr(2))
+                    target = e.get();
+            fatalIf(!target, c.err("unknown external: " + callee));
+            raw->setExternalCallee(target);
+        }
+
+        // Type hint for float-literal disambiguation.
+        Type hint = type == Type::F64 ? Type::F64 : Type::I64;
+        switch (op) {
+          case Opcode::FAdd: case Opcode::FSub: case Opcode::FMul:
+          case Opcode::FDiv:
+          case Opcode::FCmpEq: case Opcode::FCmpNe: case Opcode::FCmpLt:
+          case Opcode::FCmpLe: case Opcode::FCmpGt: case Opcode::FCmpGe:
+          case Opcode::FToI:
+            hint = Type::F64;
+            break;
+          default:
+            break;
+        }
+
+        if (op == Opcode::Phi) {
+            // [v, label], [v, label], ...
+            for (std::string t = c.next(); !t.empty(); t = c.next()) {
+                if (t == ",")
+                    continue;
+                fatalIf(t != "[", c.err("expected '[' in phi"));
+                std::string v = c.expect("incoming value");
+                c.expectToken(",");
+                std::string label = c.expect("incoming block");
+                c.expectToken("]");
+                raw->addOperand(operand(
+                    fn, v, raw,
+                    raw->numOperands(), type, c));
+                raw->addBlock(getBlock(fn, label, c));
+            }
+        } else {
+            for (std::string t = c.next(); !t.empty(); t = c.next()) {
+                if (t == ",")
+                    continue;
+                if (t == "label") {
+                    std::string label = c.expect("target label");
+                    raw->addBlock(getBlock(fn, label, c));
+                    continue;
+                }
+                raw->addOperand(
+                    operand(fn, t, raw, raw->numOperands(), hint, c));
+            }
+        }
+
+        Instruction *placed = bb->append(std::move(instr));
+        if (!resultName.empty()) {
+            fatalIf(values_.count(resultName),
+                    c.err("duplicate value name %" + resultName));
+            values_[resultName] = placed;
+        }
+    }
+
+    void
+    resolveFixups()
+    {
+        for (const auto &fx : fixups_) {
+            auto it = values_.find(fx.name);
+            fatalIf(it == values_.end(),
+                    fx.where + "undefined value %" + fx.name);
+            fx.user->setOperand(fx.index, it->second);
+        }
+        fixups_.clear();
+    }
+
+    struct Fixup
+    {
+        Instruction *user;
+        unsigned index;
+        std::string name;
+        std::string where;
+    };
+
+    ExternResolver resolver_;
+    std::vector<std::string> lines_;
+    std::unique_ptr<Module> mod_;
+    unsigned firstFuncLine_ = 0;
+    std::unordered_map<std::string, Value *> values_;
+    std::unordered_map<std::string, BasicBlock *> blocks_;
+    std::vector<Fixup> fixups_;
+};
+
+} // namespace
+
+std::unique_ptr<Module>
+parseModule(const std::string &text, const ExternResolver &resolver)
+{
+    return Parser(text, resolver).run();
+}
+
+} // namespace lp::ir

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Parser for the textual IR format emitted by Module::print().
+ *
+ * Round-trip guarantee: for any verified module M,
+ * parse(print(M)) is structurally identical to M (same globals,
+ * externals, functions, blocks, instructions and operand graph), so
+ * programs can be stored as .lir text files and studied without writing
+ * builder code.
+ *
+ * External functions are declarations in the text; their native
+ * implementations are re-attached at parse time through a resolver
+ * (defaulting to the simulated C standard library by name).
+ */
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "ir/module.hpp"
+
+namespace lp::ir {
+
+/** Supplies the native implementation for a parsed external function. */
+using ExternResolver =
+    std::function<ExternalFunction::Impl(const std::string &name)>;
+
+/**
+ * Parse a module from text.
+ *
+ * @param text       the textual IR (Module::print output format)
+ * @param resolver   optional override for external implementations;
+ *                   defaults to the simulated stdlib by name, and a
+ *                   constant-zero stub for unknown names
+ * @throws FatalError on any syntax or semantic error, with line info
+ *
+ * The returned module is finalized and ready for analysis/interpretation.
+ */
+std::unique_ptr<Module> parseModule(const std::string &text,
+                                    const ExternResolver &resolver = {});
+
+} // namespace lp::ir

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Textual dump of IR modules, in an LLVM-flavoured syntax.  Used for
+ * debugging kernels and for golden-output unit tests.
+ */
+
+#include <cstdlib>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ir/module.hpp"
+#include "support/text.hpp"
+
+namespace lp::ir {
+namespace {
+
+/** Per-function pretty-printing context assigning %N names. */
+class NameMap
+{
+  public:
+    explicit NameMap(const Function &fn)
+    {
+        for (const auto &arg : fn.args())
+            intern(arg.get());
+        for (const auto &bb : fn.blocks())
+            for (const auto &instr : bb->instructions())
+                if (instr->type() != Type::Void)
+                    intern(instr.get());
+    }
+
+    std::string
+    ref(const Value *v) const
+    {
+        switch (v->kind()) {
+          case ValueKind::ConstInt:
+            if (v->type() == Type::Ptr)
+                return "null";
+            return std::to_string(static_cast<const ConstInt *>(v)->value());
+          case ValueKind::ConstFloat: {
+            double d = static_cast<const ConstFloat *>(v)->value();
+            std::string t = strf("%g", d);
+            if (std::strtod(t.c_str(), nullptr) != d)
+                t = strf("%.17g", d); // shortest form lost precision
+            if (t.find_first_of(".einf") == std::string::npos)
+                t += ".0"; // keep float literals distinguishable
+            return t;
+          }
+          case ValueKind::Global:
+            return "@" + v->name();
+          default:
+            break;
+        }
+        auto it = names_.find(v);
+        if (it != names_.end())
+            return it->second;
+        return "%?";
+    }
+
+  private:
+    void
+    intern(const Value *v)
+    {
+        // Distinct values must print distinctly (two loops may both name
+        // their accumulator "acc"), so collisions get a numeric suffix —
+        // this is what makes printed modules re-parseable.
+        std::string base =
+            v->name().empty() ? std::to_string(next_++) : v->name();
+        std::string candidate = base;
+        unsigned n = 0;
+        while (!used_.insert(candidate).second)
+            candidate = base + "." + std::to_string(++n);
+        names_[v] = "%" + candidate;
+    }
+
+    std::unordered_map<const Value *, std::string> names_;
+    std::unordered_set<std::string> used_;
+    unsigned next_ = 0;
+};
+
+void
+printInstruction(const Instruction &instr, const NameMap &names,
+                 std::ostream &os)
+{
+    os << "    ";
+    if (instr.type() != Type::Void)
+        os << names.ref(&instr) << " = ";
+    os << opcodeName(instr.opcode());
+    if (instr.type() != Type::Void)
+        os << " " << typeName(instr.type());
+
+    if (instr.opcode() == Opcode::Call)
+        os << " @" << instr.callee()->name();
+    if (instr.opcode() == Opcode::CallExt)
+        os << " @!" << instr.externalCallee()->name();
+
+    if (instr.isPhi()) {
+        for (unsigned i = 0; i < instr.numOperands(); ++i) {
+            os << (i ? ", " : " ");
+            os << "[" << names.ref(instr.operand(i)) << ", "
+               << instr.blocks()[i]->name() << "]";
+        }
+    } else {
+        for (unsigned i = 0; i < instr.numOperands(); ++i)
+            os << (i ? ", " : " ") << names.ref(instr.operand(i));
+        bool first = instr.numOperands() == 0;
+        for (const BasicBlock *bb : instr.blocks()) {
+            os << (first ? " " : ", ") << "label " << bb->name();
+            first = false;
+        }
+    }
+    os << "\n";
+}
+
+} // namespace
+
+void
+printFunction(const Function &fn, std::ostream &os)
+{
+    NameMap names(fn);
+    os << "func " << typeName(fn.returnType()) << " @" << fn.name() << "(";
+    for (unsigned i = 0; i < fn.args().size(); ++i) {
+        const Argument *arg = fn.args()[i].get();
+        os << (i ? ", " : "") << typeName(arg->type()) << " "
+           << names.ref(arg);
+    }
+    os << ") {\n";
+    for (const auto &bb : fn.blocks()) {
+        os << "  " << bb->name() << ":\n";
+        for (const auto &instr : bb->instructions())
+            printInstruction(*instr, names, os);
+    }
+    os << "}\n";
+}
+
+void
+Module::print(std::ostream &os) const
+{
+    os << "module " << name_ << "\n";
+    for (const auto &g : globals_)
+        os << "global @" << g->name() << " [" << g->sizeBytes()
+           << " bytes]\n";
+    for (const auto &e : externals_)
+        os << "extern " << typeName(e->returnType()) << " @!" << e->name()
+           << " #" << extAttrName(e->attr()) << " cost=" << e->cost()
+           << "\n";
+    for (const auto &f : funcs_) {
+        os << "\n";
+        printFunction(*f, os);
+    }
+}
+
+} // namespace lp::ir

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Scalar type system of the Loopapalooza IR.
+ *
+ * The paper instruments LLVM IR; our stand-in IR keeps the three scalar
+ * shapes the limit study actually exercises: 64-bit integers, 64-bit floats,
+ * and pointers into the simulated flat address space.  Every memory access
+ * is 8 bytes wide, which matches the 8-byte conflict-tracking granularity
+ * of the runtime.
+ */
+
+#pragma once
+
+#include <string>
+
+namespace lp::ir {
+
+/** Scalar value types. */
+enum class Type {
+    Void, ///< function returns nothing
+    I64,  ///< 64-bit signed integer (also used for booleans: 0/1)
+    F64,  ///< IEEE double
+    Ptr,  ///< address in the simulated memory
+};
+
+/** Printable name of a type. */
+inline const char *
+typeName(Type t)
+{
+    switch (t) {
+      case Type::Void: return "void";
+      case Type::I64:  return "i64";
+      case Type::F64:  return "f64";
+      case Type::Ptr:  return "ptr";
+    }
+    return "?";
+}
+
+/** Size in bytes of a stored value of type @p t (I64/F64/Ptr only). */
+inline unsigned
+typeSize(Type t)
+{
+    return t == Type::Void ? 0u : 8u;
+}
+
+} // namespace lp::ir

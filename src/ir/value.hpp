@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Value hierarchy of the Loopapalooza IR: constants, function arguments and
+ * instructions are all Values; instructions reference their operands as
+ * non-owning Value pointers (def-use edges are implicit).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/type.hpp"
+
+namespace lp::ir {
+
+class Function;
+
+/** Discriminator for the Value hierarchy. */
+enum class ValueKind {
+    ConstInt,
+    ConstFloat,
+    Argument,
+    Global,
+    Instruction,
+};
+
+/**
+ * Base of everything that can appear as an operand.
+ *
+ * Values are owned by their parent container (module constant pool,
+ * function argument list, basic block) and referenced elsewhere by raw
+ * pointer; they are never copied or moved after creation.
+ */
+class Value
+{
+  public:
+    Value(ValueKind kind, Type type, std::string name)
+        : kind_(kind), type_(type), name_(std::move(name))
+    {}
+    virtual ~Value() = default;
+
+    Value(const Value &) = delete;
+    Value &operator=(const Value &) = delete;
+
+    ValueKind kind() const { return kind_; }
+    Type type() const { return type_; }
+    const std::string &name() const { return name_; }
+    void setName(std::string n) { name_ = std::move(n); }
+
+    /**
+     * Dense per-function index assigned by Function::renumberLocals().
+     * Constants and globals keep the sentinel ~0u; the interpreter
+     * evaluates them directly instead of through the register file.
+     */
+    unsigned localId() const { return localId_; }
+    void setLocalId(unsigned id) { localId_ = id; }
+
+  private:
+    ValueKind kind_;
+    Type type_;
+    std::string name_;
+    unsigned localId_ = ~0u;
+};
+
+/** Integer literal (also used for booleans and pointer null). */
+class ConstInt : public Value
+{
+  public:
+    ConstInt(std::int64_t v, Type t = Type::I64)
+        : Value(ValueKind::ConstInt, t, ""), value_(v)
+    {}
+
+    std::int64_t value() const { return value_; }
+
+  private:
+    std::int64_t value_;
+};
+
+/** Floating-point literal. */
+class ConstFloat : public Value
+{
+  public:
+    explicit ConstFloat(double v)
+        : Value(ValueKind::ConstFloat, Type::F64, ""), value_(v)
+    {}
+
+    double value() const { return value_; }
+
+  private:
+    double value_;
+};
+
+/** Formal parameter of a function. */
+class Argument : public Value
+{
+  public:
+    Argument(Type t, std::string name, Function *parent, unsigned index)
+        : Value(ValueKind::Argument, t, std::move(name)),
+          parent_(parent), index_(index)
+    {}
+
+    Function *parent() const { return parent_; }
+    unsigned index() const { return index_; }
+
+  private:
+    Function *parent_;
+    unsigned index_;
+};
+
+/**
+ * Module-level global data object.  Its Value is the (Ptr-typed) base
+ * address; the interpreter lays globals out at the bottom of the simulated
+ * address space before execution starts.
+ */
+class Global : public Value
+{
+  public:
+    Global(std::string name, std::uint64_t sizeBytes)
+        : Value(ValueKind::Global, Type::Ptr, std::move(name)),
+          size_(sizeBytes)
+    {}
+
+    std::uint64_t sizeBytes() const { return size_; }
+
+    /** Assigned address; set by the interpreter at layout time. */
+    std::uint64_t address() const { return address_; }
+    void setAddress(std::uint64_t a) { address_ = a; }
+
+  private:
+    std::uint64_t size_;
+    std::uint64_t address_ = 0;
+};
+
+} // namespace lp::ir

@@ -1,0 +1,287 @@
+#include "ir/verifier.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "support/error.hpp"
+#include "support/text.hpp"
+
+namespace lp::ir {
+namespace {
+
+/** Per-function verification pass. */
+class FunctionVerifier
+{
+  public:
+    explicit FunctionVerifier(const Function &fn) : fn_(fn) {}
+
+    VerifyResult
+    run()
+    {
+        if (fn_.blocks().empty()) {
+            err("function has no blocks");
+            return out_;
+        }
+        collectBlocks();
+        for (const auto &bb : fn_.blocks())
+            checkBlock(*bb);
+        return out_;
+    }
+
+  private:
+    void
+    err(const std::string &msg)
+    {
+        out_.errors.push_back("@" + fn_.name() + ": " + msg);
+    }
+
+    void
+    collectBlocks()
+    {
+        for (const auto &bb : fn_.blocks())
+            known_.insert(bb.get());
+    }
+
+    void
+    checkBlock(const BasicBlock &bb)
+    {
+        const auto &instrs = bb.instructions();
+        if (instrs.empty() || !instrs.back()->isTerminator()) {
+            err("block " + bb.name() + " lacks a terminator");
+            return;
+        }
+
+        bool seenNonPhi = false;
+        for (std::size_t i = 0; i < instrs.size(); ++i) {
+            const Instruction &instr = *instrs[i];
+            if (instr.isTerminator() && i + 1 != instrs.size())
+                err("terminator mid-block in " + bb.name());
+            if (instr.isPhi()) {
+                if (seenNonPhi)
+                    err("phi after non-phi in " + bb.name());
+                checkPhi(bb, instr);
+            } else {
+                seenNonPhi = true;
+            }
+            checkInstruction(bb, instr);
+        }
+    }
+
+    void
+    checkPhi(const BasicBlock &bb, const Instruction &phi)
+    {
+        const auto &preds = bb.predecessors();
+        if (phi.numOperands() != preds.size()) {
+            err(strf("phi %s in %s has %u incoming, block has %zu preds",
+                     phi.name().c_str(), bb.name().c_str(),
+                     phi.numOperands(), preds.size()));
+            return;
+        }
+        // Every predecessor must appear exactly once.
+        for (const BasicBlock *pred : preds) {
+            auto n = std::count(phi.blocks().begin(), phi.blocks().end(),
+                                pred);
+            if (n != 1)
+                err("phi " + phi.name() + " in " + bb.name() +
+                    " does not cover predecessor " + pred->name() +
+                    " exactly once");
+        }
+        for (unsigned i = 0; i < phi.numOperands(); ++i) {
+            if (phi.operand(i)->type() != phi.type())
+                err("phi " + phi.name() + " incoming type mismatch");
+        }
+    }
+
+    void
+    expectType(const BasicBlock &bb, const Instruction &instr, unsigned op,
+               Type t)
+    {
+        if (op >= instr.numOperands()) {
+            err(strf("%s in %s: missing operand %u",
+                     opcodeName(instr.opcode()), bb.name().c_str(), op));
+            return;
+        }
+        if (instr.operand(op)->type() != t) {
+            err(strf("%s in %s: operand %u is %s, expected %s",
+                     opcodeName(instr.opcode()), bb.name().c_str(), op,
+                     typeName(instr.operand(op)->type()), typeName(t)));
+        }
+    }
+
+    void
+    expectArity(const BasicBlock &bb, const Instruction &instr, unsigned n)
+    {
+        if (instr.numOperands() != n) {
+            err(strf("%s in %s: expected %u operands, got %u",
+                     opcodeName(instr.opcode()), bb.name().c_str(), n,
+                     instr.numOperands()));
+        }
+    }
+
+    void
+    checkInstruction(const BasicBlock &bb, const Instruction &instr)
+    {
+        using enum Opcode;
+        const Opcode op = instr.opcode();
+        switch (op) {
+          case Add: case Sub: case Mul: case SDiv: case SRem:
+          case And: case Or: case Xor: case Shl: case AShr:
+            expectArity(bb, instr, 2);
+            expectType(bb, instr, 0, Type::I64);
+            expectType(bb, instr, 1, Type::I64);
+            break;
+          case ICmpEq: case ICmpNe: case ICmpLt: case ICmpLe:
+          case ICmpGt: case ICmpGe:
+            // Integer compares also cover pointer comparisons, but both
+            // operands must agree on which they are.
+            expectArity(bb, instr, 2);
+            if (instr.numOperands() == 2) {
+                Type t0 = instr.operand(0)->type();
+                Type t1 = instr.operand(1)->type();
+                if ((t0 != Type::I64 && t0 != Type::Ptr) || t1 != t0)
+                    err("icmp operands must both be i64 or both ptr in " +
+                        bb.name());
+            }
+            break;
+          case FAdd: case FSub: case FMul: case FDiv:
+          case FCmpEq: case FCmpNe: case FCmpLt: case FCmpLe:
+          case FCmpGt: case FCmpGe:
+            expectArity(bb, instr, 2);
+            expectType(bb, instr, 0, Type::F64);
+            expectType(bb, instr, 1, Type::F64);
+            break;
+          case Select:
+            expectArity(bb, instr, 3);
+            expectType(bb, instr, 0, Type::I64);
+            if (instr.numOperands() == 3 &&
+                (instr.operand(1)->type() != instr.type() ||
+                 instr.operand(2)->type() != instr.type())) {
+                err("select arms must match result type in " + bb.name());
+            }
+            break;
+          case IToF:
+            expectArity(bb, instr, 1);
+            expectType(bb, instr, 0, Type::I64);
+            break;
+          case FToI:
+            expectArity(bb, instr, 1);
+            expectType(bb, instr, 0, Type::F64);
+            break;
+          case Alloca:
+            expectArity(bb, instr, 1);
+            if (instr.numOperands() == 1 &&
+                instr.operand(0)->kind() != ValueKind::ConstInt) {
+                err("alloca size must be a constant in " + bb.name());
+            }
+            break;
+          case Load:
+            expectArity(bb, instr, 1);
+            expectType(bb, instr, 0, Type::Ptr);
+            if (instr.type() == Type::Void)
+                err("load must produce a value in " + bb.name());
+            break;
+          case Store:
+            expectArity(bb, instr, 2);
+            expectType(bb, instr, 1, Type::Ptr);
+            break;
+          case PtrAdd:
+            expectArity(bb, instr, 2);
+            expectType(bb, instr, 0, Type::Ptr);
+            expectType(bb, instr, 1, Type::I64);
+            break;
+          case Phi:
+            break; // handled by checkPhi
+          case Call:
+            if (!instr.callee())
+                err("call without callee in " + bb.name());
+            else if (instr.numOperands() !=
+                     instr.callee()->args().size()) {
+                err("call to @" + instr.callee()->name() +
+                    " has wrong argument count in " + bb.name());
+            }
+            break;
+          case CallExt:
+            if (!instr.externalCallee())
+                err("callext without callee in " + bb.name());
+            break;
+          case Br:
+            expectArity(bb, instr, 1);
+            expectType(bb, instr, 0, Type::I64);
+            checkTargets(bb, instr, 2);
+            break;
+          case Jmp:
+            expectArity(bb, instr, 0);
+            checkTargets(bb, instr, 1);
+            break;
+          case Ret:
+            if (fn_.returnType() == Type::Void)
+                expectArity(bb, instr, 0);
+            else {
+                expectArity(bb, instr, 1);
+                if (instr.numOperands() == 1 &&
+                    instr.operand(0)->type() != fn_.returnType()) {
+                    err("ret type mismatch in " + bb.name());
+                }
+            }
+            break;
+        }
+    }
+
+    void
+    checkTargets(const BasicBlock &bb, const Instruction &instr, unsigned n)
+    {
+        if (instr.blocks().size() != n) {
+            err(strf("%s in %s: expected %u targets, got %zu",
+                     opcodeName(instr.opcode()), bb.name().c_str(), n,
+                     instr.blocks().size()));
+            return;
+        }
+        for (const BasicBlock *t : instr.blocks()) {
+            if (!known_.count(t))
+                err("branch to block of another function from " +
+                    bb.name());
+        }
+    }
+
+    const Function &fn_;
+    VerifyResult out_;
+    std::unordered_set<const BasicBlock *> known_;
+};
+
+} // namespace
+
+std::string
+VerifyResult::message() const
+{
+    return join(errors, "\n");
+}
+
+VerifyResult
+verifyFunction(const Function &fn)
+{
+    return FunctionVerifier(fn).run();
+}
+
+VerifyResult
+verifyModule(const Module &mod)
+{
+    VerifyResult out;
+    for (const auto &fn : mod.functions()) {
+        VerifyResult r = verifyFunction(*fn);
+        out.errors.insert(out.errors.end(), r.errors.begin(),
+                          r.errors.end());
+    }
+    if (!mod.mainFunction())
+        out.errors.push_back("module " + mod.name() + " has no main()");
+    return out;
+}
+
+void
+verifyModuleOrDie(const Module &mod)
+{
+    VerifyResult r = verifyModule(mod);
+    if (!r.ok())
+        fatal("IR verification failed:\n" + r.message());
+}
+
+} // namespace lp::ir

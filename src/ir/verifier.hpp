@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Structural IR verifier.
+ *
+ * Catches malformed programs at construction time, before they reach the
+ * analyses or the interpreter: missing terminators, phi placement, operand
+ * type/arity errors, dangling control-flow edges.  SSA dominance is checked
+ * separately in lp::analysis (it needs the dominator tree).
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace lp::ir {
+
+/** Accumulated verification failures for a module. */
+struct VerifyResult
+{
+    std::vector<std::string> errors;
+
+    bool ok() const { return errors.empty(); }
+
+    /** All errors joined with newlines. */
+    std::string message() const;
+};
+
+/** Structurally verify one function. */
+VerifyResult verifyFunction(const Function &fn);
+
+/** Structurally verify the whole module. */
+VerifyResult verifyModule(const Module &mod);
+
+/** verifyModule and fatal() on the first failure. */
+void verifyModuleOrDie(const Module &mod);
+
+} // namespace lp::ir

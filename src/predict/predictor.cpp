@@ -1,0 +1,178 @@
+#include "predict/predictor.hpp"
+
+namespace lp::predict {
+
+//
+// LastValuePredictor
+//
+
+bool
+LastValuePredictor::predict(std::uint64_t &out) const
+{
+    if (!warm_)
+        return false;
+    out = last_;
+    return true;
+}
+
+void
+LastValuePredictor::train(std::uint64_t actual)
+{
+    last_ = actual;
+    warm_ = true;
+}
+
+//
+// StridePredictor
+//
+
+bool
+StridePredictor::predict(std::uint64_t &out) const
+{
+    if (seen_ < 2)
+        return false;
+    out = last_ + stride_;
+    return true;
+}
+
+void
+StridePredictor::train(std::uint64_t actual)
+{
+    if (seen_ > 0)
+        stride_ = actual - last_;
+    last_ = actual;
+    if (seen_ < 2)
+        ++seen_;
+}
+
+//
+// TwoDeltaStridePredictor
+//
+
+bool
+TwoDeltaStridePredictor::predict(std::uint64_t &out) const
+{
+    if (seen_ < 2)
+        return false;
+    out = last_ + stride_;
+    return true;
+}
+
+void
+TwoDeltaStridePredictor::train(std::uint64_t actual)
+{
+    if (seen_ > 0) {
+        std::uint64_t delta = actual - last_;
+        if (seen_ == 1) {
+            stride_ = delta;
+            lastDelta_ = delta;
+        } else {
+            // Adopt a new stride only when seen twice in a row.
+            if (delta == lastDelta_)
+                stride_ = delta;
+            lastDelta_ = delta;
+        }
+    }
+    last_ = actual;
+    if (seen_ < 2)
+        ++seen_;
+}
+
+//
+// FcmPredictor
+//
+
+FcmPredictor::FcmPredictor(unsigned order, unsigned tableBits)
+    : order_(order), mask_((std::uint64_t{1} << tableBits) - 1),
+      history_(order, 0), table_(std::size_t{1} << tableBits)
+{}
+
+std::uint64_t
+FcmPredictor::contextHash() const
+{
+    // splitmix-style mixing of the value history ring.
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (unsigned i = 0; i < order_; ++i) {
+        std::uint64_t z = history_[i] + h;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        h = z ^ (z >> 31);
+    }
+    return h & mask_;
+}
+
+bool
+FcmPredictor::predict(std::uint64_t &out) const
+{
+    if (histCount_ < order_)
+        return false;
+    const Entry &e = table_[contextHash()];
+    if (!e.valid)
+        return false;
+    out = e.value;
+    return true;
+}
+
+void
+FcmPredictor::train(std::uint64_t actual)
+{
+    if (histCount_ >= order_) {
+        Entry &e = table_[contextHash()];
+        e.valid = true;
+        e.value = actual;
+    }
+    // Shift the context window.
+    for (unsigned i = 0; i + 1 < order_; ++i)
+        history_[i] = history_[i + 1];
+    history_[order_ - 1] = actual;
+    if (histCount_ < order_)
+        ++histCount_;
+}
+
+//
+// HybridPredictor
+//
+
+HybridPredictor::HybridPredictor()
+{
+    preds_[0] = std::make_unique<LastValuePredictor>();
+    preds_[1] = std::make_unique<StridePredictor>();
+    preds_[2] = std::make_unique<TwoDeltaStridePredictor>();
+    preds_[3] = std::make_unique<FcmPredictor>();
+}
+
+const char *
+HybridPredictor::componentName(unsigned i) const
+{
+    return preds_[i]->name();
+}
+
+HybridOutcome
+HybridPredictor::predictAndTrain(std::uint64_t actual)
+{
+    HybridOutcome out;
+
+    // Realistic selector: the component with the highest confidence wins;
+    // ties go to the cheaper (lower-index) predictor.
+    unsigned best = 0;
+    for (unsigned i = 1; i < kComponents; ++i) {
+        if (confidence_[i] > confidence_[best])
+            best = i;
+    }
+
+    for (unsigned i = 0; i < kComponents; ++i) {
+        bool correct = preds_[i]->predictAndTrain(actual);
+        out.componentCorrect[i] = correct;
+        out.anyCorrect |= correct;
+        if (i == best)
+            out.selectedCorrect = correct;
+        // Saturating 3-bit confidence counters.
+        if (correct)
+            confidence_[i] = std::min(confidence_[i] + 1, 7);
+        else
+            confidence_[i] = std::max(confidence_[i] - 1, 0);
+    }
+    return out;
+}
+
+} // namespace lp::predict

@@ -1,0 +1,51 @@
+#include "rt/config.hpp"
+
+#include "support/error.hpp"
+#include "support/text.hpp"
+
+namespace lp::rt {
+
+const char *
+execModelName(ExecModel m)
+{
+    switch (m) {
+      case ExecModel::DoAll: return "DOALL";
+      case ExecModel::PartialDoAll: return "PDOALL";
+      case ExecModel::Helix: return "HELIX";
+    }
+    return "?";
+}
+
+std::string
+LPConfig::str() const
+{
+    return strf("reduc%d-dep%d-fn%d %s", reduc, dep, fn,
+                execModelName(model));
+}
+
+LPConfig
+LPConfig::parse(const std::string &flags, ExecModel model)
+{
+    LPConfig cfg;
+    cfg.model = model;
+    int n = std::sscanf(flags.c_str(), "reduc%d-dep%d-fn%d", &cfg.reduc,
+                        &cfg.dep, &cfg.fn);
+    fatalIf(n != 3, "bad configuration string: " + flags);
+    cfg.validate();
+    return cfg;
+}
+
+void
+LPConfig::validate() const
+{
+    fatalIf(reduc < 0 || reduc > 1, "reduc flag out of range");
+    fatalIf(dep < 0 || dep > 3, "dep flag out of range");
+    fatalIf(fn < 0 || fn > 3, "fn flag out of range");
+    fatalIf(model == ExecModel::DoAll && dep != 0,
+            "DOALL does not support non-computable register LCDs "
+            "(dep1-dep3 are incompatible with it)");
+    fatalIf(pdoallSerialThreshold <= 0.0 || pdoallSerialThreshold > 1.0,
+            "PDOALL serialization threshold must be in (0, 1]");
+}
+
+} // namespace lp::rt

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Limit-study configuration: execution model x Table II flags.
+ *
+ * Table II of the paper:
+ *   -reduc0  reductions are treated as non-computable LCDs
+ *   -reduc1  reductions are considered parallel with no overheads
+ *   -dep0    non-computable LCDs are not considered parallelizable
+ *   -dep1    non-computable LCDs are lowered to memory (frequent mem LCDs)
+ *   -dep2    non-computable LCDs use 'realistic' value prediction
+ *   -dep3    non-computable LCDs use perfect value prediction
+ *   -fn0     loops with any function calls are sequential
+ *   -fn1     only pure (read-only, side-effect-free) callees are parallel
+ *   -fn2     fn1 + thread-safe library calls + instrumented user functions
+ *   -fn3     all function calls can be parallelized
+ */
+
+#pragma once
+
+#include <string>
+
+namespace lp::rt {
+
+/** Parallel execution models of Section II-C. */
+enum class ExecModel {
+    DoAll,        ///< any LCD serializes the whole loop
+    PartialDoAll, ///< speculative; conflicts restart a parallel phase
+    Helix,        ///< non-speculative; sync satisfies frequent LCDs
+};
+
+/** Printable model name as used in the paper's figures. */
+const char *execModelName(ExecModel m);
+
+/** One point in the configuration space of the limit study. */
+struct LPConfig
+{
+    ExecModel model = ExecModel::PartialDoAll;
+    int reduc = 0; ///< 0..1
+    int dep = 0;   ///< 0..3
+    int fn = 0;    ///< 0..3
+
+    /**
+     * PDOALL serialization threshold: when more than this fraction of
+     * iterations conflict, the loop is marked sequential (0.8 in the
+     * paper; swept by the threshold-ablation bench).
+     */
+    double pdoallSerialThreshold = 0.8;
+
+    /**
+     * Dynamic-predictability threshold used by the dependency census:
+     * a register LCD whose hybrid-prediction hit rate is at least this
+     * is classified "infrequent" (predictable) in Table I terms.
+     */
+    double predictableThreshold = 0.9;
+
+    /**
+     * Classic DOACROSS instead of HELIX (Section II-C): a single
+     * synchronization point per iteration pair — wait before the FIRST
+     * consumer for the LAST producer — instead of one sync per distinct
+     * LCD.  Only meaningful with ExecModel::Helix; exercised by the
+     * DOACROSS ablation bench.
+     */
+    bool singleSyncDoacross = false;
+
+    /** "reduc1-dep2-fn2 PDOALL" style label. */
+    std::string str() const;
+
+    /** Parse "reduc1-dep2-fn2" (flags only; model passed separately). */
+    static LPConfig parse(const std::string &flags, ExecModel model);
+
+    /**
+     * Reject combinations the paper rules out (DOALL cannot relax
+     * register LCDs: dep1..dep3 are incompatible with it).
+     */
+    void validate() const;
+
+    bool operator==(const LPConfig &o) const = default;
+};
+
+} // namespace lp::rt

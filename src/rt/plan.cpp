@@ -1,0 +1,214 @@
+#include "rt/plan.hpp"
+
+#include "support/error.hpp"
+
+namespace lp::rt {
+
+using ir::Instruction;
+using ir::Opcode;
+
+const char *
+serialReasonName(SerialReason r)
+{
+    switch (r) {
+      case SerialReason::None: return "parallel";
+      case SerialReason::NonCanonical: return "non-canonical";
+      case SerialReason::RegisterLcd: return "register-lcd";
+      case SerialReason::CallPolicy: return "call-policy";
+      case SerialReason::DynamicPolicy: return "dynamic";
+    }
+    return "?";
+}
+
+ModulePlan::ModulePlan(const ir::Module &mod) : mod_(mod)
+{
+    purity_ = std::make_unique<analysis::PurityAnalysis>(mod);
+
+    for (const auto &fn : mod.functions()) {
+        auto fp = std::make_unique<FunctionPlan>();
+        fp->fn = fn.get();
+        buildFunctionPlan(*fp);
+        byFn_[fn.get()] = fp.get();
+        plans_.push_back(std::move(fp));
+    }
+
+    // Transitive external-call facts (monotone fixpoint over the call
+    // graph; used by the fn2 policy check).
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (auto &fp : plans_) {
+            bool unsafe = fp->reachesUnsafeExt;
+            bool nonPure = fp->reachesNonPureExt;
+            for (const auto &bb : fp->fn->blocks()) {
+                for (const auto &instr : bb->instructions()) {
+                    if (instr->opcode() == Opcode::CallExt) {
+                        auto attr = instr->externalCallee()->attr();
+                        nonPure |= attr != ir::ExtAttr::Pure;
+                        unsafe |= attr == ir::ExtAttr::Unsafe;
+                    } else if (instr->opcode() == Opcode::Call) {
+                        const FunctionPlan *callee =
+                            byFn_.at(instr->callee());
+                        unsafe |= callee->reachesUnsafeExt;
+                        nonPure |= callee->reachesNonPureExt;
+                    }
+                }
+            }
+            if (unsafe != fp->reachesUnsafeExt ||
+                nonPure != fp->reachesNonPureExt) {
+                fp->reachesUnsafeExt = unsafe;
+                fp->reachesNonPureExt = nonPure;
+                changed = true;
+            }
+        }
+    }
+}
+
+void
+ModulePlan::buildFunctionPlan(FunctionPlan &fp)
+{
+    const ir::Function *fn = fp.fn;
+    fp.dt = std::make_unique<analysis::DominatorTree>(*fn);
+    fp.li = std::make_unique<analysis::LoopInfo>(*fn, *fp.dt);
+    fp.se = std::make_unique<analysis::ScalarEvolution>(*fn, *fp.li);
+    fp.uses = std::make_unique<analysis::UseMap>(*fn);
+    fp.filter = std::make_unique<analysis::DisjointFilter>(
+        *fn, *fp.li, *fp.se, *fp.uses);
+
+    fp.loopPlans.resize(fp.li->loops().size());
+    for (const auto &loopPtr : fp.li->loops()) {
+        const analysis::Loop *loop = loopPtr.get();
+        LoopPlan &lplan = fp.loopPlans[loop->id()];
+        lplan.loop = loop;
+        fp.byHeader[loop->header()] = &lplan;
+
+        if (!loop->isCanonical())
+            continue; // left unclassified; always sequential
+
+        // Classify header phis: computable (SCEV) / reduction / tracked.
+        for (const Instruction *phi : loop->headerPhis()) {
+            if (fp.se->isComputablePhi(phi)) {
+                lplan.computablePhis.push_back(phi);
+                continue;
+            }
+            if (auto red = analysis::matchReduction(phi, loop, *fp.uses)) {
+                lplan.reductions.push_back(*red);
+                continue;
+            }
+            const ir::Value *latchVal =
+                phi->incomingFor(loop->latches().front());
+            const Instruction *def = nullptr;
+            if (latchVal->kind() == ir::ValueKind::Instruction) {
+                const auto *li = static_cast<const Instruction *>(latchVal);
+                if (loop->contains(li->parent()))
+                    def = li;
+            }
+            lplan.nonComputable.push_back({phi, def, false});
+        }
+
+        // Statically filtered memory accesses and direct call sites.
+        for (const ir::BasicBlock *bb : loop->blocks()) {
+            for (const auto &instr : bb->instructions()) {
+                if (instr->opcode() == Opcode::Load ||
+                    instr->opcode() == Opcode::Store) {
+                    if (fp.filter->untracked(loop, instr.get()))
+                        lplan.untrackedMem.insert(instr.get());
+                } else if (instr->opcode() == Opcode::Call ||
+                           instr->opcode() == Opcode::CallExt) {
+                    lplan.callSites.push_back(instr.get());
+                }
+            }
+        }
+    }
+
+    // Def sites: for every tracked phi whose carried value is defined by
+    // an instruction, the runtime samples the clock when that definition
+    // executes (this is how HELIX synchronization latency is measured).
+    for (LoopPlan &lplan : fp.loopPlans) {
+        for (const TrackedPhi &tp : lplan.nonComputable) {
+            if (!tp.defInstr)
+                continue;
+            const ir::BasicBlock *bb = tp.defInstr->parent();
+            unsigned offset = 0;
+            for (const auto &instr : bb->instructions()) {
+                ++offset;
+                if (instr.get() == tp.defInstr)
+                    break;
+            }
+            fp.defSites[bb].push_back({tp.defInstr, offset});
+        }
+        // Reduction chains can also be demoted to tracked LCDs (reduc0);
+        // pre-compute their def sites too.
+        for (const analysis::ReductionDescriptor &red : lplan.reductions) {
+            const Instruction *def = red.chain.back();
+            const ir::BasicBlock *bb = def->parent();
+            unsigned offset = 0;
+            for (const auto &instr : bb->instructions()) {
+                ++offset;
+                if (instr.get() == def)
+                    break;
+            }
+            fp.defSites[bb].push_back({def, offset});
+        }
+    }
+}
+
+const FunctionPlan &
+ModulePlan::planFor(const ir::Function *fn) const
+{
+    auto it = byFn_.find(fn);
+    panicIf(it == byFn_.end(), "no plan for function @" + fn->name());
+    return *it->second;
+}
+
+SerialReason
+staticVerdict(const LoopPlan &lp, const FunctionPlan &,
+              const ModulePlan &mp, const LPConfig &cfg)
+{
+    if (!lp.loop || !lp.loop->isCanonical())
+        return SerialReason::NonCanonical;
+
+    // Register LCDs: with dep0, any non-computable LCD (including
+    // reductions demoted by reduc0) forbids parallelization.
+    if (cfg.dep == 0) {
+        if (!lp.nonComputable.empty())
+            return SerialReason::RegisterLcd;
+        if (cfg.reduc == 0 && !lp.reductions.empty())
+            return SerialReason::RegisterLcd;
+    }
+
+    // Call policy.
+    for (const ir::Instruction *call : lp.callSites) {
+        switch (cfg.fn) {
+          case 0:
+            return SerialReason::CallPolicy;
+          case 1: {
+            if (call->opcode() == ir::Opcode::CallExt) {
+                if (call->externalCallee()->attr() != ir::ExtAttr::Pure)
+                    return SerialReason::CallPolicy;
+            } else {
+                const ir::Function *callee = call->callee();
+                if (mp.purity().purity(callee) == analysis::Purity::Impure ||
+                    mp.planFor(callee).reachesNonPureExt) {
+                    return SerialReason::CallPolicy;
+                }
+            }
+            break;
+          }
+          case 2: {
+            if (call->opcode() == ir::Opcode::CallExt) {
+                if (call->externalCallee()->attr() == ir::ExtAttr::Unsafe)
+                    return SerialReason::CallPolicy;
+            } else if (mp.planFor(call->callee()).reachesUnsafeExt) {
+                return SerialReason::CallPolicy;
+            }
+            break;
+          }
+          default:
+            break; // fn3: everything goes
+        }
+    }
+    return SerialReason::None;
+}
+
+} // namespace lp::rt

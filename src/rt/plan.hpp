@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The compile-time instrumentation plan.
+ *
+ * This is the output of Loopapalooza's compile-time component (paper
+ * Section III-A): per function, the canonicalized loop forest, the SCEV /
+ * reduction classification of every header phi, the statically filtered
+ * memory accesses, purity facts, and the def sites whose timestamps the
+ * runtime needs.  Everything here is configuration-independent; the
+ * per-configuration decisions (which loops are statically sequential)
+ * are computed on top by rt::applyConfig.
+ */
+
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/disjoint.hpp"
+#include "analysis/dominators.hpp"
+#include "analysis/loop_info.hpp"
+#include "analysis/purity.hpp"
+#include "analysis/reduction.hpp"
+#include "analysis/scev.hpp"
+#include "analysis/uses.hpp"
+#include "rt/config.hpp"
+
+namespace lp::rt {
+
+/** Why a loop cannot be parallelized under a given configuration. */
+enum class SerialReason {
+    None,          ///< eligible for parallel execution
+    NonCanonical,  ///< loop not in loopsimplify form
+    RegisterLcd,   ///< non-computable register LCD under dep0
+    CallPolicy,    ///< a call site the fn flag does not admit
+    DynamicPolicy, ///< serialized at run time (conflicts / HELIX formula)
+};
+
+/** Printable reason. */
+const char *serialReasonName(SerialReason r);
+
+/** A non-computable register LCD the runtime must watch. */
+struct TrackedPhi
+{
+    const ir::Instruction *phi;
+    /**
+     * The instruction defining the value carried into the next iteration,
+     * or null when the latch value is loop-invariant (a one-shot LCD that
+     * never truly serializes).
+     */
+    const ir::Instruction *defInstr;
+    bool isReduction; ///< tracked only because reduc0 demoted it
+};
+
+/** Compile-time facts about one loop. */
+struct LoopPlan
+{
+    const analysis::Loop *loop = nullptr;
+
+    std::vector<const ir::Instruction *> computablePhis; ///< IVs & MIVs
+    std::vector<analysis::ReductionDescriptor> reductions;
+    /** Non-computable, non-reduction header phis. */
+    std::vector<TrackedPhi> nonComputable;
+
+    /** Loads/stores needing no conflict tracking at this loop's level. */
+    std::unordered_set<const ir::Instruction *> untrackedMem;
+
+    /** Direct Call instructions anywhere in the loop body. */
+    std::vector<const ir::Instruction *> callSites;
+
+    bool hasCalls() const { return !callSites.empty(); }
+};
+
+/** Position of an instruction inside its block (for def timestamps). */
+struct DefSite
+{
+    const ir::Instruction *instr;
+    unsigned offsetInBlock; ///< instructions preceding it, inclusive of it
+};
+
+/** Compile-time facts about one function. */
+struct FunctionPlan
+{
+    const ir::Function *fn = nullptr;
+    std::unique_ptr<analysis::DominatorTree> dt;
+    std::unique_ptr<analysis::LoopInfo> li;
+    std::unique_ptr<analysis::ScalarEvolution> se;
+    std::unique_ptr<analysis::UseMap> uses;
+    std::unique_ptr<analysis::DisjointFilter> filter;
+
+    /** One plan per loop, indexed by Loop::id(). */
+    std::vector<LoopPlan> loopPlans;
+
+    /** Header block -> its loop plan. */
+    std::unordered_map<const ir::BasicBlock *, LoopPlan *> byHeader;
+
+    /** Blocks containing def sites the runtime timestamps. */
+    std::unordered_map<const ir::BasicBlock *, std::vector<DefSite>>
+        defSites;
+
+    /** Does this function transitively reach an Unsafe external? */
+    bool reachesUnsafeExt = false;
+    /** Does this function transitively reach a non-Pure external? */
+    bool reachesNonPureExt = false;
+};
+
+/** The whole compile-time component's output. */
+class ModulePlan
+{
+  public:
+    /** Run all static analyses over a finalized, verified module. */
+    explicit ModulePlan(const ir::Module &mod);
+
+    const ir::Module &module() const { return mod_; }
+
+    const FunctionPlan &planFor(const ir::Function *fn) const;
+
+    const analysis::PurityAnalysis &purity() const { return *purity_; }
+
+    /** All function plans. */
+    const std::vector<std::unique_ptr<FunctionPlan>> &functionPlans() const
+    {
+        return plans_;
+    }
+
+  private:
+    void buildFunctionPlan(FunctionPlan &fp);
+
+    const ir::Module &mod_;
+    std::unique_ptr<analysis::PurityAnalysis> purity_;
+    std::vector<std::unique_ptr<FunctionPlan>> plans_;
+    std::unordered_map<const ir::Function *, FunctionPlan *> byFn_;
+};
+
+/**
+ * Per-configuration decision for one loop: the static serialization
+ * verdict the compile-time component would bake into the instrumented
+ * binary for this flag combination.
+ */
+SerialReason staticVerdict(const LoopPlan &lp, const FunctionPlan &fp,
+                           const ModulePlan &mp, const LPConfig &cfg);
+
+} // namespace lp::rt

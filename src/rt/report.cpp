@@ -1,0 +1,37 @@
+#include "rt/report.hpp"
+
+#include "support/table.hpp"
+#include "support/text.hpp"
+
+namespace lp::rt {
+
+void
+ProgramReport::print(std::ostream &os, bool perLoop) const
+{
+    os << "program " << program << "  [" << config.str() << "]\n";
+    os << "  serial cost   : " << withCommas(serialCost)
+       << " dynamic IR instructions\n";
+    os << "  parallel cost : " << withCommas(parallelCost) << "\n";
+    os << strf("  speedup       : %.2fx\n", speedup());
+    os << strf("  coverage      : %.1f%%\n", coverage * 100.0);
+    os << strf("  loops         : %llu static, %llu canonical\n",
+               static_cast<unsigned long long>(census.staticLoops),
+               static_cast<unsigned long long>(census.canonicalLoops));
+
+    if (!perLoop)
+        return;
+    TextTable t({"loop", "depth", "static", "insts", "iters", "serial",
+                 "parallel", "speedup", "conflicts"});
+    for (const LoopReport &lr : loops) {
+        t.addRow({lr.label, std::to_string(lr.depth),
+                  serialReasonName(lr.staticReason),
+                  std::to_string(lr.instances),
+                  std::to_string(lr.iterations), withCommas(lr.serialCost),
+                  withCommas(lr.parallelCost),
+                  TextTable::num(lr.speedup()) + "x",
+                  std::to_string(lr.memConflicts)});
+    }
+    t.print(os);
+}
+
+} // namespace lp::rt

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Results of one instrumented run: per-loop and whole-program speedup,
+ * coverage, conflict statistics, and the dependency census that backs
+ * Table I.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "rt/config.hpp"
+#include "rt/plan.hpp"
+
+namespace lp::rt {
+
+/** Aggregated statistics for one static loop across all its instances. */
+struct LoopReport
+{
+    std::string label;        ///< "function.header"
+    unsigned depth = 0;       ///< nesting depth (1 = top level)
+    SerialReason staticReason = SerialReason::None;
+
+    std::uint64_t instances = 0;
+    std::uint64_t iterations = 0;
+    std::uint64_t serialCost = 0;     ///< raw dynamic IR instructions
+    std::uint64_t adjustedCost = 0;   ///< serial minus inner-loop savings
+    std::uint64_t parallelCost = 0;   ///< model cost (min with adjusted)
+
+    std::uint64_t memConflicts = 0;      ///< cross-iteration RAW events
+    std::uint64_t regMispredicts = 0;    ///< value-prediction misses
+    std::uint64_t regPredictions = 0;    ///< value-prediction attempts
+    std::uint64_t conflictIterations = 0;///< PDOALL conflicting iterations
+    std::uint64_t serializedInstances = 0; ///< fell back to serial at run time
+
+    /** Per-instance-summed loop speedup (adjusted / parallel). */
+    double speedup() const
+    {
+        return parallelCost == 0
+            ? 1.0
+            : static_cast<double>(adjustedCost) /
+                  static_cast<double>(parallelCost);
+    }
+};
+
+/** Dependency census counters (paper Table I, measured). */
+struct Census
+{
+    // True static (register) LCDs.
+    std::uint64_t computableIvs = 0;   ///< IVs and MIVs (SCEV-computable)
+    std::uint64_t reductions = 0;      ///< recognized accumulators
+    std::uint64_t predictableRegLcds = 0;   ///< hit rate >= threshold
+    std::uint64_t unpredictableRegLcds = 0; ///< the rest
+    // True dynamic (memory) LCDs, per static loop with conflicts.
+    std::uint64_t frequentMemLcdLoops = 0;   ///< >5% conflicting iterations
+    std::uint64_t infrequentMemLcdLoops = 0; ///< some, but <=5%
+    // Structural.
+    std::uint64_t loopsWithCalls = 0;
+
+    std::uint64_t staticLoops = 0;
+    std::uint64_t canonicalLoops = 0;
+};
+
+/** Whole-program result of one run under one configuration. */
+struct ProgramReport
+{
+    std::string program;
+    LPConfig config;
+
+    std::uint64_t serialCost = 0;   ///< total dynamic IR instructions
+    std::uint64_t parallelCost = 0; ///< serial minus accumulated savings
+
+    /** Fraction of dynamic instructions inside parallelized loops. */
+    double coverage = 0.0;
+
+    std::vector<LoopReport> loops;
+    Census census;
+
+    double
+    speedup() const
+    {
+        return parallelCost == 0
+            ? 1.0
+            : static_cast<double>(serialCost) /
+                  static_cast<double>(parallelCost);
+    }
+
+    /** Render a human-readable summary (examples, debugging). */
+    void print(std::ostream &os, bool perLoop = false) const;
+};
+
+} // namespace lp::rt

@@ -1,0 +1,551 @@
+#include "rt/tracker.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace lp::rt {
+
+using ir::BasicBlock;
+using ir::Instruction;
+
+LoopRuntime::LoopRuntime(const ModulePlan &plan, const LPConfig &cfg)
+    : plan_(plan), cfg_(cfg)
+{
+    cfg_.validate();
+
+    // Build per-run loop info: static verdicts and the effective tracked
+    // register-LCD lists (reductions are demoted to tracked LCDs under
+    // reduc0).
+    for (const auto &fp : plan.functionPlans()) {
+        for (const LoopPlan &lplan : fp->loopPlans) {
+            auto rli = std::make_unique<RunLoopInfo>();
+            rli->plan = &lplan;
+            rli->verdict = staticVerdict(lplan, *fp, plan, cfg_);
+            rli->tracked = lplan.nonComputable;
+            if (cfg_.reduc == 0) {
+                for (const analysis::ReductionDescriptor &red :
+                     lplan.reductions) {
+                    rli->tracked.push_back(
+                        {red.phi, red.chain.back(), true});
+                }
+            }
+            for (unsigned i = 0; i < rli->tracked.size(); ++i)
+                rli->phiIndex[rli->tracked[i].phi] = i;
+
+            rli->report.label =
+                lplan.loop ? lplan.loop->label() : "<?>";
+            rli->report.depth = lplan.loop ? lplan.loop->depth() : 0;
+            rli->report.staticReason = rli->verdict;
+
+            if (lplan.loop)
+                byHeader_[lplan.loop->header()] = rli.get();
+
+            // Def-site watches for the effective tracked LCDs.
+            if (rli->verdict == SerialReason::None) {
+                for (unsigned i = 0; i < rli->tracked.size(); ++i) {
+                    const TrackedPhi &tp = rli->tracked[i];
+                    if (!tp.defInstr)
+                        continue;
+                    const BasicBlock *bb = tp.defInstr->parent();
+                    unsigned offset = 0;
+                    for (const auto &instr : bb->instructions()) {
+                        ++offset;
+                        if (instr.get() == tp.defInstr)
+                            break;
+                    }
+                    defWatch_[bb].push_back({tp.defInstr, offset,
+                                             lplan.loop->header(), i});
+                }
+            }
+            runLoops_.push_back(std::move(rli));
+        }
+    }
+}
+
+LoopRuntime::~LoopRuntime() = default;
+
+std::uint64_t
+LoopRuntime::nowBefore(const BasicBlock *bb) const
+{
+    return machine_->cost() - bb->instructions().size();
+}
+
+void
+LoopRuntime::onFunctionEnter(const ir::Function *fn)
+{
+    frames_.push_back({&plan_.planFor(fn), {}, 0});
+}
+
+void
+LoopRuntime::onFunctionExit(const ir::Function *fn)
+{
+    panicIf(frames_.empty() || frames_.back().fp->fn != fn,
+            "function exit does not match runtime frame stack");
+    FrameCtx &frame = frames_.back();
+
+    // Early returns may leave loop instances open; close them now.
+    std::uint64_t now = machine_->cost();
+    while (!frame.loopStack.empty()) {
+        Instance inst = std::move(frame.loopStack.back());
+        frame.loopStack.pop_back(); // pop first: savings go to the parent
+        closeInstance(inst, now);
+    }
+
+    std::uint64_t savings = frame.savings;
+    frames_.pop_back();
+    if (frames_.empty())
+        totalSavings_ = savings;
+    else
+        addSavingsToCurrentContext(savings);
+}
+
+void
+LoopRuntime::addSavingsToCurrentContext(std::uint64_t s)
+{
+    if (s == 0)
+        return;
+    FrameCtx &frame = frames_.back();
+    if (frame.loopStack.empty())
+        frame.savings += s;
+    else
+        frame.loopStack.back().curIterSavings += s;
+}
+
+void
+LoopRuntime::onBlockEnter(const BasicBlock *bb)
+{
+    FrameCtx &frame = frames_.back();
+    const std::uint64_t now = nowBefore(bb);
+
+    // Exited loops: pop every instance that does not contain this block.
+    while (!frame.loopStack.empty() &&
+           !frame.loopStack.back().rli->plan->loop->contains(bb)) {
+        Instance inst = std::move(frame.loopStack.back());
+        frame.loopStack.pop_back(); // pop first: savings go to the parent
+        closeInstance(inst, now);
+    }
+
+    // Loop entry or iteration boundary.
+    auto hit = byHeader_.find(bb);
+    if (hit != byHeader_.end()) {
+        RunLoopInfo *rli = hit->second;
+        if (!frame.loopStack.empty() &&
+            frame.loopStack.back().rli == rli) {
+            iterationBoundary(frame.loopStack.back(), now);
+        } else {
+            openInstance(rli, now);
+        }
+    }
+
+    // Timestamp watched def sites in this block.
+    auto dw = defWatch_.find(bb);
+    if (dw != defWatch_.end()) {
+        for (const DefWatch &w : dw->second) {
+            // Find the instance of the watched loop on this frame's stack.
+            for (auto it = frame.loopStack.rbegin();
+                 it != frame.loopStack.rend(); ++it) {
+                if (it->rli->plan->loop->header() == w.header) {
+                    RegState &rs = it->regs[w.regIndex];
+                    rs.lastDefTs = now + w.offsetInBlock;
+                    rs.defSeen = true;
+                    break;
+                }
+            }
+        }
+    }
+}
+
+void
+LoopRuntime::openInstance(RunLoopInfo *rli, std::uint64_t now)
+{
+    FrameCtx &frame = frames_.back();
+    Instance inst;
+    inst.rli = rli;
+    inst.entryTs = now;
+    inst.iterStartTs = now;
+    inst.spAtIterStart = machine_->stackPointer();
+    inst.regs.resize(rli->tracked.size());
+    frame.loopStack.push_back(std::move(inst));
+    rli->report.instances += 1;
+}
+
+void
+LoopRuntime::registerConflict(Instance &inst)
+{
+    // A register LCD manifesting at the start of the current iteration.
+    inst.anyConflict = true;
+    if (cfg_.model == ExecModel::PartialDoAll && !inst.conflictedThisIter) {
+        inst.parallelAccum += inst.phaseSlowest;
+        inst.phaseSlowest = 0;
+        inst.conflictedThisIter = true;
+        inst.conflictIters += 1;
+    }
+}
+
+void
+LoopRuntime::iterationBoundary(Instance &inst, std::uint64_t now)
+{
+    // Close the finishing iteration.
+    std::uint64_t serialIterCost = now - inst.iterStartTs;
+    std::uint64_t savings = std::min(inst.curIterSavings, serialIterCost);
+    std::uint64_t adjIterCost = serialIterCost - savings;
+    inst.totalChildSavings += savings;
+
+    inst.iterSlowest = std::max(inst.iterSlowest, adjIterCost);
+    inst.phaseSlowest = std::max(inst.phaseSlowest, adjIterCost);
+
+    // Register-LCD handling at the boundary: record producer offsets for
+    // the iteration that just ended, and apply dep1 semantics.
+    const bool eligible = inst.rli->verdict == SerialReason::None;
+    if (eligible && !inst.rli->tracked.empty()) {
+        for (RegState &rs : inst.regs) {
+            rs.prevDefOffset =
+                rs.defSeen ? rs.lastDefTs - inst.iterStartTs : 0;
+        }
+        if (cfg_.dep == 1) {
+            // Lowered to memory: a frequent LCD satisfied by HELIX-style
+            // synchronization, or conflicting every iteration otherwise.
+            if (cfg_.model == ExecModel::Helix) {
+                for (const RegState &rs : inst.regs) {
+                    inst.deltaLargest =
+                        std::max(inst.deltaLargest, rs.prevDefOffset);
+                    inst.maxProdOff =
+                        std::max(inst.maxProdOff, rs.prevDefOffset);
+                    inst.minConsOff = 0; // the phi consumes at the top
+                    inst.anySync = true;
+                }
+            }
+        }
+    }
+
+    inst.curIter += 1;
+    inst.iterStartTs = now;
+    inst.curIterSavings = 0;
+    inst.conflictedThisIter = false;
+    inst.spAtIterStart = machine_->stackPointer();
+
+    // dep1 under a speculative model: the lowered LCD conflicts at the
+    // top of every iteration after the first.
+    if (eligible && !inst.rli->tracked.empty() && cfg_.dep == 1 &&
+        cfg_.model != ExecModel::Helix && inst.curIter >= 1) {
+        registerConflict(inst);
+    }
+}
+
+void
+LoopRuntime::closeInstance(Instance &inst, std::uint64_t now)
+{
+    RunLoopInfo &rli = *inst.rli;
+
+    // The trailing partial iteration (the final header visit that failed
+    // the trip condition) plus anything after the last boundary.
+    std::uint64_t tailSerial = now - inst.iterStartTs;
+    std::uint64_t tailSavings = std::min(inst.curIterSavings, tailSerial);
+    std::uint64_t tailAdj = tailSerial - tailSavings;
+    inst.totalChildSavings += tailSavings;
+
+    std::uint64_t rawSerial = now - inst.entryTs;
+    std::uint64_t adjSerial = rawSerial - inst.totalChildSavings;
+
+    // Apply the execution model.
+    bool parallelized = false;
+    std::uint64_t parallel = adjSerial;
+    if (rli.verdict == SerialReason::None && inst.curIter > 0) {
+        switch (cfg_.model) {
+          case ExecModel::DoAll:
+            if (!inst.anyConflict) {
+                parallel = inst.iterSlowest + tailAdj;
+                parallelized = true;
+            }
+            break;
+          case ExecModel::PartialDoAll: {
+            double conflictFrac =
+                static_cast<double>(inst.conflictIters) /
+                static_cast<double>(inst.curIter);
+            if (conflictFrac <= cfg_.pdoallSerialThreshold) {
+                parallel =
+                    inst.parallelAccum + inst.phaseSlowest + tailAdj;
+                parallelized = true;
+            }
+            break;
+          }
+          case ExecModel::Helix: {
+            // HELIX: one synchronization per distinct LCD; classic
+            // DOACROSS (ablation): a single sync window spanning from
+            // the first consumer to the last producer of the iteration.
+            std::uint64_t delta = inst.deltaLargest;
+            if (cfg_.singleSyncDoacross) {
+                delta = 0;
+                if (inst.anySync && inst.maxProdOff > inst.minConsOff)
+                    delta = inst.maxProdOff - inst.minConsOff;
+            }
+            std::uint64_t t = inst.iterSlowest +
+                              delta * inst.curIter + tailAdj;
+            if (t <= adjSerial) {
+                parallel = t;
+                parallelized = true;
+            }
+            break;
+          }
+        }
+    }
+    if (parallel > adjSerial) {
+        parallel = adjSerial;
+        parallelized = false;
+    }
+
+    // Aggregate into the static loop's report.
+    LoopReport &rep = rli.report;
+    rep.iterations += inst.curIter;
+    rep.serialCost += rawSerial;
+    rep.adjustedCost += adjSerial;
+    rep.parallelCost += parallel;
+    rep.memConflicts += inst.memConflicts;
+    rep.conflictIterations += inst.conflictIters;
+    if (!parallelized)
+        rep.serializedInstances += 1;
+
+    if (parallelized)
+        covered_.emplace_back(inst.entryTs, now);
+
+    // Everything saved inside this region, plus the model's own saving,
+    // flows to the enclosing iteration/function.
+    std::uint64_t savingUp = rawSerial - parallel;
+    addSavingsToCurrentContext(savingUp);
+}
+
+void
+LoopRuntime::onPhiResolved(const Instruction *phi, std::uint64_t bits)
+{
+    auto hit = byHeader_.find(phi->parent());
+    if (hit == byHeader_.end())
+        return;
+    RunLoopInfo *rli = hit->second;
+    auto idx = rli->phiIndex.find(phi);
+    if (idx == rli->phiIndex.end())
+        return; // computable or decoupled-reduction phi
+    if (rli->verdict != SerialReason::None)
+        return; // statically sequential loops are not instrumented
+
+    FrameCtx &frame = frames_.back();
+    if (frame.loopStack.empty() || frame.loopStack.back().rli != rli)
+        return;
+    Instance &inst = frame.loopStack.back();
+
+    // The first resolution delivers the pre-loop initial value; only
+    // carried values (iteration >= 1) constitute the dependency.
+    bool carried = inst.curIter >= 1;
+
+    switch (cfg_.dep) {
+      case 0:
+      case 1:
+        // dep0 loops are statically serial; dep1 is handled at the
+        // iteration boundary.
+        break;
+      case 2: {
+        auto &pred = predictors_[phi];
+        if (!pred)
+            pred = std::make_unique<predict::HybridPredictor>();
+        predict::HybridOutcome out = pred->predictAndTrain(bits);
+        if (carried) {
+            PredStats &ps = predStats_[phi];
+            ps.predictions += 1;
+            if (!out.anyCorrect) {
+                ps.mispredicts += 1;
+                if (cfg_.model == ExecModel::Helix) {
+                    std::uint64_t off =
+                        inst.regs[idx->second].prevDefOffset;
+                    inst.deltaLargest = std::max(inst.deltaLargest, off);
+                    inst.maxProdOff = std::max(inst.maxProdOff, off);
+                    inst.minConsOff = 0;
+                    inst.anySync = true;
+                } else {
+                    registerConflict(inst);
+                }
+            }
+        }
+        break;
+      }
+      case 3:
+        break; // perfect prediction: never a dependency
+    }
+}
+
+void
+LoopRuntime::noteMemConflict(Instance &inst, const WriteRec &rec,
+                             std::uint64_t consumerOffset)
+{
+    inst.memConflicts += 1;
+    inst.anyConflict = true;
+    switch (cfg_.model) {
+      case ExecModel::DoAll:
+        break; // anyConflict alone serializes the loop
+      case ExecModel::PartialDoAll:
+        if (!inst.conflictedThisIter) {
+            inst.parallelAccum += inst.phaseSlowest;
+            inst.phaseSlowest = 0;
+            inst.conflictedThisIter = true;
+            inst.conflictIters += 1;
+        }
+        break;
+      case ExecModel::Helix: {
+        std::uint64_t dist = inst.curIter - rec.iter;
+        if (rec.offset > consumerOffset) {
+            std::uint64_t delta =
+                (rec.offset - consumerOffset + dist - 1) / dist;
+            inst.deltaLargest = std::max(inst.deltaLargest, delta);
+        }
+        inst.maxProdOff = std::max(inst.maxProdOff, rec.offset);
+        inst.minConsOff = std::min(inst.minConsOff, consumerOffset);
+        inst.anySync = true;
+        break;
+      }
+    }
+}
+
+void
+LoopRuntime::onLoad(const Instruction *instr, std::uint64_t addr)
+{
+    const std::uint64_t granule = addr >> 3;
+    std::uint64_t now = machine_->preciseCost();
+    for (FrameCtx &frame : frames_) {
+        for (Instance &inst : frame.loopStack) {
+            if (inst.rli->verdict != SerialReason::None)
+                continue;
+            if (interp::Memory::isStackAddress(addr) &&
+                addr >= inst.spAtIterStart) {
+                continue; // iteration-private frame (cactus stack)
+            }
+            if (inst.rli->plan->untrackedMem.count(instr))
+                continue; // statically proven conflict-free
+            auto rec = inst.lastWrite.find(granule);
+            if (rec != inst.lastWrite.end() &&
+                rec->second.iter < inst.curIter) {
+                noteMemConflict(inst, rec->second,
+                                now - inst.iterStartTs);
+            }
+        }
+    }
+}
+
+void
+LoopRuntime::onStore(const Instruction *instr, std::uint64_t addr)
+{
+    const std::uint64_t granule = addr >> 3;
+    std::uint64_t now = machine_->preciseCost();
+    for (FrameCtx &frame : frames_) {
+        for (Instance &inst : frame.loopStack) {
+            if (inst.rli->verdict != SerialReason::None)
+                continue;
+            if (interp::Memory::isStackAddress(addr) &&
+                addr >= inst.spAtIterStart) {
+                continue;
+            }
+            if (inst.rli->plan->untrackedMem.count(instr))
+                continue;
+            inst.lastWrite[granule] = {inst.curIter,
+                                       now - inst.iterStartTs};
+        }
+    }
+}
+
+ProgramReport
+LoopRuntime::finish(const std::string &programName)
+{
+    panicIf(finished_, "finish called twice");
+    panicIf(!frames_.empty(), "finish with live frames");
+    finished_ = true;
+
+    ProgramReport rep;
+    rep.program = programName;
+    rep.config = cfg_;
+    rep.serialCost = machine_->cost();
+    rep.parallelCost = rep.serialCost - totalSavings_;
+
+    // Coverage: merge the (nested-or-disjoint) covered intervals.
+    std::sort(covered_.begin(), covered_.end());
+    std::uint64_t coveredCost = 0;
+    std::uint64_t hi = 0;
+    bool first = true;
+    for (const auto &[a, b] : covered_) {
+        if (first || a >= hi) {
+            coveredCost += b - a;
+            hi = b;
+            first = false;
+        } else if (b > hi) {
+            coveredCost += b - hi;
+            hi = b;
+        }
+    }
+    rep.coverage = rep.serialCost == 0
+        ? 0.0
+        : static_cast<double>(coveredCost) /
+              static_cast<double>(rep.serialCost);
+
+    // Census.
+    Census &c = rep.census;
+    for (const auto &rli : runLoops_) {
+        const LoopPlan &lplan = *rli->plan;
+        if (!lplan.loop)
+            continue;
+        c.staticLoops += 1;
+        if (lplan.loop->isCanonical())
+            c.canonicalLoops += 1;
+        c.computableIvs += lplan.computablePhis.size();
+        c.reductions += lplan.reductions.size();
+        if (lplan.hasCalls())
+            c.loopsWithCalls += 1;
+
+        const LoopReport &lr = rli->report;
+        if (lr.memConflicts > 0 && lr.iterations > 0) {
+            double frac = static_cast<double>(lr.conflictIterations) /
+                          static_cast<double>(lr.iterations);
+            if (frac > 0.05)
+                c.frequentMemLcdLoops += 1;
+            else
+                c.infrequentMemLcdLoops += 1;
+        }
+    }
+    for (const auto &[phi, ps] : predStats_) {
+        if (ps.predictions == 0)
+            continue;
+        double hit = 1.0 - static_cast<double>(ps.mispredicts) /
+                               static_cast<double>(ps.predictions);
+        if (hit >= cfg_.predictableThreshold)
+            c.predictableRegLcds += 1;
+        else
+            c.unpredictableRegLcds += 1;
+    }
+
+    // Per-loop reports (only loops that actually executed).
+    for (const auto &rli : runLoops_) {
+        LoopReport lr = rli->report;
+        for (const auto &[phi, ps] : predStats_) {
+            if (rli->phiIndex.count(phi)) {
+                lr.regPredictions += ps.predictions;
+                lr.regMispredicts += ps.mispredicts;
+            }
+        }
+        if (lr.instances > 0)
+            rep.loops.push_back(std::move(lr));
+    }
+    std::sort(rep.loops.begin(), rep.loops.end(),
+              [](const LoopReport &a, const LoopReport &b) {
+                  return a.serialCost > b.serialCost;
+              });
+    return rep;
+}
+
+ProgramReport
+runLimitStudy(const ir::Module &mod, const ModulePlan &plan,
+              const LPConfig &cfg, const std::string &name)
+{
+    LoopRuntime runtime(plan, cfg);
+    interp::Machine machine(mod, &runtime);
+    runtime.attach(machine);
+    machine.run();
+    return runtime.finish(name);
+}
+
+} // namespace lp::rt

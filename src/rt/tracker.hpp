@@ -1,0 +1,164 @@
+/**
+ * @file
+ * The Loopapalooza run-time component (paper Section III-B).
+ *
+ * Subscribes to the instrumentation call-backs, maintains the dynamic
+ * loop-instance stack, tracks cross-iteration RAW conflicts through memory
+ * and registers, runs the value predictors, applies the configured
+ * parallel execution model (DOALL / Partial-DOALL / HELIX) to every loop
+ * instance, and propagates parallel savings up the loop/function nest so
+ * outer loops compute their costs over already-parallelized bodies
+ * (multi-level nested parallelization, as in SWARM/T4).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "interp/machine.hpp"
+#include "predict/predictor.hpp"
+#include "rt/plan.hpp"
+#include "rt/report.hpp"
+
+namespace lp::rt {
+
+/** Run-time dependency tracker and speedup estimator. */
+class LoopRuntime : public interp::ExecListener
+{
+  public:
+    LoopRuntime(const ModulePlan &plan, const LPConfig &cfg);
+    ~LoopRuntime() override;
+
+    /** Bind the machine whose clock and stack pointer we sample. */
+    void attach(interp::Machine &m) { machine_ = &m; }
+
+    /** Build the final report; call after Machine::run() returned. */
+    ProgramReport finish(const std::string &programName);
+
+    /// @name ExecListener interface
+    /// @{
+    void onBlockEnter(const ir::BasicBlock *bb) override;
+    void onPhiResolved(const ir::Instruction *phi,
+                       std::uint64_t bits) override;
+    void onLoad(const ir::Instruction *instr, std::uint64_t addr) override;
+    void onStore(const ir::Instruction *instr, std::uint64_t addr) override;
+    void onFunctionEnter(const ir::Function *fn) override;
+    void onFunctionExit(const ir::Function *fn) override;
+    /// @}
+
+  private:
+    /** Last cross-iteration write to one 8-byte granule. */
+    struct WriteRec
+    {
+        std::uint64_t iter;   ///< iteration index of the writer
+        std::uint64_t offset; ///< writer's offset within its iteration
+    };
+
+    /** Per-instance state of one tracked register LCD. */
+    struct RegState
+    {
+        std::uint64_t lastDefTs = 0;
+        std::uint64_t prevDefOffset = 0;
+        bool defSeen = false;
+    };
+
+    /** Per-configuration, per-static-loop facts. */
+    struct RunLoopInfo
+    {
+        const LoopPlan *plan;
+        SerialReason verdict;
+        std::vector<TrackedPhi> tracked;
+        std::unordered_map<const ir::Instruction *, unsigned> phiIndex;
+        LoopReport report;
+    };
+
+    /** One dynamic loop instance. */
+    struct Instance
+    {
+        RunLoopInfo *rli;
+        std::uint64_t entryTs;
+        std::uint64_t iterStartTs;
+        std::uint64_t spAtIterStart;
+        std::uint64_t curIter = 0;       ///< completed iterations so far
+        std::uint64_t curIterSavings = 0;
+        std::uint64_t totalChildSavings = 0;
+        // Model state.
+        std::uint64_t iterSlowest = 0;   ///< max adjusted iteration cost
+        std::uint64_t phaseSlowest = 0;  ///< PDOALL, current phase
+        std::uint64_t parallelAccum = 0; ///< PDOALL, committed phases
+        std::uint64_t deltaLargest = 0;  ///< HELIX
+        std::uint64_t maxProdOff = 0;    ///< DOACROSS single-sync
+        std::uint64_t minConsOff = ~std::uint64_t{0};
+        bool anySync = false;
+        bool conflictedThisIter = false;
+        bool anyConflict = false;
+        std::uint64_t conflictIters = 0;
+        std::uint64_t memConflicts = 0;
+        std::unordered_map<std::uint64_t, WriteRec> lastWrite;
+        std::vector<RegState> regs;
+    };
+
+    struct FrameCtx
+    {
+        const FunctionPlan *fp;
+        std::vector<Instance> loopStack;
+        std::uint64_t savings = 0;
+    };
+
+    /** Clock excluding the block currently being entered. */
+    std::uint64_t nowBefore(const ir::BasicBlock *bb) const;
+
+    void openInstance(RunLoopInfo *rli, std::uint64_t now);
+    void iterationBoundary(Instance &inst, std::uint64_t now);
+    void closeInstance(Instance &inst, std::uint64_t now);
+    void addSavingsToCurrentContext(std::uint64_t s);
+    void registerConflict(Instance &inst);
+    void noteMemConflict(Instance &inst, const WriteRec &rec,
+                         std::uint64_t consumerOffset);
+
+    const ModulePlan &plan_;
+    LPConfig cfg_;
+    interp::Machine *machine_ = nullptr;
+
+    std::vector<std::unique_ptr<RunLoopInfo>> runLoops_;
+    std::unordered_map<const ir::BasicBlock *, RunLoopInfo *> byHeader_;
+
+    /** A def-site the runtime timestamps, with its consumer LCD. */
+    struct DefWatch
+    {
+        const ir::Instruction *instr;
+        unsigned offsetInBlock;
+        const ir::BasicBlock *header; ///< identifies the loop/instance
+        unsigned regIndex;
+    };
+    std::unordered_map<const ir::BasicBlock *, std::vector<DefWatch>>
+        defWatch_;
+
+    /** Shared (hardware-like) per-LCD predictors and their counters. */
+    std::unordered_map<const ir::Instruction *,
+                       std::unique_ptr<predict::HybridPredictor>>
+        predictors_;
+    struct PredStats
+    {
+        std::uint64_t predictions = 0;
+        std::uint64_t mispredicts = 0;
+    };
+    std::unordered_map<const ir::Instruction *, PredStats> predStats_;
+
+    std::vector<FrameCtx> frames_;
+    std::uint64_t totalSavings_ = 0;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> covered_;
+    bool finished_ = false;
+};
+
+/**
+ * Convenience driver: run @p mod under @p cfg and report.
+ * @param name program name recorded in the report
+ */
+ProgramReport runLimitStudy(const ir::Module &mod, const ModulePlan &plan,
+                            const LPConfig &cfg, const std::string &name);
+
+} // namespace lp::rt

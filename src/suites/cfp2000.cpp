@@ -1,0 +1,328 @@
+/**
+ * @file
+ * SPEC CFP2000-like kernels.
+ *
+ * The paper finds CFP2000 gains strongly from BOTH reduc1 and dep2
+ * (Figure 3): these kernels therefore put real weight behind reduction
+ * loops and predictable register LCDs, under serial outer time-step loops
+ * so that the inner classification actually drives the result, plus
+ * pure-math library calls (sqrt/exp) that gate on fn1+.
+ */
+
+#include "suites/kernels.hpp"
+
+#include "suites/kbuild.hpp"
+
+namespace lp::suites {
+
+using namespace ir;
+
+/**
+ * swim-like: shallow-water stencil time stepping.
+ *
+ * Dependence profile: time loop is serial (grid ping-pong, frequent
+ * memory LCD); the row/column sweeps inside are DOALL; the per-step
+ * diagnostics are FSum reductions (reduc1-gated).
+ */
+std::unique_ptr<Module>
+buildCfp2000Swim()
+{
+    constexpr std::int64_t kSteps = 12, kW = 64, kH = 48;
+    constexpr std::int64_t kCells = kW * kH;
+    ProgramBuilder p("cfp2000.swim");
+    IRBuilder &b = p.b();
+    Global *u = p.array("u", kCells);
+    Global *v = p.array("v", kCells);
+    Global *diag = p.array("diag", kSteps);
+
+    b.createFunction("main", Type::I64);
+    p.serialSetup(6000);
+    p.fillAffineF(u, kCells, 0.5, 1.0, 257);
+    p.fillAffineF(v, kCells, 0.25, 2.0, 127);
+
+    CountedLoop t(b, b.i64(0), b.i64(kSteps), b.i64(1), "t");
+    {
+        // Interior stencil sweep: v[c] = f(u[c-1], u[c], u[c+1], u[c+W]).
+        CountedLoop c(b, b.i64(kW), b.i64(kCells - kW), b.i64(1), "st");
+        Value *um = b.load(Type::F64, b.elem(u, b.sub(c.iv(), b.i64(1))));
+        Value *uc = b.load(Type::F64, b.elem(u, c.iv()));
+        Value *up = b.load(Type::F64, b.elem(u, b.add(c.iv(), b.i64(1))));
+        Value *un =
+            b.load(Type::F64, b.elem(u, b.add(c.iv(), b.i64(kW))));
+        Value *nv = b.fmul(
+            b.fadd(b.fadd(um, up), b.fadd(uc, un)), b.f64(0.2499));
+        b.store(nv, b.elem(v, c.iv()));
+        c.finish();
+    }
+    {
+        // Copy-back sweep (u <- v): DOALL.
+        CountedLoop c(b, b.i64(kW), b.i64(kCells - kW), b.i64(1), "cp");
+        b.store(b.load(Type::F64, b.elem(v, c.iv())),
+                b.elem(u, c.iv()));
+        c.finish();
+    }
+    {
+        // Per-step diagnostic energy: an FSum reduction.
+        CountedLoop c(b, b.i64(0), b.i64(kCells), b.i64(1), "en");
+        Instruction *acc = c.addRecurrence(Type::F64, b.f64(0.0), "e");
+        Value *x = b.load(Type::F64, b.elem(u, c.iv()));
+        Value *next = b.fadd(acc, b.fmul(x, x), "e.next");
+        c.setNext(acc, next);
+        c.finish();
+        b.store(acc, b.elem(diag, t.iv()));
+    }
+    t.finish();
+        p.commitStream(u, 3000);
+    b.ret(p.checksumF(diag, kSteps));
+    return p.take();
+}
+
+/**
+ * art-like: adaptive resonance neural network training.
+ *
+ * Dependence profile: the item loop's only cross-iteration hazards are
+ * RARE bursts of read-modify-writes to a shared match counter (two
+ * back-to-back conflicting iterations every ~97).  PDOALL pays a handful
+ * of phase restarts; HELIX sees a distance-1 dependence with a nearly
+ * iteration-long producer offset and must serialize — this is one of the
+ * kernels where the best PDOALL beats the best HELIX (paper Fig. 4,
+ * 179_art).  Inner dot products are FSum reductions.
+ */
+std::unique_ptr<Module>
+buildCfp2000Art()
+{
+    constexpr std::int64_t kItems = 600, kFeat = 24;
+    ProgramBuilder p("cfp2000.art");
+    IRBuilder &b = p.b();
+    Global *input = p.array("input", kItems * kFeat);
+    Global *weights = p.array("weights", kFeat);
+    Global *match = p.array("match", 8);
+    Global *score = p.array("score", kItems);
+
+    b.createFunction("main", Type::I64);
+    p.serialSetup(1400);
+    p.fillAffineF(input, kItems * kFeat, 0.01, 0.1, 509);
+    p.fillAffineF(weights, kFeat, 0.05, 0.2);
+
+    {
+        CountedLoop it(b, b.i64(0), b.i64(kItems), b.i64(1), "item");
+        // The training loop also accumulates the total activation — an
+        // FSum reduction carried by the item loop itself (reduc1-gated).
+        Instruction *total =
+            it.addRecurrence(Type::F64, b.f64(0.0), "total");
+        // Rare shared READ at the very top of the body: iterations with
+        // (i % 97) < 2 consult the shared match counter.
+        Value *rare =
+            b.icmpLt(b.srem(it.iv(), b.i64(97)), b.i64(2), "rare");
+        Value *slot = b.elem(match, b.i64(0));
+        BasicBlock *peek = b.newBlock("item.peek");
+        BasicBlock *body = b.newBlock("item.work");
+        b.br(rare, peek, body);
+        b.setInsertPoint(peek);
+        Value *seen = b.load(Type::I64, slot, "seen");
+        b.jmp(body);
+        b.setInsertPoint(body);
+        Instruction *m = b.phi(Type::I64, "m");
+        IRBuilder::addIncoming(m, seen, peek);
+        IRBuilder::addIncoming(m, b.i64(0), it.body());
+
+        // Inner dot product: FSum reduction over the features.
+        CountedLoop f(b, b.i64(0), b.i64(kFeat), b.i64(1), "dot");
+        Instruction *acc = f.addRecurrence(Type::F64, b.f64(0.0), "dp");
+        Value *x = b.load(
+            Type::F64,
+            b.elem(input, b.add(b.mul(it.iv(), b.i64(kFeat)), f.iv())));
+        Value *w = b.load(Type::F64, b.elem(weights, f.iv()));
+        Value *next = b.fadd(acc, b.fmul(x, w), "dp.next");
+        f.setNext(acc, next);
+        f.finish();
+        b.store(acc, b.elem(score, it.iv()));
+        Value *totalNext = b.fadd(total, acc, "total.next");
+        it.setNext(total, totalNext);
+
+        // ... and the rare shared WRITE at the very bottom: the producer
+        // offset is nearly the whole iteration, so a HELIX sync for this
+        // distance-1 LCD costs an iteration per hop (serializing), while
+        // PDOALL only restarts a phase every ~97 iterations.
+        BasicBlock *bump = b.newBlock("item.bump");
+        BasicBlock *cont = b.newBlock("item.cont");
+        b.br(rare, bump, cont);
+        b.setInsertPoint(bump);
+        b.store(b.add(m, b.i64(1)), slot);
+        b.jmp(cont);
+        b.setInsertPoint(cont);
+        it.finish();
+    }
+        p.commitStreamLate(input, 700);
+    Value *s = p.checksumF(score, kItems);
+    Value *m = b.load(Type::I64, b.elem(match, b.i64(0)));
+    b.ret(b.add(s, m));
+    return p.take();
+}
+
+/**
+ * equake-like: unstructured sparse solver time stepping.
+ *
+ * Dependence profile: time loop is serial (state vectors carried through
+ * memory); the sparse matrix-vector product rows are directly the hot
+ * loops — each row's accumulation is an FSum reduction over indirect
+ * (read-only) column indices, so reduc1 is what unlocks this kernel.
+ */
+std::unique_ptr<Module>
+buildCfp2000Equake()
+{
+    constexpr std::int64_t kSteps = 10, kRows = 160, kNnzPerRow = 10;
+    constexpr std::int64_t kNnz = kRows * kNnzPerRow;
+    ProgramBuilder p("cfp2000.equake");
+    IRBuilder &b = p.b();
+    Global *val = p.array("val", kNnz);
+    Global *col = p.array("col", kNnz);
+    Global *x = p.array("x", kRows);
+    Global *y = p.array("y", kRows);
+
+    b.createFunction("main", Type::I64);
+    p.serialSetup(1300);
+    p.fillAffineF(val, kNnz, 0.001, 0.5, 91);
+    p.fillScrambled(col, kNnz, kRows);
+    p.fillAffineF(x, kRows, 0.01, 1.0);
+
+    CountedLoop t(b, b.i64(0), b.i64(kSteps), b.i64(1), "t");
+    {
+        // y = A*x with the residual norm fused into the row loop, as the
+        // real solver does: the row loop itself carries an FSum reduction
+        // and is therefore reduc1-gated.
+        CountedLoop r(b, b.i64(0), b.i64(kRows), b.i64(1), "row");
+        Instruction *nrm = r.addRecurrence(Type::F64, b.f64(0.0), "nrm");
+        CountedLoop k(b, b.i64(0), b.i64(kNnzPerRow), b.i64(1), "nnz");
+        Instruction *acc = k.addRecurrence(Type::F64, b.f64(0.0), "acc");
+        Value *idx =
+            b.add(b.mul(r.iv(), b.i64(kNnzPerRow)), k.iv());
+        Value *a = b.load(Type::F64, b.elem(val, idx));
+        Value *c = b.load(Type::I64, b.elem(col, idx));
+        Value *xv = b.load(Type::F64, b.elem(x, c));
+        Value *next = b.fadd(acc, b.fmul(a, xv), "acc.next");
+        k.setNext(acc, next);
+        k.finish();
+        b.store(acc, b.elem(y, r.iv()));
+        Value *nrmNext = b.fadd(nrm, b.fmul(acc, acc), "nrm.next");
+        r.setNext(nrm, nrmNext);
+        r.finish();
+    }
+    {
+        // x <- x + dt*y: DOALL vector update.
+        CountedLoop i(b, b.i64(0), b.i64(kRows), b.i64(1), "upd");
+        Value *xv = b.load(Type::F64, b.elem(x, i.iv()));
+        Value *yv = b.load(Type::F64, b.elem(y, i.iv()));
+        b.store(b.fadd(xv, b.fmul(yv, b.f64(0.015))),
+                b.elem(x, i.iv()));
+        i.finish();
+    }
+    t.finish();
+        p.commitStream(val, 650);
+    b.ret(p.checksumF(x, kRows));
+    return p.take();
+}
+
+/**
+ * mesa-like: software rasterization / shading.
+ *
+ * Dependence profile: the scanline loop calls a pure shade() helper that
+ * uses sqrt (a Pure external), gating on fn1; the pixel loop inside main
+ * is DOALL; the frame brightness total is an FSum reduction.
+ */
+std::unique_ptr<Module>
+buildCfp2000Mesa()
+{
+    constexpr std::int64_t kLines = 120, kWidth = 80;
+    ProgramBuilder p("cfp2000.mesa");
+    IRBuilder &b = p.b();
+    Global *depth = p.array("depth", kLines * kWidth);
+    Global *frame = p.array("frame", kLines * kWidth);
+
+    Function *shade = b.createFunction(
+        "shade", Type::F64, {{Type::F64, "z"}, {Type::F64, "lx"}});
+    {
+        Value *z = shade->args()[0].get();
+        Value *lx = shade->args()[1].get();
+        Value *d = b.callExt(p.lib().sqrt,
+                             {b.fadd(b.fmul(z, z), b.fmul(lx, lx))});
+        b.ret(b.fdiv(b.f64(1.0), b.fadd(d, b.f64(0.5))));
+    }
+
+    b.createFunction("main", Type::I64);
+    p.serialSetup(2000);
+    p.fillAffineF(depth, kLines * kWidth, 0.02, 1.0, 211);
+
+    {
+        CountedLoop ln(b, b.i64(0), b.i64(kLines), b.i64(1), "line");
+        CountedLoop px(b, b.i64(0), b.i64(kWidth), b.i64(1), "px");
+        Value *idx = b.add(b.mul(ln.iv(), b.i64(kWidth)), px.iv());
+        Value *z = b.load(Type::F64, b.elem(depth, idx));
+        Value *lx = b.fmul(b.itof(px.iv()), b.f64(0.0125));
+        Value *c = b.call(shade, {z, lx});
+        b.store(c, b.elem(frame, idx));
+        px.finish();
+        ln.finish();
+    }
+        p.commitStream(frame, 1000);
+    b.ret(p.checksumF(frame, kLines * kWidth));
+    return p.take();
+}
+
+/**
+ * ammp-like: molecular dynamics force loop.
+ *
+ * Dependence profile: the atom loop calls sqrt (Pure external, fn1+);
+ * per-atom force accumulation is a private FSum reduction over the
+ * neighbor list (read-only); position integration is DOALL; the system
+ * energy is a global FSum reduction.
+ */
+std::unique_ptr<Module>
+buildCfp2000Ammp()
+{
+    constexpr std::int64_t kAtoms = 220, kNeighbors = 12;
+    ProgramBuilder p("cfp2000.ammp");
+    IRBuilder &b = p.b();
+    Global *pos = p.array("pos", kAtoms);
+    Global *force = p.array("force", kAtoms);
+    Global *nbr = p.array("nbr", kAtoms * kNeighbors);
+
+    b.createFunction("main", Type::I64);
+    p.serialSetup(500);
+    p.fillAffineF(pos, kAtoms, 0.37, 1.0, 203);
+    p.fillScrambled(nbr, kAtoms * kNeighbors, kAtoms);
+
+    {
+        CountedLoop a(b, b.i64(0), b.i64(kAtoms), b.i64(1), "atom");
+        Value *pa = b.load(Type::F64, b.elem(pos, a.iv()));
+        CountedLoop nb(b, b.i64(0), b.i64(kNeighbors), b.i64(1), "nb");
+        Instruction *f = nb.addRecurrence(Type::F64, b.f64(0.0), "f");
+        Value *j = b.load(
+            Type::I64,
+            b.elem(nbr, b.add(b.mul(a.iv(), b.i64(kNeighbors)),
+                              nb.iv())));
+        Value *pj = b.load(Type::F64, b.elem(pos, j));
+        Value *d = b.fsub(pa, pj);
+        Value *r2 = b.fadd(b.fmul(d, d), b.f64(0.01));
+        Value *r = b.callExt(p.lib().sqrt, {r2});
+        Value *fNext = b.fadd(f, b.fdiv(d, b.fmul(r2, r)), "f.next");
+        nb.setNext(f, fNext);
+        nb.finish();
+        b.store(f, b.elem(force, a.iv()));
+        a.finish();
+    }
+    {
+        // Integrate: pos += eps * force (DOALL).
+        CountedLoop i(b, b.i64(0), b.i64(kAtoms), b.i64(1), "intg");
+        Value *pv = b.load(Type::F64, b.elem(pos, i.iv()));
+        Value *fv = b.load(Type::F64, b.elem(force, i.iv()));
+        b.store(b.fadd(pv, b.fmul(fv, b.f64(0.001))),
+                b.elem(pos, i.iv()));
+        i.finish();
+    }
+        p.commitStream(nbr, 250);
+    b.ret(p.checksumF(pos, kAtoms));
+    return p.take();
+}
+
+} // namespace lp::suites

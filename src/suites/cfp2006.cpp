@@ -1,0 +1,341 @@
+/**
+ * @file
+ * SPEC CFP2006-like kernels.
+ *
+ * Heavier floating-point programs than CFP2000: lattice codes, molecular
+ * dynamics, linear programming and speech scoring.  Same levers as
+ * cfp2000.cpp — reductions, predictable LCDs, pure-math calls — plus two
+ * kernels (soplex, sphinx) engineered with rare late-write/early-read
+ * shared updates so that PDOALL beats HELIX on them (paper Fig. 4 shows
+ * exactly that for 450.soplex and 482.sphinx).
+ */
+
+#include "suites/kernels.hpp"
+
+#include "suites/kbuild.hpp"
+
+namespace lp::suites {
+
+using namespace ir;
+
+namespace {
+
+/**
+ * Emit the rare early-read / late-write shared-cell idiom around a loop
+ * body.  Returns the phi holding the (possibly stale) shared value; the
+ * caller must call `finishRare` after emitting the body.
+ */
+struct RareShared
+{
+    Value *slot;
+    Value *rare;
+    Instruction *seenPhi;
+};
+
+RareShared
+beginRareShared(IRBuilder &b, CountedLoop &loop, Global *cell,
+                std::int64_t period, const std::string &tag)
+{
+    RareShared rs;
+    rs.rare = b.icmpLt(b.srem(loop.iv(), b.i64(period)), b.i64(2),
+                       tag + ".rare");
+    rs.slot = b.elem(cell, b.i64(0));
+    BasicBlock *peek = b.newBlock(tag + ".peek");
+    BasicBlock *work = b.newBlock(tag + ".work");
+    BasicBlock *from = b.insertBlock();
+    b.br(rs.rare, peek, work);
+    b.setInsertPoint(peek);
+    Value *seen = b.load(Type::I64, rs.slot, tag + ".seen");
+    b.jmp(work);
+    b.setInsertPoint(work);
+    rs.seenPhi = b.phi(Type::I64, tag + ".m");
+    IRBuilder::addIncoming(rs.seenPhi, seen, peek);
+    IRBuilder::addIncoming(rs.seenPhi, b.i64(0), from);
+    return rs;
+}
+
+void
+finishRareShared(IRBuilder &b, const RareShared &rs, const std::string &tag)
+{
+    BasicBlock *bump = b.newBlock(tag + ".bump");
+    BasicBlock *cont = b.newBlock(tag + ".cont");
+    b.br(rs.rare, bump, cont);
+    b.setInsertPoint(bump);
+    b.store(b.add(rs.seenPhi, b.i64(1)), rs.slot);
+    b.jmp(cont);
+    b.setInsertPoint(cont);
+}
+
+} // namespace
+
+/**
+ * milc-like: lattice QCD site update.
+ *
+ * Dependence profile: one long DOALL sweep over lattice sites (complex
+ * multiply-add chains, statically disjoint), followed by a plaquette
+ * FSum reduction.  No calls; parallel even under DOALL once reductions
+ * are decoupled.
+ */
+std::unique_ptr<Module>
+buildCfp2006Milc()
+{
+    constexpr std::int64_t kSites = 12000;
+    ProgramBuilder p("cfp2006.milc");
+    IRBuilder &b = p.b();
+    Global *re = p.array("re", kSites);
+    Global *im = p.array("im", kSites);
+    Global *outRe = p.array("outRe", kSites);
+    Global *outIm = p.array("outIm", kSites);
+
+    b.createFunction("main", Type::I64);
+    p.serialSetup(2600);
+    p.fillAffineF(re, kSites, 0.003, 0.7, 419);
+    p.fillAffineF(im, kSites, 0.002, -0.3, 331);
+
+    {
+        // Complex site update: out = (a*a - b*b, 2ab) * phase.
+        CountedLoop s(b, b.i64(0), b.i64(kSites), b.i64(1), "site");
+        Value *a = b.load(Type::F64, b.elem(re, s.iv()));
+        Value *bi = b.load(Type::F64, b.elem(im, s.iv()));
+        Value *rr = b.fsub(b.fmul(a, a), b.fmul(bi, bi));
+        Value *ii = b.fmul(b.f64(2.0), b.fmul(a, bi));
+        Value *pr = b.fsub(b.fmul(rr, b.f64(0.9807)),
+                           b.fmul(ii, b.f64(0.1951)));
+        Value *pi = b.fadd(b.fmul(rr, b.f64(0.1951)),
+                           b.fmul(ii, b.f64(0.9807)));
+        b.store(pr, b.elem(outRe, s.iv()));
+        b.store(pi, b.elem(outIm, s.iv()));
+        s.finish();
+    }
+    p.commitStream(outRe, 1300);
+    {
+        // Plaquette: FSum reduction of |out|^2.
+        CountedLoop s(b, b.i64(0), b.i64(kSites), b.i64(1), "plaq");
+        Instruction *acc = s.addRecurrence(Type::F64, b.f64(0.0), "pl");
+        Value *a = b.load(Type::F64, b.elem(outRe, s.iv()));
+        Value *c = b.load(Type::F64, b.elem(outIm, s.iv()));
+        Value *next =
+            b.fadd(acc, b.fadd(b.fmul(a, a), b.fmul(c, c)), "pl.next");
+        s.setNext(acc, next);
+        s.finish();
+        b.ret(b.ftoi(acc));
+    }
+    return p.take();
+}
+
+/**
+ * namd-like: pairwise force kernel over a neighbor list.
+ *
+ * Dependence profile: each pair writes BOTH endpoints' force slots, so
+ * the pair loop has genuine but infrequent dynamic RAW conflicts (two
+ * pairs sharing an atom close together in the list).  Speculation
+ * (PDOALL) absorbs them; sqrt calls gate on fn1+.
+ */
+std::unique_ptr<Module>
+buildCfp2006Namd()
+{
+    constexpr std::int64_t kAtoms = 512, kPairs = 2200;
+    ProgramBuilder p("cfp2006.namd");
+    IRBuilder &b = p.b();
+    Global *pos = p.array("pos", kAtoms);
+    Global *force = p.array("force", kAtoms);
+    Global *pairA = p.array("pairA", kPairs);
+    Global *pairB = p.array("pairB", kPairs);
+
+    b.createFunction("main", Type::I64);
+    p.serialSetup(600);
+    p.fillAffineF(pos, kAtoms, 0.11, 3.0, 167);
+    // Pair endpoints: mostly-distinct scrambled indices.
+    p.fillScrambled(pairA, kPairs, kAtoms, 3);
+    p.fillScrambled(pairB, kPairs, kAtoms, 5);
+
+    {
+        CountedLoop pr(b, b.i64(0), b.i64(kPairs), b.i64(1), "pair");
+        Value *ia = b.load(Type::I64, b.elem(pairA, pr.iv()));
+        Value *ib = b.load(Type::I64, b.elem(pairB, pr.iv()));
+        Value *pa = b.load(Type::F64, b.elem(pos, ia));
+        Value *pb = b.load(Type::F64, b.elem(pos, ib));
+        Value *d = b.fsub(pa, pb);
+        Value *r2 = b.fadd(b.fmul(d, d), b.f64(0.05));
+        Value *r = b.callExt(p.lib().sqrt, {r2});
+        Value *f = b.fdiv(d, b.fmul(r2, r));
+        Value *fa = b.load(Type::F64, b.elem(force, ia));
+        b.store(b.fadd(fa, f), b.elem(force, ia));
+        Value *fb = b.load(Type::F64, b.elem(force, ib));
+        b.store(b.fsub(fb, f), b.elem(force, ib));
+        pr.finish();
+    }
+        p.commitStream(pairA, 300);
+    b.ret(p.checksumF(force, kAtoms));
+    return p.take();
+}
+
+/**
+ * soplex-like: simplex pivoting.
+ *
+ * Dependence profile: the pivot loop carries the tableau through memory
+ * between iterations only RARELY (most pivots touch distinct column
+ * blocks; every ~89th reuses the shared status row, early-read /
+ * late-write).  PDOALL wins; HELIX serializes the loop (paper Fig. 4,
+ * 450_soplex).  The column ratio test is an SMin reduction.
+ */
+std::unique_ptr<Module>
+buildCfp2006Soplex()
+{
+    constexpr std::int64_t kPivots = 500, kCol = 40;
+    ProgramBuilder p("cfp2006.soplex");
+    IRBuilder &b = p.b();
+    Global *tab = p.array("tab", kPivots * 4 + kCol);
+    Global *status = p.array("status", 8);
+    Global *obj = p.array("obj", kPivots);
+
+    b.createFunction("main", Type::I64);
+    p.serialSetup(1000);
+    p.fillScrambled(tab, kPivots * 4 + kCol, 1000, 7);
+
+    {
+        CountedLoop pv(b, b.i64(0), b.i64(kPivots), b.i64(1), "pivot");
+        // Objective tracking: a Sum reduction carried by the pivot loop.
+        Instruction *objSum =
+            pv.addRecurrence(Type::I64, b.i64(0), "objSum");
+        RareShared rs = beginRareShared(b, pv, status, 89, "pivot");
+
+        // Ratio test: SMin reduction over the (read-only) column block.
+        CountedLoop c(b, b.i64(0), b.i64(kCol), b.i64(1), "ratio");
+        Instruction *mn =
+            c.addRecurrence(Type::I64, b.i64(1 << 30), "mn");
+        Value *v = b.load(
+            Type::I64,
+            b.elem(tab, b.add(b.mul(b.srem(pv.iv(), b.i64(kPivots)),
+                                    b.i64(4)),
+                              c.iv())));
+        Value *cnd = b.icmpLt(v, mn);
+        Value *nx = b.select(cnd, v, mn, "mn.next");
+        c.setNext(mn, nx);
+        c.finish();
+
+        // Disjoint per-pivot objective write.
+        b.store(b.add(mn, rs.seenPhi), b.elem(obj, pv.iv()));
+        Value *objNext = b.add(objSum, mn, "objSum.next");
+        pv.setNext(objSum, objNext);
+
+        finishRareShared(b, rs, "pivot");
+        pv.finish();
+    }
+        p.commitStreamLate(obj, 500);
+    b.ret(p.checksum(obj, kPivots));
+    return p.take();
+}
+
+/**
+ * lbm-like: lattice-Boltzmann stream-and-collide.
+ *
+ * Dependence profile: time loop serial (ping-pong grids, frequent mem
+ * LCD); the site sweep is DOALL; per-step density is an FSum reduction.
+ */
+std::unique_ptr<Module>
+buildCfp2006Lbm()
+{
+    constexpr std::int64_t kSteps = 8, kCells = 2500;
+    ProgramBuilder p("cfp2006.lbm");
+    IRBuilder &b = p.b();
+    Global *gridA = p.array("gridA", kCells + 2);
+    Global *gridB = p.array("gridB", kCells + 2);
+    Global *rho = p.array("rho", kSteps);
+
+    b.createFunction("main", Type::I64);
+    p.serialSetup(2200);
+    p.fillAffineF(gridA, kCells + 2, 0.004, 1.0, 601);
+
+    CountedLoop t(b, b.i64(0), b.i64(kSteps), b.i64(1), "t");
+    {
+        Value *par = b.and_(t.iv(), b.i64(1));
+        Value *src = b.select(b.icmpEq(par, b.i64(0)),
+                              b.elem(gridA, b.i64(0)),
+                              b.elem(gridB, b.i64(0)), "src");
+        Value *dst = b.select(b.icmpEq(par, b.i64(0)),
+                              b.elem(gridB, b.i64(0)),
+                              b.elem(gridA, b.i64(0)), "dst");
+        CountedLoop c(b, b.i64(1), b.i64(kCells + 1), b.i64(1), "cell");
+        Value *w = b.load(Type::F64,
+                          b.ptradd(src, b.mul(b.sub(c.iv(), b.i64(1)),
+                                              b.i64(8))));
+        Value *m = b.load(Type::F64,
+                          b.ptradd(src, b.mul(c.iv(), b.i64(8))));
+        Value *e = b.load(Type::F64,
+                          b.ptradd(src, b.mul(b.add(c.iv(), b.i64(1)),
+                                              b.i64(8))));
+        Value *coll = b.fadd(b.fmul(m, b.f64(0.6)),
+                             b.fmul(b.fadd(w, e), b.f64(0.2)));
+        b.store(coll, b.ptradd(dst, b.mul(c.iv(), b.i64(8))));
+        c.finish();
+
+        // Per-step density reduction over the destination grid.
+        CountedLoop d(b, b.i64(1), b.i64(kCells + 1), b.i64(1), "rho");
+        Instruction *acc = d.addRecurrence(Type::F64, b.f64(0.0), "r");
+        Value *x = b.load(Type::F64,
+                          b.ptradd(dst, b.mul(d.iv(), b.i64(8))));
+        Value *next = b.fadd(acc, x, "r.next");
+        d.setNext(acc, next);
+        d.finish();
+        b.store(acc, b.elem(rho, t.iv()));
+    }
+    t.finish();
+        p.commitStream(gridA, 1100);
+    b.ret(p.checksumF(rho, kSteps));
+    return p.take();
+}
+
+/**
+ * sphinx-like: per-frame Gaussian mixture scoring.
+ *
+ * Dependence profile: the frame loop is PDOALL-friendly (rare shared
+ * language-model cell, early-read/late-write) while each frame's senone
+ * scores are FSum reductions with exp/log pure calls (fn1+).  Best
+ * PDOALL beats best HELIX here (paper Fig. 4, 482_sphinx).
+ */
+std::unique_ptr<Module>
+buildCfp2006Sphinx()
+{
+    constexpr std::int64_t kFrames = 260, kMix = 10;
+    ProgramBuilder p("cfp2006.sphinx");
+    IRBuilder &b = p.b();
+    Global *feat = p.array("feat", kFrames);
+    Global *mean = p.array("mean", kMix);
+    Global *lm = p.array("lm", 8);
+    Global *scores = p.array("scores", kFrames);
+
+    b.createFunction("main", Type::I64);
+    p.serialSetup(500);
+    p.fillAffineF(feat, kFrames, 0.013, 0.4, 229);
+    p.fillAffineF(mean, kMix, 0.09, 0.05);
+
+    {
+        CountedLoop fr(b, b.i64(0), b.i64(kFrames), b.i64(1), "frame");
+        RareShared rs = beginRareShared(b, fr, lm, 83, "frame");
+
+        Value *x = b.load(Type::F64, b.elem(feat, fr.iv()));
+        CountedLoop mx(b, b.i64(0), b.i64(kMix), b.i64(1), "mix");
+        Instruction *acc =
+            mx.addRecurrence(Type::F64, b.f64(0.0), "lk");
+        Value *mu = b.load(Type::F64, b.elem(mean, mx.iv()));
+        Value *d = b.fsub(x, mu);
+        Value *ll = b.callExt(p.lib().exp,
+                              {b.fmul(b.fmul(d, d), b.f64(-0.5))});
+        Value *next = b.fadd(acc, ll, "lk.next");
+        mx.setNext(acc, next);
+        mx.finish();
+        Value *lg = b.callExt(p.lib().log,
+                              {b.fadd(acc, b.f64(1e-9))});
+        b.store(b.fadd(lg, b.itof(rs.seenPhi)),
+                b.elem(scores, fr.iv()));
+
+        finishRareShared(b, rs, "frame");
+        fr.finish();
+    }
+        p.commitStream(feat, 250);
+    b.ret(p.checksumF(scores, kFrames));
+    return p.take();
+}
+
+} // namespace lp::suites

@@ -1,0 +1,527 @@
+/**
+ * @file
+ * SPEC CINT2000-like kernels.
+ *
+ * Non-numeric programs: irregular control flow, pointer chasing, hash
+ * tables, carried scalar state, function calls inside hot loops.  Per the
+ * paper, loops here are serialized by *frequent* true LCDs through both
+ * registers and memory plus call-stack hazards; the configurations that
+ * finally unlock them are the HELIX-style ones with dep1-fn2 (Figure 2:
+ * 4.6x geomean for CINT2000), with a couple of speculation-friendly
+ * programs (mcf) where the best PDOALL beats the best HELIX.
+ */
+
+#include "suites/kernels.hpp"
+
+#include "suites/kbuild.hpp"
+
+namespace lp::suites {
+
+using namespace ir;
+
+/**
+ * gzip-like: LZ77 sliding-window compression.
+ *
+ * Dependence profile: the position cursor advances by a data-dependent
+ * match length (frequent, only partially predictable register LCD whose
+ * producer is computed EARLY in the body), and the hash chain head is
+ * read+written every position (frequent memory LCD with a short
+ * producer-consumer window).  dep1-fn2 HELIX synchronizes both cheaply;
+ * PDOALL conflicts nearly every iteration and serializes.
+ */
+std::unique_ptr<Module>
+buildCint2000Gzip()
+{
+    constexpr std::int64_t kInput = 16000, kHashSize = 512;
+    ProgramBuilder p("cint2000.gzip");
+    IRBuilder &b = p.b();
+    Global *data = p.array("data", kInput + 8);
+    Global *hash = p.array("hash", kHashSize);
+    Global *out = p.array("out", kInput + 8);
+
+    b.createFunction("main", Type::I64);
+    p.serialSetup(1500);
+    p.fillScrambled(data, kInput + 8, 61); // compressible-ish alphabet
+
+    Value *end = b.i64(kInput);
+    WhileLoop lz(b, "lz");
+    Instruction *pos = lz.addRecurrence(Type::I64, b.i64(0), "pos");
+    Instruction *outPos = lz.addRecurrence(Type::I64, b.i64(0), "op");
+    lz.beginCond();
+    Value *cond = b.icmpLt(pos, end);
+    lz.beginBody(cond);
+    {
+        // --- early: hash probe and cursor advance computation ---
+        Value *c0 = b.load(Type::I64, b.elem(data, pos));
+        Value *c1 =
+            b.load(Type::I64, b.elem(data, b.add(pos, b.i64(1))));
+        Value *h = b.and_(b.xor_(b.mul(c0, b.i64(131)), c1),
+                          b.i64(kHashSize - 1), "h");
+        Value *hslot = b.elem(hash, h);
+        Value *prev = b.load(Type::I64, hslot, "prev");
+        b.store(pos, hslot); // chain head update (producer, early)
+
+        // Match if the remembered position held the same leading byte.
+        Value *pc = b.load(Type::I64, b.elem(data, prev));
+        Value *isMatch = b.and_(b.icmpEq(pc, c0),
+                                b.icmpLt(prev, pos), "match");
+        Value *len = b.select(isMatch, b.i64(4), b.i64(1), "len");
+        Value *posNext = b.add(pos, len, "pos.next"); // producer, early
+
+        // --- late: literal/match encoding work ---
+        Value *tok = b.or_(b.shl(b.sub(pos, prev), b.i64(8)), c0);
+        Value *enc = tok;
+        for (std::int64_t r = 0; r < 30; ++r)
+            enc = b.xor_(b.mul(enc, b.i64(INT64_C(2147483647) + 2 * r)),
+                         b.ashr(enc, b.i64(7)));
+        b.store(enc, b.elem(out, outPos));
+        Value *outNext = b.add(outPos, b.i64(1), "op.next");
+
+        lz.setNext(pos, posNext);
+        lz.setNext(outPos, outNext);
+    }
+    lz.finish();
+
+    {
+        // Frequency-count pass for the entropy coder: the symbol table
+        // is read-modified-written every symbol (early in the body) — a
+        // frequent memory LCD with NO carried register, i.e. exactly the
+        // loop class HELIX handles at dep0 and speculation cannot.
+        CountedLoop hf(b, b.i64(0), b.i64(kInput / 2), b.i64(1), "huff");
+        Value *s = b.load(Type::I64, b.elem(out, hf.iv()));
+        Value *fslot = b.elem(hash, b.and_(s, b.i64(kHashSize - 1)));
+        b.store(b.add(b.load(Type::I64, fslot), b.i64(1)), fslot);
+        // Code-length estimation work after the table update.
+        Value *w = s;
+        for (int r = 0; r < 6; ++r)
+            w = b.xor_(b.add(b.mul(w, b.i64(11)), b.i64(r)),
+                       b.ashr(w, b.i64(5)));
+        b.store(w, b.elem(out, hf.iv()));
+        hf.finish();
+    }
+    b.ret(p.checksumHash(out, kInput / 4));
+    return p.take();
+}
+
+/**
+ * vpr-like: simulated-annealing placement.
+ *
+ * Dependence profile: every move calls rand() — a non-re-entrant library
+ * routine — so the loop is sequential under fn0..fn2 and only fn3 admits
+ * it; even then the shared cost grid conflicts densely.  One of the
+ * benchmarks that stays near 1x under every realistic configuration.
+ */
+std::unique_ptr<Module>
+buildCint2000Vpr()
+{
+    constexpr std::int64_t kMoves = 7000, kCells = 64;
+    ProgramBuilder p("cint2000.vpr");
+    IRBuilder &b = p.b();
+    Global *cost = p.array("cost", kCells);
+
+    b.createFunction("main", Type::I64);
+    p.serialSetup(600);
+    p.fillAffine(cost, kCells, 5, 100);
+
+    {
+        CountedLoop mv(b, b.i64(0), b.i64(kMoves), b.i64(1), "move");
+        Instruction *accepted =
+            mv.addRecurrence(Type::I64, b.i64(0), "acc");
+        Value *r = b.callExt(p.lib().rand, {});
+        Value *cell = b.and_(r, b.i64(kCells - 1));
+        Value *slot = b.elem(cost, cell);
+        Value *old = b.load(Type::I64, slot);
+        Value *delta = b.sub(b.and_(b.ashr(r, b.i64(8)), b.i64(31)),
+                             b.i64(15));
+        Value *nw = b.add(old, delta);
+        b.store(nw, slot);
+        Value *good = b.icmpLt(delta, b.i64(0));
+        Value *accNext = b.add(accepted, good, "acc.next");
+        mv.setNext(accepted, accNext);
+        mv.finish();
+        Value *sum = p.checksumHash(cost, kCells);
+        b.ret(b.add(sum, accepted));
+    }
+    return p.take();
+}
+
+/**
+ * gcc-like: table-driven parser / state machine over a token stream.
+ *
+ * Dependence profile: the carried automaton state is produced by a table
+ * lookup at the very TOP of the body (unpredictable data, but an early
+ * producer — ideal for HELIX-dep1), symbol-table inserts conflict
+ * infrequently, and each reduction action calls an instrumented helper
+ * (fn2-gated) that appends to the IR buffer at a computable offset.
+ */
+std::unique_ptr<Module>
+buildCint2000Gcc()
+{
+    constexpr std::int64_t kTokens = 9000, kStates = 64, kSyms = 128;
+    ProgramBuilder p("cint2000.gcc");
+    IRBuilder &b = p.b();
+    Global *tokens = p.array("tokens", kTokens);
+    Global *trans = p.array("trans", kStates * 16);
+    Global *symtab = p.array("symtab", kSyms);
+    Global *irbuf = p.array("irbuf", kTokens);
+
+    Function *emit = b.createFunction(
+        "emit", Type::Void,
+        {{Type::I64, "slotIdx"}, {Type::I64, "v"}});
+    {
+        Value *slotIdx = emit->args()[0].get();
+        Value *v = emit->args()[1].get();
+        Value *mixed = b.xor_(b.mul(v, b.i64(40503)),
+                              b.ashr(v, b.i64(3)));
+        b.store(mixed, b.elem(irbuf, slotIdx));
+        b.retVoid();
+    }
+
+    b.createFunction("main", Type::I64);
+    p.serialSetup(1500);
+    p.fillScrambled(tokens, kTokens, 16, 11);
+    p.fillScrambled(trans, kStates * 16, kStates, 13);
+
+    {
+        CountedLoop tk(b, b.i64(0), b.i64(kTokens), b.i64(1), "tok");
+        Instruction *state =
+            tk.addRecurrence(Type::I64, b.i64(0), "state");
+        // --- early: next-state lookup (the register LCD's producer) ---
+        Value *t = b.load(Type::I64, b.elem(tokens, tk.iv()));
+        Value *stateNext = b.load(
+            Type::I64,
+            b.elem(trans, b.add(b.mul(state, b.i64(16)), t)),
+            "state.next");
+        tk.setNext(state, stateNext);
+
+        // --- middle: infrequent symbol-table insert on 'ident' tokens
+        // whose hash collides with an earlier one.
+        Value *isIdent = b.icmpEq(b.and_(t, b.i64(15)), b.i64(3));
+        BasicBlock *ins = b.newBlock("tok.ins");
+        BasicBlock *cont = b.newBlock("tok.cont");
+        b.br(isIdent, ins, cont);
+        b.setInsertPoint(ins);
+        Value *sym = b.and_(b.mul(tk.iv(), b.i64(2654435761LL)),
+                            b.i64(kSyms - 1));
+        Value *sslot = b.elem(symtab, sym);
+        b.store(b.add(b.load(Type::I64, sslot), b.i64(1)), sslot);
+        b.jmp(cont);
+        b.setInsertPoint(cont);
+
+        // --- late: semantic action + emission via the helper ---
+        Value *act = b.add(b.mul(state, b.i64(17)), t);
+        for (int r = 0; r < 20; ++r)
+            act = b.xor_(b.add(b.mul(act, b.i64(29)), b.i64(r)),
+                         b.ashr(act, b.i64(4)));
+        b.call(emit, {tk.iv(), act});
+        tk.finish();
+    }
+    p.commitStream(irbuf, 1200);
+    Value *s1 = p.checksumHash(irbuf, kTokens / 4);
+    Value *s2 = p.checksumHash(symtab, kSyms);
+    b.ret(b.add(s1, s2));
+    return p.take();
+}
+
+/**
+ * mcf-like (181): network-simplex arc scan.
+ *
+ * Dependence profile: the arc cursor is a pointer chase in allocation
+ * order — a non-computable but perfectly stride-predictable register LCD
+ * (dep2's showcase).  Node-potential updates are late writes read early
+ * by RARE colliding arcs, so HELIX's rare-conflict delta is nearly an
+ * iteration and it degrades, while PDOALL absorbs the few restarts: the
+ * paper's Fig. 4 shows mcf preferring PDOALL.
+ */
+std::unique_ptr<Module>
+buildCint2000Mcf()
+{
+    constexpr std::int64_t kArcs = 4000, kNodes = 512;
+    ProgramBuilder p("cint2000.mcf");
+    IRBuilder &b = p.b();
+    // Arc record: [cost, nextPtr] pairs in one arena.
+    Global *arena = p.array("arena", kArcs * 2);
+    Global *pot = p.array("pot", kNodes);
+    Global *pending = p.array("pending", kNodes);
+    Global *dst = p.array("dst", kArcs);
+
+    b.createFunction("main", Type::I64);
+    p.serialSetup(800);
+    p.fillScrambled(dst, kArcs, kNodes, 9);
+    {
+        // Thread arcs in allocation order.
+        CountedLoop l(b, b.i64(0), b.i64(kArcs - 1), b.i64(1), "link");
+        Value *cur = b.elem(arena, b.mul(l.iv(), b.i64(2)));
+        Value *nxt =
+            b.elem(arena, b.mul(b.add(l.iv(), b.i64(1)), b.i64(2)));
+        b.store(b.add(b.mul(l.iv(), b.i64(7)), b.i64(3)), cur); // cost
+        b.store(nxt, b.ptradd(cur, b.i64(8)));
+        l.finish();
+    }
+    {
+        Value *last = b.elem(arena, b.mul(b.i64(kArcs - 1), b.i64(2)));
+        b.store(b.i64(11), last);
+        b.store(p.mod().constNullPtr(), b.ptradd(last, b.i64(8)));
+    }
+
+    Value *head = b.elem(arena, b.i64(0));
+    WhileLoop scan(b, "scan");
+    Instruction *arc = scan.addRecurrence(Type::Ptr, head, "arc");
+    Instruction *idx = scan.addRecurrence(Type::I64, b.i64(0), "idx");
+    scan.beginCond();
+    Value *cond = b.icmpNe(arc, p.mod().constNullPtr());
+    scan.beginBody(cond);
+    {
+        // --- early: advance the cursor (stride-predictable producer) ---
+        Value *nxt = b.load(Type::Ptr, b.ptradd(arc, b.i64(8)), "nxt");
+        scan.setNext(arc, nxt);
+        Value *idxNext = b.add(idx, b.i64(1));
+        scan.setNext(idx, idxNext);
+
+        // --- early read of the (rarely conflicting) potential ---
+        Value *node = b.load(Type::I64, b.elem(dst, idx));
+        Value *pv = b.load(Type::I64, b.elem(pot, node));
+
+        // --- body: reduced-cost computation ---
+        Value *c = b.load(Type::I64, arc);
+        Value *red = b.sub(c, pv);
+        for (int r = 0; r < 12; ++r)
+            red = b.add(b.mul(red, b.i64(3)), b.ashr(red, b.i64(2)));
+
+        // --- late: batch the potential update (real mcf defers them),
+        // so the scan itself carries no memory RAW at all ---
+        Value *improving =
+            b.icmpEq(b.and_(red, b.i64(31)), b.i64(5), "imp");
+        BasicBlock *upd = b.newBlock("scan.upd");
+        BasicBlock *cont = b.newBlock("scan.cont");
+        b.br(improving, upd, cont);
+        b.setInsertPoint(upd);
+        b.store(b.add(pv, b.i64(1)), b.elem(pending, node));
+        b.jmp(cont);
+        b.setInsertPoint(cont);
+    }
+    scan.finish();
+    {
+        // Apply the batched updates (DOALL).
+        CountedLoop ap(b, b.i64(0), b.i64(kNodes), b.i64(1), "apply");
+        Value *pd = b.load(Type::I64, b.elem(pending, ap.iv()));
+        Value *pv = b.load(Type::I64, b.elem(pot, ap.iv()));
+        b.store(b.add(pv, pd), b.elem(pot, ap.iv()));
+        ap.finish();
+    }
+    p.commitStream(dst, 600);
+    b.ret(p.checksumHash(pot, kNodes));
+    return p.take();
+}
+
+/**
+ * crafty-like: chess move generation and evaluation.
+ *
+ * Dependence profile: the carried board hash is remixed by the LAST
+ * instructions of every iteration (late producer, unpredictable value):
+ * no realistic configuration relaxes it, so the hot loop stays serial —
+ * crafty sits at the bottom of Fig. 4 in the paper too.  A small
+ * independent scoring pass gives the program its only parallelism.
+ */
+std::unique_ptr<Module>
+buildCint2000Crafty()
+{
+    constexpr std::int64_t kMoves = 6000, kTT = 256;
+    ProgramBuilder p("cint2000.crafty");
+    IRBuilder &b = p.b();
+    Global *attack = p.array("attack", 256);
+    Global *tt = p.array("tt", kTT);
+    Global *scores = p.array("scores", kMoves / 4);
+
+    b.createFunction("main", Type::I64);
+    p.serialSetup(500);
+    p.fillAffine(attack, 256, 0x9E37, 0x79B9);
+
+    {
+        CountedLoop mv(b, b.i64(0), b.i64(kMoves), b.i64(1), "gen");
+        Instruction *board =
+            mv.addRecurrence(Type::I64, b.i64(0x12345), "board");
+        // Bitboard-style work off the carried state.
+        Value *sq = b.and_(board, b.i64(255));
+        Value *att = b.load(Type::I64, b.elem(attack, sq));
+        Value *mobility = b.and_(b.ashr(b.mul(att, board), b.i64(17)),
+                                 b.i64(4095));
+        // Transposition-table store every fourth move.
+        Value *isStore = b.icmpEq(b.and_(mv.iv(), b.i64(3)), b.i64(0));
+        BasicBlock *st = b.newBlock("gen.tt");
+        BasicBlock *cont = b.newBlock("gen.cont");
+        b.br(isStore, st, cont);
+        b.setInsertPoint(st);
+        Value *ttSlot = b.and_(board, b.i64(kTT - 1));
+        Value *ttOld = b.load(Type::I64, b.elem(tt, ttSlot));
+        b.store(b.add(mobility, b.ashr(ttOld, b.i64(1))),
+                b.elem(tt, ttSlot));
+        b.jmp(cont);
+        b.setInsertPoint(cont);
+        // --- late producer: remix the board hash ---
+        Value *mix = b.xor_(board, b.mul(mobility, b.i64(0x2545F491)));
+        Value *boardNext =
+            b.xor_(b.mul(mix, b.i64(6364136223846793005LL)),
+                   b.ashr(mix, b.i64(29)), "board.next");
+        mv.setNext(board, boardNext);
+        mv.finish();
+    }
+    {
+        // Independent leaf scoring (DOALL): the program's parallel slice.
+        CountedLoop sc(b, b.i64(0), b.i64(kMoves / 4), b.i64(1), "leaf");
+        Value *t = b.load(Type::I64,
+                          b.elem(tt, b.and_(sc.iv(), b.i64(kTT - 1))));
+        Value *s = b.add(b.mul(t, b.i64(21)), b.ashr(t, b.i64(3)));
+        b.store(s, b.elem(scores, sc.iv()));
+        sc.finish();
+    }
+    Value *s1 = p.checksumHash(tt, kTT);
+    Value *s2 = p.checksumHash(scores, kMoves / 4);
+    b.ret(b.add(s1, s2));
+    return p.take();
+}
+
+/**
+ * parser-like: dictionary-driven word segmentation.
+ *
+ * Dependence profile: the cursor advances by the length read at the TOP
+ * of each word (early producer — HELIX-dep1 friendly; moderately
+ * predictable for dep2), the dictionary is read-only except for RARE
+ * inserts, and classification calls a pure helper (fn1+).
+ */
+std::unique_ptr<Module>
+buildCint2000Parser()
+{
+    constexpr std::int64_t kText = 20000, kDict = 256;
+    ProgramBuilder p("cint2000.parser");
+    IRBuilder &b = p.b();
+    Global *text = p.array("text", kText + 16);
+    Global *dict = p.array("dict", kDict);
+    Global *kinds = p.array("kinds", kText);
+
+    Function *classify = b.createFunction(
+        "classify", Type::I64, {{Type::I64, "w"}});
+    {
+        Value *w = classify->args()[0].get();
+        Value *k = b.and_(b.xor_(b.mul(w, b.i64(31)),
+                                 b.ashr(w, b.i64(4))),
+                          b.i64(7));
+        b.ret(k);
+    }
+
+    b.createFunction("main", Type::I64);
+    p.serialSetup(1400);
+    p.fillScrambled(text, kText + 16, 200, 21);
+    p.fillAffine(dict, kDict, 3, 7);
+
+    Value *end = b.i64(kText);
+    WhileLoop w(b, "word");
+    Instruction *pos = w.addRecurrence(Type::I64, b.i64(0), "pos");
+    Instruction *widx = w.addRecurrence(Type::I64, b.i64(0), "widx");
+    w.beginCond();
+    Value *cond = b.icmpLt(pos, end);
+    w.beginBody(cond);
+    {
+        // --- early producer: word length from the first byte ---
+        Value *c0 = b.load(Type::I64, b.elem(text, pos));
+        Value *len = b.add(b.and_(c0, b.i64(7)), b.i64(1), "len");
+        Value *posNext = b.add(pos, len, "pos.next");
+        w.setNext(pos, posNext);
+        Value *widxNext = b.add(widx, b.i64(1));
+        w.setNext(widx, widxNext);
+
+        // Dictionary probe (read-only fast path).
+        Value *hkey = b.and_(b.mul(c0, b.i64(0x85EB)),
+                             b.i64(kDict - 1));
+        Value *dv = b.load(Type::I64, b.elem(dict, hkey));
+
+        // Pure classification call + post-processing (late work that a
+        // HELIX machine overlaps once the cursor has been forwarded).
+        Value *kind = b.call(classify, {b.add(dv, c0)});
+        Value *fmt = kind;
+        for (int r = 0; r < 22; ++r)
+            fmt = b.add(b.mul(fmt, b.i64(13)), b.ashr(fmt, b.i64(2)));
+        b.store(b.add(kind, b.and_(fmt, b.i64(7))),
+                b.elem(kinds, widx));
+
+        // RARE dictionary insert (about 1 in 60 words).
+        Value *isNew =
+            b.icmpEq(b.and_(dv, b.i64(63)), b.i64(17), "new");
+        BasicBlock *ins = b.newBlock("word.ins");
+        BasicBlock *cont = b.newBlock("word.cont");
+        b.br(isNew, ins, cont);
+        b.setInsertPoint(ins);
+        b.store(b.add(dv, c0), b.elem(dict, hkey));
+        b.jmp(cont);
+        b.setInsertPoint(cont);
+    }
+    w.finish();
+    p.commitStream(kinds, 1000);
+    b.ret(p.checksumHash(kinds, kText / 4));
+    return p.take();
+}
+
+/**
+ * bzip2-like (256): move-to-front coding.
+ *
+ * Dependence profile: the MTF table is read AND rewritten every symbol —
+ * the archetypal frequent memory LCD.  Consumers (the search) run first,
+ * producers (the shifts) run through the body, so HELIX synchronization
+ * buys a partial overlap; PDOALL conflicts every iteration and
+ * serializes.  The rank accumulator is a Sum reduction.
+ */
+std::unique_ptr<Module>
+buildCint2000Bzip2()
+{
+    constexpr std::int64_t kN = 5000, kAlpha = 16;
+    ProgramBuilder p("cint2000.bzip2");
+    IRBuilder &b = p.b();
+    Global *in = p.array("in", kN);
+    Global *mtf = p.array("mtf", kAlpha);
+    Global *out = p.array("out", kN);
+
+    b.createFunction("main", Type::I64);
+    p.serialSetup(1200);
+    p.fillScrambled(in, kN, kAlpha, 29);
+    p.fillAffine(mtf, kAlpha, 1, 0); // identity table
+
+    {
+        CountedLoop sym(b, b.i64(0), b.i64(kN), b.i64(1), "mtfl");
+        Value *s = b.load(Type::I64, b.elem(in, sym.iv()));
+
+        // --- search: find the symbol's current rank (fixed-depth scan,
+        // consumer loads near the top of the body) ---
+        Value *rank = b.i64(0);
+        Value *found = b.i64(0);
+        for (std::int64_t k = 0; k < kAlpha; ++k) {
+            Value *mk = b.load(Type::I64, b.elem(mtf, b.i64(k)));
+            Value *eq = b.icmpEq(mk, s);
+            Value *fresh = b.and_(eq, b.xor_(found, b.i64(1)));
+            rank = b.select(fresh, b.i64(k), rank);
+            found = b.or_(found, eq);
+        }
+        b.store(rank, b.elem(out, sym.iv()));
+
+        // --- shift the front of the table down one slot (producers) ---
+        for (std::int64_t k = kAlpha - 1; k > 0; --k) {
+            Value *prev =
+                b.load(Type::I64, b.elem(mtf, b.i64(k - 1)));
+            Value *cur = b.load(Type::I64, b.elem(mtf, b.i64(k)));
+            Value *take = b.icmpLe(b.i64(k), rank);
+            b.store(b.select(take, prev, cur), b.elem(mtf, b.i64(k)));
+        }
+        b.store(s, b.elem(mtf, b.i64(0)));
+        // Bit-packing of the emitted rank: a long tail of work after the
+        // table producers, which HELIX overlaps across iterations.
+        Value *pk = b.or_(b.shl(rank, b.i64(4)), s);
+        for (int r = 0; r < 80; ++r)
+            pk = b.xor_(b.add(b.mul(pk, b.i64(23)), b.i64(r)),
+                        b.ashr(pk, b.i64(5)));
+        b.store(pk, b.elem(out, sym.iv()));
+        sym.finish();
+        b.ret(p.checksumHash(out, kN / 2));
+    }
+    return p.take();
+}
+
+} // namespace lp::suites

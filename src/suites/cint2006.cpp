@@ -1,0 +1,489 @@
+/**
+ * @file
+ * SPEC CINT2006-like kernels.
+ *
+ * Same irregular character as CINT2000, but the suite's geomean under the
+ * best HELIX configuration is higher (7.2x vs 4.6x, paper Fig. 2): a few
+ * programs here (libquantum famously, hmmer's inner DP loop, gobmk's
+ * point evaluation) expose large regular parallel regions once calls are
+ * instrumented, pulling the geometric mean up.
+ */
+
+#include "suites/kernels.hpp"
+
+#include "suites/kbuild.hpp"
+
+namespace lp::suites {
+
+using namespace ir;
+
+/**
+ * bzip2-like (401): block sort + move-to-front.
+ *
+ * Dependence profile: a per-block byte-frequency pre-pass writes
+ * block-private histogram rows (conflict-free -> parallel even under
+ * DOALL), followed by the frequent-memory-LCD MTF loop that only
+ * HELIX-dep1 partially overlaps.
+ */
+std::unique_ptr<Module>
+buildCint2006Bzip2()
+{
+    constexpr std::int64_t kBlocks = 24, kBlock = 256, kAlpha = 16;
+    constexpr std::int64_t kN = kBlocks * kBlock;
+    ProgramBuilder p("cint2006.bzip2");
+    IRBuilder &b = p.b();
+    Global *in = p.array("in", kN);
+    Global *hist = p.array("hist", kBlocks * kAlpha);
+    Global *mtf = p.array("mtf", kAlpha);
+    Global *out = p.array("out", kN);
+
+    b.createFunction("main", Type::I64);
+    p.serialSetup(1500);
+    p.fillScrambled(in, kN, kAlpha, 31);
+    p.fillAffine(mtf, kAlpha, 1, 0);
+
+    {
+        // Per-block histogram: writes land in the block's private row.
+        CountedLoop blk(b, b.i64(0), b.i64(kBlocks), b.i64(1), "blk");
+        CountedLoop i(b, b.i64(0), b.i64(kBlock), b.i64(1), "freq");
+        Value *idx = b.add(b.mul(blk.iv(), b.i64(kBlock)), i.iv());
+        Value *s = b.load(Type::I64, b.elem(in, idx));
+        Value *slot =
+            b.elem(hist, b.add(b.mul(blk.iv(), b.i64(kAlpha)), s));
+        b.store(b.add(b.load(Type::I64, slot), b.i64(1)), slot);
+        i.finish();
+        blk.finish();
+    }
+    {
+        // MTF pass over the whole input (frequent memory LCD).
+        CountedLoop sym(b, b.i64(0), b.i64(kN), b.i64(1), "mtfl");
+        Value *s = b.load(Type::I64, b.elem(in, sym.iv()));
+        Value *rank = b.i64(0);
+        Value *found = b.i64(0);
+        for (std::int64_t k = 0; k < kAlpha; ++k) {
+            Value *mk = b.load(Type::I64, b.elem(mtf, b.i64(k)));
+            Value *eq = b.icmpEq(mk, s);
+            Value *fresh = b.and_(eq, b.xor_(found, b.i64(1)));
+            rank = b.select(fresh, b.i64(k), rank);
+            found = b.or_(found, eq);
+        }
+        b.store(rank, b.elem(out, sym.iv()));
+        for (std::int64_t k = kAlpha - 1; k > 0; --k) {
+            Value *prev =
+                b.load(Type::I64, b.elem(mtf, b.i64(k - 1)));
+            Value *cur = b.load(Type::I64, b.elem(mtf, b.i64(k)));
+            Value *take = b.icmpLe(b.i64(k), rank);
+            b.store(b.select(take, prev, cur), b.elem(mtf, b.i64(k)));
+        }
+        b.store(s, b.elem(mtf, b.i64(0)));
+        sym.finish();
+    }
+    p.commitStream(out, 1000);
+    Value *s1 = p.checksumHash(out, kN / 4);
+    Value *s2 = p.checksumHash(hist, kBlocks * kAlpha);
+    b.ret(b.add(s1, s2));
+    return p.take();
+}
+
+/**
+ * mcf-like (429): arc pricing scan, CINT2006 input scale.
+ *
+ * Same PDOALL-over-HELIX profile as 181.mcf: stride-predictable arc
+ * cursor (dep2), rare late-write/early-read potential collisions.
+ */
+std::unique_ptr<Module>
+buildCint2006Mcf()
+{
+    constexpr std::int64_t kArcs = 6000, kNodes = 1024;
+    ProgramBuilder p("cint2006.mcf");
+    IRBuilder &b = p.b();
+    Global *arena = p.array("arena", kArcs * 2);
+    Global *pot = p.array("pot", kNodes);
+    Global *dst = p.array("dst", kArcs);
+
+    b.createFunction("main", Type::I64);
+    p.serialSetup(1000);
+    p.fillScrambled(dst, kArcs, kNodes, 19);
+    {
+        // Duplicate the destination of every 83rd arc onto its successor:
+        // the rare improving bursts below then collide at distance 1.
+        CountedLoop d(b, b.i64(0), b.i64(kArcs - 2), b.i64(83), "dup");
+        Value *v = b.load(Type::I64, b.elem(dst, d.iv()));
+        b.store(v, b.elem(dst, b.add(d.iv(), b.i64(1))));
+        d.finish();
+    }
+    {
+        CountedLoop l(b, b.i64(0), b.i64(kArcs - 1), b.i64(1), "link");
+        Value *cur = b.elem(arena, b.mul(l.iv(), b.i64(2)));
+        Value *nxt =
+            b.elem(arena, b.mul(b.add(l.iv(), b.i64(1)), b.i64(2)));
+        b.store(b.add(b.mul(l.iv(), b.i64(13)), b.i64(5)), cur);
+        b.store(nxt, b.ptradd(cur, b.i64(8)));
+        l.finish();
+    }
+    {
+        Value *last = b.elem(arena, b.mul(b.i64(kArcs - 1), b.i64(2)));
+        b.store(b.i64(23), last);
+        b.store(p.mod().constNullPtr(), b.ptradd(last, b.i64(8)));
+    }
+
+    Value *head = b.elem(arena, b.i64(0));
+    WhileLoop scan(b, "scan");
+    Instruction *arc = scan.addRecurrence(Type::Ptr, head, "arc");
+    Instruction *idx = scan.addRecurrence(Type::I64, b.i64(0), "idx");
+    scan.beginCond();
+    Value *cond = b.icmpNe(arc, p.mod().constNullPtr());
+    scan.beginBody(cond);
+    {
+        Value *nxt = b.load(Type::Ptr, b.ptradd(arc, b.i64(8)), "nxt");
+        scan.setNext(arc, nxt);
+        scan.setNext(idx, b.add(idx, b.i64(1)));
+
+        Value *node = b.load(Type::I64, b.elem(dst, idx));
+        Value *pv = b.load(Type::I64, b.elem(pot, node));
+        Value *c = b.load(Type::I64, arc);
+        Value *red = b.sub(c, pv);
+        for (int r = 0; r < 6; ++r)
+            red = b.add(b.mul(red, b.i64(5)), b.ashr(red, b.i64(3)));
+
+        Value *improving =
+            b.icmpLt(b.srem(idx, b.i64(83)), b.i64(2), "imp");
+        BasicBlock *upd = b.newBlock("scan.upd");
+        BasicBlock *cont = b.newBlock("scan.cont");
+        b.br(improving, upd, cont);
+        b.setInsertPoint(upd);
+        b.store(b.add(pv, b.i64(1)), b.elem(pot, node));
+        b.jmp(cont);
+        b.setInsertPoint(cont);
+    }
+    scan.finish();
+    p.commitStreamLate(dst, 700);
+    b.ret(p.checksumHash(pot, kNodes));
+    return p.take();
+}
+
+/**
+ * gobmk-like: whole-board point evaluation.
+ *
+ * Dependence profile: per-point evaluation calls an instrumented helper
+ * that writes the point's own influence slot (fn2-gated, conflict-free);
+ * a RARE shared group-merge cell conflicts occasionally.  Large regular
+ * parallelism once fn2 is on — one of the programs lifting CINT2006.
+ */
+std::unique_ptr<Module>
+buildCint2006Gobmk()
+{
+    constexpr std::int64_t kPoints = 2600, kPatterns = 128;
+    ProgramBuilder p("cint2006.gobmk");
+    IRBuilder &b = p.b();
+    Global *board = p.array("board", kPoints);
+    Global *pattern = p.array("pattern", kPatterns);
+    Global *influence = p.array("influence", kPoints);
+    Global *groups = p.array("groups", 8);
+
+    Function *evalPoint = b.createFunction(
+        "eval_point", Type::I64,
+        {{Type::I64, "pt"}, {Type::I64, "stone"}});
+    {
+        Value *pt = evalPoint->args()[0].get();
+        Value *stone = evalPoint->args()[1].get();
+        Value *pk = b.and_(b.mul(stone, b.i64(2654435761LL)),
+                           b.i64(kPatterns - 1));
+        Value *w = b.load(Type::I64, b.elem(pattern, pk));
+        Value *v = b.add(b.mul(stone, w), b.ashr(w, b.i64(2)));
+        b.store(v, b.elem(influence, pt));
+        b.ret(v);
+    }
+
+    b.createFunction("main", Type::I64);
+    p.serialSetup(400);
+    p.fillScrambled(board, kPoints, 3, 23);
+    p.fillAffine(pattern, kPatterns, 17, 11);
+
+    {
+        CountedLoop pt(b, b.i64(0), b.i64(kPoints), b.i64(1), "pt");
+        Value *stone = b.load(Type::I64, b.elem(board, pt.iv()));
+        Value *v = b.call(evalPoint, {pt.iv(), stone});
+        // RARE group merge: about 1 point in 120.
+        Value *merge =
+            b.icmpEq(b.and_(v, b.i64(127)), b.i64(44), "merge");
+        BasicBlock *mg = b.newBlock("pt.merge");
+        BasicBlock *cont = b.newBlock("pt.cont");
+        b.br(merge, mg, cont);
+        b.setInsertPoint(mg);
+        Value *gslot = b.elem(groups, b.i64(0));
+        b.store(b.add(b.load(Type::I64, gslot), b.i64(1)), gslot);
+        b.jmp(cont);
+        b.setInsertPoint(cont);
+        pt.finish();
+    }
+    p.commitStream(influence, 300);
+    Value *s1 = p.checksumHash(influence, kPoints / 2);
+    Value *s2 = b.load(Type::I64, b.elem(groups, b.i64(0)));
+    b.ret(b.add(s1, s2));
+    return p.take();
+}
+
+/**
+ * hmmer-like: profile HMM Viterbi DP.
+ *
+ * Dependence profile: the sequence loop carries the DP rows through
+ * memory (serial); the per-state inner loop is DOALL (reads the previous
+ * row, writes the current row), and the running best score is an SMax
+ * reduction — nested parallelism is what this program offers.
+ */
+std::unique_ptr<Module>
+buildCint2006Hmmer()
+{
+    constexpr std::int64_t kSeq = 120, kStates = 96;
+    ProgramBuilder p("cint2006.hmmer");
+    IRBuilder &b = p.b();
+    Global *rowA = p.array("rowA", kStates);
+    Global *rowB = p.array("rowB", kStates);
+    Global *emit = p.array("emit", kStates * 4);
+    Global *seq = p.array("seq", kSeq);
+
+    b.createFunction("main", Type::I64);
+    p.serialSetup(300);
+    p.fillScrambled(seq, kSeq, 4, 37);
+    p.fillAffine(rowA, kStates, 1, 0);
+    p.fillScrambled(emit, kStates * 4, 64, 41);
+
+    CountedLoop t(b, b.i64(0), b.i64(kSeq), b.i64(1), "seq");
+    {
+        Value *par = b.and_(t.iv(), b.i64(1));
+        Value *oldR = b.select(b.icmpEq(par, b.i64(0)),
+                               b.elem(rowA, b.i64(0)),
+                               b.elem(rowB, b.i64(0)), "old");
+        Value *newR = b.select(b.icmpEq(par, b.i64(0)),
+                               b.elem(rowB, b.i64(0)),
+                               b.elem(rowA, b.i64(0)), "new");
+        Value *sym = b.load(Type::I64, b.elem(seq, t.iv()));
+
+        // The inner DP loop carries the deletion-state score D[j] =
+        // max(M[j-1], D[j-1] - gap) WITHIN the row: a frequent,
+        // data-dependent register LCD whose producer is computed right
+        // at the top of the body.  dep0/dep2 leave the loop serial;
+        // HELIX-dep1 synchronizes it cheaply (early producer) — this is
+        // the program's big unlock at the dep1-fn2 HELIX rows.
+        CountedLoop st(b, b.i64(1), b.i64(kStates), b.i64(1), "state");
+        Instruction *dgap =
+            st.addRecurrence(Type::I64, b.i64(-64), "dgap");
+        Value *m0 = b.load(
+            Type::I64,
+            b.ptradd(oldR, b.mul(b.sub(st.iv(), b.i64(1)), b.i64(8))));
+        Value *m1 = b.load(Type::I64,
+                           b.ptradd(oldR, b.mul(st.iv(), b.i64(8))));
+        Value *e = b.load(
+            Type::I64,
+            b.elem(emit, b.add(b.mul(st.iv(), b.i64(4)), sym)));
+        Value *dshift = b.sub(dgap, b.i64(2));
+        Value *dgapNext = b.select(b.icmpGt(m0, dshift), m0, dshift,
+                                   "dgap.next");
+        st.setNext(dgap, dgapNext);
+        Value *best = b.select(b.icmpGt(m0, m1), m0, m1);
+        best = b.select(b.icmpGt(best, dgapNext), best, dgapNext);
+        b.store(b.add(best, e),
+                b.ptradd(newR, b.mul(st.iv(), b.i64(8))));
+        st.finish();
+    }
+    t.finish();
+    p.commitStream(emit, 350);
+    {
+        // Final best score: SMax reduction.
+        CountedLoop s(b, b.i64(0), b.i64(kStates), b.i64(1), "best");
+        Instruction *mx =
+            s.addRecurrence(Type::I64, b.i64(-(1 << 30)), "mx");
+        Value *v = b.load(Type::I64, b.elem(rowA, s.iv()));
+        Value *c = b.icmpGt(v, mx);
+        Value *next = b.select(c, v, mx, "mx.next");
+        s.setNext(mx, next);
+        s.finish();
+        b.ret(mx);
+    }
+    return p.take();
+}
+
+/**
+ * sjeng-like: game-tree search with a late-remixed carried key.
+ *
+ * Dependence profile: like crafty — the carried Zobrist-ish key is the
+ * last thing each iteration computes, so nothing realistic parallelizes
+ * the main loop; the history-table scoring pass at the end is DOALL.
+ */
+std::unique_ptr<Module>
+buildCint2006Sjeng()
+{
+    constexpr std::int64_t kNodes = 7000, kHist = 128;
+    ProgramBuilder p("cint2006.sjeng");
+    IRBuilder &b = p.b();
+    Global *zobrist = p.array("zobrist", 256);
+    Global *history = p.array("history", kHist);
+    Global *scores = p.array("scores", kHist);
+
+    b.createFunction("main", Type::I64);
+    p.serialSetup(500);
+    p.fillAffine(zobrist, 256, 0x5DEECE66DLL & 0xffff, 11);
+
+    {
+        CountedLoop nd(b, b.i64(0), b.i64(kNodes), b.i64(1), "node");
+        Instruction *key =
+            nd.addRecurrence(Type::I64, b.i64(0xBEEF), "key");
+        Value *pc = b.and_(key, b.i64(255));
+        Value *z = b.load(Type::I64, b.elem(zobrist, pc));
+        Value *evalv = b.add(b.mul(z, b.i64(3)),
+                             b.and_(b.ashr(key, b.i64(8)), b.i64(1023)));
+        // History update on cutoffs (about 1/8 of nodes).
+        Value *cut = b.icmpEq(b.and_(evalv, b.i64(7)), b.i64(2));
+        BasicBlock *hu = b.newBlock("node.hist");
+        BasicBlock *cont = b.newBlock("node.cont");
+        b.br(cut, hu, cont);
+        b.setInsertPoint(hu);
+        Value *hslot = b.and_(evalv, b.i64(kHist - 1));
+        Value *hp = b.elem(history, hslot);
+        b.store(b.add(b.load(Type::I64, hp), b.i64(1)), hp);
+        b.jmp(cont);
+        b.setInsertPoint(cont);
+        // --- late producer ---
+        Value *mix = b.xor_(key, b.mul(evalv, b.i64(0x9E3779B9)));
+        Value *keyNext = b.xor_(b.mul(mix, b.i64(2862933555777941757LL)),
+                                b.ashr(mix, b.i64(31)), "key.next");
+        nd.setNext(key, keyNext);
+        nd.finish();
+    }
+    {
+        CountedLoop sc(b, b.i64(0), b.i64(kHist), b.i64(1), "score");
+        Value *h = b.load(Type::I64, b.elem(history, sc.iv()));
+        b.store(b.add(b.mul(h, b.i64(19)), b.i64(3)),
+                b.elem(scores, sc.iv()));
+        sc.finish();
+    }
+    p.commitStream(scores, 300);
+    Value *s = p.checksumHash(scores, kHist);
+    b.ret(s);
+    return p.take();
+}
+
+/**
+ * libquantum-like: quantum gate application.
+ *
+ * Dependence profile: each gate applies an XOR-indexed permutation to
+ * the amplitude array through an instrumented helper — conflict-free in
+ * practice but impossible to prove statically.  Under fn2 the amplitude
+ * loop parallelizes completely with a huge trip count; the paper's
+ * Fig. 4 shows 462.libquantum as the extreme outlier (10^4-10^5 x).
+ */
+std::unique_ptr<Module>
+buildCint2006Libquantum()
+{
+    constexpr std::int64_t kAmps = 8192, kGates = 6;
+    ProgramBuilder p("cint2006.libquantum");
+    IRBuilder &b = p.b();
+    Global *state = p.array("state", kAmps);
+
+    Function *toffoli = b.createFunction(
+        "apply_gate", Type::Void,
+        {{Type::I64, "i"}, {Type::I64, "mask"}});
+    {
+        Value *i = toffoli->args()[0].get();
+        Value *mask = toffoli->args()[1].get();
+        // Phase update on the lower index of each XOR pair; the upper
+        // partner is a no-op, so every slot is touched by exactly one
+        // amplitude-loop iteration (conflict-free, but only dynamically).
+        Value *jj = b.xor_(i, mask);
+        Value *isLow = b.icmpLt(i, jj);
+        BasicBlock *doit = b.newBlock("gate.do");
+        BasicBlock *done = b.newBlock("gate.done");
+        b.br(isLow, doit, done);
+        b.setInsertPoint(doit);
+        Value *slot = b.elem(state, i);
+        Value *v = b.load(Type::I64, slot);
+        b.store(b.add(b.mul(v, b.i64(3)), b.i64(1)), slot);
+        b.jmp(done);
+        b.setInsertPoint(done);
+        b.retVoid();
+    }
+
+    b.createFunction("main", Type::I64);
+    p.serialSetup(800);
+    p.fillAffine(state, kAmps, 7, 1);
+
+    CountedLoop g(b, b.i64(0), b.i64(kGates), b.i64(1), "gate");
+    {
+        Value *mask = b.shl(b.i64(1), b.add(g.iv(), b.i64(2)));
+        CountedLoop a(b, b.i64(0), b.i64(kAmps), b.i64(1), "amp");
+        b.call(toffoli, {a.iv(), mask});
+        a.finish();
+    }
+    g.finish();
+    // Measurement/collapse phase: memory-carried, strictly ordered.
+    p.commitStream(state, 2000);
+    b.ret(p.checksumHash(state, 512));
+    return p.take();
+}
+
+/**
+ * h264-like: motion-estimation SAD search.
+ *
+ * Dependence profile: the macroblock loop carries a quantizer predictor
+ * with near-linear evolution (dep2's friend); each candidate SAD is a
+ * Sum reduction computed by a read-only helper (fn1+).
+ */
+std::unique_ptr<Module>
+buildCint2006H264()
+{
+    constexpr std::int64_t kBlocksCount = 500, kPix = 16;
+    ProgramBuilder p("cint2006.h264");
+    IRBuilder &b = p.b();
+    Global *cur = p.array("cur", kBlocksCount * kPix);
+    Global *ref = p.array("ref", kBlocksCount * kPix + kPix);
+    Global *mv = p.array("mv", kBlocksCount);
+
+    Function *sad = b.createFunction(
+        "sad16", Type::I64, {{Type::I64, "a"}, {Type::I64, "c"}});
+    {
+        Value *aBase = sad->args()[0].get();
+        Value *cBase = sad->args()[1].get();
+        CountedLoop k(b, b.i64(0), b.i64(kPix), b.i64(1), "k");
+        Instruction *acc = k.addRecurrence(Type::I64, b.i64(0), "acc");
+        Value *x =
+            b.load(Type::I64, b.elem(cur, b.add(cBase, k.iv())));
+        Value *y =
+            b.load(Type::I64, b.elem(ref, b.add(aBase, k.iv())));
+        Value *d = b.sub(x, y);
+        Value *ad = b.select(b.icmpLt(d, b.i64(0)), b.sub(b.i64(0), d),
+                             d);
+        Value *next = b.add(acc, ad, "acc.next");
+        k.setNext(acc, next);
+        k.finish();
+        b.ret(acc);
+    }
+
+    b.createFunction("main", Type::I64);
+    p.serialSetup(500);
+    p.fillScrambled(cur, kBlocksCount * kPix, 256, 43);
+    p.fillScrambled(ref, kBlocksCount * kPix + kPix, 256, 47);
+
+    {
+        CountedLoop blk(b, b.i64(0), b.i64(kBlocksCount), b.i64(1),
+                        "mb");
+        Instruction *qp = blk.addRecurrence(Type::I64, b.i64(26), "qp");
+        Value *base = b.mul(blk.iv(), b.i64(kPix));
+        Value *s0 = b.call(sad, {base, base});
+        Value *s1 = b.call(sad, {b.add(base, b.i64(8)), base});
+        Value *bestv = b.select(b.icmpLt(s0, s1), s0, s1);
+        b.store(b.add(bestv, qp), b.elem(mv, blk.iv()));
+        // Quantizer drifts by +1 with an occasional +2: mostly a stride
+        // of 1 — dep2 predicts it nearly always.
+        Value *bump = b.icmpEq(b.and_(blk.iv(), b.i64(255)), b.i64(255));
+        Value *qpNext =
+            b.add(qp, b.select(bump, b.i64(2), b.i64(1)), "qp.next");
+        blk.setNext(qp, qpNext);
+        blk.finish();
+    }
+    p.commitStream(cur, 1500);
+    b.ret(p.checksumHash(mv, kBlocksCount));
+    return p.take();
+}
+
+} // namespace lp::suites

@@ -1,0 +1,366 @@
+/**
+ * @file
+ * EEMBC-like embedded numeric kernels.
+ *
+ * EEMBC code is small, regular, loop-dominated C.  The paper finds this
+ * suite gains most from parallelizing across function calls (fn2): even
+ * reduc0-dep0-fn2 PDOALL beats reduc1-dep2-fn0 PDOALL.  Accordingly,
+ * several kernels here keep their hot loops behind per-block/per-sample
+ * helper calls (idiomatic embedded C), while the arithmetic itself is
+ * regular and conflict-free.
+ */
+
+#include "suites/kernels.hpp"
+
+#include "suites/kbuild.hpp"
+
+namespace lp::suites {
+
+using namespace ir;
+
+/**
+ * a2time-like: angle-to-time conversion.
+ *
+ * Dependence profile: the hot loop calls a *pure* helper per sample
+ * (fn1+ admits it), plus a short IIR smoother pass whose carried value is
+ * a true data-dependent register LCD defined at the bottom of the body
+ * (unpredictable; HELIX-dep1 gains little -> stays serial, as intended).
+ */
+std::unique_ptr<Module>
+buildEembcA2time()
+{
+    constexpr std::int64_t kN = 24000, kSmooth = 4000;
+    ProgramBuilder p("eembc.a2time");
+    IRBuilder &b = p.b();
+    Global *in = p.array("in", kN);
+    Global *out = p.array("out", kN);
+    Global *table = p.array("table", 64);
+    Global *smooth = p.array("smooth", kSmooth);
+
+    // Pure helper: fold a raw sensor angle into [0, 4096) and linearize.
+    Function *norm =
+        b.createFunction("normalize", Type::I64, {{Type::I64, "x"}});
+    {
+        Value *x = norm->args()[0].get();
+        Value *m = b.and_(x, b.i64(4095));
+        Value *q = b.ashr(x, b.i64(12));
+        Value *lin = b.add(b.mul(m, b.i64(13)), b.mul(q, b.i64(7)));
+        b.ret(b.and_(lin, b.i64(8191)));
+    }
+
+    b.createFunction("main", Type::I64);
+    p.serialSetup(3000);
+    p.fillScrambled(in, kN, 1 << 16);
+    p.fillAffine(table, 64, 37, 5);
+
+    {
+        // Hot loop: pure call + read-only table lookup + disjoint store.
+        CountedLoop l(b, b.i64(0), b.i64(kN), b.i64(1), "conv");
+        Value *x = b.load(Type::I64, b.elem(in, l.iv()));
+        Value *y = b.call(norm, {x});
+        Value *t =
+            b.load(Type::I64, b.elem(table, b.and_(x, b.i64(63))));
+        b.store(b.add(y, t), b.elem(out, l.iv()));
+        l.finish();
+    }
+    {
+        // IIR smoother: f' = (3f + x) >> 2 — a frequent, unpredictable
+        // register LCD whose producer is the last operation of the body.
+        CountedLoop l(b, b.i64(0), b.i64(kSmooth), b.i64(1), "iir");
+        Instruction *f = l.addRecurrence(Type::I64, b.i64(0), "f");
+        Value *x = b.load(Type::I64, b.elem(out, l.iv()));
+        Value *fNext =
+            b.ashr(b.add(b.mul(f, b.i64(3)), x), b.i64(2), "f.next");
+        b.store(fNext, b.elem(smooth, l.iv()));
+        l.setNext(f, fNext);
+        l.finish();
+    }
+        p.commitStream(smooth, 1500);
+    Value *sum = p.checksum(smooth, kSmooth);
+    b.ret(sum);
+    return p.take();
+}
+
+/**
+ * aifir-like: block FIR filter.
+ *
+ * Dependence profile: the per-block helper writes the output array
+ * through a pointer argument, so it is statically impure -> the block
+ * loop is serial until fn2 instruments it.  Inside, the per-output loop
+ * is DOALL and the tap loop is an FSum reduction.
+ */
+std::unique_ptr<Module>
+buildEembcAifir()
+{
+    constexpr std::int64_t kBlocks = 24, kBlock = 128, kTaps = 8;
+    constexpr std::int64_t kN = kBlocks * kBlock + kTaps;
+    ProgramBuilder p("eembc.aifir");
+    IRBuilder &b = p.b();
+    Global *in = p.array("in", kN);
+    Global *out = p.array("out", kN);
+    Global *coef = p.array("coef", kTaps);
+
+    Function *firBlock = b.createFunction(
+        "fir_block", Type::Void, {{Type::I64, "base"}});
+    {
+        // FIR front end (tap reduction) followed by a one-pole IIR
+        // feedback stage: the per-output loop carries y[j-1], a true
+        // data-dependent register LCD produced at the END of the body —
+        // nothing realistic parallelizes the loop itself.  Blocks are
+        // independent, so fn2 parallelizes the caller's block loop.
+        Value *base = firBlock->args()[0].get();
+        CountedLoop lj(b, b.i64(0), b.i64(kBlock), b.i64(1), "j");
+        Instruction *yPrev =
+            lj.addRecurrence(Type::F64, b.f64(0.0), "yprev");
+        Value *pos = b.add(base, lj.iv());
+        CountedLoop lk(b, b.i64(0), b.i64(kTaps), b.i64(1), "k");
+        Instruction *acc = lk.addRecurrence(Type::F64, b.f64(0.0), "acc");
+        Value *c = b.load(Type::F64, b.elem(coef, lk.iv()));
+        Value *x =
+            b.load(Type::F64, b.elem(in, b.add(pos, lk.iv())));
+        Value *accNext = b.fadd(acc, b.fmul(c, x), "acc.next");
+        lk.setNext(acc, accNext);
+        lk.finish();
+        Value *y = b.fadd(acc, b.fmul(yPrev, b.f64(0.4)), "y");
+        lj.setNext(yPrev, y);
+        b.store(y, b.elem(out, pos));
+        lj.finish();
+        b.retVoid();
+    }
+
+    b.createFunction("main", Type::I64);
+    p.serialSetup(1500);
+    p.fillAffineF(in, kN, 0.25, 1.0, 97);
+    p.fillAffineF(coef, kTaps, 0.125, 0.0625);
+    {
+        CountedLoop l(b, b.i64(0), b.i64(kBlocks), b.i64(1), "blk");
+        b.call(firBlock, {b.mul(l.iv(), b.i64(kBlock))});
+        l.finish();
+    }
+        p.commitStream(out, 800);
+    b.ret(p.checksumF(out, kBlocks * kBlock));
+    return p.take();
+}
+
+/**
+ * autcor-like: autocorrelation.
+ *
+ * Dependence profile: the lag loop writes disjoint r[lag] slots and has
+ * no calls, so it is DOALL at every configuration; the inner products
+ * are reductions that only matter when the lag loop is not parallelized.
+ * One of the genuinely easy numeric kernels.
+ */
+std::unique_ptr<Module>
+buildEembcAutcor()
+{
+    constexpr std::int64_t kLags = 24, kN = 3000;
+    ProgramBuilder p("eembc.autcor");
+    IRBuilder &b = p.b();
+    Global *in = p.array("in", kN + kLags);
+    Global *r = p.array("r", kLags);
+
+    b.createFunction("main", Type::I64);
+    p.serialSetup(3500);
+    p.fillScrambled(in, kN + kLags, 255);
+    {
+        CountedLoop lag(b, b.i64(0), b.i64(kLags), b.i64(1), "lag");
+        // The lag loop carries the running total-energy accumulator, so
+        // it too is a reduction loop (reduc1-gated), like the fused form
+        // the benchmark's C source compiles to.
+        Instruction *tot = lag.addRecurrence(Type::I64, b.i64(0), "tot");
+        CountedLoop li(b, b.i64(0), b.i64(kN), b.i64(1), "i");
+        Instruction *acc = li.addRecurrence(Type::I64, b.i64(0), "acc");
+        Value *a = b.load(Type::I64, b.elem(in, li.iv()));
+        Value *c =
+            b.load(Type::I64, b.elem(in, b.add(li.iv(), lag.iv())));
+        Value *accNext = b.add(acc, b.mul(a, c), "acc.next");
+        li.setNext(acc, accNext);
+        li.finish();
+        b.store(acc, b.elem(r, lag.iv()));
+        Value *totNext = b.add(tot, acc, "tot.next");
+        lag.setNext(tot, totNext);
+        lag.finish();
+    }
+        p.commitStream(in, 1800);
+    b.ret(p.checksum(r, kLags));
+    return p.take();
+}
+
+/**
+ * viterb-like: trellis decode.
+ *
+ * Dependence profile: the time loop ping-pongs two metric arrays, so it
+ * carries a frequent memory LCD (producers late, consumers early) that
+ * neither PDOALL nor HELIX can profitably relax — the outer loop stays
+ * serial, as real Viterbi does.  The per-state inner loop is DOALL, and
+ * the final traceback pick is a min-reduction.
+ */
+std::unique_ptr<Module>
+buildEembcViterb()
+{
+    constexpr std::int64_t kSteps = 1400, kStates = 8;
+    ProgramBuilder p("eembc.viterb");
+    IRBuilder &b = p.b();
+    Global *mA = p.array("mA", kStates);
+    Global *mB = p.array("mB", kStates);
+    Global *obs = p.array("obs", kSteps);
+
+    b.createFunction("main", Type::I64);
+    p.serialSetup(1800);
+    p.fillScrambled(obs, kSteps, 17);
+    p.fillAffine(mA, kStates, 3, 1);
+
+    {
+        CountedLoop t(b, b.i64(0), b.i64(kSteps), b.i64(1), "t");
+        // Ping-pong selection (pointer select makes bases dynamic).
+        Value *par = b.and_(t.iv(), b.i64(1));
+        Value *oldM = b.select(b.icmpEq(par, b.i64(0)), b.elem(mA, b.i64(0)),
+                               b.elem(mB, b.i64(0)), "old");
+        Value *newM = b.select(b.icmpEq(par, b.i64(0)), b.elem(mB, b.i64(0)),
+                               b.elem(mA, b.i64(0)), "new");
+        Value *ob = b.load(Type::I64, b.elem(obs, t.iv()));
+
+        CountedLoop s(b, b.i64(0), b.i64(kStates), b.i64(1), "s");
+        Value *p0 = b.and_(b.mul(s.iv(), b.i64(2)), b.i64(kStates - 1));
+        Value *p1 = b.and_(b.add(b.mul(s.iv(), b.i64(2)), b.i64(1)),
+                           b.i64(kStates - 1));
+        Value *m0 = b.load(Type::I64,
+                           b.ptradd(oldM, b.mul(p0, b.i64(8))));
+        Value *m1 = b.load(Type::I64,
+                           b.ptradd(oldM, b.mul(p1, b.i64(8))));
+        Value *c0 = b.add(m0, b.xor_(b.and_(ob, b.i64(15)), s.iv()));
+        Value *c1 = b.add(m1, b.and_(b.add(ob, s.iv()), b.i64(15)));
+        Value *best = b.select(b.icmpLt(c0, c1), c0, c1);
+        b.store(best, b.ptradd(newM, b.mul(s.iv(), b.i64(8))));
+        s.finish();
+        t.finish();
+    }
+    p.commitStream(obs, 900);
+    {
+        // Winner pick: min-reduction over the final metrics.
+        CountedLoop s(b, b.i64(0), b.i64(kStates), b.i64(1), "win");
+        Instruction *mn =
+            s.addRecurrence(Type::I64, b.i64(1 << 30), "mn");
+        Value *v = b.load(Type::I64, b.elem(mA, s.iv()));
+        Value *c = b.icmpLt(v, mn);
+        Value *next = b.select(c, v, mn, "mn.next");
+        s.setNext(mn, next);
+        s.finish();
+        b.ret(mn);
+    }
+    return p.take();
+}
+
+/**
+ * idctrn-like: 8x8 inverse DCT over many blocks.
+ *
+ * Dependence profile: the block loop calls a helper that writes its own
+ * block through a pointer argument (impure -> fn2-gated); blocks are
+ * disjoint so no dynamic conflicts occur once instrumented.
+ */
+std::unique_ptr<Module>
+buildEembcIdctrn()
+{
+    constexpr std::int64_t kBlocks = 300;
+    ProgramBuilder p("eembc.idctrn");
+    IRBuilder &b = p.b();
+    Global *data = p.array("data", kBlocks * 64);
+    Global *basis = p.array("basis", 64);
+
+    Function *idct = b.createFunction("idct_block", Type::Void,
+                                      {{Type::Ptr, "blk"}});
+    {
+        Value *blk = idct->args()[0].get();
+        // Row pass then column pass; each output is an 8-tap dot product
+        // with the (read-only) basis table.
+        for (int pass = 0; pass < 2; ++pass) {
+            std::string t = pass == 0 ? "row" : "col";
+            CountedLoop li(b, b.i64(0), b.i64(8), b.i64(1), t + ".i");
+            CountedLoop lj(b, b.i64(0), b.i64(8), b.i64(1), t + ".j");
+            Instruction *acc =
+                lj.addRecurrence(Type::I64, b.i64(0), "acc");
+            Value *idx = pass == 0
+                ? b.add(b.mul(li.iv(), b.i64(8)), lj.iv())
+                : b.add(b.mul(lj.iv(), b.i64(8)), li.iv());
+            Value *v =
+                b.load(Type::I64, b.ptradd(blk, b.mul(idx, b.i64(8))));
+            Value *w = b.load(
+                Type::I64,
+                b.elem(basis, b.add(b.mul(b.and_(li.iv(), b.i64(7)),
+                                          b.i64(8)),
+                                    lj.iv())));
+            Value *accNext = b.add(acc, b.mul(v, w), "acc.next");
+            lj.setNext(acc, accNext);
+            lj.finish();
+            Value *outIdx = pass == 0
+                ? b.mul(li.iv(), b.i64(8))
+                : li.iv();
+            b.store(b.ashr(acc, b.i64(6)),
+                    b.ptradd(blk, b.mul(outIdx, b.i64(8))));
+            li.finish();
+        }
+        b.retVoid();
+    }
+
+    b.createFunction("main", Type::I64);
+    p.serialSetup(4000);
+    p.fillScrambled(data, kBlocks * 64, 1024);
+    p.fillAffine(basis, 64, 11, -31);
+    {
+        CountedLoop l(b, b.i64(0), b.i64(kBlocks), b.i64(1), "blk");
+        b.call(idct, {b.elem(data, b.mul(l.iv(), b.i64(64)))});
+        l.finish();
+    }
+        p.commitStream(data, 2000);
+    b.ret(p.checksum(data, kBlocks * 64));
+    return p.take();
+}
+
+/**
+ * rgbcmyk-like: pixel format conversion.
+ *
+ * Dependence profile: a pure streaming DOALL loop — computable IV,
+ * read-only lookup table, disjoint output stores, no calls.  Parallel
+ * under every configuration including reduc0-dep0-fn0 DOALL; this is the
+ * kind of loop that gives numeric suites their baseline DOALL gains.
+ */
+std::unique_ptr<Module>
+buildEembcRgbcmyk()
+{
+    constexpr std::int64_t kN = 40000;
+    ProgramBuilder p("eembc.rgbcmyk");
+    IRBuilder &b = p.b();
+    Global *rgb = p.array("rgb", kN);
+    Global *cmyk = p.array("cmyk", kN);
+    Global *gamma = p.array("gamma", 256);
+
+    b.createFunction("main", Type::I64);
+    p.serialSetup(8000);
+    p.fillScrambled(rgb, kN, 1 << 24);
+    p.fillAffine(gamma, 256, 2, 3);
+    {
+        CountedLoop l(b, b.i64(0), b.i64(kN), b.i64(1), "px");
+        Value *v = b.load(Type::I64, b.elem(rgb, l.iv()));
+        Value *r = b.and_(v, b.i64(255));
+        Value *g = b.and_(b.ashr(v, b.i64(8)), b.i64(255));
+        Value *bl = b.and_(b.ashr(v, b.i64(16)), b.i64(255));
+        Value *k = b.select(b.icmpLt(r, g), r, g);
+        k = b.select(b.icmpLt(k, bl), k, bl);
+        Value *gk = b.load(Type::I64, b.elem(gamma, k));
+        Value *c = b.sub(b.i64(255), b.add(r, gk));
+        Value *m = b.sub(b.i64(255), b.add(g, gk));
+        Value *y = b.sub(b.i64(255), b.add(bl, gk));
+        Value *packed =
+            b.or_(b.or_(b.and_(c, b.i64(255)),
+                        b.shl(b.and_(m, b.i64(255)), b.i64(8))),
+                  b.or_(b.shl(b.and_(y, b.i64(255)), b.i64(16)),
+                        b.shl(b.and_(k, b.i64(255)), b.i64(24))));
+        b.store(packed, b.elem(cmyk, l.iv()));
+        l.finish();
+    }
+        p.commitStream(cmyk, 4000);
+    b.ret(p.checksum(cmyk, kN));
+    return p.take();
+}
+
+} // namespace lp::suites

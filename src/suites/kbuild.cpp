@@ -1,0 +1,183 @@
+#include "suites/kbuild.hpp"
+
+namespace lp::suites {
+
+using namespace ir;
+
+ProgramBuilder::ProgramBuilder(const std::string &name)
+    : mod_(std::make_unique<Module>(name)), b_(*mod_),
+      lib_(interp::registerStdlib(*mod_))
+{}
+
+Global *
+ProgramBuilder::array(const std::string &name, std::uint64_t elems)
+{
+    return mod_->addGlobal(name, elems * 8);
+}
+
+std::string
+ProgramBuilder::tag(const std::string &base)
+{
+    return base + std::to_string(tagCounter_++);
+}
+
+Value *
+ProgramBuilder::scramble(Value *v, std::int64_t salt)
+{
+    Value *x = b_.mul(v, b_.i64(2654435761LL + 2 * salt));
+    Value *y = b_.xor_(x, b_.ashr(x, b_.i64(13)));
+    return b_.and_(y, b_.i64((std::int64_t{1} << 42) - 1));
+}
+
+void
+ProgramBuilder::fillAffine(Global *arr, std::int64_t n, std::int64_t mul,
+                           std::int64_t add)
+{
+    CountedLoop l(b_, b_.i64(0), b_.i64(n), b_.i64(1), tag("fa"));
+    Value *v = b_.add(b_.mul(l.iv(), b_.i64(mul)), b_.i64(add));
+    b_.store(v, b_.elem(arr, l.iv()));
+    l.finish();
+}
+
+void
+ProgramBuilder::fillScrambled(Global *arr, std::int64_t n,
+                              std::int64_t modulo, std::int64_t seed)
+{
+    CountedLoop l(b_, b_.i64(0), b_.i64(n), b_.i64(1), tag("fs"));
+    Value *v = b_.srem(scramble(l.iv(), seed), b_.i64(modulo));
+    b_.store(v, b_.elem(arr, l.iv()));
+    l.finish();
+}
+
+void
+ProgramBuilder::fillAffineF(Global *arr, std::int64_t n, double scale,
+                            double ofs, std::int64_t modulo)
+{
+    CountedLoop l(b_, b_.i64(0), b_.i64(n), b_.i64(1), tag("ff"));
+    Value *m = b_.srem(l.iv(), b_.i64(modulo));
+    Value *v = b_.fadd(b_.fmul(b_.itof(m), b_.f64(scale)), b_.f64(ofs));
+    b_.store(v, b_.elem(arr, l.iv()));
+    l.finish();
+}
+
+void
+ProgramBuilder::fillLcg(Global *arr, std::int64_t n, std::int64_t modulo,
+                        std::uint64_t seed)
+{
+    CountedLoop l(b_, b_.i64(0), b_.i64(n), b_.i64(1), tag("fl"));
+    Instruction *s = l.addRecurrence(
+        Type::I64, b_.i64(static_cast<std::int64_t>(seed)), "lcg");
+    Value *sNext =
+        b_.add(b_.mul(s, b_.i64(6364136223846793005LL)),
+               b_.i64(1442695040888963407LL));
+    Value *v = b_.srem(b_.and_(b_.ashr(sNext, b_.i64(33)),
+                               b_.i64((1LL << 30) - 1)),
+                       b_.i64(modulo));
+    b_.store(v, b_.elem(arr, l.iv()));
+    l.setNext(s, sNext);
+    l.finish();
+}
+
+Value *
+ProgramBuilder::checksum(Global *arr, std::int64_t n,
+                         const std::string &tagBase)
+{
+    CountedLoop l(b_, b_.i64(0), b_.i64(n), b_.i64(1), tag(tagBase));
+    Instruction *acc = l.addRecurrence(Type::I64, b_.i64(0), "acc");
+    Value *v = b_.load(Type::I64, b_.elem(arr, l.iv()));
+    Value *next = b_.add(acc, v);
+    l.setNext(acc, next);
+    l.finish();
+    return acc;
+}
+
+Value *
+ProgramBuilder::checksumF(Global *arr, std::int64_t n,
+                          const std::string &tagBase)
+{
+    CountedLoop l(b_, b_.i64(0), b_.i64(n), b_.i64(1), tag(tagBase));
+    Instruction *acc = l.addRecurrence(Type::F64, b_.f64(0.0), "facc");
+    Value *v = b_.load(Type::F64, b_.elem(arr, l.iv()));
+    Value *next = b_.fadd(acc, v);
+    l.setNext(acc, next);
+    l.finish();
+    return b_.ftoi(acc);
+}
+
+void
+ProgramBuilder::serialSetup(std::int64_t n, std::uint64_t seed)
+{
+    Global *scratch = array(tag("rndtbl"), static_cast<std::uint64_t>(n));
+    fillLcg(scratch, n, 1 << 20, seed);
+}
+
+Value *
+ProgramBuilder::checksumHash(Global *arr, std::int64_t n,
+                             const std::string &tagBase)
+{
+    CountedLoop l(b_, b_.i64(0), b_.i64(n), b_.i64(1), tag(tagBase));
+    Instruction *h = l.addRecurrence(Type::I64, b_.i64(1469598103LL),
+                                     "h");
+    // Producer first: the carried hash updates at the top of the body.
+    Value *v = b_.load(Type::I64, b_.elem(arr, l.iv()));
+    Value *hNext = b_.add(b_.mul(h, b_.i64(31)), v, "h.next");
+    l.setNext(h, hNext);
+    // Then some per-element "reporting" work off the critical path.
+    Value *w = v;
+    for (int r = 0; r < 3; ++r)
+        w = b_.add(b_.mul(w, b_.i64(5)), b_.i64(r));
+    b_.store(w, b_.elem(arr, l.iv()));
+    l.finish();
+    return h;
+}
+
+void
+ProgramBuilder::commitStream(Global *arr, std::int64_t n,
+                             const std::string &tagBase)
+{
+    Global *cell = array(tagBase + ".cell", 1);
+    CountedLoop l(b_, b_.i64(0), b_.i64(n), b_.i64(1), tag(tagBase));
+    // Frequent memory LCD with an early producer: consume and update the
+    // stream cell first...
+    Value *slot = b_.elem(cell, b_.i64(0));
+    Value *h = b_.load(Type::I64, slot);
+    Value *v = b_.load(Type::I64, b_.elem(arr, l.iv()));
+    b_.store(b_.add(b_.mul(h, b_.i64(33)), v), slot);
+    // ...then format the item (work after the sync point).
+    Value *w = v;
+    for (int r = 0; r < 6; ++r)
+        w = b_.xor_(b_.add(b_.mul(w, b_.i64(7)), b_.i64(r)),
+                    b_.ashr(w, b_.i64(3)));
+    b_.store(w, b_.elem(arr, l.iv()));
+    l.finish();
+}
+
+void
+ProgramBuilder::commitStreamLate(Global *arr, std::int64_t n,
+                                 const std::string &tagBase)
+{
+    Global *cell = array(tagBase + ".cell", 1);
+    CountedLoop l(b_, b_.i64(0), b_.i64(n), b_.i64(1), tag(tagBase));
+    // Consume the carried cell first...
+    Value *slot = b_.elem(cell, b_.i64(0));
+    Value *h = b_.load(Type::I64, slot);
+    Value *v = b_.load(Type::I64, b_.elem(arr, l.iv()));
+    // ...do the formatting work in the middle...
+    Value *w = b_.add(v, h);
+    for (int r = 0; r < 6; ++r)
+        w = b_.xor_(b_.add(b_.mul(w, b_.i64(7)), b_.i64(r)),
+                    b_.ashr(w, b_.i64(3)));
+    b_.store(w, b_.elem(arr, l.iv()));
+    // ...and only then publish the updated cell (late producer).
+    b_.store(b_.add(b_.mul(h, b_.i64(33)), w), slot);
+    l.finish();
+}
+
+std::unique_ptr<Module>
+ProgramBuilder::take()
+{
+    mod_->finalize();
+    return std::move(mod_);
+}
+
+} // namespace lp::suites

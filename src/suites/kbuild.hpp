@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Kernel-construction utilities shared by all benchmark suites.
+ *
+ * Benchmark kernels are functions that build an IR module; these helpers
+ * remove the boilerplate: module+stdlib setup, common initialization
+ * loops, checksum loops, and the index-scrambling idioms kernels use to
+ * create controlled dependence behaviour.
+ */
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "interp/stdlib.hpp"
+#include "ir/builder.hpp"
+
+namespace lp::suites {
+
+/** A module under construction plus its builder and stdlib handles. */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(const std::string &name);
+
+    ir::Module &mod() { return *mod_; }
+    ir::IRBuilder &b() { return b_; }
+    const interp::Stdlib &lib() const { return lib_; }
+
+    /** Add a zero-initialized global array of @p elems 8-byte elements. */
+    ir::Global *array(const std::string &name, std::uint64_t elems);
+
+    /// @name Loop snippets (emitted at the current insertion point)
+    /// @{
+
+    /** arr[i] = i*mul + add  for i in [0, n) — fully parallel init. */
+    void fillAffine(ir::Global *arr, std::int64_t n, std::int64_t mul,
+                    std::int64_t add);
+
+    /** arr[i] = scramble(i) % modulo — parallel init, pseudo-random data. */
+    void fillScrambled(ir::Global *arr, std::int64_t n,
+                       std::int64_t modulo, std::int64_t seed = 1);
+
+    /** arr[i] = (f64)(i % modulo) * scale + ofs — parallel float init. */
+    void fillAffineF(ir::Global *arr, std::int64_t n, double scale,
+                     double ofs, std::int64_t modulo = 1 << 20);
+
+    /**
+     * arr[i] = lcg() % modulo — init through a serializing LCG register
+     * LCD (deliberately sequential-looking code, as real benchmark setup
+     * phases often are).
+     */
+    void fillLcg(ir::Global *arr, std::int64_t n, std::int64_t modulo,
+                 std::uint64_t seed);
+
+    /** Sum of arr[0..n) as an i64 reduction loop; returns the sum value. */
+    ir::Value *checksum(ir::Global *arr, std::int64_t n,
+                        const std::string &tag = "sum");
+
+    /** Same for f64 arrays; result converted to i64 via ftoi. */
+    ir::Value *checksumF(ir::Global *arr, std::int64_t n,
+                         const std::string &tag = "fsum");
+
+    /**
+     * Polynomial-hash checksum h = h*31 + arr[i]: NOT an associative
+     * reduction (the multiply breaks the accumulator chain), so no flag
+     * short of dep3 parallelizes it; the producer sits at the top of the
+     * body, so HELIX-dep1 overlaps it partially.  The serial output
+     * verification real integer codes end with.
+     */
+    ir::Value *checksumHash(ir::Global *arr, std::int64_t n,
+                            const std::string &tag = "hash");
+
+    /**
+     * Simulated output streaming: each of @p n items folds arr[i] into a
+     * memory-carried stream cell (load-update-store at the TOP of the
+     * body, per-item formatting work after).  A frequent memory LCD:
+     * DOALL/PDOALL serialize it at any dep/reduc/fn setting, HELIX
+     * synchronizes it with a small delta.  Models the buffered-I/O /
+     * commit phases that bound real programs' parallel fraction.
+     */
+    void commitStream(ir::Global *arr, std::int64_t n,
+                      const std::string &tag = "emit");
+
+    /**
+     * Like commitStream, but the stream cell is consumed early and
+     * updated at the very END of each iteration: the producer-consumer
+     * window spans the whole body, so even HELIX synchronization cannot
+     * overlap it.  Used by the kernels whose best configuration should
+     * remain speculative (PDOALL) rather than synchronized.
+     */
+    void commitStreamLate(ir::Global *arr, std::int64_t n,
+                          const std::string &tag = "drain");
+
+    /// @}
+
+    /** scramble(v): multiply-xorshift mix of an index (emits ~4 instrs). */
+    ir::Value *scramble(ir::Value *v, std::int64_t salt = 0);
+
+    /**
+     * Standard "benchmark setup" phase: generate an @p n-entry random
+     * table through the serializing LCG (fillLcg into a fresh scratch
+     * global).  Models the sequential input-generation/setup code real
+     * suites spend a few percent of their time in.
+     */
+    void serialSetup(std::int64_t n, std::uint64_t seed = 99);
+
+    /** Finalize and take the module (builder becomes unusable). */
+    std::unique_ptr<ir::Module> take();
+
+  private:
+    std::unique_ptr<ir::Module> mod_;
+    ir::IRBuilder b_;
+    interp::Stdlib lib_;
+    unsigned tagCounter_ = 0;
+
+    std::string tag(const std::string &base);
+};
+
+} // namespace lp::suites

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Builders for every synthetic benchmark kernel.
+ *
+ * Each function builds one program modeled on the loop/dependence profile
+ * of a benchmark from the suites the paper evaluates (EEMBC, SPEC
+ * CPU2000/2006 INT and FP).  The per-kernel comments in the suite .cpp
+ * files document which dependence categories of paper Table I the kernel
+ * exercises and why.
+ *
+ * All kernels are fully deterministic and self-contained; sizes are tuned
+ * so one run costs roughly 0.3-1.5M dynamic IR instructions.
+ */
+
+#pragma once
+
+#include <memory>
+
+#include "ir/module.hpp"
+
+namespace lp::suites {
+
+/// @name EEMBC-like numeric embedded kernels
+/// @{
+std::unique_ptr<ir::Module> buildEembcA2time();
+std::unique_ptr<ir::Module> buildEembcAifir();
+std::unique_ptr<ir::Module> buildEembcAutcor();
+std::unique_ptr<ir::Module> buildEembcViterb();
+std::unique_ptr<ir::Module> buildEembcIdctrn();
+std::unique_ptr<ir::Module> buildEembcRgbcmyk();
+/// @}
+
+/// @name SPEC CFP2000-like kernels
+/// @{
+std::unique_ptr<ir::Module> buildCfp2000Swim();
+std::unique_ptr<ir::Module> buildCfp2000Art();
+std::unique_ptr<ir::Module> buildCfp2000Equake();
+std::unique_ptr<ir::Module> buildCfp2000Mesa();
+std::unique_ptr<ir::Module> buildCfp2000Ammp();
+/// @}
+
+/// @name SPEC CFP2006-like kernels
+/// @{
+std::unique_ptr<ir::Module> buildCfp2006Milc();
+std::unique_ptr<ir::Module> buildCfp2006Namd();
+std::unique_ptr<ir::Module> buildCfp2006Soplex();
+std::unique_ptr<ir::Module> buildCfp2006Lbm();
+std::unique_ptr<ir::Module> buildCfp2006Sphinx();
+/// @}
+
+/// @name SPEC CINT2000-like kernels
+/// @{
+std::unique_ptr<ir::Module> buildCint2000Gzip();
+std::unique_ptr<ir::Module> buildCint2000Vpr();
+std::unique_ptr<ir::Module> buildCint2000Gcc();
+std::unique_ptr<ir::Module> buildCint2000Mcf();
+std::unique_ptr<ir::Module> buildCint2000Crafty();
+std::unique_ptr<ir::Module> buildCint2000Parser();
+std::unique_ptr<ir::Module> buildCint2000Bzip2();
+/// @}
+
+/// @name SPEC CINT2006-like kernels
+/// @{
+std::unique_ptr<ir::Module> buildCint2006Bzip2();
+std::unique_ptr<ir::Module> buildCint2006Mcf();
+std::unique_ptr<ir::Module> buildCint2006Gobmk();
+std::unique_ptr<ir::Module> buildCint2006Hmmer();
+std::unique_ptr<ir::Module> buildCint2006Sjeng();
+std::unique_ptr<ir::Module> buildCint2006Libquantum();
+std::unique_ptr<ir::Module> buildCint2006H264();
+/// @}
+
+} // namespace lp::suites

@@ -1,0 +1,104 @@
+#include "suites/registry.hpp"
+
+#include "suites/kernels.hpp"
+
+namespace lp::suites {
+
+namespace {
+
+std::vector<core::BenchProgram>
+makeRegistry()
+{
+    std::vector<core::BenchProgram> v;
+    auto add = [&](const char *name, const char *suite, auto fn) {
+        core::BenchProgram p;
+        p.name = name;
+        p.suite = suite;
+        p.build = fn;
+        v.push_back(std::move(p));
+    };
+
+    // EEMBC-like.
+    add("eembc.a2time", "eembc", buildEembcA2time);
+    add("eembc.aifir", "eembc", buildEembcAifir);
+    add("eembc.autcor", "eembc", buildEembcAutcor);
+    add("eembc.viterb", "eembc", buildEembcViterb);
+    add("eembc.idctrn", "eembc", buildEembcIdctrn);
+    add("eembc.rgbcmyk", "eembc", buildEembcRgbcmyk);
+
+    // SPEC CFP2000-like.
+    add("171.swim-like", "cfp2000", buildCfp2000Swim);
+    add("179.art-like", "cfp2000", buildCfp2000Art);
+    add("183.equake-like", "cfp2000", buildCfp2000Equake);
+    add("177.mesa-like", "cfp2000", buildCfp2000Mesa);
+    add("188.ammp-like", "cfp2000", buildCfp2000Ammp);
+
+    // SPEC CFP2006-like.
+    add("433.milc-like", "cfp2006", buildCfp2006Milc);
+    add("444.namd-like", "cfp2006", buildCfp2006Namd);
+    add("450.soplex-like", "cfp2006", buildCfp2006Soplex);
+    add("470.lbm-like", "cfp2006", buildCfp2006Lbm);
+    add("482.sphinx3-like", "cfp2006", buildCfp2006Sphinx);
+
+    // SPEC CINT2000-like.
+    add("164.gzip-like", "cint2000", buildCint2000Gzip);
+    add("175.vpr-like", "cint2000", buildCint2000Vpr);
+    add("176.gcc-like", "cint2000", buildCint2000Gcc);
+    add("181.mcf-like", "cint2000", buildCint2000Mcf);
+    add("186.crafty-like", "cint2000", buildCint2000Crafty);
+    add("197.parser-like", "cint2000", buildCint2000Parser);
+    add("256.bzip2-like", "cint2000", buildCint2000Bzip2);
+
+    // SPEC CINT2006-like.
+    add("401.bzip2-like", "cint2006", buildCint2006Bzip2);
+    add("429.mcf-like", "cint2006", buildCint2006Mcf);
+    add("445.gobmk-like", "cint2006", buildCint2006Gobmk);
+    add("456.hmmer-like", "cint2006", buildCint2006Hmmer);
+    add("458.sjeng-like", "cint2006", buildCint2006Sjeng);
+    add("462.libquantum-like", "cint2006", buildCint2006Libquantum);
+    add("464.h264ref-like", "cint2006", buildCint2006H264);
+
+    return v;
+}
+
+} // namespace
+
+const std::vector<core::BenchProgram> &
+allPrograms()
+{
+    static const std::vector<core::BenchProgram> programs = makeRegistry();
+    return programs;
+}
+
+std::vector<core::BenchProgram>
+programsInSuite(const std::string &suite)
+{
+    std::vector<core::BenchProgram> out;
+    for (const auto &p : allPrograms())
+        if (p.suite == suite)
+            out.push_back(p);
+    return out;
+}
+
+std::vector<core::BenchProgram>
+nonNumericPrograms()
+{
+    std::vector<core::BenchProgram> out;
+    for (const auto &p : allPrograms())
+        if (p.suite == "cint2000" || p.suite == "cint2006")
+            out.push_back(p);
+    return out;
+}
+
+std::vector<core::BenchProgram>
+numericPrograms()
+{
+    std::vector<core::BenchProgram> out;
+    for (const auto &p : allPrograms())
+        if (p.suite == "eembc" || p.suite == "cfp2000" ||
+            p.suite == "cfp2006")
+            out.push_back(p);
+    return out;
+}
+
+} // namespace lp::suites

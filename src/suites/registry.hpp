@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Benchmark registry.
+ *
+ * The paper evaluates EEMBC, SPEC CPU2000 and CPU2006 (INT and FP).  Those
+ * suites cannot be redistributed, so each entry here is a synthetic kernel
+ * written in Loopapalooza IR and modeled on the loop structure and
+ * dependence profile of one benchmark of the corresponding suite (see
+ * DESIGN.md for the substitution argument and kernels.cpp for per-kernel
+ * notes).  Suites: "cint2000", "cint2006", "cfp2000", "cfp2006", "eembc".
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "core/study.hpp"
+
+namespace lp::suites {
+
+/** Every registered benchmark program. */
+const std::vector<core::BenchProgram> &allPrograms();
+
+/** Programs of one suite. */
+std::vector<core::BenchProgram> programsInSuite(const std::string &suite);
+
+/** Non-numeric programs (cint2000 + cint2006), as grouped in Figure 2. */
+std::vector<core::BenchProgram> nonNumericPrograms();
+
+/** Numeric programs (eembc + cfp2000 + cfp2006), as in Figure 3. */
+std::vector<core::BenchProgram> numericPrograms();
+
+} // namespace lp::suites

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Error-reporting primitives for the Loopapalooza framework.
+ *
+ * Follows the gem5 panic()/fatal() split:
+ *  - panic():  an internal invariant of the framework was violated (a bug in
+ *              Loopapalooza itself).  Aborts.
+ *  - fatal():  the user handed us something unusable (malformed IR, bad
+ *              configuration).  Throws lp::FatalError so callers and tests
+ *              can recover.
+ */
+
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace lp {
+
+/** Exception thrown by fatal() for user-level errors. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Abort with a message: an internal framework invariant was violated. */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Throw FatalError: the input (IR, config, ...) is the problem. */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** panic() unless @p cond holds. */
+inline void
+panicIf(bool cond, const std::string &msg)
+{
+    if (cond)
+        panic(msg);
+}
+
+/** fatal() unless @p cond holds. */
+inline void
+fatalIf(bool cond, const std::string &msg)
+{
+    if (cond)
+        fatal(msg);
+}
+
+} // namespace lp

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * The synthetic benchmark suites must behave identically on every run and
+ * every platform, so kernels never use std::rand or hardware entropy; they
+ * draw from this splitmix64-based generator seeded per kernel.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace lp {
+
+/** Small, fast, deterministic RNG (splitmix64). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi]. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(below(
+            static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool chance(double p) { return real() < p; }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace lp

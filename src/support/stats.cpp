@@ -1,0 +1,62 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace lp {
+
+double
+geomean(const std::vector<double> &xs)
+{
+    GeomeanAccum acc;
+    for (double x : xs)
+        acc.add(x);
+    return acc.value();
+}
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+double
+minOf(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+double
+maxOf(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+void
+GeomeanAccum::add(double x)
+{
+    fatalIf(x <= 0.0, "geomean sample must be positive");
+    logSum_ += std::log(x);
+    ++n_;
+}
+
+double
+GeomeanAccum::value() const
+{
+    if (n_ == 0)
+        return 0.0;
+    return std::exp(logSum_ / static_cast<double>(n_));
+}
+
+} // namespace lp

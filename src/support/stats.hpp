@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Small statistics helpers used when aggregating per-benchmark results into
+ * the suite-level numbers the paper reports (geometric means, etc.).
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lp {
+
+/** Geometric mean of @p xs; 0 if empty. All inputs must be > 0. */
+double geomean(const std::vector<double> &xs);
+
+/** Arithmetic mean of @p xs; 0 if empty. */
+double mean(const std::vector<double> &xs);
+
+/** Minimum of @p xs; 0 if empty. */
+double minOf(const std::vector<double> &xs);
+
+/** Maximum of @p xs; 0 if empty. */
+double maxOf(const std::vector<double> &xs);
+
+/**
+ * Online accumulator for geometric means; avoids overflow by summing logs.
+ */
+class GeomeanAccum
+{
+  public:
+    /** Add a sample (must be > 0). */
+    void add(double x);
+
+    /** Number of samples so far. */
+    std::size_t count() const { return n_; }
+
+    /** Geometric mean of samples so far; 0 if none. */
+    double value() const;
+
+  private:
+    double logSum_ = 0.0;
+    std::size_t n_ = 0;
+};
+
+} // namespace lp

@@ -1,0 +1,70 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/error.hpp"
+
+namespace lp {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    fatalIf(headers_.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    fatalIf(cells.size() != headers_.size(),
+            "row width does not match header width");
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double v, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emitRow = [&](const std::vector<std::string> &row) {
+        os << "|";
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << " " << row[c];
+            for (std::size_t k = row[c].size(); k < widths[c]; ++k)
+                os << ' ';
+            os << " |";
+        }
+        os << "\n";
+    };
+    auto emitRule = [&]() {
+        os << "+";
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            for (std::size_t k = 0; k < widths[c] + 2; ++k)
+                os << '-';
+            os << "+";
+        }
+        os << "\n";
+    };
+
+    emitRule();
+    emitRow(headers_);
+    emitRule();
+    for (const auto &row : rows_)
+        emitRow(row);
+    emitRule();
+}
+
+} // namespace lp

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * ASCII table rendering for the benchmark harnesses.
+ *
+ * Every bench binary regenerating a paper table/figure prints its rows
+ * through this class, so output formatting is uniform across experiments.
+ */
+
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lp {
+
+/** Column-aligned ASCII table with a header row. */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; must have as many cells as there are headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p prec digits after the point. */
+    static std::string num(double v, int prec = 2);
+
+    /** Render the full table. */
+    void print(std::ostream &os) const;
+
+    /** Number of data rows added so far. */
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace lp

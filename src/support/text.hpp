@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Tiny string-formatting helpers shared across the framework.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lp {
+
+/** printf-style formatting into a std::string. */
+std::string strf(const char *fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 1, 2)))
+#endif
+    ;
+
+/** Join @p parts with @p sep. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+/** Human-readable count with thousands separators, e.g. 1,234,567. */
+std::string withCommas(std::uint64_t v);
+
+} // namespace lp

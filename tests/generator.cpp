@@ -1,0 +1,199 @@
+#include "generator.hpp"
+
+#include <vector>
+
+#include "ir/builder.hpp"
+#include "support/rng.hpp"
+
+namespace lp::test {
+
+using namespace ir;
+
+namespace {
+
+/** Generation context: the values usable at the current program point. */
+struct Scope
+{
+    std::vector<Value *> ints; ///< I64 values that dominate this point
+};
+
+class Generator
+{
+  public:
+    explicit Generator(std::uint64_t seed)
+        : rng_(seed * 2 + 1), mod_(std::make_unique<Module>(
+                                  "random-" + std::to_string(seed))),
+          b_(*mod_)
+    {}
+
+    std::unique_ptr<Module>
+    run()
+    {
+        // Arrays: power-of-two sizes so indices can be masked safely.
+        unsigned nArrays = 2 + static_cast<unsigned>(rng_.below(3));
+        for (unsigned i = 0; i < nArrays; ++i) {
+            std::uint64_t elems = 64ULL << rng_.below(3);
+            arrays_.push_back(
+                {mod_->addGlobal("g" + std::to_string(i), elems * 8),
+                 elems});
+        }
+
+        // Optionally a pure helper the loops may call.
+        helper_ = b_.createFunction("mix", Type::I64, {{Type::I64, "x"}});
+        {
+            Value *x = helper_->args()[0].get();
+            Value *y = b_.add(b_.mul(x, b_.i64(37)),
+                              b_.ashr(x, b_.i64(3)));
+            b_.ret(b_.and_(y, b_.i64(0xffff)));
+        }
+
+        b_.createFunction("main", Type::I64);
+        Scope top;
+        top.ints.push_back(b_.i64(3));
+        top.ints.push_back(b_.i64(17));
+
+        unsigned phases = 2 + static_cast<unsigned>(rng_.below(3));
+        for (unsigned p = 0; p < phases; ++p)
+            emitLoopNest(top, 1);
+
+        // Return something data-dependent.
+        Value *r = b_.load(Type::I64,
+                           b_.elem(arrays_[0].global, b_.i64(0)));
+        b_.ret(r);
+        mod_->finalize();
+        return std::move(mod_);
+    }
+
+  private:
+    struct ArrayInfo
+    {
+        Global *global;
+        std::uint64_t elems;
+    };
+
+    Value *
+    pick(const Scope &s)
+    {
+        return s.ints[rng_.below(s.ints.size())];
+    }
+
+    /** A random in-bounds element address of a random array. */
+    Value *
+    address(const Scope &s, bool affineByIv, Value *iv)
+    {
+        const ArrayInfo &arr = arrays_[rng_.below(arrays_.size())];
+        Value *idx;
+        if (affineByIv && iv) {
+            idx = b_.and_(iv, b_.i64(static_cast<std::int64_t>(
+                                  arr.elems - 1)));
+        } else {
+            idx = b_.and_(pick(s), b_.i64(static_cast<std::int64_t>(
+                                       arr.elems - 1)));
+        }
+        return b_.elem(arr.global, idx);
+    }
+
+    void
+    emitLoopNest(Scope &outer, unsigned depth)
+    {
+        std::int64_t trip = 8 + static_cast<std::int64_t>(rng_.below(48));
+        CountedLoop loop(b_, b_.i64(0), b_.i64(trip), b_.i64(1),
+                         "L" + std::to_string(loopCounter_++));
+
+        // Optional carried recurrence of a random class.
+        Instruction *carried = nullptr;
+        unsigned carriedKind = static_cast<unsigned>(rng_.below(4));
+        if (carriedKind != 0) {
+            carried = loop.addRecurrence(
+                Type::I64, b_.i64(rng_.range(0, 100)), "c");
+        }
+
+        Scope body = outer;
+        body.ints.push_back(loop.iv());
+        if (carried)
+            body.ints.push_back(carried);
+
+        // Random body: a handful of operations.
+        unsigned ops = 3 + static_cast<unsigned>(rng_.below(8));
+        Value *lastLoad = nullptr;
+        for (unsigned i = 0; i < ops; ++i) {
+            switch (rng_.below(6)) {
+              case 0: { // arithmetic
+                Value *v = b_.add(b_.mul(pick(body), b_.i64(3)),
+                                  pick(body));
+                body.ints.push_back(v);
+                break;
+              }
+              case 1: { // affine load
+                lastLoad = b_.load(Type::I64,
+                                   address(body, true, loop.iv()));
+                body.ints.push_back(lastLoad);
+                break;
+              }
+              case 2: { // scrambled store
+                b_.store(pick(body), address(body, false, nullptr));
+                break;
+              }
+              case 3: { // affine store
+                b_.store(pick(body), address(body, true, loop.iv()));
+                break;
+              }
+              case 4: { // pure call
+                Value *v = b_.call(helper_, {pick(body)});
+                body.ints.push_back(v);
+                break;
+              }
+              default: { // shared-cell read-modify-write
+                Value *addr = address(body, false, nullptr);
+                Value *old = b_.load(Type::I64, addr);
+                b_.store(b_.add(old, b_.i64(1)), addr);
+                body.ints.push_back(old);
+                break;
+              }
+            }
+        }
+
+        // Nested loop with some probability (bounded depth).
+        if (depth < 2 && rng_.chance(0.4))
+            emitLoopNest(body, depth + 1);
+
+        // Close the carried recurrence.
+        if (carried) {
+            Value *next = nullptr;
+            switch (carriedKind) {
+              case 1: // reduction-shaped: c += x
+                next = b_.add(carried, pick(body), "c.next");
+                break;
+              case 2: // computable: c += 7
+                next = b_.add(carried, b_.i64(7), "c.next");
+                break;
+              default: // unpredictable: c = c*M + x
+                next = b_.add(b_.mul(carried,
+                                     b_.i64(6364136223846793005LL)),
+                              pick(body), "c.next");
+                break;
+            }
+            loop.setNext(carried, next);
+        }
+        loop.finish();
+        // Values from the loop body do not dominate the exit: `outer`
+        // remains the valid scope (plus nothing).
+    }
+
+    Rng rng_;
+    std::unique_ptr<Module> mod_;
+    IRBuilder b_;
+    Function *helper_ = nullptr;
+    std::vector<ArrayInfo> arrays_;
+    unsigned loopCounter_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Module>
+generateRandomProgram(std::uint64_t seed)
+{
+    return Generator(seed).run();
+}
+
+} // namespace lp::test

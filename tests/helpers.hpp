@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared test fixtures: small hand-built IR programs with known loop
+ * structure, dependence classes, and expected results.
+ */
+
+#pragma once
+
+#include <memory>
+
+#include "interp/stdlib.hpp"
+#include "ir/builder.hpp"
+
+namespace lp::test {
+
+/**
+ * saxpy: three init loops then `c[i] = a[i]*3 + b[i]` over @p n elements;
+ * main returns c[n-1].  Fully DOALL-parallel: computable IV, statically
+ * disjoint accesses, no calls.
+ */
+std::unique_ptr<ir::Module> buildSaxpy(std::int64_t n);
+
+/**
+ * sum: `acc += a[i]` over @p n elements with a[i] = i; returns acc.
+ * One reduction LCD; parallel only under reduc1 (or dep2/dep3).
+ */
+std::unique_ptr<ir::Module> buildSumReduction(std::int64_t n);
+
+/**
+ * chase: walks an @p n-node linked list threaded through a global arena
+ * in allocation order (node i at arena[2*i]), summing payloads.  The
+ * carried pointer is a non-computable but stride-predictable register
+ * LCD; the "next" pointer loads early in each iteration, so HELIX-dep1
+ * synchronization is cheap.
+ */
+std::unique_ptr<ir::Module> buildPointerChase(std::int64_t n);
+
+/**
+ * chase-shuffled: same list, but the nodes are threaded in a permuted
+ * order, making the carried pointer unpredictable.
+ */
+std::unique_ptr<ir::Module> buildPointerChaseShuffled(std::int64_t n);
+
+/**
+ * histogram: `hist[key(i) % buckets]++` over @p n items; key is an
+ * LCG-scrambled function of i.  Memory RAW conflicts whose frequency
+ * drops as @p buckets grows.
+ */
+std::unique_ptr<ir::Module> buildHistogram(std::int64_t n,
+                                           std::int64_t buckets);
+
+/**
+ * calls: a loop whose body calls one helper per element; variants select
+ * a pure helper, an instrumentable impure helper (writes an out-array
+ * element), or a helper calling the unsafe rand().
+ */
+enum class CalleeKind { Pure, Instrumented, UnsafeExt };
+std::unique_ptr<ir::Module> buildLoopWithCalls(std::int64_t n,
+                                               CalleeKind kind);
+
+} // namespace lp::test

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for configuration parsing/validation and the canonical
+ * paper configuration list.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/configs.hpp"
+#include "rt/config.hpp"
+#include "rt/plan.hpp"
+#include "support/error.hpp"
+
+namespace lp::rt {
+namespace {
+
+TEST(Config, ParseRoundTrip)
+{
+    for (int r = 0; r <= 1; ++r) {
+        for (int d = 0; d <= 3; ++d) {
+            for (int f = 0; f <= 3; ++f) {
+                for (ExecModel m :
+                     {ExecModel::PartialDoAll, ExecModel::Helix}) {
+                    char buf[64];
+                    std::snprintf(buf, sizeof(buf),
+                                  "reduc%d-dep%d-fn%d", r, d, f);
+                    LPConfig cfg = LPConfig::parse(buf, m);
+                    EXPECT_EQ(cfg.reduc, r);
+                    EXPECT_EQ(cfg.dep, d);
+                    EXPECT_EQ(cfg.fn, f);
+                    EXPECT_EQ(cfg.model, m);
+                    EXPECT_EQ(cfg.str().find(buf), 0u);
+                }
+            }
+        }
+    }
+}
+
+TEST(Config, DoallRejectsDepFlags)
+{
+    EXPECT_NO_THROW(LPConfig::parse("reduc0-dep0-fn0", ExecModel::DoAll));
+    EXPECT_NO_THROW(LPConfig::parse("reduc1-dep0-fn2", ExecModel::DoAll));
+    for (int d = 1; d <= 3; ++d) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "reduc0-dep%d-fn0", d);
+        EXPECT_THROW(LPConfig::parse(buf, ExecModel::DoAll), FatalError)
+            << buf;
+    }
+}
+
+TEST(Config, MalformedStringsRejected)
+{
+    EXPECT_THROW(LPConfig::parse("", ExecModel::Helix), FatalError);
+    EXPECT_THROW(LPConfig::parse("nonsense", ExecModel::Helix),
+                 FatalError);
+    EXPECT_THROW(LPConfig::parse("reduc9-dep0-fn0", ExecModel::Helix),
+                 FatalError);
+    EXPECT_THROW(LPConfig::parse("reduc0-dep7-fn0", ExecModel::Helix),
+                 FatalError);
+    EXPECT_THROW(LPConfig::parse("reduc0-dep0-fn9", ExecModel::Helix),
+                 FatalError);
+}
+
+TEST(Config, ThresholdValidation)
+{
+    LPConfig cfg = LPConfig::parse("reduc0-dep0-fn0",
+                                   ExecModel::PartialDoAll);
+    cfg.pdoallSerialThreshold = 0.0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+    cfg.pdoallSerialThreshold = 1.5;
+    EXPECT_THROW(cfg.validate(), FatalError);
+    cfg.pdoallSerialThreshold = 0.8;
+    EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(Config, ModelNames)
+{
+    EXPECT_STREQ(execModelName(ExecModel::DoAll), "DOALL");
+    EXPECT_STREQ(execModelName(ExecModel::PartialDoAll), "PDOALL");
+    EXPECT_STREQ(execModelName(ExecModel::Helix), "HELIX");
+}
+
+TEST(Config, PaperConfigListMatchesFigureRows)
+{
+    const auto &configs = core::paperConfigs();
+    ASSERT_EQ(configs.size(), 14u);
+    // Bottom of the figure: DOALL rows.
+    EXPECT_EQ(configs[0].label, "reduc0-dep0-fn0 DOALL");
+    EXPECT_EQ(configs[1].label, "reduc1-dep0-fn0 DOALL");
+    // Top of the figure: the headline HELIX row.
+    EXPECT_EQ(configs[13].label, "reduc1-dep1-fn2 HELIX");
+    // All labels unique and all configurations valid.
+    std::set<std::string> labels;
+    for (const auto &named : configs) {
+        EXPECT_NO_THROW(named.config.validate());
+        EXPECT_TRUE(labels.insert(named.label).second) << named.label;
+    }
+}
+
+TEST(Config, BestConfigsMatchPaper)
+{
+    EXPECT_EQ(core::bestPdoall().str(), "reduc1-dep2-fn2 PDOALL");
+    EXPECT_EQ(core::bestHelix().str(), "reduc1-dep1-fn2 HELIX");
+    ASSERT_EQ(core::coverageConfigs().size(), 3u);
+}
+
+TEST(Config, SerialReasonNames)
+{
+    EXPECT_STREQ(serialReasonName(SerialReason::None), "parallel");
+    EXPECT_STREQ(serialReasonName(SerialReason::RegisterLcd),
+                 "register-lcd");
+    EXPECT_STREQ(serialReasonName(SerialReason::CallPolicy),
+                 "call-policy");
+    EXPECT_STREQ(serialReasonName(SerialReason::NonCanonical),
+                 "non-canonical");
+}
+
+} // namespace
+} // namespace lp::rt

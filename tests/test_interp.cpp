@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Unit tests for the interpreter: semantics, costs, determinism, events.
+ */
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "interp/machine.hpp"
+#include "interp/stdlib.hpp"
+#include "ir/builder.hpp"
+#include "support/error.hpp"
+
+namespace lp {
+namespace {
+
+using namespace ir;
+using interp::Machine;
+
+std::uint64_t
+runModule(Module &mod)
+{
+    Machine m(mod);
+    return m.run();
+}
+
+TEST(Interp, SaxpyResult)
+{
+    // c[i] = a[i]*3 + b[i], a[i]=i, b[i]=2i => c[n-1] = 5(n-1).
+    auto mod = test::buildSaxpy(100);
+    EXPECT_EQ(runModule(*mod), 5u * 99u);
+}
+
+TEST(Interp, SumReductionResult)
+{
+    auto mod = test::buildSumReduction(100);
+    EXPECT_EQ(runModule(*mod), 100u * 99u / 2u);
+}
+
+TEST(Interp, PointerChaseResults)
+{
+    auto seq = test::buildPointerChase(64);
+    auto shuf = test::buildPointerChaseShuffled(64);
+    // Both visit all nodes once; the per-node work is a function of the
+    // payload alone, so both orders produce the same total.
+    EXPECT_EQ(runModule(*seq), runModule(*shuf));
+}
+
+TEST(Interp, HistogramCountsSumToN)
+{
+    // Return hist[0]; we independently compute the expectation here.
+    std::int64_t n = 64, buckets = 16;
+    std::uint64_t expect = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+        std::int64_t key = (i * 2654435761LL) >> 8;
+        if (key % buckets == 0)
+            ++expect;
+    }
+    auto mod = test::buildHistogram(n, buckets);
+    EXPECT_EQ(runModule(*mod), expect);
+}
+
+TEST(Interp, Deterministic)
+{
+    auto a = test::buildPointerChaseShuffled(64);
+    auto b = test::buildPointerChaseShuffled(64);
+    Machine ma(*a), mb(*b);
+    EXPECT_EQ(ma.run(), mb.run());
+    EXPECT_EQ(ma.cost(), mb.cost());
+}
+
+TEST(Interp, CostGrowsWithN)
+{
+    auto small = test::buildSaxpy(10);
+    auto large = test::buildSaxpy(1000);
+    Machine ms(*small), ml(*large);
+    ms.run();
+    ml.run();
+    EXPECT_GT(ml.cost(), 50 * ms.cost());
+}
+
+TEST(Interp, ArithmeticSemantics)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    b.createFunction("main", Type::I64);
+    Value *x = b.sub(b.i64(3), b.i64(10));       // -7
+    Value *y = b.sdiv(x, b.i64(2));              // -3 (trunc toward zero)
+    Value *z = b.srem(b.i64(-7), b.i64(3));      // -1
+    Value *s = b.ashr(b.i64(-16), b.i64(2));     // -4
+    Value *sel = b.select(b.icmpLt(y, z), s, x); // y<z: -3<-1 -> s = -4
+    b.ret(b.add(sel, b.i64(4)));                 // 0
+    mod.finalize();
+    EXPECT_EQ(runModule(mod), 0u);
+}
+
+TEST(Interp, FloatSemantics)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    b.createFunction("main", Type::I64);
+    Value *x = b.fmul(b.f64(1.5), b.f64(4.0)); // 6.0
+    Value *y = b.fdiv(x, b.f64(2.0));          // 3.0
+    Value *c = b.fcmp(Opcode::FCmpGt, y, b.f64(2.5)); // 1
+    Value *i = b.ftoi(y);                      // 3
+    b.ret(b.add(i, c));                        // 4
+    mod.finalize();
+    EXPECT_EQ(runModule(mod), 4u);
+}
+
+TEST(Interp, DivisionByZeroIsFatal)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    b.createFunction("main", Type::I64);
+    b.ret(b.sdiv(b.i64(1), b.i64(0)));
+    mod.finalize();
+    Machine m(mod);
+    EXPECT_THROW(m.run(), FatalError);
+}
+
+TEST(Interp, CostLimitAborts)
+{
+    auto mod = test::buildSaxpy(100000);
+    Machine m(*mod);
+    m.setCostLimit(1000);
+    EXPECT_THROW(m.run(), FatalError);
+}
+
+TEST(Interp, AllocaIsFrameLocal)
+{
+    // Callee writes its own scratch; two sequential calls reuse the same
+    // simulated stack addresses without interference.
+    Module mod("m");
+    IRBuilder b(mod);
+    Function *f =
+        b.createFunction("f", Type::I64, {{Type::I64, "x"}});
+    Value *buf = b.allocaBytes(16, "buf");
+    b.store(f->args()[0].get(), buf);
+    b.ret(b.load(Type::I64, buf));
+
+    b.createFunction("main", Type::I64);
+    Value *a = b.call(f, {b.i64(7)});
+    Value *c = b.call(f, {b.i64(35)});
+    b.ret(b.add(a, c));
+    mod.finalize();
+    EXPECT_EQ(runModule(mod), 42u);
+}
+
+TEST(Interp, ExternalCallsChargeCost)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    interp::Stdlib lib = interp::registerStdlib(mod);
+    b.createFunction("main", Type::I64);
+    Value *r = b.callExt(lib.sqrt, {b.f64(144.0)});
+    b.ret(b.ftoi(r));
+    mod.finalize();
+
+    Machine m(mod);
+    EXPECT_EQ(m.run(), 12u);
+    // Cost must include the external's declared 20 units.
+    EXPECT_GE(m.cost(), 20u);
+}
+
+TEST(Interp, StdlibMallocReturnsDistinctChunks)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    interp::Stdlib lib = interp::registerStdlib(mod);
+    b.createFunction("main", Type::I64);
+    Value *p = b.callExt(lib.malloc, {b.i64(64)});
+    Value *q = b.callExt(lib.malloc, {b.i64(64)});
+    b.store(b.i64(1), p);
+    b.store(b.i64(2), q);
+    Value *sum = b.add(b.load(Type::I64, p), b.load(Type::I64, q));
+    b.ret(sum);
+    mod.finalize();
+    EXPECT_EQ(runModule(mod), 3u);
+}
+
+TEST(Interp, StdlibRandDeterministicSequence)
+{
+    auto build = []() {
+        auto mod = std::make_unique<Module>("m");
+        IRBuilder b(*mod);
+        interp::Stdlib lib = interp::registerStdlib(*mod);
+        b.createFunction("main", Type::I64);
+        Value *a = b.callExt(lib.rand, {});
+        Value *c = b.callExt(lib.rand, {});
+        b.ret(b.xor_(a, c));
+        mod->finalize();
+        return mod;
+    };
+    auto m1 = build();
+    auto m2 = build();
+    EXPECT_EQ(runModule(*m1), runModule(*m2));
+}
+
+/** Counts events fired by the interpreter. */
+class CountingListener : public interp::ExecListener
+{
+  public:
+    std::uint64_t blocks = 0, phis = 0, loads = 0, stores = 0, calls = 0,
+                  enters = 0, exits = 0;
+    void onBlockEnter(const BasicBlock *) override { ++blocks; }
+    void onPhiResolved(const Instruction *, std::uint64_t) override
+    {
+        ++phis;
+    }
+    void onLoad(const Instruction *, std::uint64_t) override { ++loads; }
+    void onStore(const Instruction *, std::uint64_t) override { ++stores; }
+    void onCallSite(const Instruction *) override { ++calls; }
+    void onFunctionEnter(const Function *) override { ++enters; }
+    void onFunctionExit(const Function *) override { ++exits; }
+};
+
+TEST(Interp, EventStreamShape)
+{
+    std::int64_t n = 10;
+    auto mod = test::buildLoopWithCalls(n, test::CalleeKind::Pure);
+    CountingListener listener;
+    Machine m(*mod, &listener);
+    m.run();
+
+    EXPECT_EQ(listener.enters, listener.exits);
+    EXPECT_EQ(listener.enters, 1u + n); // main + n helper calls
+    EXPECT_EQ(listener.calls, static_cast<std::uint64_t>(n));
+    // init loop: n stores; main loop: n stores; helper: none.
+    EXPECT_EQ(listener.stores, 2u * n);
+    // init loop: 0 loads; main loop: 1 load per iteration + final load.
+    EXPECT_EQ(listener.loads, n + 1u);
+    // Two counted loops: one phi resolution per header visit.
+    EXPECT_EQ(listener.phis, 2u * (n + 1u));
+    EXPECT_GT(listener.blocks, 4u * n);
+}
+
+TEST(Interp, PhiValuesObserved)
+{
+    // The induction variable's observed sequence must be 0..n.
+    struct IvListener : interp::ExecListener
+    {
+        std::vector<std::uint64_t> values;
+        void
+        onPhiResolved(const Instruction *phi, std::uint64_t bits) override
+        {
+            if (phi->name() == "i")
+                values.push_back(bits);
+        }
+    };
+    Module mod("m");
+    IRBuilder b(mod);
+    b.createFunction("main", Type::I64);
+    CountedLoop l(b, b.i64(0), b.i64(5), b.i64(1), "i");
+    l.finish();
+    b.ret(b.i64(0));
+    mod.finalize();
+
+    IvListener listener;
+    Machine m(mod, &listener);
+    m.run();
+    ASSERT_EQ(listener.values.size(), 6u);
+    for (std::uint64_t k = 0; k <= 5; ++k)
+        EXPECT_EQ(listener.values[k], k);
+}
+
+} // namespace
+} // namespace lp

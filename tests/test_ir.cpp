@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Unit tests for the IR substrate: construction, printing, verification.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "helpers.hpp"
+#include "ir/builder.hpp"
+#include "ir/verifier.hpp"
+#include "support/error.hpp"
+
+namespace lp {
+namespace {
+
+using namespace ir;
+
+TEST(Ir, TypeNamesAndSizes)
+{
+    EXPECT_STREQ(typeName(Type::I64), "i64");
+    EXPECT_STREQ(typeName(Type::F64), "f64");
+    EXPECT_STREQ(typeName(Type::Ptr), "ptr");
+    EXPECT_STREQ(typeName(Type::Void), "void");
+    EXPECT_EQ(typeSize(Type::I64), 8u);
+    EXPECT_EQ(typeSize(Type::Void), 0u);
+}
+
+TEST(Ir, ConstantInterning)
+{
+    Module mod("m");
+    EXPECT_EQ(mod.constI64(42), mod.constI64(42));
+    EXPECT_NE(mod.constI64(42), mod.constI64(43));
+    EXPECT_EQ(mod.constF64(1.5), mod.constF64(1.5));
+    EXPECT_EQ(mod.constNullPtr(), mod.constNullPtr());
+    EXPECT_EQ(mod.constNullPtr()->type(), Type::Ptr);
+}
+
+TEST(Ir, BuilderProducesVerifiableModule)
+{
+    auto mod = test::buildSaxpy(16);
+    VerifyResult r = verifyModule(*mod);
+    EXPECT_TRUE(r.ok()) << r.message();
+}
+
+TEST(Ir, AllHelperModulesVerify)
+{
+    for (auto &mod :
+         {test::buildSumReduction(8), test::buildPointerChase(8),
+          test::buildPointerChaseShuffled(8),
+          test::buildHistogram(32, 8),
+          test::buildLoopWithCalls(8, test::CalleeKind::Pure),
+          test::buildLoopWithCalls(8, test::CalleeKind::Instrumented),
+          test::buildLoopWithCalls(8, test::CalleeKind::UnsafeExt)}) {
+        VerifyResult r = verifyModule(*mod);
+        EXPECT_TRUE(r.ok()) << mod->name() << ": " << r.message();
+    }
+}
+
+TEST(Ir, VerifierCatchesMissingTerminator)
+{
+    Module mod("bad");
+    IRBuilder b(mod);
+    b.createFunction("main", Type::I64);
+    b.add(b.i64(1), b.i64(2)); // no ret
+    mod.finalize();
+    VerifyResult r = verifyModule(mod);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.message().find("lacks a terminator"), std::string::npos);
+}
+
+TEST(Ir, VerifierCatchesTypeMismatch)
+{
+    Module mod("bad");
+    IRBuilder b(mod);
+    b.createFunction("main", Type::I64);
+    // fadd over integers.
+    auto instr = std::make_unique<Instruction>(Opcode::FAdd, Type::F64, "");
+    instr->addOperand(b.i64(1));
+    instr->addOperand(b.i64(2));
+    b.insertBlock()->append(std::move(instr));
+    b.ret(b.i64(0));
+    mod.finalize();
+    VerifyResult r = verifyModule(mod);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.message().find("expected f64"), std::string::npos);
+}
+
+TEST(Ir, VerifierCatchesPhiPredMismatch)
+{
+    Module mod("bad");
+    IRBuilder b(mod);
+    b.createFunction("main", Type::I64);
+    BasicBlock *next = b.newBlock("next");
+    b.jmp(next);
+    b.setInsertPoint(next);
+    Instruction *phi = b.phi(Type::I64, "p"); // zero incoming, one pred
+    b.ret(phi);
+    mod.finalize();
+    VerifyResult r = verifyModule(mod);
+    ASSERT_FALSE(r.ok());
+}
+
+TEST(Ir, VerifierRequiresMain)
+{
+    Module mod("nomain");
+    IRBuilder b(mod);
+    b.createFunction("helper", Type::Void);
+    b.retVoid();
+    mod.finalize();
+    VerifyResult r = verifyModule(mod);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.message().find("no main"), std::string::npos);
+}
+
+TEST(Ir, PredecessorsTracked)
+{
+    auto mod = test::buildSaxpy(4);
+    const Function *main = mod->mainFunction();
+    // Every loop header in the saxpy module has two predecessors
+    // (preheader and latch).
+    int headers = 0;
+    for (const auto &bb : main->blocks()) {
+        if (bb->name().find(".hdr") != std::string::npos) {
+            EXPECT_EQ(bb->predecessors().size(), 2u) << bb->name();
+            ++headers;
+        }
+    }
+    EXPECT_EQ(headers, 3);
+}
+
+TEST(Ir, PrinterOutputContainsStructure)
+{
+    auto mod = test::buildSumReduction(4);
+    std::ostringstream os;
+    mod->print(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("func i64 @main()"), std::string::npos);
+    EXPECT_NE(s.find("phi"), std::string::npos);
+    EXPECT_NE(s.find("global @a"), std::string::npos);
+    EXPECT_NE(s.find("j.hdr"), std::string::npos);
+}
+
+TEST(Ir, IncomingForFindsEdgeValue)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    b.createFunction("main", Type::I64);
+    CountedLoop l(b, b.i64(0), b.i64(10), b.i64(1), "i");
+    l.finish();
+    b.ret(b.i64(0));
+    mod.finalize();
+
+    const Function *main = mod.mainFunction();
+    const BasicBlock *header = nullptr;
+    for (const auto &bb : main->blocks())
+        if (bb->name() == "i.hdr")
+            header = bb.get();
+    ASSERT_NE(header, nullptr);
+    auto phis = header->phis();
+    ASSERT_EQ(phis.size(), 1u);
+    // Incoming from the entry block is the constant 0.
+    const Value *init = phis[0]->incomingFor(main->entry());
+    ASSERT_EQ(init->kind(), ValueKind::ConstInt);
+    EXPECT_EQ(static_cast<const ConstInt *>(init)->value(), 0);
+}
+
+TEST(Ir, RenumberAssignsDenseIds)
+{
+    auto mod = test::buildSaxpy(4);
+    const Function *main = mod->mainFunction();
+    EXPECT_GT(main->numLocals(), 0u);
+    std::vector<bool> seen(main->numLocals(), false);
+    for (const auto &bb : main->blocks()) {
+        for (const auto &instr : bb->instructions()) {
+            ASSERT_LT(instr->localId(), main->numLocals());
+            EXPECT_FALSE(seen[instr->localId()]);
+            seen[instr->localId()] = true;
+        }
+    }
+}
+
+TEST(Ir, ExternalAttributes)
+{
+    EXPECT_STREQ(extAttrName(ExtAttr::Pure), "pure");
+    EXPECT_STREQ(extAttrName(ExtAttr::ThreadSafe), "threadsafe");
+    EXPECT_STREQ(extAttrName(ExtAttr::Unsafe), "unsafe");
+}
+
+TEST(Ir, DuplicateFunctionNameRejected)
+{
+    Module mod("m");
+    mod.addFunction("f", Type::Void);
+    EXPECT_THROW(mod.addFunction("f", Type::Void), FatalError);
+}
+
+} // namespace
+} // namespace lp

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Tests for the textual IR parser: hand-written programs, error cases,
+ * and the round-trip property parse(print(M)) == M (checked by
+ * re-printing) over the bundled kernels and random programs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "generator.hpp"
+#include "helpers.hpp"
+#include "interp/machine.hpp"
+#include "interp/stdlib.hpp"
+#include "ir/parser.hpp"
+#include "ir/verifier.hpp"
+#include "suites/registry.hpp"
+#include "support/error.hpp"
+
+namespace lp {
+namespace {
+
+using namespace ir;
+
+std::string
+printed(const Module &mod)
+{
+    std::ostringstream os;
+    mod.print(os);
+    return os.str();
+}
+
+TEST(Parser, HandWrittenModule)
+{
+    const char *text = R"(module demo
+global @data [64 bytes]
+
+func i64 @main() {
+  entry:
+    jmp label hdr
+  hdr:
+    %i = phi i64 [0, entry], [%i.next, latch]
+    %cond = icmp.lt i64 %i, 8
+    br %cond, label body, label exit
+  body:
+    %off = mul i64 %i, 8
+    %p = ptradd ptr @data, %off
+    store %i, %p
+    jmp label latch
+  latch:
+    %i.next = add i64 %i, 1
+    jmp label hdr
+  exit:
+    %last = load i64 @data
+    ret %last
+}
+)";
+    auto mod = parseModule(text);
+    VerifyResult r = verifyModule(*mod);
+    ASSERT_TRUE(r.ok()) << r.message();
+    interp::Machine m(*mod);
+    EXPECT_EQ(m.run(), 0u); // data[0] == 0
+    EXPECT_EQ(mod->name(), "demo");
+    EXPECT_EQ(mod->globals().size(), 1u);
+}
+
+TEST(Parser, FloatAndPointerLiterals)
+{
+    const char *text = R"(module lits
+func i64 @main() {
+  entry:
+    %x = fadd f64 1.5, 2.5
+    %i = ftoi f64 %x
+    %isnull = icmp.eq ptr null, null
+    %r = add i64 %i, %isnull
+    ret %r
+}
+)";
+    auto mod = parseModule(text);
+    interp::Machine m(*mod);
+    EXPECT_EQ(m.run(), 5u); // 4 + 1
+}
+
+TEST(Parser, ExternWithStdlibResolver)
+{
+    const char *text = R"(module ext
+extern f64 @!sqrt #pure cost=20
+
+func i64 @main() {
+  entry:
+    %x = callext f64 @!sqrt 256.0
+    %r = ftoi f64 %x
+    ret %r
+}
+)";
+    auto mod = parseModule(text, interp::stdlibImplFor);
+    interp::Machine m(*mod);
+    EXPECT_EQ(m.run(), 16u);
+}
+
+TEST(Parser, UnknownExternGetsZeroStub)
+{
+    const char *text = R"(module ext
+extern i64 @!mystery #threadsafe cost=5
+
+func i64 @main() {
+  entry:
+    %x = callext i64 @!mystery
+    ret %x
+}
+)";
+    auto mod = parseModule(text);
+    interp::Machine m(*mod);
+    EXPECT_EQ(m.run(), 0u);
+}
+
+TEST(Parser, ErrorsCarryLineNumbers)
+{
+    try {
+        parseModule("module m\nfunc i64 @main() {\n  entry:\n"
+                    "    %x = frobnicate i64 1, 2\n    ret %x\n}\n");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 4"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("frobnicate"),
+                  std::string::npos);
+    }
+}
+
+TEST(Parser, RejectsUndefinedValue)
+{
+    EXPECT_THROW(parseModule("module m\nfunc i64 @main() {\n  entry:\n"
+                             "    ret %ghost\n}\n"),
+                 FatalError);
+}
+
+TEST(Parser, RejectsUnknownCallee)
+{
+    EXPECT_THROW(parseModule("module m\nfunc i64 @main() {\n  entry:\n"
+                             "    %x = call i64 @nothere\n    ret %x\n}\n"),
+                 FatalError);
+}
+
+TEST(Parser, RejectsMissingModuleLine)
+{
+    EXPECT_THROW(parseModule("func i64 @main() {\n  entry:\n"
+                             "    ret 0\n}\n"),
+                 FatalError);
+}
+
+TEST(Parser, RoundTripHelpers)
+{
+    for (auto &mod :
+         {test::buildSaxpy(16), test::buildSumReduction(16),
+          test::buildPointerChase(16), test::buildHistogram(64, 16),
+          test::buildLoopWithCalls(8, test::CalleeKind::Instrumented)}) {
+        std::string once = printed(*mod);
+        auto reparsed = parseModule(once, interp::stdlibImplFor);
+        EXPECT_EQ(printed(*reparsed), once) << mod->name();
+        // And the reparsed module still verifies and runs identically.
+        ASSERT_TRUE(verifyModule(*reparsed).ok());
+        interp::Machine a(*mod), b(*reparsed);
+        EXPECT_EQ(a.run(), b.run()) << mod->name();
+        EXPECT_EQ(a.cost(), b.cost()) << mod->name();
+    }
+}
+
+class ParserRoundTrip
+    : public ::testing::TestWithParam<core::BenchProgram>
+{
+};
+
+TEST_P(ParserRoundTrip, SuiteKernelSurvives)
+{
+    auto mod = GetParam().build();
+    std::string once = printed(*mod);
+    auto reparsed = parseModule(once, interp::stdlibImplFor);
+    EXPECT_EQ(printed(*reparsed), once);
+    interp::Machine a(*mod), b(*reparsed);
+    EXPECT_EQ(a.run(), b.run());
+    EXPECT_EQ(a.cost(), b.cost());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, ParserRoundTrip,
+    ::testing::ValuesIn(suites::allPrograms()),
+    [](const ::testing::TestParamInfo<core::BenchProgram> &info) {
+        std::string name = info.param.name;
+        for (char &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+TEST(Parser, RoundTripRandomPrograms)
+{
+    for (std::uint64_t seed = 0; seed < 16; ++seed) {
+        auto mod = test::generateRandomProgram(seed);
+        std::string once = printed(*mod);
+        auto reparsed = parseModule(once, interp::stdlibImplFor);
+        EXPECT_EQ(printed(*reparsed), once) << "seed " << seed;
+    }
+}
+
+} // namespace
+} // namespace lp

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit tests for the value predictors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "predict/predictor.hpp"
+
+namespace lp::predict {
+namespace {
+
+TEST(LastValue, ConstantSequencePredicted)
+{
+    LastValuePredictor p;
+    EXPECT_FALSE(p.predictAndTrain(7)); // cold
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(p.predictAndTrain(7));
+}
+
+TEST(LastValue, ChangingValueMissed)
+{
+    LastValuePredictor p;
+    p.train(1);
+    EXPECT_FALSE(p.predictAndTrain(2));
+    EXPECT_FALSE(p.predictAndTrain(3));
+}
+
+TEST(Stride, LinearSequencePredicted)
+{
+    StridePredictor p;
+    p.train(10);
+    p.train(13); // stride 3 learned
+    for (std::uint64_t v = 16; v < 100; v += 3)
+        EXPECT_TRUE(p.predictAndTrain(v));
+}
+
+TEST(Stride, NegativeStride)
+{
+    StridePredictor p;
+    p.train(100);
+    p.train(92);
+    for (std::uint64_t v = 84; v > 20; v -= 8)
+        EXPECT_TRUE(p.predictAndTrain(v));
+}
+
+TEST(Stride, StrideChangeCausesOneMiss)
+{
+    StridePredictor p;
+    p.train(0);
+    p.train(1);
+    EXPECT_TRUE(p.predictAndTrain(2));
+    EXPECT_FALSE(p.predictAndTrain(10)); // stride changes 1 -> 8
+    EXPECT_TRUE(p.predictAndTrain(18));  // new stride learned immediately
+}
+
+TEST(TwoDelta, OneOffJumpDoesNotDisturbStride)
+{
+    TwoDeltaStridePredictor p;
+    p.train(0);
+    p.train(4);
+    EXPECT_TRUE(p.predictAndTrain(8));
+    EXPECT_FALSE(p.predictAndTrain(100)); // one-off jump: miss
+    // The plain stride predictor would now predict 192; 2-delta kept
+    // stride 4 and predicts 104.
+    EXPECT_TRUE(p.predictAndTrain(104));
+    EXPECT_TRUE(p.predictAndTrain(108));
+}
+
+TEST(TwoDelta, PersistentNewStrideAdopted)
+{
+    TwoDeltaStridePredictor p;
+    p.train(0);
+    p.train(4);
+    EXPECT_TRUE(p.predictAndTrain(8));
+    EXPECT_FALSE(p.predictAndTrain(16)); // delta 8, first sighting
+    EXPECT_FALSE(p.predictAndTrain(24)); // predicted 16+4; delta 8 twice
+    EXPECT_TRUE(p.predictAndTrain(32));  // stride 8 now in force
+}
+
+TEST(Fcm, PeriodicPatternLearned)
+{
+    FcmPredictor p(2, 8);
+    // Repeat the period-4 pattern until learned, then expect hits.
+    const std::uint64_t pat[] = {5, 9, 2, 7};
+    for (int warm = 0; warm < 3; ++warm)
+        for (std::uint64_t v : pat)
+            p.train(v);
+    int hits = 0;
+    for (int round = 0; round < 4; ++round)
+        for (std::uint64_t v : pat)
+            hits += p.predictAndTrain(v);
+    EXPECT_EQ(hits, 16);
+}
+
+TEST(Fcm, RandomlikeSequenceMissed)
+{
+    FcmPredictor p;
+    std::uint64_t x = 88172645463325252ULL;
+    int hits = 0;
+    for (int i = 0; i < 200; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        hits += p.predictAndTrain(x);
+    }
+    EXPECT_LE(hits, 2);
+}
+
+TEST(Hybrid, AnyCorrectCoversStrideAndPattern)
+{
+    HybridPredictor h;
+    // Strided phase.
+    int strideHits = 0;
+    for (std::uint64_t v = 0; v < 50; v += 5)
+        strideHits += h.predictAndTrain(v).anyCorrect;
+    EXPECT_GE(strideHits, 7);
+
+    // Constant phase: last-value takes over.
+    int constHits = 0;
+    for (int i = 0; i < 10; ++i)
+        constHits += h.predictAndTrain(1234).anyCorrect;
+    EXPECT_GE(constHits, 8);
+}
+
+TEST(Hybrid, ComponentOutcomesReported)
+{
+    HybridPredictor h;
+    h.predictAndTrain(10);
+    h.predictAndTrain(20);
+    HybridOutcome out = h.predictAndTrain(30);
+    EXPECT_TRUE(out.anyCorrect);
+    EXPECT_TRUE(out.componentCorrect[1]); // stride
+    EXPECT_FALSE(out.componentCorrect[0]); // last-value predicted 20
+}
+
+TEST(Hybrid, SelectorConvergesToGoodComponent)
+{
+    HybridPredictor h;
+    // After a long strided run, the confidence selector must pick a
+    // stride-family component and be correct.
+    int tail = 0;
+    for (std::uint64_t v = 0; v < 400; v += 3) {
+        HybridOutcome out = h.predictAndTrain(v);
+        if (v > 100)
+            tail += out.selectedCorrect;
+    }
+    EXPECT_GE(tail, 90);
+}
+
+TEST(Hybrid, ComponentNames)
+{
+    HybridPredictor h;
+    EXPECT_STREQ(h.componentName(0), "last-value");
+    EXPECT_STREQ(h.componentName(1), "stride");
+    EXPECT_STREQ(h.componentName(2), "2-delta");
+    EXPECT_STREQ(h.componentName(3), "fcm");
+}
+
+} // namespace
+} // namespace lp::predict

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit tests for the support library: stats, tables, text, RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "support/text.hpp"
+
+namespace lp {
+namespace {
+
+TEST(Stats, GeomeanOfEqualValues)
+{
+    EXPECT_DOUBLE_EQ(geomean({2.0, 2.0, 2.0}), 2.0);
+}
+
+TEST(Stats, GeomeanKnownValue)
+{
+    // geomean(1, 4) = 2; geomean(2, 8) = 4.
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+}
+
+TEST(Stats, GeomeanEmptyIsZero)
+{
+    EXPECT_EQ(geomean({}), 0.0);
+}
+
+TEST(Stats, GeomeanRejectsNonPositive)
+{
+    EXPECT_THROW(geomean({1.0, 0.0}), FatalError);
+    EXPECT_THROW(geomean({-3.0}), FatalError);
+}
+
+TEST(Stats, AccumMatchesBatch)
+{
+    GeomeanAccum acc;
+    for (double v : {1.5, 3.0, 7.25, 0.5})
+        acc.add(v);
+    EXPECT_NEAR(acc.value(), geomean({1.5, 3.0, 7.25, 0.5}), 1e-12);
+    EXPECT_EQ(acc.count(), 4u);
+}
+
+TEST(Stats, MeanMinMax)
+{
+    std::vector<double> xs{3.0, 1.0, 2.0};
+    EXPECT_DOUBLE_EQ(mean(xs), 2.0);
+    EXPECT_DOUBLE_EQ(minOf(xs), 1.0);
+    EXPECT_DOUBLE_EQ(maxOf(xs), 3.0);
+}
+
+TEST(Text, Strf)
+{
+    EXPECT_EQ(strf("%d-%s", 7, "x"), "7-x");
+    EXPECT_EQ(strf("%.2f", 1.239), "1.24");
+}
+
+TEST(Text, Join)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ","), "");
+    EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(Text, WithCommas)
+{
+    EXPECT_EQ(withCommas(0), "0");
+    EXPECT_EQ(withCommas(999), "999");
+    EXPECT_EQ(withCommas(1000), "1,000");
+    EXPECT_EQ(withCommas(1234567890ULL), "1,234,567,890");
+}
+
+TEST(Table, AlignsAndCounts)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer", "23456"});
+    EXPECT_EQ(t.rows(), 2u);
+    std::ostringstream os;
+    t.print(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("| name   | value |"), std::string::npos);
+    EXPECT_NE(s.find("| longer | 23456 |"), std::string::npos);
+}
+
+TEST(Table, RejectsBadRow)
+{
+    TextTable t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), FatalError);
+}
+
+TEST(Table, NumFormatting)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, RangeBounds)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        std::int64_t v = r.range(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(Rng, RealInUnitInterval)
+{
+    Rng r(9);
+    for (int i = 0; i < 1000; ++i) {
+        double v = r.real();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Error, FatalThrows)
+{
+    EXPECT_THROW(fatal("boom"), FatalError);
+    try {
+        fatal("message text");
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "message text");
+    }
+}
+
+TEST(Error, FatalIfConditional)
+{
+    EXPECT_NO_THROW(fatalIf(false, "no"));
+    EXPECT_THROW(fatalIf(true, "yes"), FatalError);
+}
+
+} // namespace
+} // namespace lp
