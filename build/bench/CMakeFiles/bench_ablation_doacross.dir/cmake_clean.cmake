@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_doacross.dir/bench_ablation_doacross.cpp.o"
+  "CMakeFiles/bench_ablation_doacross.dir/bench_ablation_doacross.cpp.o.d"
+  "bench_ablation_doacross"
+  "bench_ablation_doacross.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_doacross.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

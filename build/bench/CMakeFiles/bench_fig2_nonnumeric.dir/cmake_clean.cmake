@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_nonnumeric.dir/bench_fig2_nonnumeric.cpp.o"
+  "CMakeFiles/bench_fig2_nonnumeric.dir/bench_fig2_nonnumeric.cpp.o.d"
+  "bench_fig2_nonnumeric"
+  "bench_fig2_nonnumeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_nonnumeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

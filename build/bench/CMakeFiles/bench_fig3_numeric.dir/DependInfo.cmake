@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3_numeric.cpp" "bench/CMakeFiles/bench_fig3_numeric.dir/bench_fig3_numeric.cpp.o" "gcc" "bench/CMakeFiles/bench_fig3_numeric.dir/bench_fig3_numeric.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/suites/CMakeFiles/lp_suites.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/lp_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/lp_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/lp_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/lp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_numeric.dir/bench_fig3_numeric.cpp.o"
+  "CMakeFiles/bench_fig3_numeric.dir/bench_fig3_numeric.cpp.o.d"
+  "bench_fig3_numeric"
+  "bench_fig3_numeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

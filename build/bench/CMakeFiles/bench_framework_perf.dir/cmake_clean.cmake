@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_framework_perf.dir/bench_framework_perf.cpp.o"
+  "CMakeFiles/bench_framework_perf.dir/bench_framework_perf.cpp.o.d"
+  "bench_framework_perf"
+  "bench_framework_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_framework_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

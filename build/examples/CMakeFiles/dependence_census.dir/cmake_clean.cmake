@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dependence_census.dir/dependence_census.cpp.o"
+  "CMakeFiles/dependence_census.dir/dependence_census.cpp.o.d"
+  "dependence_census"
+  "dependence_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dependence_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/disjoint.cpp" "src/analysis/CMakeFiles/lp_analysis.dir/disjoint.cpp.o" "gcc" "src/analysis/CMakeFiles/lp_analysis.dir/disjoint.cpp.o.d"
+  "/root/repo/src/analysis/dominators.cpp" "src/analysis/CMakeFiles/lp_analysis.dir/dominators.cpp.o" "gcc" "src/analysis/CMakeFiles/lp_analysis.dir/dominators.cpp.o.d"
+  "/root/repo/src/analysis/loop_info.cpp" "src/analysis/CMakeFiles/lp_analysis.dir/loop_info.cpp.o" "gcc" "src/analysis/CMakeFiles/lp_analysis.dir/loop_info.cpp.o.d"
+  "/root/repo/src/analysis/mem_object.cpp" "src/analysis/CMakeFiles/lp_analysis.dir/mem_object.cpp.o" "gcc" "src/analysis/CMakeFiles/lp_analysis.dir/mem_object.cpp.o.d"
+  "/root/repo/src/analysis/purity.cpp" "src/analysis/CMakeFiles/lp_analysis.dir/purity.cpp.o" "gcc" "src/analysis/CMakeFiles/lp_analysis.dir/purity.cpp.o.d"
+  "/root/repo/src/analysis/reduction.cpp" "src/analysis/CMakeFiles/lp_analysis.dir/reduction.cpp.o" "gcc" "src/analysis/CMakeFiles/lp_analysis.dir/reduction.cpp.o.d"
+  "/root/repo/src/analysis/scev.cpp" "src/analysis/CMakeFiles/lp_analysis.dir/scev.cpp.o" "gcc" "src/analysis/CMakeFiles/lp_analysis.dir/scev.cpp.o.d"
+  "/root/repo/src/analysis/ssa_verify.cpp" "src/analysis/CMakeFiles/lp_analysis.dir/ssa_verify.cpp.o" "gcc" "src/analysis/CMakeFiles/lp_analysis.dir/ssa_verify.cpp.o.d"
+  "/root/repo/src/analysis/uses.cpp" "src/analysis/CMakeFiles/lp_analysis.dir/uses.cpp.o" "gcc" "src/analysis/CMakeFiles/lp_analysis.dir/uses.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/lp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

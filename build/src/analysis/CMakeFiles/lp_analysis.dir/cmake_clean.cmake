@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_analysis.dir/disjoint.cpp.o"
+  "CMakeFiles/lp_analysis.dir/disjoint.cpp.o.d"
+  "CMakeFiles/lp_analysis.dir/dominators.cpp.o"
+  "CMakeFiles/lp_analysis.dir/dominators.cpp.o.d"
+  "CMakeFiles/lp_analysis.dir/loop_info.cpp.o"
+  "CMakeFiles/lp_analysis.dir/loop_info.cpp.o.d"
+  "CMakeFiles/lp_analysis.dir/mem_object.cpp.o"
+  "CMakeFiles/lp_analysis.dir/mem_object.cpp.o.d"
+  "CMakeFiles/lp_analysis.dir/purity.cpp.o"
+  "CMakeFiles/lp_analysis.dir/purity.cpp.o.d"
+  "CMakeFiles/lp_analysis.dir/reduction.cpp.o"
+  "CMakeFiles/lp_analysis.dir/reduction.cpp.o.d"
+  "CMakeFiles/lp_analysis.dir/scev.cpp.o"
+  "CMakeFiles/lp_analysis.dir/scev.cpp.o.d"
+  "CMakeFiles/lp_analysis.dir/ssa_verify.cpp.o"
+  "CMakeFiles/lp_analysis.dir/ssa_verify.cpp.o.d"
+  "CMakeFiles/lp_analysis.dir/uses.cpp.o"
+  "CMakeFiles/lp_analysis.dir/uses.cpp.o.d"
+  "liblp_analysis.a"
+  "liblp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_core.dir/configs.cpp.o"
+  "CMakeFiles/lp_core.dir/configs.cpp.o.d"
+  "CMakeFiles/lp_core.dir/driver.cpp.o"
+  "CMakeFiles/lp_core.dir/driver.cpp.o.d"
+  "CMakeFiles/lp_core.dir/study.cpp.o"
+  "CMakeFiles/lp_core.dir/study.cpp.o.d"
+  "liblp_core.a"
+  "liblp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_interp.dir/machine.cpp.o"
+  "CMakeFiles/lp_interp.dir/machine.cpp.o.d"
+  "CMakeFiles/lp_interp.dir/memory.cpp.o"
+  "CMakeFiles/lp_interp.dir/memory.cpp.o.d"
+  "CMakeFiles/lp_interp.dir/stdlib.cpp.o"
+  "CMakeFiles/lp_interp.dir/stdlib.cpp.o.d"
+  "liblp_interp.a"
+  "liblp_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_ir.dir/basic_block.cpp.o"
+  "CMakeFiles/lp_ir.dir/basic_block.cpp.o.d"
+  "CMakeFiles/lp_ir.dir/builder.cpp.o"
+  "CMakeFiles/lp_ir.dir/builder.cpp.o.d"
+  "CMakeFiles/lp_ir.dir/function.cpp.o"
+  "CMakeFiles/lp_ir.dir/function.cpp.o.d"
+  "CMakeFiles/lp_ir.dir/instruction.cpp.o"
+  "CMakeFiles/lp_ir.dir/instruction.cpp.o.d"
+  "CMakeFiles/lp_ir.dir/module.cpp.o"
+  "CMakeFiles/lp_ir.dir/module.cpp.o.d"
+  "CMakeFiles/lp_ir.dir/parser.cpp.o"
+  "CMakeFiles/lp_ir.dir/parser.cpp.o.d"
+  "CMakeFiles/lp_ir.dir/printer.cpp.o"
+  "CMakeFiles/lp_ir.dir/printer.cpp.o.d"
+  "CMakeFiles/lp_ir.dir/verifier.cpp.o"
+  "CMakeFiles/lp_ir.dir/verifier.cpp.o.d"
+  "liblp_ir.a"
+  "liblp_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_predict.dir/predictor.cpp.o"
+  "CMakeFiles/lp_predict.dir/predictor.cpp.o.d"
+  "liblp_predict.a"
+  "liblp_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

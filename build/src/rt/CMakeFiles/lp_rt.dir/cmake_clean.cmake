@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_rt.dir/config.cpp.o"
+  "CMakeFiles/lp_rt.dir/config.cpp.o.d"
+  "CMakeFiles/lp_rt.dir/plan.cpp.o"
+  "CMakeFiles/lp_rt.dir/plan.cpp.o.d"
+  "CMakeFiles/lp_rt.dir/report.cpp.o"
+  "CMakeFiles/lp_rt.dir/report.cpp.o.d"
+  "CMakeFiles/lp_rt.dir/tracker.cpp.o"
+  "CMakeFiles/lp_rt.dir/tracker.cpp.o.d"
+  "liblp_rt.a"
+  "liblp_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_suites.dir/cfp2000.cpp.o"
+  "CMakeFiles/lp_suites.dir/cfp2000.cpp.o.d"
+  "CMakeFiles/lp_suites.dir/cfp2006.cpp.o"
+  "CMakeFiles/lp_suites.dir/cfp2006.cpp.o.d"
+  "CMakeFiles/lp_suites.dir/cint2000.cpp.o"
+  "CMakeFiles/lp_suites.dir/cint2000.cpp.o.d"
+  "CMakeFiles/lp_suites.dir/cint2006.cpp.o"
+  "CMakeFiles/lp_suites.dir/cint2006.cpp.o.d"
+  "CMakeFiles/lp_suites.dir/eembc.cpp.o"
+  "CMakeFiles/lp_suites.dir/eembc.cpp.o.d"
+  "CMakeFiles/lp_suites.dir/kbuild.cpp.o"
+  "CMakeFiles/lp_suites.dir/kbuild.cpp.o.d"
+  "CMakeFiles/lp_suites.dir/registry.cpp.o"
+  "CMakeFiles/lp_suites.dir/registry.cpp.o.d"
+  "liblp_suites.a"
+  "liblp_suites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_suites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_support.dir/error.cpp.o"
+  "CMakeFiles/lp_support.dir/error.cpp.o.d"
+  "CMakeFiles/lp_support.dir/stats.cpp.o"
+  "CMakeFiles/lp_support.dir/stats.cpp.o.d"
+  "CMakeFiles/lp_support.dir/table.cpp.o"
+  "CMakeFiles/lp_support.dir/table.cpp.o.d"
+  "CMakeFiles/lp_support.dir/text.cpp.o"
+  "CMakeFiles/lp_support.dir/text.cpp.o.d"
+  "liblp_support.a"
+  "liblp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

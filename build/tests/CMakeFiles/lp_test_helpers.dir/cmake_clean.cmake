@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_test_helpers.dir/generator.cpp.o"
+  "CMakeFiles/lp_test_helpers.dir/generator.cpp.o.d"
+  "CMakeFiles/lp_test_helpers.dir/helpers.cpp.o"
+  "CMakeFiles/lp_test_helpers.dir/helpers.cpp.o.d"
+  "liblp_test_helpers.a"
+  "liblp_test_helpers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_test_helpers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_pipeline.cpp" "tests/CMakeFiles/test_pipeline.dir/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/test_pipeline.dir/test_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/lp_test_helpers.dir/DependInfo.cmake"
+  "/root/repo/build/src/suites/CMakeFiles/lp_suites.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/lp_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/lp_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/lp_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/lp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rt_models.dir/test_rt_models.cpp.o"
+  "CMakeFiles/test_rt_models.dir/test_rt_models.cpp.o.d"
+  "test_rt_models"
+  "test_rt_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rt_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_support "/root/repo/build/tests/test_support")
+set_tests_properties(test_support PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;12;add_test;/root/repo/tests/CMakeLists.txt;15;lp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_ir "/root/repo/build/tests/test_ir")
+set_tests_properties(test_ir PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;12;add_test;/root/repo/tests/CMakeLists.txt;16;lp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_analysis "/root/repo/build/tests/test_analysis")
+set_tests_properties(test_analysis PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;12;add_test;/root/repo/tests/CMakeLists.txt;17;lp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_interp "/root/repo/build/tests/test_interp")
+set_tests_properties(test_interp PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;12;add_test;/root/repo/tests/CMakeLists.txt;18;lp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_predict "/root/repo/build/tests/test_predict")
+set_tests_properties(test_predict PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;12;add_test;/root/repo/tests/CMakeLists.txt;19;lp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_pipeline "/root/repo/build/tests/test_pipeline")
+set_tests_properties(test_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;12;add_test;/root/repo/tests/CMakeLists.txt;20;lp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_rt_models "/root/repo/build/tests/test_rt_models")
+set_tests_properties(test_rt_models PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;12;add_test;/root/repo/tests/CMakeLists.txt;21;lp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_config "/root/repo/build/tests/test_config")
+set_tests_properties(test_config PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;12;add_test;/root/repo/tests/CMakeLists.txt;22;lp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_suites "/root/repo/build/tests/test_suites")
+set_tests_properties(test_suites PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;12;add_test;/root/repo/tests/CMakeLists.txt;23;lp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_property "/root/repo/build/tests/test_property")
+set_tests_properties(test_property PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;12;add_test;/root/repo/tests/CMakeLists.txt;24;lp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_paper_shapes "/root/repo/build/tests/test_paper_shapes")
+set_tests_properties(test_paper_shapes PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;12;add_test;/root/repo/tests/CMakeLists.txt;25;lp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_parser "/root/repo/build/tests/test_parser")
+set_tests_properties(test_parser PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;12;add_test;/root/repo/tests/CMakeLists.txt;26;lp_add_test;/root/repo/tests/CMakeLists.txt;0;")
