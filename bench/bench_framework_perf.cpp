@@ -11,9 +11,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <iostream>
+
+#include "common.hpp"
 #include "core/driver.hpp"
 #include "interp/machine.hpp"
 #include "ir/builder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
 #include "predict/predictor.hpp"
 #include "rt/tracker.hpp"
 #include "suites/kernels.hpp"
@@ -114,6 +120,94 @@ BM_KernelConstruction(benchmark::State &state)
 }
 BENCHMARK(BM_KernelConstruction)->Unit(benchmark::kMillisecond);
 
+/**
+ * Measure one phase: run @p body (which returns dynamic instructions
+ * executed) @p reps times after one warm-up, and report instructions
+ * per wall-clock second.
+ */
+template <typename Body>
+lp::obs::Json
+measurePhase(int reps, Body body)
+{
+    using clock = std::chrono::steady_clock;
+    body(); // warm-up
+    std::uint64_t instructions = 0;
+    auto start = clock::now();
+    for (int i = 0; i < reps; ++i)
+        instructions += body();
+    double secs = std::chrono::duration<double>(clock::now() - start)
+                      .count();
+
+    lp::obs::Json out = lp::obs::Json::object();
+    out.set("runs", reps);
+    out.set("instructions", instructions);
+    out.set("wall_seconds", secs);
+    out.set("instr_per_sec",
+            secs > 0 ? static_cast<double>(instructions) / secs : 0.0);
+    return out;
+}
+
+/**
+ * BENCH_framework.json: the repo's perf baseline.  Interpret and track
+ * phases are measured with observability fully disabled (the default
+ * configuration whose cost the ≤2% budget guards); one extra
+ * instrumented run then populates the metrics snapshot.
+ */
+void
+writeBenchBaseline()
+{
+    auto interpMod = suites::buildEembcRgbcmyk();
+    auto trackMod = suites::buildCint2000Bzip2();
+    core::Loopapalooza driver(*trackMod);
+    rt::LPConfig cfg =
+        rt::LPConfig::parse("reduc0-dep2-fn2", rt::ExecModel::Helix);
+
+    obs::Json doc = obs::Json::object();
+    doc.set("bench", "framework_perf");
+    doc.set("cost_unit", "dynamic IR instructions");
+
+    doc.set("interpret", measurePhase(5, [&] {
+        interp::Machine m(*interpMod);
+        m.run();
+        return m.cost();
+    }));
+    doc.set("track", measurePhase(5, [&] {
+        rt::ProgramReport rep = driver.run(cfg);
+        return rep.serialCost;
+    }));
+
+    // One instrumented analyze+run so the snapshot reflects real counter
+    // flow, including the compile-time and speculative-model counters.
+    const bool wasEnabled = obs::metricsOn();
+    obs::setMetricsEnabled(true);
+    obs::Registry::instance().resetAll();
+    {
+        core::Loopapalooza instrumented(*trackMod);
+        (void)instrumented.run(cfg);
+        (void)instrumented.run(rt::LPConfig::parse(
+            "reduc0-dep2-fn2", rt::ExecModel::PartialDoAll));
+    }
+    obs::setMetricsEnabled(wasEnabled);
+    doc.set("metrics", obs::Registry::instance().toJson());
+    doc.set("phases", obs::PhaseTree::instance().toJson());
+
+    std::string path = lp::bench::benchJsonPath("framework");
+    if (lp::bench::writeJsonFile(path, doc))
+        std::cout << "wrote " << path << "\n";
+    else
+        std::cerr << "cannot write " << path << "\n";
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    writeBenchBaseline();
+    return 0;
+}

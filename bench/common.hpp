@@ -10,6 +10,8 @@
 
 #pragma once
 
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -17,6 +19,7 @@
 
 #include "core/configs.hpp"
 #include "core/study.hpp"
+#include "obs/json.hpp"
 #include "rt/report.hpp"
 #include "suites/registry.hpp"
 #include "support/stats.hpp"
@@ -51,6 +54,32 @@ suiteCoverage(const core::Study &study, const std::string &suite,
               const rt::LPConfig &cfg)
 {
     return core::Study::geomeanCoverage(study.runSuite(suite, cfg));
+}
+
+/**
+ * Where a harness named @p bench writes its machine-readable results:
+ * $BENCH_JSON_DIR/BENCH_<bench>.json, defaulting to the current
+ * directory.  These files seed the repo's perf trajectory — one per
+ * bench run, diffable across PRs.
+ */
+inline std::string
+benchJsonPath(const std::string &bench)
+{
+    std::string dir = ".";
+    if (const char *env = std::getenv("BENCH_JSON_DIR"))
+        dir = env;
+    return dir + "/BENCH_" + bench + ".json";
+}
+
+/** Pretty-print @p doc to @p path; returns false when unwritable. */
+inline bool
+writeJsonFile(const std::string &path, const obs::Json &doc)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        return false;
+    out << doc.dump(2) << '\n';
+    return out.good();
 }
 
 } // namespace lp::bench

@@ -9,25 +9,40 @@
  *   run_study --file prog.lir reduc1-dep1-fn2 helix # study a .lir file
  *
  * Models: doall | pdoall | helix.  Flags: reduc{0,1}-dep{0..3}-fn{0..3}.
+ *
+ * Observability (see docs/observability.md):
+ *   --json PATH (or LP_REPORT=PATH)  write the machine-readable run
+ *                                    report(s) as JSON
+ *   LP_LOG=off|error|info|debug      diagnostics level
+ *   LP_TRACE=chrome:t.json           Chrome trace (Perfetto-loadable)
+ *   LP_TRACE=jsonl:events.jsonl      streaming JSONL events
  */
 
-#include <iostream>
-
+#include <cstdlib>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 
 #include "core/configs.hpp"
 #include "core/driver.hpp"
+#include "core/study.hpp"
 #include "interp/stdlib.hpp"
 #include "ir/parser.hpp"
-#include "core/study.hpp"
+#include "obs/json.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
 #include "suites/registry.hpp"
 #include "support/error.hpp"
 #include "support/table.hpp"
+#include "support/text.hpp"
 
 using namespace lp;
 
 namespace {
+
+/** --json PATH, or LP_REPORT, or empty. */
+std::string g_reportPath;
 
 rt::ExecModel
 parseModel(const std::string &s)
@@ -39,6 +54,33 @@ parseModel(const std::string &s)
     if (s == "helix")
         return rt::ExecModel::Helix;
     fatal("unknown model (want doall|pdoall|helix): " + s);
+}
+
+/** Write @p doc to the report path, if one was requested.  Returns the
+ * process exit code: a requested report that cannot be written is an
+ * error, not a shrug. */
+int
+maybeWriteReport(const obs::Json &doc)
+{
+    if (g_reportPath.empty())
+        return 0;
+    std::ofstream out(g_reportPath, std::ios::trunc);
+    if (!out) {
+        obs::logMessage(obs::Level::Error,
+                        "cannot write report to " + g_reportPath,
+                        /*force=*/true);
+        return 1;
+    }
+    out << doc.dump(2) << '\n';
+    LP_LOG_INFO("wrote run report to %s", g_reportPath.c_str());
+    return 0;
+}
+
+int
+reportOne(const rt::ProgramReport &rep)
+{
+    rep.print(std::cout, /*perLoop=*/true);
+    return maybeWriteReport(rep.toJson());
 }
 
 int
@@ -55,9 +97,7 @@ runFile(const std::string &path, const std::string &flags,
     auto mod = ir::parseModule(buf.str(), interp::stdlibImplFor);
     core::Loopapalooza lp(*mod);
     rt::LPConfig cfg = rt::LPConfig::parse(flags, parseModel(model));
-    rt::ProgramReport rep = lp.run(cfg);
-    rep.print(std::cout, /*perLoop=*/true);
-    return 0;
+    return reportOne(lp.run(cfg));
 }
 
 int
@@ -69,9 +109,7 @@ runSingle(const std::string &name, const std::string &flags,
             continue;
         core::PreparedProgram prepared(prog);
         rt::LPConfig cfg = rt::LPConfig::parse(flags, parseModel(model));
-        rt::ProgramReport rep = prepared.run(cfg);
-        rep.print(std::cout, /*perLoop=*/true);
-        return 0;
+        return reportOne(prepared.run(cfg));
     }
     std::cerr << "unknown benchmark: " << name << "\n";
     return 1;
@@ -90,20 +128,42 @@ runSuites(const std::string &onlySuite)
     }
     core::Study study(progs);
 
+    obs::Json suitesJson = obs::Json::array();
+    obs::Json reportsJson = obs::Json::array();
+    const bool wantJson = !g_reportPath.empty();
+
     TextTable t({"configuration", "suite", "geomean speedup",
                  "geomean coverage"});
     for (const core::NamedConfig &named : core::paperConfigs()) {
         for (const std::string &suite : study.suites()) {
             auto reports = study.runSuite(suite, named.config);
-            t.addRow({named.label, suite,
-                      TextTable::num(core::Study::geomeanSpeedup(reports))
-                          + "x",
-                      TextTable::num(
-                          core::Study::geomeanCoverage(reports), 1) +
-                          "%"});
+            double speedup = core::Study::geomeanSpeedup(reports);
+            double coverage = core::Study::geomeanCoverage(reports);
+            t.addRow({named.label, suite, TextTable::num(speedup) + "x",
+                      TextTable::num(coverage, 1) + "%"});
+            if (wantJson) {
+                obs::Json row = obs::Json::object();
+                row.set("config", named.label);
+                row.set("suite", suite);
+                row.set("geomean_speedup", speedup);
+                row.set("geomean_coverage_pct", coverage);
+                suitesJson.push(std::move(row));
+                for (const rt::ProgramReport &rep : reports)
+                    reportsJson.push(
+                        rep.toJson(/*withObsSnapshot=*/false));
+            }
         }
     }
     t.print(std::cout);
+
+    if (wantJson) {
+        obs::Json doc = obs::Json::object();
+        doc.set("suites", std::move(suitesJson));
+        doc.set("reports", std::move(reportsJson));
+        doc.set("metrics", obs::Registry::instance().toJson());
+        doc.set("phases", obs::PhaseTree::instance().toJson());
+        return maybeWriteReport(doc);
+    }
     return 0;
 }
 
@@ -112,13 +172,26 @@ runSuites(const std::string &onlySuite)
 int
 main(int argc, char **argv)
 {
+    if (const char *env = std::getenv("LP_REPORT"))
+        g_reportPath = env;
+
+    // Extract --json PATH anywhere on the command line.
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+            g_reportPath = argv[++i];
+            continue;
+        }
+        args.push_back(argv[i]);
+    }
+
     try {
-        if (argc >= 5 && std::string(argv[1]) == "--file")
-            return runFile(argv[2], argv[3], argv[4]);
-        if (argc >= 4)
-            return runSingle(argv[1], argv[2], argv[3]);
-        if (argc == 2)
-            return runSuites(argv[1]);
+        if (args.size() >= 4 && args[0] == "--file")
+            return runFile(args[1], args[2], args[3]);
+        if (args.size() >= 3)
+            return runSingle(args[0], args[1], args[2]);
+        if (args.size() == 1)
+            return runSuites(args[0]);
         return runSuites("");
     } catch (const FatalError &e) {
         std::cerr << "error: " << e.what() << "\n";

@@ -2,21 +2,43 @@
 
 #include "analysis/ssa_verify.hpp"
 #include "ir/verifier.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
 #include "support/error.hpp"
+#include "support/text.hpp"
 
 namespace lp::core {
 
 Loopapalooza::Loopapalooza(const ir::Module &mod) : mod_(mod)
 {
-    ir::verifyModuleOrDie(mod);
-    ir::VerifyResult ssa = analysis::verifySSA(mod);
-    fatalIf(!ssa.ok(), "SSA verification failed:\n" + ssa.message());
-    plan_ = std::make_unique<rt::ModulePlan>(mod);
+    {
+        obs::ScopedPhase phase("verify");
+        ir::verifyModuleOrDie(mod);
+        ir::VerifyResult ssa = analysis::verifySSA(mod);
+        fatalIf(!ssa.ok(), "SSA verification failed:\n" + ssa.message());
+    }
+    {
+        obs::ScopedPhase phase("analyze");
+        plan_ = std::make_unique<rt::ModulePlan>(mod);
+    }
+
+    std::size_t loops = 0;
+    for (const auto &fp : plan_->functionPlans())
+        loops += fp->loopPlans.size();
+    if (obs::metricsOn())
+        obs::Registry::instance()
+            .counter("plan.loops_analyzed")
+            .add(loops);
+    LP_LOG_INFO("analyzed module %s: %zu functions, %zu static loops",
+                mod.name().c_str(), plan_->functionPlans().size(), loops);
 }
 
 rt::ProgramReport
 Loopapalooza::run(const rt::LPConfig &cfg) const
 {
+    LP_LOG_DEBUG("running %s under %s", mod_.name().c_str(),
+                 cfg.str().c_str());
     return rt::runLimitStudy(mod_, *plan_, cfg, mod_.name());
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "interp/machine.hpp"
+#include "obs/log.hpp"
+#include "obs/timer.hpp"
 #include "support/error.hpp"
 #include "support/stats.hpp"
 #include "support/text.hpp"
@@ -11,7 +13,13 @@ namespace lp::core {
 
 PreparedProgram::PreparedProgram(const BenchProgram &prog) : prog_(prog)
 {
-    mod_ = prog_.build();
+    obs::ScopedPhase phase("prepare");
+    LP_LOG_DEBUG("preparing program %s (%s)", prog_.name.c_str(),
+                 prog_.suite.c_str());
+    {
+        obs::ScopedPhase buildPhase("build");
+        mod_ = prog_.build();
+    }
     fatalIf(!mod_, "program " + prog_.name + " built no module");
     lp_ = std::make_unique<Loopapalooza>(*mod_);
 
@@ -19,6 +27,7 @@ PreparedProgram::PreparedProgram(const BenchProgram &prog) : prog_(prog)
         // Self-check: a plain, uninstrumented run must produce the value
         // the kernel author recorded.  Guards against kernels silently
         // computing garbage (e.g. dead loops an optimizer would remove).
+        obs::ScopedPhase checkPhase("self-check");
         interp::Machine machine(*mod_);
         std::uint64_t got = machine.run();
         fatalIf(got != prog_.expected,
@@ -41,6 +50,8 @@ Study::Study(const std::vector<BenchProgram> &programs)
 {
     for (const BenchProgram &p : programs)
         programs_.push_back(std::make_unique<PreparedProgram>(p));
+    LP_LOG_INFO("study prepared: %zu programs, %zu suites",
+                programs_.size(), suites().size());
 }
 
 std::vector<std::string>

@@ -3,6 +3,7 @@
 #include <bit>
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "support/error.hpp"
 #include "support/text.hpp"
 
@@ -55,7 +56,14 @@ Machine::run()
     const ir::Function *main = mod_.mainFunction();
     fatalIf(!main, "module has no main()");
     fatalIf(!main->args().empty(), "main() must take no arguments");
-    return execFunction(main, {});
+    std::uint64_t result = execFunction(main, {});
+
+    if (obs::metricsOn()) {
+        obs::Registry &reg = obs::Registry::instance();
+        reg.counter("interp.instructions").add(cost_);
+        reg.counter("interp.runs").add(1);
+    }
+    return result;
 }
 
 std::uint64_t

@@ -1,0 +1,504 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace lp::obs {
+
+namespace {
+
+// The obs layer sits below lp_support, so it throws a plain
+// runtime_error instead of using lp::panic().
+[[noreturn]] void
+jsonError(const std::string &what)
+{
+    throw std::runtime_error("Json: " + what);
+}
+
+const char *
+kindName(Json::Kind k)
+{
+    switch (k) {
+      case Json::Kind::Null: return "null";
+      case Json::Kind::Bool: return "bool";
+      case Json::Kind::Int: return "int";
+      case Json::Kind::Double: return "double";
+      case Json::Kind::String: return "string";
+      case Json::Kind::Array: return "array";
+      case Json::Kind::Object: return "object";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+Json &
+Json::set(const std::string &key, Json v)
+{
+    if (kind_ != Kind::Object)
+        jsonError("set() on " + std::string(kindName(kind_)));
+    if (!obj_.count(key))
+        order_.push_back(key);
+    obj_[key] = std::move(v);
+    return *this;
+}
+
+Json &
+Json::push(Json v)
+{
+    if (kind_ != Kind::Array)
+        jsonError("push() on " + std::string(kindName(kind_)));
+    arr_.push_back(std::move(v));
+    return *this;
+}
+
+bool
+Json::asBool() const
+{
+    if (kind_ != Kind::Bool)
+        jsonError("asBool() on " + std::string(kindName(kind_)));
+    return bool_;
+}
+
+std::int64_t
+Json::asInt() const
+{
+    if (kind_ != Kind::Int)
+        jsonError("asInt() on " + std::string(kindName(kind_)));
+    return int_;
+}
+
+std::uint64_t
+Json::asU64() const
+{
+    return static_cast<std::uint64_t>(asInt());
+}
+
+double
+Json::asDouble() const
+{
+    if (kind_ == Kind::Int)
+        return static_cast<double>(int_);
+    if (kind_ != Kind::Double)
+        jsonError("asDouble() on " + std::string(kindName(kind_)));
+    return dbl_;
+}
+
+const std::string &
+Json::asString() const
+{
+    if (kind_ != Kind::String)
+        jsonError("asString() on " + std::string(kindName(kind_)));
+    return str_;
+}
+
+const Json &
+Json::at(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        jsonError("at(key) on " + std::string(kindName(kind_)));
+    auto it = obj_.find(key);
+    if (it == obj_.end())
+        jsonError("missing key '" + key + "'");
+    return it->second;
+}
+
+bool
+Json::contains(const std::string &key) const
+{
+    return kind_ == Kind::Object && obj_.count(key) != 0;
+}
+
+const Json &
+Json::at(std::size_t i) const
+{
+    if (kind_ != Kind::Array)
+        jsonError("at(index) on " + std::string(kindName(kind_)));
+    if (i >= arr_.size())
+        jsonError("index out of range");
+    return arr_[i];
+}
+
+std::size_t
+Json::size() const
+{
+    if (kind_ == Kind::Array)
+        return arr_.size();
+    if (kind_ == Kind::Object)
+        return obj_.size();
+    jsonError("size() on " + std::string(kindName(kind_)));
+}
+
+void
+Json::dumpTo(std::string &out, int indent, int depth) const
+{
+    const bool pretty = indent >= 0;
+    auto newline = [&](int d) {
+        if (!pretty)
+            return;
+        out += '\n';
+        out.append(static_cast<std::size_t>(indent) * d, ' ');
+    };
+
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Kind::Int: {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%" PRId64, int_);
+        out += buf;
+        break;
+      }
+      case Kind::Double: {
+        if (!std::isfinite(dbl_)) {
+            out += "null"; // JSON has no inf/nan
+            break;
+        }
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", dbl_);
+        out += buf;
+        break;
+      }
+      case Kind::String:
+        out += '"';
+        out += jsonEscape(str_);
+        out += '"';
+        break;
+      case Kind::Array: {
+        if (arr_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        bool first = true;
+        for (const Json &v : arr_) {
+            if (!first)
+                out += ',';
+            first = false;
+            newline(depth + 1);
+            v.dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += ']';
+        break;
+      }
+      case Kind::Object: {
+        if (obj_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        bool first = true;
+        for (const std::string &key : order_) {
+            if (!first)
+                out += ',';
+            first = false;
+            newline(depth + 1);
+            out += '"';
+            out += jsonEscape(key);
+            out += pretty ? "\": " : "\":";
+            obj_.at(key).dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += '}';
+        break;
+      }
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+namespace {
+
+/** Recursive-descent parser over a borrowed buffer. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *err)
+        : s_(text), err_(err)
+    {
+    }
+
+    Json parse()
+    {
+        Json v = value();
+        if (failed_)
+            return Json();
+        skipWs();
+        if (pos_ != s_.size()) {
+            fail("trailing characters after document");
+            return Json();
+        }
+        return v;
+    }
+
+    bool failed() const { return failed_; }
+
+  private:
+    void fail(const std::string &what)
+    {
+        if (failed_)
+            return;
+        failed_ = true;
+        if (err_)
+            *err_ = what + " at offset " + std::to_string(pos_);
+    }
+
+    void skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    bool consume(char c)
+    {
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool literal(const char *word)
+    {
+        std::size_t n = std::string(word).size();
+        if (s_.compare(pos_, n, word) == 0) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    Json value()
+    {
+        skipWs();
+        if (pos_ >= s_.size()) {
+            fail("unexpected end of input");
+            return Json();
+        }
+        char c = s_[pos_];
+        if (c == '{')
+            return object();
+        if (c == '[')
+            return array();
+        if (c == '"')
+            return Json(string());
+        if (literal("true"))
+            return Json(true);
+        if (literal("false"))
+            return Json(false);
+        if (literal("null"))
+            return Json();
+        return number();
+    }
+
+    std::string string()
+    {
+        std::string out;
+        ++pos_; // opening quote
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            char c = s_[pos_++];
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= s_.size())
+                break;
+            char e = s_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                if (pos_ + 4 > s_.size()) {
+                    fail("truncated \\u escape");
+                    return out;
+                }
+                unsigned code = 0;
+                auto res = std::from_chars(s_.data() + pos_,
+                                           s_.data() + pos_ + 4, code, 16);
+                if (res.ec != std::errc{}) {
+                    fail("bad \\u escape");
+                    return out;
+                }
+                pos_ += 4;
+                // Encode as UTF-8 (BMP only; good enough for our output).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default:
+                fail("bad escape character");
+                return out;
+            }
+        }
+        if (pos_ >= s_.size()) {
+            fail("unterminated string");
+            return out;
+        }
+        ++pos_; // closing quote
+        return out;
+    }
+
+    Json number()
+    {
+        std::size_t start = pos_;
+        if (pos_ < s_.size() && s_[pos_] == '-')
+            ++pos_;
+        bool isDouble = false;
+        while (pos_ < s_.size()) {
+            char c = s_[pos_];
+            if (std::isdigit(static_cast<unsigned char>(c))) {
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                isDouble = true;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        if (pos_ == start) {
+            fail("expected a value");
+            return Json();
+        }
+        std::string tok = s_.substr(start, pos_ - start);
+        if (!isDouble) {
+            std::int64_t v = 0;
+            auto res = std::from_chars(tok.data(), tok.data() + tok.size(),
+                                       v, 10);
+            if (res.ec == std::errc{} &&
+                res.ptr == tok.data() + tok.size())
+                return Json(v);
+        }
+        try {
+            return Json(std::stod(tok));
+        } catch (const std::exception &) {
+            fail("malformed number '" + tok + "'");
+            return Json();
+        }
+    }
+
+    Json array()
+    {
+        Json out = Json::array();
+        ++pos_; // '['
+        skipWs();
+        if (consume(']'))
+            return out;
+        for (;;) {
+            out.push(value());
+            if (failed_)
+                return out;
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return out;
+            fail("expected ',' or ']'");
+            return out;
+        }
+    }
+
+    Json object()
+    {
+        Json out = Json::object();
+        ++pos_; // '{'
+        skipWs();
+        if (consume('}'))
+            return out;
+        for (;;) {
+            skipWs();
+            if (pos_ >= s_.size() || s_[pos_] != '"') {
+                fail("expected object key");
+                return out;
+            }
+            std::string key = string();
+            if (failed_ || !consume(':')) {
+                fail("expected ':' after key");
+                return out;
+            }
+            out.set(key, value());
+            if (failed_)
+                return out;
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return out;
+            fail("expected ',' or '}'");
+            return out;
+        }
+    }
+
+    const std::string &s_;
+    std::string *err_;
+    std::size_t pos_ = 0;
+    bool failed_ = false;
+};
+
+} // namespace
+
+Json
+Json::parse(const std::string &text, std::string *err)
+{
+    Parser p(text, err);
+    Json v = p.parse();
+    return p.failed() ? Json() : v;
+}
+
+} // namespace lp::obs

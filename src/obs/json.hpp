@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Minimal JSON document model for the observability layer.
+ *
+ * Every machine-readable artifact the framework emits — run reports,
+ * metrics snapshots, phase trees, JSONL events, Chrome trace files — is
+ * assembled as a Json tree and serialized with dump().  The matching
+ * parse() exists so tests can round-trip the emitted artifacts and so
+ * tools built on top of the library need no external JSON dependency.
+ *
+ * Deliberately small: UTF-8 pass-through strings, 64-bit integers and
+ * doubles, no comments, no trailing commas.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lp::obs {
+
+/** One JSON value: null, bool, integer, double, string, array or object. */
+class Json
+{
+  public:
+    enum class Kind { Null, Bool, Int, Double, String, Array, Object };
+
+    Json() : kind_(Kind::Null) {}
+    Json(bool b) : kind_(Kind::Bool), bool_(b) {}
+    Json(std::int64_t v) : kind_(Kind::Int), int_(v) {}
+    Json(std::uint64_t v)
+        : kind_(Kind::Int), int_(static_cast<std::int64_t>(v))
+    {
+    }
+    Json(int v) : kind_(Kind::Int), int_(v) {}
+    Json(unsigned v) : kind_(Kind::Int), int_(v) {}
+    Json(double v) : kind_(Kind::Double), dbl_(v) {}
+    Json(const char *s) : kind_(Kind::String), str_(s) {}
+    Json(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
+
+    static Json array() { return Json(Kind::Array); }
+    static Json object() { return Json(Kind::Object); }
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isObject() const { return kind_ == Kind::Object; }
+    bool isArray() const { return kind_ == Kind::Array; }
+
+    /// @name Builders
+    /// @{
+
+    /** Object: set @p key to @p v (replaces an existing key). */
+    Json &set(const std::string &key, Json v);
+
+    /** Array: append @p v. */
+    Json &push(Json v);
+
+    /// @}
+
+    /// @name Accessors (wrong-kind access panics)
+    /// @{
+    bool asBool() const;
+    std::int64_t asInt() const;
+    std::uint64_t asU64() const;
+    /** Numeric value as double (works for Int and Double). */
+    double asDouble() const;
+    const std::string &asString() const;
+
+    /** Object member access; panics when the key is absent. */
+    const Json &at(const std::string &key) const;
+    /** Object member test. */
+    bool contains(const std::string &key) const;
+    /** Array element access. */
+    const Json &at(std::size_t i) const;
+    /** Array length / object member count. */
+    std::size_t size() const;
+    /** Object keys in insertion order. */
+    const std::vector<std::string> &keys() const { return order_; }
+    /// @}
+
+    /**
+     * Serialize.  @p indent < 0 emits the compact single-line form;
+     * otherwise pretty-print with @p indent spaces per level.
+     */
+    std::string dump(int indent = -1) const;
+
+    /**
+     * Parse @p text.  On failure returns a Null value and, when @p err
+     * is non-null, stores a human-readable diagnostic in it.
+     */
+    static Json parse(const std::string &text, std::string *err = nullptr);
+
+  private:
+    explicit Json(Kind k) : kind_(k) {}
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Kind kind_;
+    bool bool_ = false;
+    std::int64_t int_ = 0;
+    double dbl_ = 0.0;
+    std::string str_;
+    std::vector<Json> arr_;
+    std::map<std::string, Json> obj_;
+    std::vector<std::string> order_; ///< object keys, insertion order
+};
+
+/** JSON string escaping (quotes not included). */
+std::string jsonEscape(const std::string &s);
+
+} // namespace lp::obs

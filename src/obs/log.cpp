@@ -1,0 +1,111 @@
+#include "obs/log.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
+
+namespace lp::obs {
+
+namespace detail {
+int g_logLevel = static_cast<int>(Level::Off);
+}
+
+namespace {
+
+std::ostream *g_stream = nullptr; ///< null = stderr
+
+// Parse the environment once before main(); this TU is always linked
+// (the error path references logMessage), so the initializer runs in
+// every binary.
+const bool g_envInit = (initFromEnv(), true);
+
+} // namespace
+
+const char *
+levelName(Level l)
+{
+    switch (l) {
+      case Level::Off: return "off";
+      case Level::Error: return "error";
+      case Level::Info: return "info";
+      case Level::Debug: return "debug";
+    }
+    return "?";
+}
+
+Level
+parseLevel(const std::string &s)
+{
+    if (s == "error")
+        return Level::Error;
+    if (s == "info")
+        return Level::Info;
+    if (s == "debug")
+        return Level::Debug;
+    return Level::Off;
+}
+
+Level
+logLevel()
+{
+    return static_cast<Level>(detail::g_logLevel);
+}
+
+void
+setLogLevel(Level l)
+{
+    detail::g_logLevel = static_cast<int>(l);
+}
+
+void
+setLogStream(std::ostream *os)
+{
+    g_stream = os;
+}
+
+void
+logMessage(Level l, const std::string &msg, bool force)
+{
+    if (!force && !logOn(l))
+        return;
+    std::ostream &os = g_stream ? *g_stream : std::cerr;
+    os << "[lp:" << levelName(l) << "] " << msg << '\n';
+    if (traceOn()) {
+        Json body = Json::object();
+        body.set("level", levelName(l));
+        body.set("msg", msg);
+        Session::instance().sink()->event("log", std::move(body));
+    }
+}
+
+void
+initFromEnv()
+{
+    (void)g_envInit; // silence unused warning; forces the TU's init
+
+    // Touch the registry before the session so static destruction runs
+    // session-first (the session snapshot reads the registry on close).
+    Registry::instance();
+
+    if (const char *lvl = std::getenv("LP_LOG"))
+        setLogLevel(parseLevel(lvl));
+
+    const char *metrics = std::getenv("LP_METRICS");
+    const char *legacy = std::getenv("LP_OBS");
+    if ((metrics && *metrics && std::string(metrics) != "0") ||
+        (legacy && *legacy && std::string(legacy) != "0"))
+        setMetricsEnabled(true);
+
+    if (const char *trace = std::getenv("LP_TRACE")) {
+        if (!Session::instance().configure(trace))
+            logMessage(Level::Error,
+                       std::string("LP_TRACE spec not understood: ") +
+                           trace +
+                           " (want chrome:PATH or jsonl:PATH)",
+                       /*force=*/true);
+    }
+}
+
+} // namespace lp::obs

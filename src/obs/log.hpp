@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Leveled logging for the whole framework — the single diagnostics path.
+ *
+ * Off by default.  `LP_LOG=off|error|info|debug` selects the level at
+ * process start; setLogLevel() overrides it programmatically.  The guard
+ * is an inline read of one global, so a disabled log site costs one
+ * predictable branch — cheap enough for per-run (not per-instruction)
+ * call sites.  Messages go to stderr (or a test-installed stream) and are
+ * mirrored as structured events into the active JSONL sink, if any.
+ *
+ * The LP_LOG* macros evaluate their format arguments only when the level
+ * is enabled:
+ *
+ *     LP_LOG_INFO("analyzed %s: %zu loops", name.c_str(), n);
+ */
+
+#pragma once
+
+#include <ostream>
+#include <string>
+
+namespace lp::obs {
+
+/** Verbosity, ordered: a level enables everything below it. */
+enum class Level { Off = 0, Error = 1, Info = 2, Debug = 3 };
+
+/** "off"/"error"/"info"/"debug". */
+const char *levelName(Level l);
+
+/** Parse an LP_LOG value; unknown strings map to Off. */
+Level parseLevel(const std::string &s);
+
+namespace detail {
+extern int g_logLevel; ///< current Level as int; read inline, set rarely
+}
+
+/** Is @p l currently enabled?  Inlines to one comparison. */
+inline bool
+logOn(Level l)
+{
+    return detail::g_logLevel >= static_cast<int>(l);
+}
+
+/** Current level. */
+Level logLevel();
+
+/** Override the level (tests, embedders). */
+void setLogLevel(Level l);
+
+/**
+ * Emit @p msg at @p l unconditionally (callers normally guard with
+ * logOn(); panic() passes @p force to bypass LP_LOG=off).
+ */
+void logMessage(Level l, const std::string &msg, bool force = false);
+
+/**
+ * Redirect log text output (default: stderr).  Pass nullptr to restore
+ * the default.  Used by tests to capture output.
+ */
+void setLogStream(std::ostream *os);
+
+/**
+ * Parse LP_LOG / LP_METRICS / LP_TRACE and configure the whole obs
+ * layer.  Idempotent; runs automatically before main() but is safe to
+ * call again after the environment changed.
+ */
+void initFromEnv();
+
+} // namespace lp::obs
+
+// Format-and-emit macros: arguments are not evaluated when disabled.
+// They use lp::strf, so the including TU needs support/text.hpp (every
+// target already links lp_support).
+#define LP_LOG_AT(lvl, ...)                                              \
+    do {                                                                 \
+        if (::lp::obs::logOn(lvl))                                       \
+            ::lp::obs::logMessage(lvl, ::lp::strf(__VA_ARGS__));         \
+    } while (0)
+
+#define LP_LOG_ERROR(...) LP_LOG_AT(::lp::obs::Level::Error, __VA_ARGS__)
+#define LP_LOG_INFO(...) LP_LOG_AT(::lp::obs::Level::Info, __VA_ARGS__)
+#define LP_LOG_DEBUG(...) LP_LOG_AT(::lp::obs::Level::Debug, __VA_ARGS__)

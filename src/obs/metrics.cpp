@@ -1,0 +1,134 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace lp::obs {
+
+namespace detail {
+bool g_metricsEnabled = false;
+}
+
+void
+setMetricsEnabled(bool on)
+{
+    detail::g_metricsEnabled = on;
+}
+
+Histogram::Histogram(std::vector<std::uint64_t> bounds)
+    : bounds_(std::move(bounds))
+{
+    std::sort(bounds_.begin(), bounds_.end());
+    bounds_.erase(std::unique(bounds_.begin(), bounds_.end()),
+                  bounds_.end());
+    counts_.assign(bounds_.size() + 1, 0);
+}
+
+void
+Histogram::record(std::uint64_t sample)
+{
+    std::size_t i = 0;
+    while (i < bounds_.size() && sample > bounds_[i])
+        ++i;
+    counts_[i] += 1;
+    count_ += 1;
+    sum_ += sample;
+}
+
+double
+Histogram::mean() const
+{
+    return count_ == 0
+        ? 0.0
+        : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    count_ = 0;
+    sum_ = 0;
+}
+
+Registry &
+Registry::instance()
+{
+    static Registry r;
+    return r;
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+Registry::gauge(const std::string &name)
+{
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+Registry::histogram(const std::string &name,
+                    std::vector<std::uint64_t> bounds)
+{
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>(std::move(bounds));
+    return *slot;
+}
+
+void
+Registry::resetAll()
+{
+    for (auto &[name, c] : counters_)
+        c->reset();
+    for (auto &[name, g] : gauges_)
+        g->reset();
+    for (auto &[name, h] : histograms_)
+        h->reset();
+}
+
+Json
+Registry::toJson() const
+{
+    Json counters = Json::object();
+    for (const auto &[name, c] : counters_)
+        counters.set(name, c->value());
+
+    Json gauges = Json::object();
+    for (const auto &[name, g] : gauges_)
+        gauges.set(name, g->value());
+
+    Json histograms = Json::object();
+    for (const auto &[name, h] : histograms_) {
+        Json bounds = Json::array();
+        for (std::uint64_t b : h->bounds())
+            bounds.push(b);
+        Json counts = Json::array();
+        for (std::uint64_t c : h->bucketCounts())
+            counts.push(c);
+        Json one = Json::object();
+        one.set("bounds", std::move(bounds));
+        one.set("counts", std::move(counts));
+        one.set("count", h->count());
+        one.set("sum", h->sum());
+        one.set("mean", h->mean());
+        histograms.set(name, std::move(one));
+    }
+
+    Json out = Json::object();
+    out.set("counters", std::move(counters));
+    out.set("gauges", std::move(gauges));
+    out.set("histograms", std::move(histograms));
+    return out;
+}
+
+} // namespace lp::obs

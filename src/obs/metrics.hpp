@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Process-wide metrics registry: named counters, gauges, and
+ * fixed-bucket histograms.
+ *
+ * Recording is off by default (`LP_METRICS=1`, `LP_OBS=1`, or any
+ * `LP_TRACE` sink turns it on).  Hot-path call sites cache the metric
+ * pointer once and guard each update with metricsOn(), which inlines to
+ * a single global-bool test — with metrics disabled the whole update is
+ * one well-predicted branch.
+ *
+ * Metric name catalog (see docs/observability.md):
+ *   interp.instructions     dynamic IR instructions executed
+ *   interp.runs             completed Machine::run() calls
+ *   tracker.mem_events      load/store events seen by the tracker
+ *   tracker.conflicts       cross-iteration conflicts (memory + register)
+ *   tracker.loop_instances  dynamic loop instances opened
+ *   tracker.trip_count      histogram of per-instance trip counts
+ *   plan.loops_analyzed     static loops planned by the compile-time side
+ *   model.squashes.<model>  speculative iterations squashed (pdoall/doall)
+ *   report.loops_reported   per-loop reports emitted
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace lp::obs {
+
+namespace detail {
+extern bool g_metricsEnabled;
+}
+
+/** Are metrics being recorded?  Inlines to one global-bool read. */
+inline bool
+metricsOn()
+{
+    return detail::g_metricsEnabled;
+}
+
+/** Turn recording on/off (LP_METRICS does this from the environment). */
+void setMetricsEnabled(bool on);
+
+/** Monotonic event count. */
+class Counter
+{
+  public:
+    void add(std::uint64_t n = 1) { v_ += n; }
+    std::uint64_t value() const { return v_; }
+    void reset() { v_ = 0; }
+
+  private:
+    std::uint64_t v_ = 0;
+};
+
+/** Last-write-wins instantaneous value. */
+class Gauge
+{
+  public:
+    void set(double v) { v_ = v; }
+    double value() const { return v_; }
+    void reset() { v_ = 0.0; }
+
+  private:
+    double v_ = 0.0;
+};
+
+/**
+ * Fixed-bucket histogram: bucket i counts samples <= bounds[i]; one
+ * overflow bucket counts the rest.  Bounds are chosen at registration
+ * and never change, so record() is a linear scan over a handful of
+ * integers (bucket counts are small by design).
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::vector<std::uint64_t> bounds);
+
+    void record(std::uint64_t sample);
+
+    const std::vector<std::uint64_t> &bounds() const { return bounds_; }
+    /** bucketCounts().size() == bounds().size() + 1 (overflow last). */
+    const std::vector<std::uint64_t> &bucketCounts() const
+    {
+        return counts_;
+    }
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    double mean() const;
+    void reset();
+
+  private:
+    std::vector<std::uint64_t> bounds_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+};
+
+/**
+ * The process-wide registry.  Metrics are created on first lookup and
+ * live forever, so cached pointers stay valid; resetAll() zeroes values
+ * without invalidating them.  Single-threaded, like the framework.
+ */
+class Registry
+{
+  public:
+    static Registry &instance();
+
+    /** Find-or-create. */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    /** @p bounds only applies on first registration. */
+    Histogram &histogram(const std::string &name,
+                         std::vector<std::uint64_t> bounds);
+
+    /** Zero every metric (keeps registrations and cached pointers). */
+    void resetAll();
+
+    /**
+     * Snapshot as JSON:
+     *   {"counters": {name: value, ...},
+     *    "gauges": {name: value, ...},
+     *    "histograms": {name: {"bounds": [...], "counts": [...],
+     *                          "count": n, "sum": s, "mean": m}}}
+     */
+    Json toJson() const;
+
+  private:
+    Registry() = default;
+
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+} // namespace lp::obs

@@ -1,0 +1,200 @@
+#include "obs/sink.hpp"
+
+#include <chrono>
+
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+
+namespace lp::obs {
+
+namespace detail {
+bool g_traceEnabled = false;
+}
+
+namespace {
+
+std::uint64_t
+steadyNanos()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- JSONL
+
+JsonlSink::JsonlSink(const std::string &path)
+    : file_(path, std::ios::trunc), out_(&file_)
+{
+    if (!file_)
+        logMessage(Level::Error, "cannot open trace output " + path,
+                   /*force=*/true);
+}
+
+JsonlSink::JsonlSink(std::ostream &os) : out_(&os) {}
+
+void
+JsonlSink::event(const std::string &kind, Json body)
+{
+    Json rec = Json::object();
+    rec.set("kind", kind);
+    rec.set("ts_us", Session::instance().nowMicros());
+    rec.set("data", std::move(body));
+    *out_ << rec.dump() << '\n';
+}
+
+void
+JsonlSink::span(const std::string &name, double tsMicros, double durMicros,
+                Json args)
+{
+    Json rec = Json::object();
+    rec.set("kind", "phase");
+    rec.set("name", name);
+    rec.set("ts_us", tsMicros);
+    rec.set("dur_us", durMicros);
+    rec.set("args", std::move(args));
+    *out_ << rec.dump() << '\n';
+}
+
+void
+JsonlSink::flush()
+{
+    out_->flush();
+}
+
+// --------------------------------------------------------- Chrome trace
+
+ChromeTraceSink::ChromeTraceSink(const std::string &path) : path_(path) {}
+
+void
+ChromeTraceSink::event(const std::string &kind, Json body)
+{
+    Json e = Json::object();
+    e.set("name", kind);
+    e.set("ph", "i");
+    e.set("ts", Session::instance().nowMicros());
+    e.set("pid", 1);
+    e.set("tid", 1);
+    e.set("s", "p"); // process-scoped instant
+    Json args = Json::object();
+    args.set("data", std::move(body));
+    e.set("args", std::move(args));
+    events_.push(std::move(e));
+}
+
+void
+ChromeTraceSink::span(const std::string &name, double tsMicros,
+                      double durMicros, Json args)
+{
+    Json e = Json::object();
+    e.set("name", name);
+    e.set("cat", "phase");
+    e.set("ph", "X");
+    e.set("ts", tsMicros);
+    e.set("dur", durMicros);
+    e.set("pid", 1);
+    e.set("tid", 1);
+    e.set("args", std::move(args));
+    events_.push(std::move(e));
+}
+
+Json
+ChromeTraceSink::document() const
+{
+    Json doc = Json::object();
+    doc.set("traceEvents", events_);
+    doc.set("displayTimeUnit", "ms");
+    return doc;
+}
+
+void
+ChromeTraceSink::flush()
+{
+    std::ofstream out(path_, std::ios::trunc);
+    if (!out) {
+        logMessage(Level::Error, "cannot write trace to " + path_,
+                   /*force=*/true);
+        return;
+    }
+    out << document().dump(2) << '\n';
+}
+
+// -------------------------------------------------------------- Session
+
+Session::Session() : epochNanos_(steadyNanos()) {}
+
+Session::~Session()
+{
+    close();
+}
+
+Session &
+Session::instance()
+{
+    static Session s;
+    return s;
+}
+
+double
+Session::nowMicros() const
+{
+    return static_cast<double>(steadyNanos() - epochNanos_) / 1000.0;
+}
+
+bool
+Session::configure(const std::string &spec)
+{
+    if (spec.empty()) {
+        attach(nullptr);
+        return true;
+    }
+    std::size_t colon = spec.find(':');
+    if (colon == std::string::npos) {
+        attach(nullptr);
+        return false;
+    }
+    std::string format = spec.substr(0, colon);
+    std::string path = spec.substr(colon + 1);
+    if (path.empty()) {
+        attach(nullptr);
+        return false;
+    }
+    if (format == "chrome") {
+        attach(std::make_unique<ChromeTraceSink>(path));
+        return true;
+    }
+    if (format == "jsonl") {
+        attach(std::make_unique<JsonlSink>(path));
+        return true;
+    }
+    attach(nullptr);
+    return false;
+}
+
+void
+Session::attach(std::unique_ptr<Sink> sink)
+{
+    close();
+    sink_ = std::move(sink);
+    detail::g_traceEnabled = sink_ != nullptr;
+    if (sink_)
+        setMetricsEnabled(true); // a trace without counters is half blind
+}
+
+void
+Session::close()
+{
+    if (!sink_)
+        return;
+    sink_->event("metrics", Registry::instance().toJson());
+    // Disable mirroring before flushing: a flush-failure diagnostic must
+    // not re-enter the sink being torn down.
+    detail::g_traceEnabled = false;
+    sink_->flush();
+    sink_.reset();
+}
+
+} // namespace lp::obs

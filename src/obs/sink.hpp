@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Structured event sinks: JSONL streams and Chrome trace-event files.
+ *
+ * A process has at most one active sink ("the session"), selected by the
+ * LP_TRACE environment variable:
+ *
+ *   LP_TRACE=jsonl:events.jsonl    one JSON object per line, streamed
+ *   LP_TRACE=chrome:trace.json     Chrome trace_event format, written on
+ *                                  exit; open in about://tracing or
+ *                                  https://ui.perfetto.dev
+ *
+ * Phase timers emit duration events, the logger mirrors messages, and a
+ * final metrics snapshot is appended when the session closes.  Either
+ * spelling also turns metrics recording on.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace lp::obs {
+
+namespace detail {
+extern bool g_traceEnabled;
+}
+
+/** Is a structured sink attached?  Inlines to one global-bool read. */
+inline bool
+traceOn()
+{
+    return detail::g_traceEnabled;
+}
+
+/** Destination of structured events. */
+class Sink
+{
+  public:
+    virtual ~Sink() = default;
+
+    /**
+     * Record one event.  @p kind tags the record ("phase", "log",
+     * "metrics", ...); @p body holds the payload.
+     */
+    virtual void event(const std::string &kind, Json body) = 0;
+
+    /**
+     * Record one completed duration span (phase timers).
+     * @param tsMicros   start, microseconds since session start
+     * @param durMicros  duration in microseconds
+     * @param args       extra key/values (instruction counts, ...)
+     */
+    virtual void span(const std::string &name, double tsMicros,
+                      double durMicros, Json args) = 0;
+
+    /** Write everything out (called at session end). */
+    virtual void flush() = 0;
+};
+
+/** Streaming sink: one compact JSON object per line. */
+class JsonlSink : public Sink
+{
+  public:
+    /** Opens @p path for writing (truncates). */
+    explicit JsonlSink(const std::string &path);
+    /** Stream variant for tests. */
+    explicit JsonlSink(std::ostream &os);
+
+    void event(const std::string &kind, Json body) override;
+    void span(const std::string &name, double tsMicros, double durMicros,
+              Json args) override;
+    void flush() override;
+
+    bool ok() const { return out_ != nullptr && out_->good(); }
+
+  private:
+    std::ofstream file_;
+    std::ostream *out_;
+};
+
+/**
+ * Buffering sink producing one Chrome trace_event JSON document.
+ * Spans become "X" (complete) events; everything else becomes "i"
+ * (instant) events with the payload under args.
+ */
+class ChromeTraceSink : public Sink
+{
+  public:
+    explicit ChromeTraceSink(const std::string &path);
+
+    void event(const std::string &kind, Json body) override;
+    void span(const std::string &name, double tsMicros, double durMicros,
+              Json args) override;
+    void flush() override;
+
+    /** The document built so far (tests). */
+    Json document() const;
+
+  private:
+    std::string path_;
+    Json events_ = Json::array();
+};
+
+/**
+ * The process-wide sink ("session").  Owns the clock that trace
+ * timestamps are measured against.
+ */
+class Session
+{
+  public:
+    static Session &instance();
+    ~Session();
+
+    /**
+     * Parse an LP_TRACE spec ("chrome:PATH" or "jsonl:PATH") and attach
+     * the sink; an empty or malformed spec detaches.  Returns false on a
+     * malformed spec.
+     */
+    bool configure(const std::string &spec);
+
+    /** Attach an explicit sink (tests); null detaches. */
+    void attach(std::unique_ptr<Sink> sink);
+
+    /** Active sink, or null. */
+    Sink *sink() { return sink_.get(); }
+
+    /** Microseconds since the session started (trace timebase). */
+    double nowMicros() const;
+
+    /** Flush and detach the active sink (appends a metrics snapshot). */
+    void close();
+
+  private:
+    Session();
+
+    std::unique_ptr<Sink> sink_;
+    std::uint64_t epochNanos_ = 0;
+};
+
+} // namespace lp::obs

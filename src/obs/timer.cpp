@@ -1,0 +1,109 @@
+#include "obs/timer.hpp"
+
+#include <chrono>
+
+#include "obs/sink.hpp"
+
+namespace lp::obs {
+
+namespace {
+
+std::uint64_t
+nowNanos()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+PhaseNode *
+PhaseNode::child(const std::string &childName)
+{
+    for (const auto &c : children)
+        if (c->name == childName)
+            return c.get();
+    children.push_back(std::make_unique<PhaseNode>());
+    children.back()->name = childName;
+    return children.back().get();
+}
+
+Json
+PhaseNode::toJson() const
+{
+    Json out = Json::object();
+    out.set("name", name);
+    out.set("count", count);
+    out.set("wall_ns", wallNanos);
+    out.set("instructions", instructions);
+    Json kids = Json::array();
+    for (const auto &c : children)
+        kids.push(c->toJson());
+    out.set("children", std::move(kids));
+    return out;
+}
+
+PhaseTree &
+PhaseTree::instance()
+{
+    static PhaseTree t;
+    return t;
+}
+
+void
+PhaseTree::reset()
+{
+    root_.children.clear();
+    root_.count = 0;
+    root_.wallNanos = 0;
+    root_.instructions = 0;
+    cur_ = &root_;
+}
+
+Json
+PhaseTree::toJson() const
+{
+    Json out = Json::array();
+    for (const auto &c : root_.children)
+        out.push(c->toJson());
+    return out;
+}
+
+ScopedPhase::ScopedPhase(const std::string &name)
+{
+    PhaseTree &tree = PhaseTree::instance();
+    parent_ = tree.cur_;
+    node_ = parent_->child(name);
+    tree.cur_ = node_;
+    startNanos_ = nowNanos();
+    startMicros_ = traceOn() ? Session::instance().nowMicros() : 0.0;
+    instrBefore_ = node_->instructions;
+}
+
+ScopedPhase::~ScopedPhase()
+{
+    std::uint64_t elapsed = nowNanos() - startNanos_;
+    node_->count += 1;
+    node_->wallNanos += elapsed;
+    PhaseTree::instance().cur_ = parent_;
+
+    if (traceOn()) {
+        Json args = Json::object();
+        std::uint64_t instr = node_->instructions - instrBefore_;
+        if (instr != 0)
+            args.set("instructions", instr);
+        Session::instance().sink()->span(
+            node_->name, startMicros_,
+            static_cast<double>(elapsed) / 1000.0, std::move(args));
+    }
+}
+
+void
+ScopedPhase::addInstructions(std::uint64_t n)
+{
+    node_->instructions += n;
+}
+
+} // namespace lp::obs

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Scoped phase timers building the pipeline's phase tree.
+ *
+ * Each pipeline stage wraps itself in a ScopedPhase; nesting follows the
+ * call stack, so the process accumulates a tree like
+ *
+ *   verify -> analyze -> plan -> interpret -> report
+ *
+ * with per-phase wall-clock time, invocation counts, and (where the
+ * phase reports it) dynamic instruction counts.  Repeated phases with
+ * the same name under the same parent merge into one node, so a study
+ * that runs 40 programs still produces a readable tree.
+ *
+ * Timers are always on: a phase is entered a handful of times per run,
+ * so two steady_clock reads per phase are noise next to interpreting
+ * millions of instructions.  Trace-event emission is guarded by
+ * traceOn().
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace lp::obs {
+
+/** One node of the accumulated phase tree. */
+struct PhaseNode
+{
+    std::string name;
+    std::uint64_t count = 0;        ///< times the phase completed
+    std::uint64_t wallNanos = 0;    ///< total wall-clock time inside
+    std::uint64_t instructions = 0; ///< dynamic IR instructions attributed
+    std::vector<std::unique_ptr<PhaseNode>> children;
+
+    /** Find-or-create the child named @p childName. */
+    PhaseNode *child(const std::string &childName);
+
+    /**
+     * {"name": ..., "count": n, "wall_ns": ns, "instructions": k,
+     *  "children": [...]}
+     */
+    Json toJson() const;
+};
+
+/** The process-wide phase tree and the cursor ScopedPhase moves. */
+class PhaseTree
+{
+  public:
+    static PhaseTree &instance();
+
+    const PhaseNode &root() const { return root_; }
+
+    /** Drop all accumulated phases (tests, bench baselines). */
+    void reset();
+
+    /** JSON of the root's children (the root itself is synthetic). */
+    Json toJson() const;
+
+  private:
+    friend class ScopedPhase;
+    PhaseTree() { root_.name = "run"; }
+
+    PhaseNode root_;
+    PhaseNode *cur_ = &root_;
+};
+
+/** RAII phase scope.  Not movable; construct on the stack only. */
+class ScopedPhase
+{
+  public:
+    explicit ScopedPhase(const std::string &name);
+    ~ScopedPhase();
+
+    ScopedPhase(const ScopedPhase &) = delete;
+    ScopedPhase &operator=(const ScopedPhase &) = delete;
+
+    /** Attribute @p n dynamic instructions to this phase. */
+    void addInstructions(std::uint64_t n);
+
+  private:
+    PhaseNode *node_;
+    PhaseNode *parent_;
+    std::uint64_t startNanos_;
+    double startMicros_; ///< session timebase, for trace events
+    std::uint64_t instrBefore_;
+};
+
+} // namespace lp::obs

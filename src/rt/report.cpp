@@ -1,5 +1,7 @@
 #include "rt/report.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
 #include "support/table.hpp"
 #include "support/text.hpp"
 
@@ -32,6 +34,69 @@ ProgramReport::print(std::ostream &os, bool perLoop) const
                   std::to_string(lr.memConflicts)});
     }
     t.print(os);
+}
+
+obs::Json
+ProgramReport::toJson(bool withObsSnapshot) const
+{
+    using obs::Json;
+
+    Json cfgJson = Json::object();
+    cfgJson.set("label", config.str());
+    cfgJson.set("model", execModelName(config.model));
+    cfgJson.set("reduc", config.reduc);
+    cfgJson.set("dep", config.dep);
+    cfgJson.set("fn", config.fn);
+    cfgJson.set("pdoall_serial_threshold", config.pdoallSerialThreshold);
+    cfgJson.set("predictable_threshold", config.predictableThreshold);
+    cfgJson.set("single_sync_doacross", config.singleSyncDoacross);
+
+    Json censusJson = Json::object();
+    censusJson.set("computable_ivs", census.computableIvs);
+    censusJson.set("reductions", census.reductions);
+    censusJson.set("predictable_reg_lcds", census.predictableRegLcds);
+    censusJson.set("unpredictable_reg_lcds", census.unpredictableRegLcds);
+    censusJson.set("frequent_mem_lcd_loops", census.frequentMemLcdLoops);
+    censusJson.set("infrequent_mem_lcd_loops",
+                   census.infrequentMemLcdLoops);
+    censusJson.set("loops_with_calls", census.loopsWithCalls);
+    censusJson.set("static_loops", census.staticLoops);
+    censusJson.set("canonical_loops", census.canonicalLoops);
+
+    Json loopsJson = Json::array();
+    for (const LoopReport &lr : loops) {
+        Json one = Json::object();
+        one.set("label", lr.label);
+        one.set("depth", lr.depth);
+        one.set("static_reason", serialReasonName(lr.staticReason));
+        one.set("instances", lr.instances);
+        one.set("iterations", lr.iterations);
+        one.set("serial_cost", lr.serialCost);
+        one.set("adjusted_cost", lr.adjustedCost);
+        one.set("parallel_cost", lr.parallelCost);
+        one.set("speedup", lr.speedup());
+        one.set("mem_conflicts", lr.memConflicts);
+        one.set("reg_predictions", lr.regPredictions);
+        one.set("reg_mispredicts", lr.regMispredicts);
+        one.set("conflict_iterations", lr.conflictIterations);
+        one.set("serialized_instances", lr.serializedInstances);
+        loopsJson.push(std::move(one));
+    }
+
+    Json out = Json::object();
+    out.set("program", program);
+    out.set("config", std::move(cfgJson));
+    out.set("serial_cost", serialCost);
+    out.set("parallel_cost", parallelCost);
+    out.set("speedup", speedup());
+    out.set("coverage", coverage);
+    out.set("census", std::move(censusJson));
+    out.set("loops", std::move(loopsJson));
+    if (withObsSnapshot) {
+        out.set("metrics", obs::Registry::instance().toJson());
+        out.set("phases", obs::PhaseTree::instance().toJson());
+    }
+    return out;
 }
 
 } // namespace lp::rt

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/json.hpp"
 #include "rt/config.hpp"
 #include "rt/plan.hpp"
 
@@ -90,6 +91,14 @@ struct ProgramReport
 
     /** Render a human-readable summary (examples, debugging). */
     void print(std::ostream &os, bool perLoop = false) const;
+
+    /**
+     * Machine-readable export of everything print() shows and more:
+     * config echo, totals, census, per-loop reports, and — when
+     * @p withObsSnapshot — the process-wide metrics and phase-timing
+     * snapshots at export time.
+     */
+    obs::Json toJson(bool withObsSnapshot = true) const;
 };
 
 } // namespace lp::rt

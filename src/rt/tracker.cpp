@@ -1,8 +1,12 @@
 #include "rt/tracker.hpp"
 
 #include <algorithm>
+#include <cctype>
 
+#include "obs/log.hpp"
+#include "obs/timer.hpp"
 #include "support/error.hpp"
+#include "support/text.hpp"
 
 namespace lp::rt {
 
@@ -13,6 +17,24 @@ LoopRuntime::LoopRuntime(const ModulePlan &plan, const LPConfig &cfg)
     : plan_(plan), cfg_(cfg)
 {
     cfg_.validate();
+
+    obs::Registry &reg = obs::Registry::instance();
+    memEventsCtr_ = &reg.counter("tracker.mem_events");
+    conflictsCtr_ = &reg.counter("tracker.conflicts");
+    instancesCtr_ = &reg.counter("tracker.loop_instances");
+    // Roughly geometric trip-count buckets: tight loops vs. long streams.
+    tripCountHist_ = &reg.histogram(
+        "tracker.trip_count", {0, 1, 4, 16, 64, 256, 1024, 4096, 16384,
+                               65536, 262144, 1048576});
+    if (cfg_.model == ExecModel::Helix) {
+        squashesCtr_ = nullptr; // non-speculative: nothing to squash
+    } else {
+        std::string model = execModelName(cfg_.model);
+        for (char &c : model)
+            c = static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+        squashesCtr_ = &reg.counter("model.squashes." + model);
+    }
 
     // Build per-run loop info: static verdicts and the effective tracked
     // register-LCD lists (reductions are demoted to tracked LCDs under
@@ -168,6 +190,8 @@ LoopRuntime::openInstance(RunLoopInfo *rli, std::uint64_t now)
     inst.regs.resize(rli->tracked.size());
     frame.loopStack.push_back(std::move(inst));
     rli->report.instances += 1;
+    if (obs::metricsOn())
+        instancesCtr_->add(1);
 }
 
 void
@@ -175,11 +199,15 @@ LoopRuntime::registerConflict(Instance &inst)
 {
     // A register LCD manifesting at the start of the current iteration.
     inst.anyConflict = true;
+    if (obs::metricsOn())
+        conflictsCtr_->add(1);
     if (cfg_.model == ExecModel::PartialDoAll && !inst.conflictedThisIter) {
         inst.parallelAccum += inst.phaseSlowest;
         inst.phaseSlowest = 0;
         inst.conflictedThisIter = true;
         inst.conflictIters += 1;
+        if (obs::metricsOn())
+            squashesCtr_->add(1);
     }
 }
 
@@ -247,6 +275,15 @@ LoopRuntime::closeInstance(Instance &inst, std::uint64_t now)
 
     std::uint64_t rawSerial = now - inst.entryTs;
     std::uint64_t adjSerial = rawSerial - inst.totalChildSavings;
+
+    if (obs::metricsOn()) {
+        tripCountHist_->record(inst.curIter);
+        // DOALL is all-or-nothing speculation: any conflict discards
+        // the whole instance's parallel execution.
+        if (cfg_.model == ExecModel::DoAll && inst.anyConflict &&
+            rli.verdict == SerialReason::None)
+            squashesCtr_->add(1);
+    }
 
     // Apply the execution model.
     bool parallelized = false;
@@ -378,6 +415,8 @@ LoopRuntime::noteMemConflict(Instance &inst, const WriteRec &rec,
 {
     inst.memConflicts += 1;
     inst.anyConflict = true;
+    if (obs::metricsOn())
+        conflictsCtr_->add(1);
     switch (cfg_.model) {
       case ExecModel::DoAll:
         break; // anyConflict alone serializes the loop
@@ -387,6 +426,8 @@ LoopRuntime::noteMemConflict(Instance &inst, const WriteRec &rec,
             inst.phaseSlowest = 0;
             inst.conflictedThisIter = true;
             inst.conflictIters += 1;
+            if (obs::metricsOn())
+                squashesCtr_->add(1);
         }
         break;
       case ExecModel::Helix: {
@@ -407,6 +448,8 @@ LoopRuntime::noteMemConflict(Instance &inst, const WriteRec &rec,
 void
 LoopRuntime::onLoad(const Instruction *instr, std::uint64_t addr)
 {
+    if (obs::metricsOn())
+        memEventsCtr_->add(1);
     const std::uint64_t granule = addr >> 3;
     std::uint64_t now = machine_->preciseCost();
     for (FrameCtx &frame : frames_) {
@@ -432,6 +475,8 @@ LoopRuntime::onLoad(const Instruction *instr, std::uint64_t addr)
 void
 LoopRuntime::onStore(const Instruction *instr, std::uint64_t addr)
 {
+    if (obs::metricsOn())
+        memEventsCtr_->add(1);
     const std::uint64_t granule = addr >> 3;
     std::uint64_t now = machine_->preciseCost();
     for (FrameCtx &frame : frames_) {
@@ -534,6 +579,10 @@ LoopRuntime::finish(const std::string &programName)
               [](const LoopReport &a, const LoopReport &b) {
                   return a.serialCost > b.serialCost;
               });
+    if (obs::metricsOn())
+        obs::Registry::instance()
+            .counter("report.loops_reported")
+            .add(rep.loops.size());
     return rep;
 }
 
@@ -541,11 +590,25 @@ ProgramReport
 runLimitStudy(const ir::Module &mod, const ModulePlan &plan,
               const LPConfig &cfg, const std::string &name)
 {
-    LoopRuntime runtime(plan, cfg);
-    interp::Machine machine(mod, &runtime);
-    runtime.attach(machine);
-    machine.run();
-    return runtime.finish(name);
+    std::unique_ptr<LoopRuntime> runtime;
+    {
+        obs::ScopedPhase phase("plan");
+        runtime = std::make_unique<LoopRuntime>(plan, cfg);
+    }
+    interp::Machine machine(mod, runtime.get());
+    runtime->attach(machine);
+    {
+        obs::ScopedPhase phase("interpret");
+        machine.run();
+        phase.addInstructions(machine.cost());
+    }
+    obs::ScopedPhase phase("report");
+    ProgramReport rep = runtime->finish(name);
+    LP_LOG_INFO("%s [%s]: speedup %.2fx, coverage %.1f%%, "
+                "%zu loops reported",
+                name.c_str(), cfg.str().c_str(), rep.speedup(),
+                rep.coverage * 100.0, rep.loops.size());
+    return rep;
 }
 
 } // namespace lp::rt

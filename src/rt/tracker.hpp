@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "interp/machine.hpp"
+#include "obs/metrics.hpp"
 #include "predict/predictor.hpp"
 #include "rt/plan.hpp"
 #include "rt/report.hpp"
@@ -147,6 +148,14 @@ class LoopRuntime : public interp::ExecListener
         std::uint64_t mispredicts = 0;
     };
     std::unordered_map<const ir::Instruction *, PredStats> predStats_;
+
+    // Cached metric handles (registry entries live forever); every
+    // update in the hot event path is guarded by obs::metricsOn().
+    obs::Counter *memEventsCtr_;
+    obs::Counter *conflictsCtr_;
+    obs::Counter *squashesCtr_; ///< model.squashes.<model>; null for HELIX
+    obs::Counter *instancesCtr_;
+    obs::Histogram *tripCountHist_;
 
     std::vector<FrameCtx> frames_;
     std::uint64_t totalSavings_ = 0;

@@ -12,7 +12,9 @@
 
 #include "suites/kernels.hpp"
 
+#include "obs/log.hpp"
 #include "suites/kbuild.hpp"
+#include "support/text.hpp"
 
 namespace lp::suites {
 
@@ -29,6 +31,9 @@ using namespace ir;
 std::unique_ptr<Module>
 buildEembcA2time()
 {
+    // All suite diagnostics route through the obs logger (LP_LOG=debug
+    // narrates kernel construction); never write to stderr directly.
+    LP_LOG_DEBUG("eembc.a2time: pure-call conv loop + IIR register LCD");
     constexpr std::int64_t kN = 24000, kSmooth = 4000;
     ProgramBuilder p("eembc.a2time");
     IRBuilder &b = p.b();
@@ -92,6 +97,7 @@ buildEembcA2time()
 std::unique_ptr<Module>
 buildEembcAifir()
 {
+    LP_LOG_DEBUG("eembc.aifir: fn2-gated block loop, serial IIR inner");
     constexpr std::int64_t kBlocks = 24, kBlock = 128, kTaps = 8;
     constexpr std::int64_t kN = kBlocks * kBlock + kTaps;
     ProgramBuilder p("eembc.aifir");
@@ -153,6 +159,7 @@ buildEembcAifir()
 std::unique_ptr<Module>
 buildEembcAutcor()
 {
+    LP_LOG_DEBUG("eembc.autcor: DOALL lag loop over sum reductions");
     constexpr std::int64_t kLags = 24, kN = 3000;
     ProgramBuilder p("eembc.autcor");
     IRBuilder &b = p.b();
@@ -198,6 +205,7 @@ buildEembcAutcor()
 std::unique_ptr<Module>
 buildEembcViterb()
 {
+    LP_LOG_DEBUG("eembc.viterb: serial time loop, DOALL state inner");
     constexpr std::int64_t kSteps = 1400, kStates = 8;
     ProgramBuilder p("eembc.viterb");
     IRBuilder &b = p.b();
@@ -261,6 +269,7 @@ buildEembcViterb()
 std::unique_ptr<Module>
 buildEembcIdctrn()
 {
+    LP_LOG_DEBUG("eembc.idctrn: fn2-gated disjoint block transform");
     constexpr std::int64_t kBlocks = 300;
     ProgramBuilder p("eembc.idctrn");
     IRBuilder &b = p.b();
@@ -327,6 +336,7 @@ buildEembcIdctrn()
 std::unique_ptr<Module>
 buildEembcRgbcmyk()
 {
+    LP_LOG_DEBUG("eembc.rgbcmyk: conflict-free DOALL pixel loop");
     constexpr std::int64_t kN = 40000;
     ProgramBuilder p("eembc.rgbcmyk");
     IRBuilder &b = p.b();

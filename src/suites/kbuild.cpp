@@ -1,5 +1,8 @@
 #include "suites/kbuild.hpp"
 
+#include "obs/log.hpp"
+#include "support/text.hpp"
+
 namespace lp::suites {
 
 using namespace ir;
@@ -177,6 +180,9 @@ std::unique_ptr<Module>
 ProgramBuilder::take()
 {
     mod_->finalize();
+    LP_LOG_DEBUG("built kernel %s: %zu functions, %zu globals",
+                 mod_->name().c_str(), mod_->functions().size(),
+                 mod_->globals().size());
     return std::move(mod_);
 }
 

@@ -1,20 +1,27 @@
 #include "support/error.hpp"
 
-#include <cstdio>
 #include <cstdlib>
+
+#include "obs/log.hpp"
 
 namespace lp {
 
 void
 panic(const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    // Route through the obs logger (the single diagnostics path) so the
+    // message also lands in any attached structured sink; force bypasses
+    // LP_LOG=off — a panic must never be silent.
+    obs::logMessage(obs::Level::Error, "panic: " + msg, /*force=*/true);
     std::abort();
 }
 
 void
 fatal(const std::string &msg)
 {
+    // User-level errors are recoverable (callers catch FatalError), so
+    // they log only when error-level logging is enabled.
+    obs::logMessage(obs::Level::Error, "fatal: " + msg);
     throw FatalError(msg);
 }
 

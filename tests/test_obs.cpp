@@ -1,0 +1,358 @@
+/**
+ * @file
+ * Tests of the lp::obs observability layer: JSON round-trips, metric
+ * arithmetic, timer nesting, sink output formats, and LP_LOG filtering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
+#include "obs/timer.hpp"
+#include "support/text.hpp" // strf, used by the LP_LOG_* macros
+
+namespace lp::obs {
+namespace {
+
+/** RAII: force metrics on and clean up global obs state afterwards. */
+class ObsSandbox
+{
+  public:
+    ObsSandbox()
+        : savedLevel_(logLevel()), savedMetrics_(metricsOn())
+    {
+        Registry::instance().resetAll();
+        PhaseTree::instance().reset();
+        setMetricsEnabled(true);
+    }
+    ~ObsSandbox()
+    {
+        Session::instance().attach(nullptr);
+        setMetricsEnabled(savedMetrics_);
+        setLogLevel(savedLevel_);
+        setLogStream(nullptr);
+        Registry::instance().resetAll();
+        PhaseTree::instance().reset();
+    }
+
+  private:
+    Level savedLevel_;
+    bool savedMetrics_;
+};
+
+// ----------------------------------------------------------------- JSON
+
+TEST(Json, DumpAndParseRoundTrip)
+{
+    Json doc = Json::object();
+    doc.set("int", std::int64_t{-42});
+    doc.set("big", std::uint64_t{1'234'567'890'123ULL});
+    doc.set("dbl", 2.5);
+    doc.set("str", "quote \" backslash \\ newline \n tab \t");
+    doc.set("flag", true);
+    doc.set("nothing", Json());
+    Json arr = Json::array();
+    arr.push(1).push("two").push(3.0);
+    doc.set("arr", std::move(arr));
+    Json inner = Json::object();
+    inner.set("k", "v");
+    doc.set("obj", std::move(inner));
+
+    for (int indent : {-1, 2}) {
+        std::string err;
+        Json back = Json::parse(doc.dump(indent), &err);
+        ASSERT_TRUE(err.empty()) << err;
+        EXPECT_EQ(back.at("int").asInt(), -42);
+        EXPECT_EQ(back.at("big").asU64(), 1'234'567'890'123ULL);
+        EXPECT_DOUBLE_EQ(back.at("dbl").asDouble(), 2.5);
+        EXPECT_EQ(back.at("str").asString(),
+                  "quote \" backslash \\ newline \n tab \t");
+        EXPECT_TRUE(back.at("flag").asBool());
+        EXPECT_TRUE(back.at("nothing").isNull());
+        EXPECT_EQ(back.at("arr").size(), 3u);
+        EXPECT_EQ(back.at("arr").at(1).asString(), "two");
+        EXPECT_EQ(back.at("obj").at("k").asString(), "v");
+    }
+}
+
+TEST(Json, ParseRejectsMalformedInput)
+{
+    for (const char *bad :
+         {"{", "[1,]", "{\"a\":}", "tru", "{\"a\" 1}", "[1 2]", "\"x"}) {
+        std::string err;
+        Json v = Json::parse(bad, &err);
+        EXPECT_FALSE(err.empty()) << "accepted: " << bad;
+    }
+}
+
+TEST(Json, PreservesKeyInsertionOrder)
+{
+    Json doc = Json::object();
+    doc.set("zebra", 1);
+    doc.set("alpha", 2);
+    doc.set("zebra", 3); // overwrite keeps the original position
+    EXPECT_EQ(doc.dump(), "{\"zebra\":3,\"alpha\":2}");
+}
+
+// -------------------------------------------------------------- metrics
+
+TEST(Metrics, CounterArithmetic)
+{
+    ObsSandbox sandbox;
+    Counter &c = Registry::instance().counter("test.ctr");
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    // Same name yields the same counter.
+    EXPECT_EQ(&Registry::instance().counter("test.ctr"), &c);
+    Registry::instance().resetAll();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Metrics, HistogramBuckets)
+{
+    ObsSandbox sandbox;
+    Histogram h({10, 100, 1000});
+    for (std::uint64_t v : {0ULL, 10ULL, 11ULL, 100ULL, 5000ULL})
+        h.record(v);
+    // bucket 0: <=10 (0, 10), bucket 1: <=100 (11, 100),
+    // bucket 2: <=1000 (none), overflow: 5000.
+    ASSERT_EQ(h.bucketCounts().size(), 4u);
+    EXPECT_EQ(h.bucketCounts()[0], 2u);
+    EXPECT_EQ(h.bucketCounts()[1], 2u);
+    EXPECT_EQ(h.bucketCounts()[2], 0u);
+    EXPECT_EQ(h.bucketCounts()[3], 1u);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.sum(), 5121u);
+    EXPECT_DOUBLE_EQ(h.mean(), 5121.0 / 5.0);
+}
+
+TEST(Metrics, SnapshotIsValidJson)
+{
+    ObsSandbox sandbox;
+    Registry &reg = Registry::instance();
+    reg.counter("snap.ctr").add(7);
+    reg.gauge("snap.gauge").set(1.5);
+    reg.histogram("snap.hist", {1, 2, 4}).record(3);
+
+    std::string err;
+    Json back = Json::parse(reg.toJson().dump(2), &err);
+    ASSERT_TRUE(err.empty()) << err;
+    EXPECT_EQ(back.at("counters").at("snap.ctr").asU64(), 7u);
+    EXPECT_DOUBLE_EQ(back.at("gauges").at("snap.gauge").asDouble(), 1.5);
+    EXPECT_EQ(back.at("histograms").at("snap.hist").at("count").asU64(),
+              1u);
+}
+
+// --------------------------------------------------------------- timers
+
+TEST(Timers, NestingBuildsATree)
+{
+    ObsSandbox sandbox;
+    {
+        ScopedPhase outer("outer");
+        {
+            ScopedPhase inner("inner");
+            inner.addInstructions(100);
+        }
+        {
+            ScopedPhase inner("inner"); // merges with the node above
+        }
+        ScopedPhase sibling("sibling");
+    }
+    {
+        ScopedPhase outer("outer"); // second completion of the same node
+    }
+
+    const PhaseNode &root = PhaseTree::instance().root();
+    ASSERT_EQ(root.children.size(), 1u);
+    const PhaseNode &outer = *root.children[0];
+    EXPECT_EQ(outer.name, "outer");
+    EXPECT_EQ(outer.count, 2u);
+    ASSERT_EQ(outer.children.size(), 2u);
+    EXPECT_EQ(outer.children[0]->name, "inner");
+    EXPECT_EQ(outer.children[0]->count, 2u);
+    EXPECT_EQ(outer.children[0]->instructions, 100u);
+    EXPECT_EQ(outer.children[1]->name, "sibling");
+
+    std::string err;
+    Json json = Json::parse(PhaseTree::instance().toJson().dump(), &err);
+    ASSERT_TRUE(err.empty()) << err;
+    EXPECT_EQ(json.at(0).at("name").asString(), "outer");
+    EXPECT_EQ(json.at(0).at("children").at(0).at("instructions").asU64(),
+              100u);
+}
+
+// ---------------------------------------------------------------- sinks
+
+TEST(Sinks, JsonlLinesAreValidJson)
+{
+    ObsSandbox sandbox;
+    std::ostringstream buf;
+    {
+        auto sink = std::make_unique<JsonlSink>(buf);
+        sink->event("log", Json::object().set("msg", "hello"));
+        sink->span("interpret", 10.0, 32.5,
+                   Json::object().set("instructions", 1234));
+        sink->flush();
+    }
+
+    std::istringstream lines(buf.str());
+    std::string line;
+    int n = 0;
+    while (std::getline(lines, line)) {
+        std::string err;
+        Json rec = Json::parse(line, &err);
+        ASSERT_TRUE(err.empty()) << err << " in line: " << line;
+        ASSERT_TRUE(rec.contains("kind"));
+        ++n;
+    }
+    EXPECT_EQ(n, 2);
+
+    Json second = Json::parse(buf.str().substr(buf.str().find('\n') + 1));
+    EXPECT_EQ(second.at("kind").asString(), "phase");
+    EXPECT_EQ(second.at("name").asString(), "interpret");
+    EXPECT_DOUBLE_EQ(second.at("dur_us").asDouble(), 32.5);
+}
+
+TEST(Sinks, ChromeTraceDocumentShape)
+{
+    ObsSandbox sandbox;
+    std::string path = testing::TempDir() + "lp_obs_trace.json";
+    {
+        ChromeTraceSink sink(path);
+        sink.span("interpret", 5.0, 100.0, Json::object());
+        sink.event("metrics", Json::object().set("x", 1));
+        sink.flush();
+    }
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string err;
+    Json doc = Json::parse(buf.str(), &err);
+    ASSERT_TRUE(err.empty()) << err;
+
+    const Json &events = doc.at("traceEvents");
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events.at(0).at("name").asString(), "interpret");
+    EXPECT_EQ(events.at(0).at("ph").asString(), "X");
+    EXPECT_DOUBLE_EQ(events.at(0).at("ts").asDouble(), 5.0);
+    EXPECT_DOUBLE_EQ(events.at(0).at("dur").asDouble(), 100.0);
+    EXPECT_EQ(events.at(1).at("ph").asString(), "i");
+}
+
+TEST(Sinks, SessionConfigureParsesSpecs)
+{
+    ObsSandbox sandbox;
+    Session &s = Session::instance();
+    EXPECT_FALSE(s.configure("bogus"));
+    EXPECT_EQ(s.sink(), nullptr);
+    EXPECT_FALSE(s.configure("chrome:"));
+    std::string path = testing::TempDir() + "lp_obs_session.json";
+    EXPECT_TRUE(s.configure("chrome:" + path));
+    EXPECT_NE(s.sink(), nullptr);
+    EXPECT_TRUE(traceOn());
+    EXPECT_TRUE(metricsOn()); // a trace sink implies metrics
+    s.attach(nullptr);
+    EXPECT_FALSE(traceOn());
+}
+
+TEST(Sinks, ScopedPhaseEmitsTraceSpan)
+{
+    ObsSandbox sandbox;
+    std::string path = testing::TempDir() + "lp_obs_phase_trace.json";
+    Session::instance().configure("chrome:" + path);
+    {
+        ScopedPhase phase("unit-test-phase");
+    }
+    Session::instance().close(); // flush + final metrics snapshot
+
+    std::ifstream in(path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string err;
+    Json doc = Json::parse(buf.str(), &err);
+    ASSERT_TRUE(err.empty()) << err;
+    bool sawPhase = false;
+    bool sawMetrics = false;
+    for (std::size_t i = 0; i < doc.at("traceEvents").size(); ++i) {
+        const Json &e = doc.at("traceEvents").at(i);
+        if (e.at("name").asString() == "unit-test-phase")
+            sawPhase = true;
+        if (e.at("name").asString() == "metrics")
+            sawMetrics = true;
+    }
+    EXPECT_TRUE(sawPhase);
+    EXPECT_TRUE(sawMetrics);
+}
+
+// -------------------------------------------------------------- logging
+
+TEST(Log, LevelParsingAndNames)
+{
+    EXPECT_EQ(parseLevel("off"), Level::Off);
+    EXPECT_EQ(parseLevel("error"), Level::Error);
+    EXPECT_EQ(parseLevel("info"), Level::Info);
+    EXPECT_EQ(parseLevel("debug"), Level::Debug);
+    EXPECT_EQ(parseLevel("nonsense"), Level::Off);
+    EXPECT_STREQ(levelName(Level::Debug), "debug");
+}
+
+TEST(Log, LevelFiltersMessages)
+{
+    ObsSandbox sandbox;
+    std::ostringstream captured;
+    setLogStream(&captured);
+
+    setLogLevel(Level::Info);
+    LP_LOG_ERROR("e1");
+    LP_LOG_INFO("i1");
+    LP_LOG_DEBUG("d1"); // suppressed
+    setLogLevel(Level::Off);
+    LP_LOG_ERROR("e2"); // suppressed
+    logMessage(Level::Error, "forced", /*force=*/true);
+
+    std::string out = captured.str();
+    EXPECT_NE(out.find("[lp:error] e1"), std::string::npos);
+    EXPECT_NE(out.find("[lp:info] i1"), std::string::npos);
+    EXPECT_EQ(out.find("d1"), std::string::npos);
+    EXPECT_EQ(out.find("e2"), std::string::npos);
+    EXPECT_NE(out.find("forced"), std::string::npos);
+}
+
+TEST(Log, MessagesMirrorIntoJsonlSink)
+{
+    ObsSandbox sandbox;
+    std::ostringstream text;
+    setLogStream(&text);
+    std::string path = testing::TempDir() + "lp_obs_log.jsonl";
+    Session::instance().configure("jsonl:" + path);
+
+    setLogLevel(Level::Info);
+    LP_LOG_INFO("structured %d", 7);
+    Session::instance().close();
+
+    std::ifstream in(path);
+    std::string line;
+    bool found = false;
+    while (std::getline(in, line)) {
+        std::string err;
+        Json rec = Json::parse(line, &err);
+        ASSERT_TRUE(err.empty()) << err;
+        if (rec.at("kind").asString() == "log" &&
+            rec.at("data").at("msg").asString() == "structured 7")
+            found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
+} // namespace
+} // namespace lp::obs

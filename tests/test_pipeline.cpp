@@ -290,5 +290,62 @@ TEST(Pipeline, RerunOnSameDriverIsIndependent)
     EXPECT_EQ(r1.parallelCost, r2.parallelCost);
 }
 
+TEST(Pipeline, ReportJsonRoundTripsCensusAndPerLoopNumbers)
+{
+    auto mod = test::buildSumReduction(2000);
+    Loopapalooza lp(*mod);
+    ProgramReport rep = lp.run(cfg("reduc0-dep2-fn0", ExecModel::Helix));
+
+    std::string err;
+    obs::Json json = obs::Json::parse(rep.toJson().dump(2), &err);
+    ASSERT_TRUE(err.empty()) << err;
+
+    // Top-level numbers match the in-memory report exactly.
+    EXPECT_EQ(json.at("program").asString(), rep.program);
+    EXPECT_EQ(json.at("config").at("label").asString(),
+              rep.config.str());
+    EXPECT_EQ(json.at("serial_cost").asU64(), rep.serialCost);
+    EXPECT_EQ(json.at("parallel_cost").asU64(), rep.parallelCost);
+    EXPECT_DOUBLE_EQ(json.at("speedup").asDouble(), rep.speedup());
+    EXPECT_DOUBLE_EQ(json.at("coverage").asDouble(), rep.coverage);
+
+    // Census round-trips field by field.
+    const obs::Json &census = json.at("census");
+    EXPECT_EQ(census.at("static_loops").asU64(),
+              rep.census.staticLoops);
+    EXPECT_EQ(census.at("canonical_loops").asU64(),
+              rep.census.canonicalLoops);
+    EXPECT_EQ(census.at("computable_ivs").asU64(),
+              rep.census.computableIvs);
+    EXPECT_EQ(census.at("reductions").asU64(), rep.census.reductions);
+    EXPECT_EQ(census.at("predictable_reg_lcds").asU64(),
+              rep.census.predictableRegLcds);
+    EXPECT_EQ(census.at("unpredictable_reg_lcds").asU64(),
+              rep.census.unpredictableRegLcds);
+    EXPECT_EQ(census.at("loops_with_calls").asU64(),
+              rep.census.loopsWithCalls);
+
+    // Per-loop reports, in the same order with the same numbers.
+    ASSERT_EQ(json.at("loops").size(), rep.loops.size());
+    for (std::size_t i = 0; i < rep.loops.size(); ++i) {
+        const obs::Json &l = json.at("loops").at(i);
+        const rt::LoopReport &lr = rep.loops[i];
+        EXPECT_EQ(l.at("label").asString(), lr.label);
+        EXPECT_EQ(l.at("depth").asU64(), lr.depth);
+        EXPECT_EQ(l.at("instances").asU64(), lr.instances);
+        EXPECT_EQ(l.at("iterations").asU64(), lr.iterations);
+        EXPECT_EQ(l.at("serial_cost").asU64(), lr.serialCost);
+        EXPECT_EQ(l.at("parallel_cost").asU64(), lr.parallelCost);
+        EXPECT_EQ(l.at("mem_conflicts").asU64(), lr.memConflicts);
+        EXPECT_DOUBLE_EQ(l.at("speedup").asDouble(), lr.speedup());
+    }
+
+    // The default export carries the obs snapshot sections.
+    EXPECT_TRUE(json.contains("metrics"));
+    EXPECT_TRUE(json.contains("phases"));
+    EXPECT_FALSE(rep.toJson(/*withObsSnapshot=*/false)
+                     .contains("metrics"));
+}
+
 } // namespace
 } // namespace lp
