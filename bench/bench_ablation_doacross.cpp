@@ -26,13 +26,16 @@ main()
     rt::LPConfig doacross = helix;
     doacross.singleSyncDoacross = true;
 
+    const std::vector<std::string> suitesOrder = study.suites();
+    auto grid = bench::sweepGrid(study, {helix, doacross}, suitesOrder);
+
     TextTable t({"suite", "HELIX (multi-sync)", "DOACROSS (single-sync)",
                  "HELIX advantage"});
-    for (const std::string &suite : study.suites()) {
-        double h = bench::suiteSpeedup(study, suite, helix);
-        double d = bench::suiteSpeedup(study, suite, doacross);
-        t.addRow({suite, TextTable::num(h) + "x", TextTable::num(d) + "x",
-                  TextTable::num(h / d) + "x"});
+    for (std::size_t s = 0; s < suitesOrder.size(); ++s) {
+        double h = grid[0][s].speedup;
+        double d = grid[1][s].speedup;
+        t.addRow({suitesOrder[s], TextTable::num(h) + "x",
+                  TextTable::num(d) + "x", TextTable::num(h / d) + "x"});
     }
     t.print(std::cout);
     std::cout << "\nExpected: DOACROSS <= HELIX everywhere; the paper's\n"

@@ -59,10 +59,12 @@ main()
     TextTable t({"suite", "last-value", "stride", "2-delta", "fcm",
                  "perfect hybrid", "realistic selector"});
 
-    for (const char *suiteName :
-         {"eembc", "cfp2000", "cfp2006", "cint2000", "cint2006"}) {
-        Tally tally;
-        for (const auto &prog : suites::programsInSuite(suiteName)) {
+    const std::vector<std::string> suiteNames = {
+        "eembc", "cfp2000", "cfp2006", "cint2000", "cint2006"};
+    std::vector<Tally> tallies(suiteNames.size());
+    exec::parallelFor(suiteNames.size(), [&](std::size_t si) {
+        Tally &tally = tallies[si];
+        for (const auto &prog : suites::programsInSuite(suiteNames[si])) {
             auto mod = prog.build();
             StreamCollector collector;
             interp::Machine machine(*mod, &collector);
@@ -82,6 +84,10 @@ main()
                 }
             }
         }
+    });
+
+    for (std::size_t si = 0; si < suiteNames.size(); ++si) {
+        const Tally &tally = tallies[si];
         auto pct = [&](std::uint64_t hits) {
             return TextTable::num(
                        tally.total
@@ -90,7 +96,7 @@ main()
                            : 0.0,
                        1) + "%";
         };
-        t.addRow({suiteName, pct(tally.componentHits[0]),
+        t.addRow({suiteNames[si], pct(tally.componentHits[0]),
                   pct(tally.componentHits[1]), pct(tally.componentHits[2]),
                   pct(tally.componentHits[3]), pct(tally.anyHits),
                   pct(tally.selectedHits)});

@@ -20,19 +20,24 @@ main()
 
     core::Study study(suites::allPrograms());
     const double thresholds[] = {0.05, 0.2, 0.4, 0.6, 0.8, 0.95, 1.0};
+    const std::vector<std::string> suitesOrder = {
+        "eembc", "cfp2000", "cfp2006", "cint2000", "cint2006"};
 
-    TextTable t({"threshold", "eembc", "cfp2000", "cfp2006", "cint2000",
-                 "cint2006"});
+    std::vector<rt::LPConfig> configs;
     for (double th : thresholds) {
         rt::LPConfig cfg = core::bestPdoall();
         cfg.pdoallSerialThreshold = th;
-        std::vector<std::string> row = {TextTable::num(th * 100, 0) + "%"};
-        for (const char *suite :
-             {"eembc", "cfp2000", "cfp2006", "cint2000", "cint2006"}) {
-            row.push_back(
-                TextTable::num(bench::suiteSpeedup(study, suite, cfg)) +
-                "x");
-        }
+        configs.push_back(cfg);
+    }
+    auto grid = bench::sweepGrid(study, configs, suitesOrder);
+
+    TextTable t({"threshold", "eembc", "cfp2000", "cfp2006", "cint2000",
+                 "cint2006"});
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        std::vector<std::string> row = {
+            TextTable::num(thresholds[c] * 100, 0) + "%"};
+        for (std::size_t s = 0; s < suitesOrder.size(); ++s)
+            row.push_back(TextTable::num(grid[c][s].speedup) + "x");
         t.addRow(row);
     }
     t.print(std::cout);

@@ -52,21 +52,24 @@ main()
 
     core::Study study(suites::nonNumericPrograms());
 
+    std::vector<rt::LPConfig> configs;
+    for (const auto &named : core::paperConfigs())
+        configs.push_back(named.config);
+    auto grid = bench::sweepGrid(study, configs, {"cint2000", "cint2006"});
+
     TextTable t({"configuration", "cint2000", "paper", "cint2006",
                  "paper"});
-    for (const auto &named : core::paperConfigs()) {
-        double s2000 = bench::suiteSpeedup(study, "cint2000",
-                                           named.config);
-        double s2006 = bench::suiteSpeedup(study, "cint2006",
-                                           named.config);
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        const auto &named = core::paperConfigs()[c];
         auto ref = kPaper.find(named.label);
         std::string p2000 = "-", p2006 = "-";
         if (ref != kPaper.end()) {
             p2000 = TextTable::num(ref->second.int2000, 1) + "x";
             p2006 = TextTable::num(ref->second.int2006, 1) + "x";
         }
-        t.addRow({named.label, TextTable::num(s2000) + "x", p2000,
-                  TextTable::num(s2006) + "x", p2006});
+        t.addRow({named.label, TextTable::num(grid[c][0].speedup) + "x",
+                  p2000, TextTable::num(grid[c][1].speedup) + "x",
+                  p2006});
     }
     t.print(std::cout);
 

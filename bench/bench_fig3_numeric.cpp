@@ -51,21 +51,25 @@ main()
 
     core::Study study(suites::numericPrograms());
 
+    std::vector<rt::LPConfig> configs;
+    for (const auto &named : core::paperConfigs())
+        configs.push_back(named.config);
+    auto grid = bench::sweepGrid(study, configs,
+                                 {"eembc", "cfp2000", "cfp2006"});
+
     TextTable t({"configuration", "eembc", "cfp2000", "cfp2006",
                  "paper range"});
-    for (const auto &named : core::paperConfigs()) {
-        double se = bench::suiteSpeedup(study, "eembc", named.config);
-        double s0 = bench::suiteSpeedup(study, "cfp2000", named.config);
-        double s6 = bench::suiteSpeedup(study, "cfp2006", named.config);
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        const auto &named = core::paperConfigs()[c];
         auto ref = kPaper.find(named.label);
         std::string pr = "-";
         if (ref != kPaper.end()) {
             pr = TextTable::num(ref->second.lo, 1) + "-" +
                  TextTable::num(ref->second.hi, 1) + "x";
         }
-        t.addRow({named.label, TextTable::num(se) + "x",
-                  TextTable::num(s0) + "x", TextTable::num(s6) + "x",
-                  pr});
+        t.addRow({named.label, TextTable::num(grid[c][0].speedup) + "x",
+                  TextTable::num(grid[c][1].speedup) + "x",
+                  TextTable::num(grid[c][2].speedup) + "x", pr});
     }
     t.print(std::cout);
 

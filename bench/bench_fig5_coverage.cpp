@@ -24,14 +24,17 @@ main()
     const std::vector<std::string> suitesOrder = {
         "eembc", "cint2006", "cint2000", "cfp2006", "cfp2000"};
 
+    std::vector<rt::LPConfig> configs;
+    for (const auto &named : core::coverageConfigs())
+        configs.push_back(named.config);
+    auto grid = bench::sweepGrid(study, configs, suitesOrder);
+
     TextTable t({"configuration", "eembc", "cint2006", "cint2000",
                  "cfp2006", "cfp2000"});
-    for (const auto &named : core::coverageConfigs()) {
-        std::vector<std::string> row = {named.label};
-        for (const auto &suite : suitesOrder) {
-            double cov = bench::suiteCoverage(study, suite, named.config);
-            row.push_back(TextTable::num(cov, 1) + "%");
-        }
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        std::vector<std::string> row = {core::coverageConfigs()[c].label};
+        for (std::size_t s = 0; s < suitesOrder.size(); ++s)
+            row.push_back(TextTable::num(grid[c][s].coverage, 1) + "%");
         t.addRow(row);
     }
     t.print(std::cout);

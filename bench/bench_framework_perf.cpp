@@ -121,6 +121,41 @@ BM_KernelConstruction(benchmark::State &state)
 BENCHMARK(BM_KernelConstruction)->Unit(benchmark::kMillisecond);
 
 /**
+ * Config-sweep scaling: the paper's 14 configurations over one suite on
+ * N workers (Arg).  Arg(1) is the serial baseline; the acceptance bar
+ * for lp::exec is >= 2x wall-clock improvement at Arg(4).
+ */
+void
+BM_SuiteSweep(benchmark::State &state)
+{
+    static const core::Study study(suites::nonNumericPrograms(),
+                                   /*jobs=*/1);
+    std::vector<rt::LPConfig> configs;
+    for (const auto &named : core::paperConfigs())
+        configs.push_back(named.config);
+    const unsigned jobs = static_cast<unsigned>(state.range(0));
+
+    for (auto _ : state) {
+        std::vector<double> speedups(configs.size());
+        exec::parallelFor(
+            configs.size(),
+            [&](std::size_t i) {
+                auto reports = study.runSuite("cint2000", configs[i],
+                                              /*jobs=*/1);
+                speedups[i] = core::Study::geomeanSpeedup(reports);
+            },
+            jobs);
+        benchmark::DoNotOptimize(speedups.data());
+    }
+    state.counters["jobs"] = static_cast<double>(jobs);
+}
+BENCHMARK(BM_SuiteSweep)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/**
  * Measure one phase: run @p body (which returns dynamic instructions
  * executed) @p reps times after one warm-up, and report instructions
  * per wall-clock second.
@@ -175,6 +210,42 @@ writeBenchBaseline()
         rt::ProgramReport rep = driver.run(cfg);
         return rep.serialCost;
     }));
+
+    // Sweep scaling: the 14-config grid over one suite, serial vs 4
+    // workers.  "speedup_4j" is the wall-clock ratio the lp::exec layer
+    // is accountable for (target: >= 2x on 4 workers).
+    {
+        core::Study study(suites::nonNumericPrograms(), /*jobs=*/1);
+        std::vector<rt::LPConfig> configs;
+        for (const auto &named : core::paperConfigs())
+            configs.push_back(named.config);
+        auto sweepOnce = [&](unsigned jobs) {
+            std::uint64_t instructions = 0;
+            std::vector<std::uint64_t> perConfig(configs.size());
+            exec::parallelFor(
+                configs.size(),
+                [&](std::size_t i) {
+                    std::uint64_t serial = 0;
+                    for (const auto &rep :
+                         study.runSuite("cint2000", configs[i], 1))
+                        serial += rep.serialCost;
+                    perConfig[i] = serial;
+                },
+                jobs);
+            for (std::uint64_t c : perConfig)
+                instructions += c;
+            return instructions;
+        };
+        obs::Json sweep = obs::Json::object();
+        obs::Json serial = measurePhase(3, [&] { return sweepOnce(1); });
+        obs::Json par4 = measurePhase(3, [&] { return sweepOnce(4); });
+        double s1 = serial.at("wall_seconds").asDouble();
+        double s4 = par4.at("wall_seconds").asDouble();
+        sweep.set("jobs1", std::move(serial));
+        sweep.set("jobs4", std::move(par4));
+        sweep.set("speedup_4j", s4 > 0 ? s1 / s4 : 0.0);
+        doc.set("sweep", std::move(sweep));
+    }
 
     // One instrumented analyze+run so the snapshot reflects real counter
     // flow, including the compile-time and speculative-model counters.

@@ -19,6 +19,7 @@
 
 #include "core/configs.hpp"
 #include "core/study.hpp"
+#include "exec/pool.hpp"
 #include "obs/json.hpp"
 #include "rt/report.hpp"
 #include "suites/registry.hpp"
@@ -54,6 +55,40 @@ suiteCoverage(const core::Study &study, const std::string &suite,
               const rt::LPConfig &cfg)
 {
     return core::Study::geomeanCoverage(study.runSuite(suite, cfg));
+}
+
+/** Geomeans of one (configuration, suite) cell of a sweep grid. */
+struct SweepCell
+{
+    double speedup = 0.0;
+    double coverage = 0.0;
+};
+
+/**
+ * Evaluate the full @p configs × @p suitesOrder grid of @p study, the
+ * unit of parallelism being one (config, suite) cell (each cell runs
+ * its programs serially).  Honors --jobs / LP_JOBS via
+ * exec::defaultJobs().  Cell [c][s] holds configs[c] × suitesOrder[s];
+ * the grid is indexed, not scheduling-ordered, so tables printed from
+ * it are identical whatever the worker count.
+ */
+inline std::vector<std::vector<SweepCell>>
+sweepGrid(const core::Study &study,
+          const std::vector<rt::LPConfig> &configs,
+          const std::vector<std::string> &suitesOrder)
+{
+    std::vector<std::vector<SweepCell>> grid(
+        configs.size(), std::vector<SweepCell>(suitesOrder.size()));
+    exec::parallelFor(
+        configs.size() * suitesOrder.size(), [&](std::size_t i) {
+            std::size_t c = i / suitesOrder.size();
+            std::size_t s = i % suitesOrder.size();
+            auto reports = study.runSuite(suitesOrder[s], configs[c],
+                                          /*jobs=*/1);
+            grid[c][s] = {core::Study::geomeanSpeedup(reports),
+                          core::Study::geomeanCoverage(reports)};
+        });
+    return grid;
 }
 
 /**

@@ -16,6 +16,12 @@
  *   LP_LOG=off|error|info|debug      diagnostics level
  *   LP_TRACE=chrome:t.json           Chrome trace (Perfetto-loadable)
  *   LP_TRACE=jsonl:events.jsonl      streaming JSONL events
+ *
+ * Parallelism (see docs/parallel_execution.md):
+ *   --jobs N (or LP_JOBS=N)          sweep with N worker threads
+ *                                    (N=0 or "auto": all hardware
+ *                                    threads).  Tables and JSON reports
+ *                                    are identical to a serial run.
  */
 
 #include <cstdlib>
@@ -26,6 +32,7 @@
 #include "core/configs.hpp"
 #include "core/driver.hpp"
 #include "core/study.hpp"
+#include "exec/pool.hpp"
 #include "interp/stdlib.hpp"
 #include "ir/parser.hpp"
 #include "obs/json.hpp"
@@ -132,26 +139,43 @@ runSuites(const std::string &onlySuite)
     obs::Json reportsJson = obs::Json::array();
     const bool wantJson = !g_reportPath.empty();
 
+    // Sweep every (configuration, suite) pair.  The pairs are the unit
+    // of parallelism (each one runs its programs serially); results are
+    // stored by pair index, so the table and the JSON document come out
+    // identical whatever the worker count.
+    struct SweepCell
+    {
+        const core::NamedConfig *config;
+        std::string suite;
+        std::vector<rt::ProgramReport> reports;
+    };
+    std::vector<SweepCell> cells;
+    for (const core::NamedConfig &named : core::paperConfigs())
+        for (const std::string &suite : study.suites())
+            cells.push_back({&named, suite, {}});
+    exec::parallelFor(cells.size(), [&](std::size_t i) {
+        cells[i].reports = study.runSuite(cells[i].suite,
+                                          cells[i].config->config,
+                                          /*jobs=*/1);
+    });
+
     TextTable t({"configuration", "suite", "geomean speedup",
                  "geomean coverage"});
-    for (const core::NamedConfig &named : core::paperConfigs()) {
-        for (const std::string &suite : study.suites()) {
-            auto reports = study.runSuite(suite, named.config);
-            double speedup = core::Study::geomeanSpeedup(reports);
-            double coverage = core::Study::geomeanCoverage(reports);
-            t.addRow({named.label, suite, TextTable::num(speedup) + "x",
-                      TextTable::num(coverage, 1) + "%"});
-            if (wantJson) {
-                obs::Json row = obs::Json::object();
-                row.set("config", named.label);
-                row.set("suite", suite);
-                row.set("geomean_speedup", speedup);
-                row.set("geomean_coverage_pct", coverage);
-                suitesJson.push(std::move(row));
-                for (const rt::ProgramReport &rep : reports)
-                    reportsJson.push(
-                        rep.toJson(/*withObsSnapshot=*/false));
-            }
+    for (SweepCell &cell : cells) {
+        double speedup = core::Study::geomeanSpeedup(cell.reports);
+        double coverage = core::Study::geomeanCoverage(cell.reports);
+        t.addRow({cell.config->label, cell.suite,
+                  TextTable::num(speedup) + "x",
+                  TextTable::num(coverage, 1) + "%"});
+        if (wantJson) {
+            obs::Json row = obs::Json::object();
+            row.set("config", cell.config->label);
+            row.set("suite", cell.suite);
+            row.set("geomean_speedup", speedup);
+            row.set("geomean_coverage_pct", coverage);
+            suitesJson.push(std::move(row));
+            for (const rt::ProgramReport &rep : cell.reports)
+                reportsJson.push(rep.toJson(/*withObsSnapshot=*/false));
         }
     }
     t.print(std::cout);
@@ -175,11 +199,29 @@ main(int argc, char **argv)
     if (const char *env = std::getenv("LP_REPORT"))
         g_reportPath = env;
 
-    // Extract --json PATH anywhere on the command line.
+    // Extract --json PATH / --jobs N anywhere on the command line.
     std::vector<std::string> args;
     for (int i = 1; i < argc; ++i) {
         if (std::string(argv[i]) == "--json" && i + 1 < argc) {
             g_reportPath = argv[++i];
+            continue;
+        }
+        if (std::string(argv[i]) == "--jobs" && i + 1 < argc) {
+            std::string spec = argv[++i];
+            unsigned n = 0;
+            if (spec != "auto") {
+                try {
+                    n = static_cast<unsigned>(std::stoul(spec));
+                } catch (...) {
+                    std::cerr << "bad --jobs value (want a count, 0 or "
+                                 "'auto'): "
+                              << spec << "\n";
+                    return 1;
+                }
+            }
+            // Resolve "all hardware threads" here so the override is a
+            // concrete count (setJobsOverride(0) would clear it).
+            exec::setJobsOverride(exec::resolveJobs(n));
             continue;
         }
         args.push_back(argv[i]);

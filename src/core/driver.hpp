@@ -32,7 +32,13 @@ class Loopapalooza
      */
     explicit Loopapalooza(const ir::Module &mod);
 
-    /** Execute the program under @p cfg and produce the report. */
+    /**
+     * Execute the program under @p cfg and produce the report.
+     *
+     * Thread-safe: run() only reads the module and the plan and builds
+     * all run state (Machine, LoopRuntime) locally, so any number of
+     * lp::exec workers may call it concurrently on one driver.
+     */
     rt::ProgramReport run(const rt::LPConfig &cfg) const;
 
     /** The compile-time component's output. */

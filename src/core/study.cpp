@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "exec/pool.hpp"
 #include "interp/machine.hpp"
 #include "obs/log.hpp"
 #include "obs/timer.hpp"
@@ -46,10 +47,15 @@ PreparedProgram::run(const rt::LPConfig &cfg) const
     return rep;
 }
 
-Study::Study(const std::vector<BenchProgram> &programs)
+Study::Study(const std::vector<BenchProgram> &programs, unsigned jobs)
 {
-    for (const BenchProgram &p : programs)
-        programs_.push_back(std::make_unique<PreparedProgram>(p));
+    programs_.resize(programs.size());
+    exec::parallelFor(
+        programs.size(),
+        [&](std::size_t i) {
+            programs_[i] = std::make_unique<PreparedProgram>(programs[i]);
+        },
+        jobs);
     LP_LOG_INFO("study prepared: %zu programs, %zu suites",
                 programs_.size(), suites().size());
 }
@@ -66,13 +72,19 @@ Study::suites() const
 }
 
 std::vector<rt::ProgramReport>
-Study::runSuite(const std::string &suite, const rt::LPConfig &cfg) const
+Study::runSuite(const std::string &suite, const rt::LPConfig &cfg,
+                unsigned jobs) const
 {
-    std::vector<rt::ProgramReport> out;
+    std::vector<const PreparedProgram *> members;
     for (const auto &p : programs_) {
         if (p->suite() == suite)
-            out.push_back(p->run(cfg));
+            members.push_back(p.get());
     }
+    std::vector<rt::ProgramReport> out(members.size());
+    exec::parallelFor(
+        members.size(),
+        [&](std::size_t i) { out[i] = members[i]->run(cfg); },
+        jobs);
     return out;
 }
 
@@ -80,8 +92,11 @@ double
 Study::geomeanSpeedup(const std::vector<rt::ProgramReport> &reports)
 {
     GeomeanAccum acc;
+    // Clamp like geomeanCoverage does: a degenerate report (zero or
+    // negative "speedup" from an empty/filtered run) must depress the
+    // mean, not abort the whole sweep.
     for (const auto &r : reports)
-        acc.add(r.speedup());
+        acc.add(std::max(r.speedup(), 1e-6));
     return acc.value();
 }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/driver.hpp"
+#include "exec/pool.hpp"
 
 namespace lp::core {
 
@@ -48,12 +49,25 @@ class PreparedProgram
     std::unique_ptr<Loopapalooza> lp_;
 };
 
-/** A set of prepared programs with suite-level aggregation. */
+/**
+ * A set of prepared programs with suite-level aggregation.
+ *
+ * Preparation and suite sweeps are embarrassingly parallel (every
+ * program runs in its own interp::Machine over an immutable module), so
+ * both accept a worker count.  The default, exec::defaultJobs(), honors
+ * --jobs / LP_JOBS and falls back to serial.  Results are ordered by
+ * program index regardless of worker count; parallel and serial runs
+ * produce identical reports.
+ */
 class Study
 {
   public:
-    /** Prepare all of @p programs (builds and analyzes every module). */
-    explicit Study(const std::vector<BenchProgram> &programs);
+    /**
+     * Prepare all of @p programs (builds and analyzes every module),
+     * using up to @p jobs worker threads.
+     */
+    explicit Study(const std::vector<BenchProgram> &programs,
+                   unsigned jobs = exec::defaultJobs());
 
     const std::vector<std::unique_ptr<PreparedProgram>> &programs() const
     {
@@ -63,9 +77,14 @@ class Study
     /** Distinct suite names, in first-seen order. */
     std::vector<std::string> suites() const;
 
-    /** Run every program of @p suite under @p cfg. */
+    /**
+     * Run every program of @p suite under @p cfg, using up to @p jobs
+     * worker threads.  Reports come back in program-registration order
+     * whatever the worker count.
+     */
     std::vector<rt::ProgramReport>
-    runSuite(const std::string &suite, const rt::LPConfig &cfg) const;
+    runSuite(const std::string &suite, const rt::LPConfig &cfg,
+             unsigned jobs = exec::defaultJobs()) const;
 
     /** Geometric-mean speedup of a set of reports. */
     static double geomeanSpeedup(const std::vector<rt::ProgramReport> &r);

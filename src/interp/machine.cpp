@@ -1,6 +1,7 @@
 #include "interp/machine.hpp"
 
 #include <bit>
+#include <cassert>
 #include <cmath>
 
 #include "obs/metrics.hpp"
@@ -42,6 +43,11 @@ Machine::Machine(const ir::Module &mod, ExecListener *listener)
     for (const auto &fn : mod.functions())
         fatalIf(!fn->finalized(),
                 "module not finalized before interpretation");
+    // Copy the external impls so stateful ones (rand's LCG) restart per
+    // run and never share mutable state across concurrent Machines.
+    extImpls_.reserve(mod.externals().size());
+    for (const auto &ext : mod.externals())
+        extImpls_.push_back(ext->impl());
 }
 
 std::uint64_t
@@ -50,8 +56,12 @@ Machine::run()
     fatalIf(ran_, "Machine::run may only be called once");
     ran_ = true;
 
-    for (const auto &g : mod_.globals())
-        g->setAddress(mem_.allocGlobal(g->sizeBytes()));
+    for (const auto &g : mod_.globals()) {
+        [[maybe_unused]] std::uint64_t addr =
+            mem_.allocGlobal(g->sizeBytes());
+        assert(addr == Memory::kGlobalBase + g->offsetBytes() &&
+               "module global layout disagrees with Memory::allocGlobal");
+    }
 
     const ir::Function *main = mod_.mainFunction();
     fatalIf(!main, "module has no main()");
@@ -77,7 +87,8 @@ Machine::evalValue(const Value *v,
       case ValueKind::ConstFloat:
         return asBits(static_cast<const ir::ConstFloat *>(v)->value());
       case ValueKind::Global:
-        return static_cast<const ir::Global *>(v)->address();
+        return Memory::kGlobalBase +
+               static_cast<const ir::Global *>(v)->offsetBytes();
       case ValueKind::Argument:
       case ValueKind::Instruction:
         return regs[v->localId()];
@@ -260,7 +271,7 @@ Machine::execInstruction(const Instruction &instr,
             args[i] = op(i);
         const ir::ExternalFunction *ext = instr.externalCallee();
         cost_ += ext->cost();
-        return ext->impl()(*this, args);
+        return extImpls_[ext->index()](*this, args);
       }
 
       case Opcode::Phi:

@@ -5,6 +5,17 @@
  * Executes a finalized module, counting dynamic IR instructions — the
  * paper's proxy for execution time — and firing instrumentation events.
  * Determinism is total: same module, same result, same cost, every run.
+ *
+ * To make that guarantee hold run-to-run (and to let lp::exec run many
+ * Machines over one module concurrently), each Machine copies the
+ * module's external-function implementations at construction and
+ * invokes its private copies.  Stateful externals — the deliberately
+ * non-re-entrant rand() LCG — therefore restart from their registered
+ * state every run instead of threading hidden state between runs, which
+ * would make a sweep's results depend on configuration order.  Globals
+ * need no per-run state at all: their segment offsets are assigned
+ * immutably at module construction and every Machine maps the segment
+ * at the same fixed base.
  */
 
 #pragma once
@@ -83,6 +94,12 @@ class Machine
     std::uint64_t sp_ = Memory::kStackBase;
     unsigned callDepth_ = 0;
     bool ran_ = false;
+    /**
+     * Per-run copies of external impls (run isolation; see @file),
+     * indexed by ExternalFunction::index().  Last member: cold relative
+     * to the interpreter state above it.
+     */
+    std::vector<ir::ExternalFunction::Impl> extImpls_;
 };
 
 } // namespace lp::interp

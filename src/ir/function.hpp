@@ -62,12 +62,21 @@ class ExternalFunction
     std::uint64_t cost() const { return cost_; }
     const Impl &impl() const { return impl_; }
 
+    /**
+     * Dense position in the owning module's externals() list (assigned
+     * by Module::addExternal); Machines use it to index their private
+     * per-run copies of @c impl.
+     */
+    unsigned index() const { return index_; }
+    void setIndex(unsigned i) { index_ = i; }
+
   private:
     std::string name_;
     Type retType_;
     ExtAttr attr_;
     std::uint64_t cost_;
     Impl impl_;
+    unsigned index_ = 0;
 };
 
 /**

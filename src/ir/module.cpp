@@ -21,6 +21,8 @@ Module::addExternal(std::string name, Type retType, ExtAttr attr,
 {
     externals_.push_back(std::make_unique<ExternalFunction>(
         std::move(name), retType, attr, cost, std::move(impl)));
+    externals_.back()->setIndex(
+        static_cast<unsigned>(externals_.size() - 1));
     return externals_.back().get();
 }
 
@@ -28,7 +30,10 @@ Global *
 Module::addGlobal(std::string name, std::uint64_t sizeBytes)
 {
     globals_.push_back(
-        std::make_unique<Global>(std::move(name), sizeBytes));
+        std::make_unique<Global>(std::move(name), sizeBytes, globalBytes_));
+    // 8-byte alignment, mirrored by interp::Memory::allocGlobal (the
+    // Machine asserts the two layouts agree when it maps the segment).
+    globalBytes_ += (sizeBytes + 7) & ~std::uint64_t{7};
     return globals_.back().get();
 }
 

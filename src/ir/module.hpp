@@ -75,6 +75,8 @@ class Module
     std::vector<std::unique_ptr<ExternalFunction>> externals_;
     std::vector<std::unique_ptr<Global>> globals_;
     std::vector<std::unique_ptr<Value>> constants_;
+    /** Running size of the global segment (8-byte-aligned offsets). */
+    std::uint64_t globalBytes_ = 0;
 };
 
 /** Print one function as text. */

@@ -1,6 +1,7 @@
 #include "ir/parser.hpp"
 
 #include <cctype>
+#include <cerrno>
 #include <cstring>
 #include <cstdlib>
 #include <sstream>
@@ -97,6 +98,59 @@ parseType(const std::string &t, const Cursor &c)
     fatal(c.err("unknown type: " + t));
 }
 
+/**
+ * Checked strtoull: the whole token must be digits and fit in 64 bits.
+ * Every numeric literal in a module file routes through these helpers
+ * so malformed input fails with line context instead of silently
+ * becoming 0 (strtoull's answer for garbage).
+ */
+std::uint64_t
+parseU64(const std::string &tok, const char *what, const Cursor &c)
+{
+    const char *s = tok.c_str();
+    if (!std::isdigit(static_cast<unsigned char>(*s)))
+        fatal(c.err(strf("malformed %s (want an unsigned integer): %s",
+                         what, tok.c_str())));
+    errno = 0;
+    char *end = nullptr;
+    std::uint64_t v = std::strtoull(s, &end, 10);
+    fatalIf(*end != '\0' || errno == ERANGE,
+            c.err(strf("malformed %s (want an unsigned integer): %s",
+                       what, tok.c_str())));
+    return v;
+}
+
+/** Checked strtoll (optional leading '-'). */
+std::int64_t
+parseI64(const std::string &tok, const char *what, const Cursor &c)
+{
+    const char *s = tok.c_str();
+    const char *digits = (*s == '-') ? s + 1 : s;
+    if (!std::isdigit(static_cast<unsigned char>(*digits)))
+        fatal(c.err(strf("malformed %s (want an integer): %s", what,
+                         tok.c_str())));
+    errno = 0;
+    char *end = nullptr;
+    std::int64_t v = std::strtoll(s, &end, 10);
+    fatalIf(*end != '\0' || errno == ERANGE,
+            c.err(strf("malformed %s (want an integer): %s", what,
+                       tok.c_str())));
+    return v;
+}
+
+/** Checked strtod: the whole token must parse (inf/nan included). */
+double
+parseF64(const std::string &tok, const char *what, const Cursor &c)
+{
+    const char *s = tok.c_str();
+    char *end = nullptr;
+    double v = std::strtod(s, &end);
+    fatalIf(end == s || *end != '\0',
+            c.err(strf("malformed %s (want a float literal): %s", what,
+                       tok.c_str())));
+    return v;
+}
+
 const std::unordered_map<std::string, Opcode> &
 opcodeTable()
 {
@@ -184,7 +238,7 @@ class Parser
                 c.expectToken("bytes");
                 c.expectToken("]");
                 mod_->addGlobal(name.substr(1),
-                                std::strtoull(n.c_str(), nullptr, 10));
+                                parseU64(n, "global size", c));
             } else if (kind == "extern") {
                 Type ret = parseType(c.expect("type"), c);
                 std::string name = c.expect("extern name");
@@ -204,8 +258,8 @@ class Parser
                     fatal(c.err("unknown attribute: " + a));
                 c.expectToken("cost");
                 c.expectToken("=");
-                std::uint64_t cost = std::strtoull(
-                    c.expect("cost value").c_str(), nullptr, 10);
+                std::uint64_t cost =
+                    parseU64(c.expect("cost value"), "extern cost", c);
                 std::string extName = name.substr(2);
                 ExternalFunction::Impl impl;
                 if (resolver_)
@@ -290,12 +344,11 @@ class Parser
         // Literal: float if it carries a point/exponent, else integer.
         if (tok.find_first_of(".einfEINF") != std::string::npos &&
             !(tok.size() > 2 && tok[0] == '0' && tok[1] == 'x')) {
-            return mod_->constF64(std::strtod(tok.c_str(), nullptr));
+            return mod_->constF64(parseF64(tok, "operand", c));
         }
         if (hint == Type::F64)
-            return mod_->constF64(std::strtod(tok.c_str(), nullptr));
-        return mod_->constI64(
-            std::strtoll(tok.c_str(), nullptr, 10));
+            return mod_->constF64(parseF64(tok, "operand", c));
+        return mod_->constI64(parseI64(tok, "operand", c));
     }
 
     void

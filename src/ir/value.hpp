@@ -110,26 +110,29 @@ class Argument : public Value
 
 /**
  * Module-level global data object.  Its Value is the (Ptr-typed) base
- * address; the interpreter lays globals out at the bottom of the simulated
- * address space before execution starts.
+ * address.  Module::addGlobal assigns each global an immutable byte
+ * offset within the module's global segment at construction time;
+ * every interpreter instance maps the segment at the same fixed base,
+ * so a module may be executed by several Machines concurrently without
+ * any per-run mutation of the IR.
  */
 class Global : public Value
 {
   public:
-    Global(std::string name, std::uint64_t sizeBytes)
+    Global(std::string name, std::uint64_t sizeBytes,
+           std::uint64_t offsetBytes)
         : Value(ValueKind::Global, Type::Ptr, std::move(name)),
-          size_(sizeBytes)
+          size_(sizeBytes), offset_(offsetBytes)
     {}
 
     std::uint64_t sizeBytes() const { return size_; }
 
-    /** Assigned address; set by the interpreter at layout time. */
-    std::uint64_t address() const { return address_; }
-    void setAddress(std::uint64_t a) { address_ = a; }
+    /** Byte offset of this global within the module's global segment. */
+    std::uint64_t offsetBytes() const { return offset_; }
 
   private:
     std::uint64_t size_;
-    std::uint64_t address_ = 0;
+    std::uint64_t offset_;
 };
 
 } // namespace lp::ir

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 
 #include "obs/metrics.hpp"
 #include "obs/sink.hpp"
@@ -9,12 +10,13 @@
 namespace lp::obs {
 
 namespace detail {
-int g_logLevel = static_cast<int>(Level::Off);
+std::atomic<int> g_logLevel{static_cast<int>(Level::Off)};
 }
 
 namespace {
 
 std::ostream *g_stream = nullptr; ///< null = stderr
+std::mutex g_streamMu;            ///< lines never interleave
 
 // Parse the environment once before main(); this TU is always linked
 // (the error path references logMessage), so the initializer runs in
@@ -47,16 +49,24 @@ parseLevel(const std::string &s)
     return Level::Off;
 }
 
+bool
+isLevelName(const std::string &s)
+{
+    return s == "off" || s == "error" || s == "info" || s == "debug";
+}
+
 Level
 logLevel()
 {
-    return static_cast<Level>(detail::g_logLevel);
+    return static_cast<Level>(
+        detail::g_logLevel.load(std::memory_order_relaxed));
 }
 
 void
 setLogLevel(Level l)
 {
-    detail::g_logLevel = static_cast<int>(l);
+    detail::g_logLevel.store(static_cast<int>(l),
+                             std::memory_order_relaxed);
 }
 
 void
@@ -70,8 +80,11 @@ logMessage(Level l, const std::string &msg, bool force)
 {
     if (!force && !logOn(l))
         return;
-    std::ostream &os = g_stream ? *g_stream : std::cerr;
-    os << "[lp:" << levelName(l) << "] " << msg << '\n';
+    {
+        std::lock_guard<std::mutex> lock(g_streamMu);
+        std::ostream &os = g_stream ? *g_stream : std::cerr;
+        os << "[lp:" << levelName(l) << "] " << msg << '\n';
+    }
     if (traceOn()) {
         Json body = Json::object();
         body.set("level", levelName(l));
@@ -89,8 +102,22 @@ initFromEnv()
     // session-first (the session snapshot reads the registry on close).
     Registry::instance();
 
-    if (const char *lvl = std::getenv("LP_LOG"))
+    if (const char *lvl = std::getenv("LP_LOG")) {
+        if (*lvl && !isLevelName(lvl)) {
+            // Warn exactly once: a misspelled LP_LOG silently dropping
+            // all diagnostics is the worst possible failure mode.
+            static const bool warned = [&] {
+                logMessage(Level::Error,
+                           std::string("LP_LOG value not understood: ") +
+                               lvl + " (want off|error|info|debug); "
+                               "logging stays off",
+                           /*force=*/true);
+                return true;
+            }();
+            (void)warned;
+        }
         setLogLevel(parseLevel(lvl));
+    }
 
     const char *metrics = std::getenv("LP_METRICS");
     const char *legacy = std::getenv("LP_OBS");
@@ -99,12 +126,17 @@ initFromEnv()
         setMetricsEnabled(true);
 
     if (const char *trace = std::getenv("LP_TRACE")) {
-        if (!Session::instance().configure(trace))
-            logMessage(Level::Error,
-                       std::string("LP_TRACE spec not understood: ") +
-                           trace +
-                           " (want chrome:PATH or jsonl:PATH)",
-                       /*force=*/true);
+        if (!Session::instance().configure(trace)) {
+            static const bool warned = [&] {
+                logMessage(Level::Error,
+                           std::string("LP_TRACE spec not understood: ") +
+                               trace +
+                               " (want chrome:PATH or jsonl:PATH)",
+                           /*force=*/true);
+                return true;
+            }();
+            (void)warned;
+        }
     }
 }
 

@@ -3,11 +3,18 @@
  * Leveled logging for the whole framework — the single diagnostics path.
  *
  * Off by default.  `LP_LOG=off|error|info|debug` selects the level at
- * process start; setLogLevel() overrides it programmatically.  The guard
- * is an inline read of one global, so a disabled log site costs one
- * predictable branch — cheap enough for per-run (not per-instruction)
- * call sites.  Messages go to stderr (or a test-installed stream) and are
- * mirrored as structured events into the active JSONL sink, if any.
+ * process start (an unrecognized value warns once, naming the accepted
+ * spellings); setLogLevel() overrides it programmatically.  The guard
+ * is an inline relaxed read of one atomic, so a disabled log site costs
+ * one predictable branch — cheap enough for per-run (not
+ * per-instruction) call sites.  Messages go to stderr (or a
+ * test-installed stream) and are mirrored as structured events into the
+ * active JSONL sink, if any.
+ *
+ * Thread-safety: logMessage serializes its text output behind a mutex
+ * and the sink mirror is itself thread-safe, so lp::exec workers may
+ * log concurrently; lines never interleave.  setLogLevel/setLogStream
+ * are quiescent-only.
  *
  * The LP_LOG* macros evaluate their format arguments only when the level
  * is enabled:
@@ -17,6 +24,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <ostream>
 #include <string>
 
@@ -31,15 +39,19 @@ const char *levelName(Level l);
 /** Parse an LP_LOG value; unknown strings map to Off. */
 Level parseLevel(const std::string &s);
 
+/** Is @p s one of the accepted LP_LOG spellings? */
+bool isLevelName(const std::string &s);
+
 namespace detail {
-extern int g_logLevel; ///< current Level as int; read inline, set rarely
+extern std::atomic<int> g_logLevel; ///< Level as int; read inline
 }
 
-/** Is @p l currently enabled?  Inlines to one comparison. */
+/** Is @p l currently enabled?  Inlines to one relaxed load + compare. */
 inline bool
 logOn(Level l)
 {
-    return detail::g_logLevel >= static_cast<int>(l);
+    return detail::g_logLevel.load(std::memory_order_relaxed) >=
+           static_cast<int>(l);
 }
 
 /** Current level. */
@@ -63,7 +75,9 @@ void setLogStream(std::ostream *os);
 /**
  * Parse LP_LOG / LP_METRICS / LP_TRACE and configure the whole obs
  * layer.  Idempotent; runs automatically before main() but is safe to
- * call again after the environment changed.
+ * call again after the environment changed.  Unrecognized LP_LOG or
+ * LP_TRACE values emit a one-time warning naming the accepted values
+ * instead of being dropped silently.
  */
 void initFromEnv();
 

@@ -5,13 +5,14 @@
 namespace lp::obs {
 
 namespace detail {
-bool g_metricsEnabled = false;
+std::atomic<bool> g_metricsEnabled{false};
+std::atomic<unsigned> g_nextLane{0};
 }
 
 void
 setMetricsEnabled(bool on)
 {
-    detail::g_metricsEnabled = on;
+    detail::g_metricsEnabled.store(on, std::memory_order_relaxed);
 }
 
 Histogram::Histogram(std::vector<std::uint64_t> bounds)
@@ -29,6 +30,7 @@ Histogram::record(std::uint64_t sample)
     std::size_t i = 0;
     while (i < bounds_.size() && sample > bounds_[i])
         ++i;
+    std::lock_guard<std::mutex> lock(mu_);
     counts_[i] += 1;
     count_ += 1;
     sum_ += sample;
@@ -45,6 +47,7 @@ Histogram::mean() const
 void
 Histogram::reset()
 {
+    std::lock_guard<std::mutex> lock(mu_);
     std::fill(counts_.begin(), counts_.end(), 0);
     count_ = 0;
     sum_ = 0;
@@ -60,6 +63,7 @@ Registry::instance()
 Counter &
 Registry::counter(const std::string &name)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     auto &slot = counters_[name];
     if (!slot)
         slot = std::make_unique<Counter>();
@@ -69,6 +73,7 @@ Registry::counter(const std::string &name)
 Gauge &
 Registry::gauge(const std::string &name)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     auto &slot = gauges_[name];
     if (!slot)
         slot = std::make_unique<Gauge>();
@@ -79,6 +84,7 @@ Histogram &
 Registry::histogram(const std::string &name,
                     std::vector<std::uint64_t> bounds)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     auto &slot = histograms_[name];
     if (!slot)
         slot = std::make_unique<Histogram>(std::move(bounds));
@@ -88,6 +94,7 @@ Registry::histogram(const std::string &name,
 void
 Registry::resetAll()
 {
+    std::lock_guard<std::mutex> lock(mu_);
     for (auto &[name, c] : counters_)
         c->reset();
     for (auto &[name, g] : gauges_)
@@ -99,6 +106,8 @@ Registry::resetAll()
 Json
 Registry::toJson() const
 {
+    std::lock_guard<std::mutex> lock(mu_);
+
     Json counters = Json::object();
     for (const auto &[name, c] : counters_)
         counters.set(name, c->value());

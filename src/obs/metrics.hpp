@@ -6,8 +6,19 @@
  * Recording is off by default (`LP_METRICS=1`, `LP_OBS=1`, or any
  * `LP_TRACE` sink turns it on).  Hot-path call sites cache the metric
  * pointer once and guard each update with metricsOn(), which inlines to
- * a single global-bool test — with metrics disabled the whole update is
- * one well-predicted branch.
+ * a single relaxed atomic-bool test — with metrics disabled the whole
+ * update is one well-predicted branch.
+ *
+ * Thread-safety (see docs/observability.md): every update path is safe
+ * under concurrent use by lp::exec workers.  Counters shard their value
+ * across cache-line-padded atomic cells indexed by threadLane(), so
+ * parallel sweeps do not ping-pong one hot line; gauges are single
+ * atomics; histograms take a private mutex per record (loop-instance
+ * granularity, far off the per-instruction path).  value()/snapshot
+ * reads are exact once the writing threads have been joined (the only
+ * time the framework snapshots); concurrent reads see a momentary
+ * approximation.  resetAll() and toJson() are quiescent-only by
+ * contract, like PhaseTree::reset.
  *
  * Metric name catalog (see docs/observability.md):
  *   interp.instructions     dynamic IR instructions executed
@@ -23,9 +34,11 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -34,53 +47,100 @@
 namespace lp::obs {
 
 namespace detail {
-extern bool g_metricsEnabled;
+extern std::atomic<bool> g_metricsEnabled;
+extern std::atomic<unsigned> g_nextLane;
 }
 
-/** Are metrics being recorded?  Inlines to one global-bool read. */
+/** Are metrics being recorded?  Inlines to one relaxed atomic load. */
 inline bool
 metricsOn()
 {
-    return detail::g_metricsEnabled;
+    return detail::g_metricsEnabled.load(std::memory_order_relaxed);
 }
 
 /** Turn recording on/off (LP_METRICS does this from the environment). */
 void setMetricsEnabled(bool on);
 
-/** Monotonic event count. */
+/**
+ * Small dense id of the calling thread, assigned on first use (the main
+ * thread is normally lane 0).  Counters shard by it; phase timers tag
+ * trace events with it so Chrome traces show per-worker lanes.
+ */
+inline unsigned
+threadLane()
+{
+    thread_local const unsigned lane =
+        detail::g_nextLane.fetch_add(1, std::memory_order_relaxed);
+    return lane;
+}
+
+/**
+ * Monotonic event count, sharded for concurrent add().  value() sums
+ * the shards: exact when writers are quiesced (joined), approximate
+ * while they run.
+ */
 class Counter
 {
   public:
-    void add(std::uint64_t n = 1) { v_ += n; }
-    std::uint64_t value() const { return v_; }
-    void reset() { v_ = 0; }
+    Counter() = default;
+    Counter(const Counter &) = delete;
+    Counter &operator=(const Counter &) = delete;
+
+    void add(std::uint64_t n = 1)
+    {
+        shards_[threadLane() & (kShards - 1)].v.fetch_add(
+            n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t value() const
+    {
+        std::uint64_t sum = 0;
+        for (const Shard &s : shards_)
+            sum += s.v.load(std::memory_order_relaxed);
+        return sum;
+    }
+
+    void reset()
+    {
+        for (Shard &s : shards_)
+            s.v.store(0, std::memory_order_relaxed);
+    }
 
   private:
-    std::uint64_t v_ = 0;
+    static constexpr std::size_t kShards = 8;
+    struct alignas(64) Shard
+    {
+        std::atomic<std::uint64_t> v{0};
+    };
+    Shard shards_[kShards];
 };
 
 /** Last-write-wins instantaneous value. */
 class Gauge
 {
   public:
-    void set(double v) { v_ = v; }
-    double value() const { return v_; }
-    void reset() { v_ = 0.0; }
+    void set(double v) { v_.store(v, std::memory_order_relaxed); }
+    double value() const { return v_.load(std::memory_order_relaxed); }
+    void reset() { v_.store(0.0, std::memory_order_relaxed); }
 
   private:
-    double v_ = 0.0;
+    std::atomic<double> v_{0.0};
 };
 
 /**
  * Fixed-bucket histogram: bucket i counts samples <= bounds[i]; one
  * overflow bucket counts the rest.  Bounds are chosen at registration
  * and never change, so record() is a linear scan over a handful of
- * integers (bucket counts are small by design).
+ * integers (bucket counts are small by design) under a private mutex.
+ * The accessors return exact values once writers are quiesced.
  */
 class Histogram
 {
   public:
     explicit Histogram(std::vector<std::uint64_t> bounds);
+
+    Histogram(const Histogram &) = delete;
+    Histogram &operator=(const Histogram &) = delete;
 
     void record(std::uint64_t sample);
 
@@ -100,12 +160,14 @@ class Histogram
     std::vector<std::uint64_t> counts_;
     std::uint64_t count_ = 0;
     std::uint64_t sum_ = 0;
+    std::mutex mu_;
 };
 
 /**
  * The process-wide registry.  Metrics are created on first lookup and
  * live forever, so cached pointers stay valid; resetAll() zeroes values
- * without invalidating them.  Single-threaded, like the framework.
+ * without invalidating them.  Lookup takes the registry mutex; updates
+ * through cached pointers never do.
  */
 class Registry
 {
@@ -134,6 +196,7 @@ class Registry
   private:
     Registry() = default;
 
+    mutable std::mutex mu_;
     std::map<std::string, std::unique_ptr<Counter>> counters_;
     std::map<std::string, std::unique_ptr<Gauge>> gauges_;
     std::map<std::string, std::unique_ptr<Histogram>> histograms_;

@@ -8,7 +8,7 @@
 namespace lp::obs {
 
 namespace detail {
-bool g_traceEnabled = false;
+std::atomic<bool> g_traceEnabled{false};
 }
 
 namespace {
@@ -42,26 +42,31 @@ JsonlSink::event(const std::string &kind, Json body)
     Json rec = Json::object();
     rec.set("kind", kind);
     rec.set("ts_us", Session::instance().nowMicros());
+    rec.set("tid", threadLane());
     rec.set("data", std::move(body));
+    std::lock_guard<std::mutex> lock(mu_);
     *out_ << rec.dump() << '\n';
 }
 
 void
 JsonlSink::span(const std::string &name, double tsMicros, double durMicros,
-                Json args)
+                Json args, unsigned tid)
 {
     Json rec = Json::object();
     rec.set("kind", "phase");
     rec.set("name", name);
     rec.set("ts_us", tsMicros);
     rec.set("dur_us", durMicros);
+    rec.set("tid", tid);
     rec.set("args", std::move(args));
+    std::lock_guard<std::mutex> lock(mu_);
     *out_ << rec.dump() << '\n';
 }
 
 void
 JsonlSink::flush()
 {
+    std::lock_guard<std::mutex> lock(mu_);
     out_->flush();
 }
 
@@ -77,17 +82,18 @@ ChromeTraceSink::event(const std::string &kind, Json body)
     e.set("ph", "i");
     e.set("ts", Session::instance().nowMicros());
     e.set("pid", 1);
-    e.set("tid", 1);
+    e.set("tid", threadLane());
     e.set("s", "p"); // process-scoped instant
     Json args = Json::object();
     args.set("data", std::move(body));
     e.set("args", std::move(args));
+    std::lock_guard<std::mutex> lock(mu_);
     events_.push(std::move(e));
 }
 
 void
 ChromeTraceSink::span(const std::string &name, double tsMicros,
-                      double durMicros, Json args)
+                      double durMicros, Json args, unsigned tid)
 {
     Json e = Json::object();
     e.set("name", name);
@@ -96,14 +102,16 @@ ChromeTraceSink::span(const std::string &name, double tsMicros,
     e.set("ts", tsMicros);
     e.set("dur", durMicros);
     e.set("pid", 1);
-    e.set("tid", 1);
+    e.set("tid", tid);
     e.set("args", std::move(args));
+    std::lock_guard<std::mutex> lock(mu_);
     events_.push(std::move(e));
 }
 
 Json
 ChromeTraceSink::document() const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     Json doc = Json::object();
     doc.set("traceEvents", events_);
     doc.set("displayTimeUnit", "ms");
@@ -179,7 +187,8 @@ Session::attach(std::unique_ptr<Sink> sink)
 {
     close();
     sink_ = std::move(sink);
-    detail::g_traceEnabled = sink_ != nullptr;
+    detail::g_traceEnabled.store(sink_ != nullptr,
+                                 std::memory_order_relaxed);
     if (sink_)
         setMetricsEnabled(true); // a trace without counters is half blind
 }
@@ -192,7 +201,7 @@ Session::close()
     sink_->event("metrics", Registry::instance().toJson());
     // Disable mirroring before flushing: a flush-failure diagnostic must
     // not re-enter the sink being torn down.
-    detail::g_traceEnabled = false;
+    detail::g_traceEnabled.store(false, std::memory_order_relaxed);
     sink_->flush();
     sink_.reset();
 }

@@ -13,13 +13,22 @@
  * Phase timers emit duration events, the logger mirrors messages, and a
  * final metrics snapshot is appended when the session closes.  Either
  * spelling also turns metrics recording on.
+ *
+ * Thread-safety: sink implementations serialize event()/span()/flush()
+ * behind an internal mutex, so lp::exec workers may emit concurrently;
+ * spans carry the emitting thread's obs::threadLane() so Chrome traces
+ * render one lane per worker.  Session::configure/attach/close are
+ * quiescent-only (call them between parallel regions, from the
+ * coordinating thread).
  */
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "obs/json.hpp"
@@ -27,14 +36,14 @@
 namespace lp::obs {
 
 namespace detail {
-extern bool g_traceEnabled;
+extern std::atomic<bool> g_traceEnabled;
 }
 
-/** Is a structured sink attached?  Inlines to one global-bool read. */
+/** Is a structured sink attached?  Inlines to one relaxed atomic load. */
 inline bool
 traceOn()
 {
-    return detail::g_traceEnabled;
+    return detail::g_traceEnabled.load(std::memory_order_relaxed);
 }
 
 /** Destination of structured events. */
@@ -54,9 +63,11 @@ class Sink
      * @param tsMicros   start, microseconds since session start
      * @param durMicros  duration in microseconds
      * @param args       extra key/values (instruction counts, ...)
+     * @param tid        emitting thread's lane (obs::threadLane());
+     *                   0 is the main thread
      */
     virtual void span(const std::string &name, double tsMicros,
-                      double durMicros, Json args) = 0;
+                      double durMicros, Json args, unsigned tid = 0) = 0;
 
     /** Write everything out (called at session end). */
     virtual void flush() = 0;
@@ -73,7 +84,7 @@ class JsonlSink : public Sink
 
     void event(const std::string &kind, Json body) override;
     void span(const std::string &name, double tsMicros, double durMicros,
-              Json args) override;
+              Json args, unsigned tid) override;
     void flush() override;
 
     bool ok() const { return out_ != nullptr && out_->good(); }
@@ -81,6 +92,7 @@ class JsonlSink : public Sink
   private:
     std::ofstream file_;
     std::ostream *out_;
+    std::mutex mu_;
 };
 
 /**
@@ -95,7 +107,7 @@ class ChromeTraceSink : public Sink
 
     void event(const std::string &kind, Json body) override;
     void span(const std::string &name, double tsMicros, double durMicros,
-              Json args) override;
+              Json args, unsigned tid) override;
     void flush() override;
 
     /** The document built so far (tests). */
@@ -104,6 +116,7 @@ class ChromeTraceSink : public Sink
   private:
     std::string path_;
     Json events_ = Json::array();
+    mutable std::mutex mu_;
 };
 
 /**

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "obs/metrics.hpp"
 #include "obs/sink.hpp"
 
 namespace lp::obs {
@@ -17,27 +18,20 @@ nowNanos()
             .count());
 }
 
-} // namespace
+/** Open phase of this thread; null means "at the root". */
+thread_local PhaseNode *t_cur = nullptr;
 
-PhaseNode *
-PhaseNode::child(const std::string &childName)
-{
-    for (const auto &c : children)
-        if (c->name == childName)
-            return c.get();
-    children.push_back(std::make_unique<PhaseNode>());
-    children.back()->name = childName;
-    return children.back().get();
-}
+} // namespace
 
 Json
 PhaseNode::toJson() const
 {
     Json out = Json::object();
     out.set("name", name);
-    out.set("count", count);
-    out.set("wall_ns", wallNanos);
-    out.set("instructions", instructions);
+    out.set("count", count.load(std::memory_order_relaxed));
+    out.set("wall_ns", wallNanos.load(std::memory_order_relaxed));
+    out.set("instructions",
+            instructions.load(std::memory_order_relaxed));
     Json kids = Json::array();
     for (const auto &c : children)
         kids.push(c->toJson());
@@ -55,55 +49,76 @@ PhaseTree::instance()
 void
 PhaseTree::reset()
 {
+    std::lock_guard<std::mutex> lock(mu_);
     root_.children.clear();
-    root_.count = 0;
-    root_.wallNanos = 0;
-    root_.instructions = 0;
-    cur_ = &root_;
+    root_.count.store(0, std::memory_order_relaxed);
+    root_.wallNanos.store(0, std::memory_order_relaxed);
+    root_.instructions.store(0, std::memory_order_relaxed);
+    t_cur = nullptr;
 }
 
 Json
 PhaseTree::toJson() const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     Json out = Json::array();
     for (const auto &c : root_.children)
         out.push(c->toJson());
     return out;
 }
 
+PhaseNode *
+PhaseTree::current()
+{
+    return t_cur ? t_cur : &root_;
+}
+
+void
+PhaseTree::setCurrent(PhaseNode *node)
+{
+    t_cur = node == &root_ ? nullptr : node;
+}
+
+PhaseNode *
+PhaseTree::childOf(PhaseNode *parent, const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &c : parent->children)
+        if (c->name == name)
+            return c.get();
+    parent->children.push_back(std::make_unique<PhaseNode>());
+    parent->children.back()->name = name;
+    return parent->children.back().get();
+}
+
 ScopedPhase::ScopedPhase(const std::string &name)
 {
     PhaseTree &tree = PhaseTree::instance();
-    parent_ = tree.cur_;
-    node_ = parent_->child(name);
-    tree.cur_ = node_;
+    parent_ = tree.current();
+    node_ = tree.childOf(parent_, name);
+    tree.setCurrent(node_);
     startNanos_ = nowNanos();
     startMicros_ = traceOn() ? Session::instance().nowMicros() : 0.0;
-    instrBefore_ = node_->instructions;
 }
 
 ScopedPhase::~ScopedPhase()
 {
     std::uint64_t elapsed = nowNanos() - startNanos_;
-    node_->count += 1;
-    node_->wallNanos += elapsed;
-    PhaseTree::instance().cur_ = parent_;
+    node_->count.fetch_add(1, std::memory_order_relaxed);
+    node_->wallNanos.fetch_add(elapsed, std::memory_order_relaxed);
+    node_->instructions.fetch_add(instructions_,
+                                  std::memory_order_relaxed);
+    PhaseTree::instance().setCurrent(parent_);
 
     if (traceOn()) {
         Json args = Json::object();
-        std::uint64_t instr = node_->instructions - instrBefore_;
-        if (instr != 0)
-            args.set("instructions", instr);
+        if (instructions_ != 0)
+            args.set("instructions", instructions_);
         Session::instance().sink()->span(
             node_->name, startMicros_,
-            static_cast<double>(elapsed) / 1000.0, std::move(args));
+            static_cast<double>(elapsed) / 1000.0, std::move(args),
+            threadLane());
     }
-}
-
-void
-ScopedPhase::addInstructions(std::uint64_t n)
-{
-    node_->instructions += n;
 }
 
 } // namespace lp::obs

@@ -12,16 +12,26 @@
  * the same name under the same parent merge into one node, so a study
  * that runs 40 programs still produces a readable tree.
  *
+ * Thread-safety: the cursor each ScopedPhase moves is thread-local, so
+ * every thread nests independently; lp::exec workers start at the root,
+ * which means a parallel sweep merges into the same nodes a serial
+ * sweep produces (worker phases are root children either way).  Node
+ * creation takes the tree mutex; count/wall/instruction accumulation is
+ * relaxed-atomic.  reset() and toJson() are quiescent-only by contract.
+ *
  * Timers are always on: a phase is entered a handful of times per run,
  * so two steady_clock reads per phase are noise next to interpreting
  * millions of instructions.  Trace-event emission is guarded by
- * traceOn().
+ * traceOn() and tagged with obs::threadLane() so Chrome traces show
+ * per-worker lanes.
  */
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -33,13 +43,10 @@ namespace lp::obs {
 struct PhaseNode
 {
     std::string name;
-    std::uint64_t count = 0;        ///< times the phase completed
-    std::uint64_t wallNanos = 0;    ///< total wall-clock time inside
-    std::uint64_t instructions = 0; ///< dynamic IR instructions attributed
+    std::atomic<std::uint64_t> count{0};     ///< times the phase completed
+    std::atomic<std::uint64_t> wallNanos{0}; ///< total wall-clock inside
+    std::atomic<std::uint64_t> instructions{0}; ///< dynamic IR attributed
     std::vector<std::unique_ptr<PhaseNode>> children;
-
-    /** Find-or-create the child named @p childName. */
-    PhaseNode *child(const std::string &childName);
 
     /**
      * {"name": ..., "count": n, "wall_ns": ns, "instructions": k,
@@ -56,7 +63,10 @@ class PhaseTree
 
     const PhaseNode &root() const { return root_; }
 
-    /** Drop all accumulated phases (tests, bench baselines). */
+    /**
+     * Drop all accumulated phases (tests, bench baselines).  Call only
+     * while no phase is open anywhere — node pointers dangle otherwise.
+     */
     void reset();
 
     /** JSON of the root's children (the root itself is synthetic). */
@@ -66,8 +76,15 @@ class PhaseTree
     friend class ScopedPhase;
     PhaseTree() { root_.name = "run"; }
 
+    /** This thread's open phase; root when none is. */
+    PhaseNode *current();
+    void setCurrent(PhaseNode *node);
+
+    /** Find-or-create @p name under @p parent (takes the tree mutex). */
+    PhaseNode *childOf(PhaseNode *parent, const std::string &name);
+
     PhaseNode root_;
-    PhaseNode *cur_ = &root_;
+    mutable std::mutex mu_;
 };
 
 /** RAII phase scope.  Not movable; construct on the stack only. */
@@ -81,14 +98,14 @@ class ScopedPhase
     ScopedPhase &operator=(const ScopedPhase &) = delete;
 
     /** Attribute @p n dynamic instructions to this phase. */
-    void addInstructions(std::uint64_t n);
+    void addInstructions(std::uint64_t n) { instructions_ += n; }
 
   private:
     PhaseNode *node_;
     PhaseNode *parent_;
     std::uint64_t startNanos_;
     double startMicros_; ///< session timebase, for trace events
-    std::uint64_t instrBefore_;
+    std::uint64_t instructions_ = 0; ///< added via this scope
 };
 
 } // namespace lp::obs

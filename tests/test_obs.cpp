@@ -199,7 +199,7 @@ TEST(Sinks, JsonlLinesAreValidJson)
         auto sink = std::make_unique<JsonlSink>(buf);
         sink->event("log", Json::object().set("msg", "hello"));
         sink->span("interpret", 10.0, 32.5,
-                   Json::object().set("instructions", 1234));
+                   Json::object().set("instructions", 1234), /*tid=*/0);
         sink->flush();
     }
 
@@ -227,7 +227,7 @@ TEST(Sinks, ChromeTraceDocumentShape)
     std::string path = testing::TempDir() + "lp_obs_trace.json";
     {
         ChromeTraceSink sink(path);
-        sink.span("interpret", 5.0, 100.0, Json::object());
+        sink.span("interpret", 5.0, 100.0, Json::object(), /*tid=*/0);
         sink.event("metrics", Json::object().set("x", 1));
         sink.flush();
     }

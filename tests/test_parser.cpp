@@ -150,6 +150,76 @@ TEST(Parser, RejectsMissingModuleLine)
                  FatalError);
 }
 
+// Malformed numeric literals must fail loudly with line context, not
+// silently parse as 0 (which is what bare strtoull would produce).
+
+TEST(Parser, RejectsMalformedGlobalSize)
+{
+    try {
+        parseModule("module m\nglobal @g [wat bytes]\n"
+                    "func i64 @main() {\n  entry:\n    ret 0\n}\n");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("global size"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("wat"), std::string::npos) << msg;
+    }
+}
+
+TEST(Parser, RejectsTrailingGarbageInGlobalSize)
+{
+    EXPECT_THROW(
+        parseModule("module m\nglobal @g [12x bytes]\n"
+                    "func i64 @main() {\n  entry:\n    ret 0\n}\n"),
+        FatalError);
+}
+
+TEST(Parser, RejectsOutOfRangeGlobalSize)
+{
+    // 2^64 + change: overflows strtoull (ERANGE).
+    EXPECT_THROW(
+        parseModule("module m\nglobal @g [99999999999999999999 bytes]\n"
+                    "func i64 @main() {\n  entry:\n    ret 0\n}\n"),
+        FatalError);
+}
+
+TEST(Parser, RejectsMalformedExternCost)
+{
+    try {
+        parseModule("module m\nextern i64 @!foo #pure cost = cheap\n"
+                    "func i64 @main() {\n  entry:\n    ret 0\n}\n");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("extern cost"), std::string::npos) << msg;
+    }
+}
+
+TEST(Parser, RejectsMalformedIntegerOperand)
+{
+    EXPECT_THROW(parseModule("module m\nfunc i64 @main() {\n  entry:\n"
+                             "    %x = add i64 1, 2two\n    ret %x\n}\n"),
+                 FatalError);
+}
+
+TEST(Parser, RejectsMalformedFloatOperand)
+{
+    EXPECT_THROW(parseModule("module m\nfunc i64 @main() {\n  entry:\n"
+                             "    %x = fadd f64 1.5, 1.5.5\n"
+                             "    %i = ftoi f64 %x\n    ret %i\n}\n"),
+                 FatalError);
+}
+
+TEST(Parser, AcceptsInfAndExponentFloatLiterals)
+{
+    auto mod = parseModule("module m\nfunc i64 @main() {\n  entry:\n"
+                           "    %x = fadd f64 inf, -1e9\n"
+                           "    %i = ftoi f64 %x\n    ret %i\n}\n");
+    ASSERT_NE(mod, nullptr);
+}
+
 TEST(Parser, RoundTripHelpers)
 {
     for (auto &mod :
