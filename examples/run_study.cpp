@@ -10,10 +10,28 @@
  *
  * Models: doall | pdoall | helix.  Flags: reduc{0,1}-dep{0..3}-fn{0..3}.
  *
+ * Robustness (see docs/robustness.md):
+ *   --keep-going / --strict          sweeps default to keep-going: a
+ *                                    failing cell is quarantined as a
+ *                                    status=failed report and its
+ *                                    siblings finish (exit 0).  --strict
+ *                                    aborts on the first failure
+ *                                    (exit 1).  Single runs are strict.
+ *   --budget-instructions N          dynamic-IR-instruction fuel per run
+ *   --budget-wall-ms N               wall-clock deadline per run
+ *   --budget-heap-bytes N            simulated heap cap per run
+ *                                    (or LP_BUDGET_* env; flags win)
+ *   --checkpoint PATH                append one JSONL line per finished
+ *                                    sweep cell to PATH
+ *   --resume                         reuse cells already in the
+ *                                    checkpoint; the final report is
+ *                                    byte-identical to an uninterrupted
+ *                                    run
+ *
  * Observability (see docs/observability.md):
  *   --json PATH (or LP_REPORT=PATH)  write the machine-readable run
  *                                    report(s) as JSON
- *   LP_LOG=off|error|info|debug      diagnostics level
+ *   LP_LOG=off|error|warn|info|debug diagnostics level
  *   LP_TRACE=chrome:t.json           Chrome trace (Perfetto-loadable)
  *   LP_TRACE=jsonl:events.jsonl      streaming JSONL events
  *
@@ -24,15 +42,21 @@
  *                                    are identical to a serial run.
  */
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <memory>
 #include <sstream>
 
 #include "core/configs.hpp"
 #include "core/driver.hpp"
 #include "core/study.hpp"
 #include "exec/pool.hpp"
+#include "guard/budget.hpp"
+#include "guard/checkpoint.hpp"
+#include "guard/quarantine.hpp"
 #include "interp/stdlib.hpp"
 #include "ir/parser.hpp"
 #include "obs/json.hpp"
@@ -41,6 +65,7 @@
 #include "obs/timer.hpp"
 #include "suites/registry.hpp"
 #include "support/error.hpp"
+#include "support/stats.hpp"
 #include "support/table.hpp"
 #include "support/text.hpp"
 
@@ -50,6 +75,14 @@ namespace {
 
 /** --json PATH, or LP_REPORT, or empty. */
 std::string g_reportPath;
+
+/** Sweep behavior collected from the command line. */
+struct SweepOptions
+{
+    bool keepGoing = true; ///< sweeps quarantine failures by default
+    std::string checkpointPath;
+    bool resume = false;
+};
 
 rt::ExecModel
 parseModel(const std::string &s)
@@ -123,7 +156,7 @@ runSingle(const std::string &name, const std::string &flags,
 }
 
 int
-runSuites(const std::string &onlySuite)
+runSuites(const std::string &onlySuite, const SweepOptions &sweep)
 {
     std::vector<core::BenchProgram> progs;
     for (const auto &p : suites::allPrograms())
@@ -133,59 +166,205 @@ runSuites(const std::string &onlySuite)
         std::cerr << "no benchmarks match suite '" << onlySuite << "'\n";
         return 1;
     }
-    core::Study study(progs);
 
-    obs::Json suitesJson = obs::Json::array();
-    obs::Json reportsJson = obs::Json::array();
-    const bool wantJson = !g_reportPath.empty();
+    core::StudyOptions studyOpts;
+    studyOpts.keepGoing = sweep.keepGoing;
+    core::Study study(progs, studyOpts);
 
-    // Sweep every (configuration, suite) pair.  The pairs are the unit
-    // of parallelism (each one runs its programs serially); results are
-    // stored by pair index, so the table and the JSON document come out
-    // identical whatever the worker count.
-    struct SweepCell
+    std::map<std::string, const core::PreparedProgram *> preparedByName;
+    for (const auto &p : study.programs())
+        preparedByName[p->name()] = p.get();
+    std::map<std::string, const core::PrepareFailure *> prepFailByName;
+    for (const auto &f : study.prepareFailures())
+        prepFailByName[f.program] = &f;
+
+    // Suite order from the registration list, not study.suites(): a
+    // suite whose every program failed to prepare must still show up
+    // (as skipped cells), not silently vanish.
+    std::vector<std::string> suiteOrder;
+    for (const auto &p : progs)
+        if (std::find(suiteOrder.begin(), suiteOrder.end(), p.suite) ==
+            suiteOrder.end())
+            suiteOrder.push_back(p.suite);
+
+    std::unique_ptr<guard::Checkpoint> ckpt;
+    if (!sweep.checkpointPath.empty())
+        ckpt = std::make_unique<guard::Checkpoint>(sweep.checkpointPath,
+                                                   sweep.resume);
+    if (ckpt && ckpt->loadedCells() != 0)
+        LP_LOG_INFO("resuming: %zu cell(s) loaded from %s",
+                    ckpt->loadedCells(), ckpt->path().c_str());
+
+    // The sweep is a flat list of (configuration, suite, program)
+    // cells — the unit of parallelism, of quarantine and of
+    // checkpointing.  Results are stored by cell index, so the table
+    // and the JSON document come out identical whatever the worker
+    // count, and identical between a resumed and an uninterrupted run
+    // (resumed cells reuse their stored JSON verbatim).
+    struct Cell
     {
         const core::NamedConfig *config;
         std::string suite;
-        std::vector<rt::ProgramReport> reports;
+        std::string program;
+        const core::PreparedProgram *prepared; ///< null = prepare failed
+        obs::Json json;
     };
-    std::vector<SweepCell> cells;
+    std::vector<Cell> cells;
     for (const core::NamedConfig &named : core::paperConfigs())
-        for (const std::string &suite : study.suites())
-            cells.push_back({&named, suite, {}});
-    exec::parallelFor(cells.size(), [&](std::size_t i) {
-        cells[i].reports = study.runSuite(cells[i].suite,
-                                          cells[i].config->config,
-                                          /*jobs=*/1);
-    });
+        for (const std::string &suite : suiteOrder)
+            for (const auto &p : progs) {
+                if (p.suite != suite)
+                    continue;
+                auto it = preparedByName.find(p.name);
+                cells.push_back(
+                    {&named, suite, p.name,
+                     it == preparedByName.end() ? nullptr : it->second,
+                     obs::Json()});
+            }
 
+    auto runCell = [&](std::size_t i) {
+        Cell &cell = cells[i];
+        const rt::LPConfig &cfg = cell.config->config;
+        if (!cell.prepared) {
+            // Program never prepared: the cell was not attempted.
+            // Synthesized fresh every run (never checkpointed), which
+            // is still deterministic — the prepare verdict is.
+            const core::PrepareFailure *pf = prepFailByName[cell.program];
+            rt::ProgramReport rep;
+            rep.program = cell.program;
+            rep.config = cfg;
+            rep.status = rt::RunStatus::Skipped;
+            rep.errorCode = pf->verdict.codeName();
+            rep.errorMessage = "prepare failed: " + pf->verdict.message;
+            rep.attempts = static_cast<unsigned>(pf->verdict.attempts);
+            cell.json = rep.toJson(/*withObsSnapshot=*/false);
+            return;
+        }
+        const std::string key = guard::Checkpoint::cellKey(
+            cell.config->label, cell.suite, cell.program);
+        if (ckpt) {
+            if (const obs::Json *stored = ckpt->find(key)) {
+                cell.json = *stored;
+                return;
+            }
+        }
+        // Run and checkpoint as one guarded unit: a transient failure
+        // while recording the cell retries the whole unit, so a cell is
+        // checkpointed iff it really finished.
+        auto work = [&] {
+            rt::ProgramReport rep = cell.prepared->run(cfg);
+            cell.json = rep.toJson(/*withObsSnapshot=*/false);
+            if (ckpt)
+                ckpt->record(key, cell.json);
+        };
+        if (!sweep.keepGoing) {
+            try {
+                work();
+            }
+            catch (Error &e) {
+                e.noteCell(cell.program, cell.suite, cell.config->label);
+                throw;
+            }
+            return;
+        }
+        guard::RunVerdict v = guard::guardedRun(
+            cell.program + " [" + cell.config->label + " " + cell.suite +
+                "]",
+            work);
+        if (!v.ok) {
+            rt::ProgramReport rep;
+            rep.program = cell.program;
+            rep.config = cfg;
+            rep.status = rt::RunStatus::Failed;
+            rep.errorCode = v.codeName();
+            rep.errorMessage = v.message;
+            rep.attempts = static_cast<unsigned>(v.attempts);
+            cell.json = rep.toJson(/*withObsSnapshot=*/false);
+            // Not checkpointed: a deterministic failure reproduces on
+            // resume, and a flaky one deserves the fresh attempt.
+        }
+    };
+    exec::parallelFor(cells.size(), runCell);
+
+    const bool wantJson = !g_reportPath.empty();
+    obs::Json suitesJson = obs::Json::array();
+    obs::Json reportsJson = obs::Json::array();
     TextTable t({"configuration", "suite", "geomean speedup",
-                 "geomean coverage"});
-    for (SweepCell &cell : cells) {
-        double speedup = core::Study::geomeanSpeedup(cell.reports);
-        double coverage = core::Study::geomeanCoverage(cell.reports);
-        t.addRow({cell.config->label, cell.suite,
-                  TextTable::num(speedup) + "x",
-                  TextTable::num(coverage, 1) + "%"});
-        if (wantJson) {
-            obs::Json row = obs::Json::object();
-            row.set("config", cell.config->label);
-            row.set("suite", cell.suite);
-            row.set("geomean_speedup", speedup);
-            row.set("geomean_coverage_pct", coverage);
-            suitesJson.push(std::move(row));
-            for (const rt::ProgramReport &rep : cell.reports)
-                reportsJson.push(rep.toJson(/*withObsSnapshot=*/false));
+                 "geomean coverage", "ok", "failed", "skipped"});
+    std::vector<const Cell *> unhealthy;
+
+    // Aggregate per (configuration, suite) group.  Everything — status,
+    // geomean inputs — is read back from the cell JSON, so fresh and
+    // checkpoint-resumed cells flow through the identical computation.
+    std::size_t at = 0;
+    for (const core::NamedConfig &named : core::paperConfigs()) {
+        for (const std::string &suite : suiteOrder) {
+            GeomeanAccum accSpeedup, accCoverage;
+            std::size_t ok = 0, failed = 0, skipped = 0;
+            for (; at < cells.size() && cells[at].config == &named &&
+                   cells[at].suite == suite;
+                 ++at) {
+                const Cell &cell = cells[at];
+                const std::string &status =
+                    cell.json.at("status").asString();
+                if (status == "ok") {
+                    ++ok;
+                    accSpeedup.add(std::max(
+                        cell.json.at("speedup").asDouble(), 1e-6));
+                    accCoverage.add(std::max(
+                        cell.json.at("coverage").asDouble() * 100.0,
+                        0.1));
+                } else {
+                    (status == "failed" ? failed : skipped) += 1;
+                    unhealthy.push_back(&cell);
+                }
+                if (wantJson)
+                    reportsJson.push(cell.json);
+            }
+            double speedup = accSpeedup.value();
+            double coverage = accCoverage.value();
+            t.addRow({named.label, suite, TextTable::num(speedup) + "x",
+                      TextTable::num(coverage, 1) + "%",
+                      std::to_string(ok), std::to_string(failed),
+                      std::to_string(skipped)});
+            if (wantJson) {
+                obs::Json row = obs::Json::object();
+                row.set("config", named.label);
+                row.set("suite", suite);
+                row.set("geomean_speedup", speedup);
+                row.set("geomean_coverage_pct", coverage);
+                row.set("ok", ok);
+                row.set("failed", failed);
+                row.set("skipped", skipped);
+                suitesJson.push(std::move(row));
+            }
         }
     }
     t.print(std::cout);
+
+    if (!unhealthy.empty()) {
+        std::cout << unhealthy.size()
+                  << " cell(s) did not complete:\n";
+        for (const Cell *cell : unhealthy)
+            std::cout << "  " << cell->json.at("status").asString()
+                      << "  " << cell->program << " ["
+                      << cell->config->label << " " << cell->suite
+                      << "]  " << cell->json.at("error_code").asString()
+                      << "\n";
+    }
 
     if (wantJson) {
         obs::Json doc = obs::Json::object();
         doc.set("suites", std::move(suitesJson));
         doc.set("reports", std::move(reportsJson));
-        doc.set("metrics", obs::Registry::instance().toJson());
-        doc.set("phases", obs::PhaseTree::instance().toJson());
+        // Metrics and phase timings hold wall-clock values, which would
+        // break the resume guarantee (a resumed run's report must be
+        // byte-identical to an uninterrupted one); they join the sweep
+        // document only when metrics are explicitly on.
+        if (obs::metricsOn()) {
+            doc.set("metrics", obs::Registry::instance().toJson());
+            doc.set("phases", obs::PhaseTree::instance().toJson());
+        }
         return maybeWriteReport(doc);
     }
     return 0;
@@ -199,42 +378,92 @@ main(int argc, char **argv)
     if (const char *env = std::getenv("LP_REPORT"))
         g_reportPath = env;
 
-    // Extract --json PATH / --jobs N anywhere on the command line.
-    std::vector<std::string> args;
-    for (int i = 1; i < argc; ++i) {
-        if (std::string(argv[i]) == "--json" && i + 1 < argc) {
-            g_reportPath = argv[++i];
-            continue;
-        }
-        if (std::string(argv[i]) == "--jobs" && i + 1 < argc) {
-            std::string spec = argv[++i];
-            unsigned n = 0;
-            if (spec != "auto") {
-                try {
-                    n = static_cast<unsigned>(std::stoul(spec));
-                } catch (...) {
-                    std::cerr << "bad --jobs value (want a count, 0 or "
-                                 "'auto'): "
-                              << spec << "\n";
-                    return 1;
-                }
-            }
-            // Resolve "all hardware threads" here so the override is a
-            // concrete count (setJobsOverride(0) would clear it).
-            exec::setJobsOverride(exec::resolveJobs(n));
-            continue;
-        }
-        args.push_back(argv[i]);
-    }
+    SweepOptions sweep;
+    guard::RunBudget budget = guard::defaultBudget();
+    bool budgetTouched = false;
 
+    // Extract the option flags anywhere on the command line.
+    std::vector<std::string> args;
     try {
+        for (int i = 1; i < argc; ++i) {
+            std::string a = argv[i];
+            auto value = [&](const char *what) -> std::string {
+                if (i + 1 >= argc)
+                    fatal(std::string(what) + " requires a value");
+                return argv[++i];
+            };
+            if (a == "--json") {
+                g_reportPath = value("--json");
+                continue;
+            }
+            if (a == "--keep-going") {
+                sweep.keepGoing = true;
+                continue;
+            }
+            if (a == "--strict") {
+                sweep.keepGoing = false;
+                continue;
+            }
+            if (a == "--checkpoint") {
+                sweep.checkpointPath = value("--checkpoint");
+                continue;
+            }
+            if (a == "--resume") {
+                sweep.resume = true;
+                continue;
+            }
+            if (a == "--budget-instructions") {
+                budget.maxInstructions = guard::parseBudgetValue(
+                    "--budget-instructions",
+                    value("--budget-instructions"));
+                budgetTouched = true;
+                continue;
+            }
+            if (a == "--budget-wall-ms") {
+                budget.maxWallMs = guard::parseBudgetValue(
+                    "--budget-wall-ms", value("--budget-wall-ms"));
+                budgetTouched = true;
+                continue;
+            }
+            if (a == "--budget-heap-bytes") {
+                budget.maxHeapBytes = guard::parseBudgetValue(
+                    "--budget-heap-bytes", value("--budget-heap-bytes"));
+                budgetTouched = true;
+                continue;
+            }
+            if (a == "--jobs") {
+                std::string spec = value("--jobs");
+                unsigned n = 0;
+                if (spec != "auto") {
+                    try {
+                        n = static_cast<unsigned>(std::stoul(spec));
+                    } catch (...) {
+                        std::cerr << "bad --jobs value (want a count, 0 "
+                                     "or 'auto'): "
+                                  << spec << "\n";
+                        return 1;
+                    }
+                }
+                // Resolve "all hardware threads" here so the override
+                // is a concrete count (setJobsOverride(0) clears it).
+                exec::setJobsOverride(exec::resolveJobs(n));
+                continue;
+            }
+            args.push_back(std::move(a));
+        }
+
+        if (sweep.resume && sweep.checkpointPath.empty())
+            fatal("--resume requires --checkpoint PATH");
+        if (budgetTouched)
+            guard::setBudgetOverride(budget);
+
         if (args.size() >= 4 && args[0] == "--file")
             return runFile(args[1], args[2], args[3]);
         if (args.size() >= 3)
             return runSingle(args[0], args[1], args[2]);
         if (args.size() == 1)
-            return runSuites(args[0]);
-        return runSuites("");
+            return runSuites(args[0], sweep);
+        return runSuites("", sweep);
     } catch (const FatalError &e) {
         std::cerr << "error: " << e.what() << "\n";
         return 1;

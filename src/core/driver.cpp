@@ -16,7 +16,9 @@ Loopapalooza::Loopapalooza(const ir::Module &mod) : mod_(mod)
         obs::ScopedPhase phase("verify");
         ir::verifyModuleOrDie(mod);
         ir::VerifyResult ssa = analysis::verifySSA(mod);
-        fatalIf(!ssa.ok(), "SSA verification failed:\n" + ssa.message());
+        if (!ssa.ok())
+            throw VerifyError("SSA verification failed:\n" +
+                              ssa.message());
     }
     {
         obs::ScopedPhase phase("analyze");

@@ -49,15 +49,63 @@ PreparedProgram::run(const rt::LPConfig &cfg) const
 
 Study::Study(const std::vector<BenchProgram> &programs, unsigned jobs)
 {
+    StudyOptions opts;
+    opts.jobs = jobs;
+    prepare(programs, opts);
+}
+
+Study::Study(const std::vector<BenchProgram> &programs,
+             const StudyOptions &opts)
+{
+    prepare(programs, opts);
+}
+
+void
+Study::prepare(const std::vector<BenchProgram> &programs,
+               const StudyOptions &opts)
+{
     programs_.resize(programs.size());
-    exec::parallelFor(
-        programs.size(),
-        [&](std::size_t i) {
-            programs_[i] = std::make_unique<PreparedProgram>(programs[i]);
-        },
-        jobs);
-    LP_LOG_INFO("study prepared: %zu programs, %zu suites",
-                programs_.size(), suites().size());
+    if (!opts.keepGoing) {
+        exec::parallelFor(
+            programs.size(),
+            [&](std::size_t i) {
+                programs_[i] =
+                    std::make_unique<PreparedProgram>(programs[i]);
+            },
+            opts.jobs);
+    } else {
+        // Slot i is written only by the worker that claimed index i, so
+        // the verdict vector needs no lock; the pool joins inside
+        // parallelFor before we read it.
+        std::vector<guard::RunVerdict> verdicts(programs.size());
+        guard::GuardPolicy policy; // keepGoing=true: guardedRun swallows
+        exec::parallelFor(
+            programs.size(),
+            [&](std::size_t i) {
+                verdicts[i] = guard::guardedRun(
+                    programs[i].name + " [prepare]",
+                    [&] {
+                        programs_[i] = std::make_unique<PreparedProgram>(
+                            programs[i]);
+                    },
+                    policy);
+            },
+            opts.jobs);
+        for (std::size_t i = 0; i < programs.size(); ++i) {
+            if (verdicts[i].ok)
+                continue;
+            prepareFailures_.push_back(
+                {programs[i].name, programs[i].suite, verdicts[i]});
+        }
+        std::erase_if(programs_,
+                      [](const std::unique_ptr<PreparedProgram> &p) {
+                          return !p;
+                      });
+    }
+    LP_LOG_INFO("study prepared: %zu programs, %zu suites, %zu "
+                "quarantined",
+                programs_.size(), suites().size(),
+                prepareFailures_.size());
 }
 
 std::vector<std::string>
@@ -75,16 +123,62 @@ std::vector<rt::ProgramReport>
 Study::runSuite(const std::string &suite, const rt::LPConfig &cfg,
                 unsigned jobs) const
 {
+    SuiteRunOptions opts;
+    opts.jobs = jobs;
+    return runSuite(suite, cfg, opts);
+}
+
+std::vector<rt::ProgramReport>
+Study::runSuite(const std::string &suite, const rt::LPConfig &cfg,
+                const SuiteRunOptions &opts) const
+{
     std::vector<const PreparedProgram *> members;
     for (const auto &p : programs_) {
         if (p->suite() == suite)
             members.push_back(p.get());
     }
     std::vector<rt::ProgramReport> out(members.size());
+
+    if (!opts.keepGoing) {
+        exec::parallelFor(
+            members.size(),
+            [&](std::size_t i) {
+                try {
+                    out[i] = members[i]->run(cfg);
+                }
+                catch (Error &e) {
+                    // Stamp the failing cell's identity before the
+                    // abort propagates, so strict-mode diagnostics name
+                    // the program, not just the error site.
+                    e.noteCell(members[i]->name(), suite, cfg.str());
+                    throw;
+                }
+            },
+            opts.jobs);
+        return out;
+    }
+
+    guard::GuardPolicy policy;
+    policy.maxRetries = opts.maxRetries;
+    policy.backoffBaseMs = opts.backoffBaseMs;
     exec::parallelFor(
         members.size(),
-        [&](std::size_t i) { out[i] = members[i]->run(cfg); },
-        jobs);
+        [&](std::size_t i) {
+            guard::RunVerdict v = guard::guardedRun(
+                members[i]->name() + " [" + cfg.str() + "]",
+                [&] { out[i] = members[i]->run(cfg); },
+                policy);
+            if (!v.ok) {
+                out[i] = rt::ProgramReport{}; // drop any partial result
+                out[i].program = members[i]->name();
+                out[i].status = rt::RunStatus::Failed;
+                out[i].errorCode = v.codeName();
+                out[i].errorMessage = v.message;
+            }
+            out[i].config = cfg;
+            out[i].attempts = static_cast<unsigned>(v.attempts);
+        },
+        opts.jobs);
     return out;
 }
 
@@ -96,7 +190,8 @@ Study::geomeanSpeedup(const std::vector<rt::ProgramReport> &reports)
     // negative "speedup" from an empty/filtered run) must depress the
     // mean, not abort the whole sweep.
     for (const auto &r : reports)
-        acc.add(std::max(r.speedup(), 1e-6));
+        if (r.ok())
+            acc.add(std::max(r.speedup(), 1e-6));
     return acc.value();
 }
 
@@ -105,7 +200,8 @@ Study::geomeanCoverage(const std::vector<rt::ProgramReport> &reports)
 {
     GeomeanAccum acc;
     for (const auto &r : reports)
-        acc.add(std::max(r.coverage * 100.0, 0.1));
+        if (r.ok())
+            acc.add(std::max(r.coverage * 100.0, 0.1));
     return acc.value();
 }
 

@@ -15,6 +15,7 @@
 
 #include "core/driver.hpp"
 #include "exec/pool.hpp"
+#include "guard/quarantine.hpp"
 
 namespace lp::core {
 
@@ -59,15 +60,45 @@ class PreparedProgram
  * program index regardless of worker count; parallel and serial runs
  * produce identical reports.
  */
+/** How Study prepares its programs. */
+struct StudyOptions
+{
+    /**
+     * Quarantine programs whose build/analyze/self-check fails instead
+     * of aborting the whole study; failures land in prepareFailures().
+     */
+    bool keepGoing = false;
+    unsigned jobs = exec::defaultJobs();
+};
+
+/** One program that never made it past preparation (keep-going mode). */
+struct PrepareFailure
+{
+    std::string program;
+    std::string suite;
+    guard::RunVerdict verdict;
+};
+
 class Study
 {
   public:
     /**
      * Prepare all of @p programs (builds and analyzes every module),
-     * using up to @p jobs worker threads.
+     * using up to @p jobs worker threads.  Any preparation failure
+     * propagates (strict).
      */
     explicit Study(const std::vector<BenchProgram> &programs,
                    unsigned jobs = exec::defaultJobs());
+
+    /** As above, honoring @p opts (keep-going quarantines failures). */
+    Study(const std::vector<BenchProgram> &programs,
+          const StudyOptions &opts);
+
+    /** Programs quarantined during keep-going preparation. */
+    const std::vector<PrepareFailure> &prepareFailures() const
+    {
+        return prepareFailures_;
+    }
 
     const std::vector<std::unique_ptr<PreparedProgram>> &programs() const
     {
@@ -86,14 +117,47 @@ class Study
     runSuite(const std::string &suite, const rt::LPConfig &cfg,
              unsigned jobs = exec::defaultJobs()) const;
 
-    /** Geometric-mean speedup of a set of reports. */
+    /** How runSuite treats a failing cell. */
+    struct SuiteRunOptions
+    {
+        /**
+         * Record failing cells as status=failed reports (with error
+         * code, message and attempt count) instead of aborting the
+         * suite on the first failure.
+         */
+        bool keepGoing = false;
+        /** Retry budget for transient failures (guardedRun). */
+        int maxRetries = 2;
+        /** First-retry backoff in ms; doubles per retry. */
+        unsigned backoffBaseMs = 5;
+        unsigned jobs = exec::defaultJobs();
+    };
+
+    /**
+     * As runSuite above, honoring @p opts.  In keep-going mode every
+     * cell runs to a verdict: a failed cell comes back as a
+     * RunStatus::Failed report carrying the cell's identity and error,
+     * and its siblings are unaffected.
+     */
+    std::vector<rt::ProgramReport>
+    runSuite(const std::string &suite, const rt::LPConfig &cfg,
+             const SuiteRunOptions &opts) const;
+
+    /**
+     * Geometric-mean speedup of a set of reports.  Only RunStatus::Ok
+     * cells participate; failed/skipped cells carry no measurement.
+     */
     static double geomeanSpeedup(const std::vector<rt::ProgramReport> &r);
 
     /** Geometric-mean coverage (in percent) of a set of reports. */
     static double geomeanCoverage(const std::vector<rt::ProgramReport> &r);
 
   private:
+    void prepare(const std::vector<BenchProgram> &programs,
+                 const StudyOptions &opts);
+
     std::vector<std::unique_ptr<PreparedProgram>> programs_;
+    std::vector<PrepareFailure> prepareFailures_;
 };
 
 } // namespace lp::core

@@ -33,6 +33,7 @@
 #include <cstddef>
 #include <deque>
 #include <condition_variable>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -109,5 +110,17 @@ class ThreadPool
  */
 void parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn,
                  unsigned jobs = defaultJobs());
+
+/**
+ * Like parallelFor, but a throwing index never cancels the others:
+ * every i in [0, @p n) runs to completion and the exception each one
+ * threw (if any) comes back in slot i of the result.  This is the
+ * error-collection mode lp::guard's keep-going sweeps are built on —
+ * one poisoned cell must not take the rest of the sweep down with it.
+ * An all-null result vector means every index succeeded.
+ */
+std::vector<std::exception_ptr>
+parallelForAll(std::size_t n, const std::function<void(std::size_t)> &fn,
+               unsigned jobs = defaultJobs());
 
 } // namespace lp::exec

@@ -1,0 +1,109 @@
+#include "guard/checkpoint.hpp"
+
+#include <sstream>
+
+#include "guard/fault.hpp"
+#include "obs/log.hpp"
+#include "support/error.hpp"
+#include "support/text.hpp"
+
+namespace lp::guard {
+
+Checkpoint::Checkpoint(const std::string &path, bool resume) : path_(path)
+{
+    if (resume)
+        loadExisting();
+    out_.open(path_, resume ? (std::ios::out | std::ios::app)
+                            : (std::ios::out | std::ios::trunc));
+    if (!out_)
+        throw IoError("cannot open checkpoint file " + path_);
+    if (sealNeeded_) {
+        // The file ends mid-line (a killed writer).  Seal it so the
+        // first append starts a fresh line instead of merging with —
+        // and thereby losing — the torn one.
+        out_ << '\n';
+        out_.flush();
+    }
+    LP_LOG_INFO("checkpoint %s: %zu cell(s) loaded", path_.c_str(),
+                loaded_);
+}
+
+void
+Checkpoint::loadExisting()
+{
+    std::ifstream in(path_);
+    if (!in)
+        return; // nothing to resume from: first run with --resume
+    std::string line;
+    unsigned lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        if (line.empty())
+            continue;
+        std::string err;
+        obs::Json rec = obs::Json::parse(line, &err);
+        if (!err.empty() || !rec.isObject() || !rec.contains("key") ||
+            !rec.contains("cell")) {
+            // A torn final line is the expected residue of a killed
+            // sweep; anything else malformed is worth a warning too.
+            LP_LOG_WARN("checkpoint %s: skipping malformed line %u",
+                        path_.c_str(), lineNo);
+            continue;
+        }
+        cells_[rec.at("key").asString()] = rec.at("cell");
+    }
+    loaded_ = cells_.size();
+
+    std::ifstream tail(path_, std::ios::binary);
+    if (tail) {
+        tail.seekg(0, std::ios::end);
+        if (tail.tellg() > 0) {
+            tail.seekg(-1, std::ios::end);
+            char last = '\n';
+            tail.get(last);
+            sealNeeded_ = last != '\n';
+        }
+    }
+}
+
+std::string
+Checkpoint::cellKey(const std::string &config, const std::string &suite,
+                    const std::string &program, std::uint64_t seed)
+{
+    return config + "|" + suite + "|" + program + "|" +
+           std::to_string(seed);
+}
+
+const obs::Json *
+Checkpoint::find(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cells_.find(key);
+    return it == cells_.end() ? nullptr : &it->second;
+}
+
+void
+Checkpoint::record(const std::string &key, const obs::Json &cell)
+{
+    faultPoint("io");
+    obs::Json rec = obs::Json::object();
+    rec.set("v", 1);
+    rec.set("key", key);
+    rec.set("cell", cell);
+    std::string line = rec.dump();
+    std::lock_guard<std::mutex> lock(mu_);
+    out_ << line << '\n';
+    out_.flush();
+    if (!out_)
+        throw IoError("cannot append to checkpoint file " + path_);
+    cells_[key] = cell;
+}
+
+std::size_t
+Checkpoint::loadedCells() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return loaded_;
+}
+
+} // namespace lp::guard

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Streaming sweep checkpoints (`lp::guard`).
+ *
+ * A sweep writes one JSONL line per completed cell:
+ *
+ *   {"v":1,"key":"<config>|<suite>|<program>|<seed>","cell":{...}}
+ *
+ * where "cell" is the cell's ProgramReport JSON exactly as it appears
+ * in the final report document.  Lines are appended and flushed as
+ * cells finish (safe from lp::exec workers; record() takes a mutex), so
+ * a killed sweep loses at most the cells still in flight.  Reopening
+ * with resume=true loads every complete line — a torn final line from a
+ * mid-write kill is skipped with a warning — and the driver reuses
+ * stored cells verbatim, which is what makes a resumed sweep's final
+ * report byte-identical to an uninterrupted run's.
+ *
+ * Keys are the full cell identity (configuration label, suite, program,
+ * seed), so checkpoints are safe to share across re-invocations with
+ * different sweep subsets: unknown keys are simply never looked up.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace lp::guard {
+
+/** One JSONL checkpoint file, usable concurrently by sweep workers. */
+class Checkpoint
+{
+  public:
+    /**
+     * Open @p path for appending.  With @p resume, existing complete
+     * lines are loaded first; without it the file starts fresh.
+     * @throws IoError when the file cannot be opened (or, with resume,
+     *         read).
+     */
+    Checkpoint(const std::string &path, bool resume);
+
+    /** "<config>|<suite>|<program>|<seed>" — the stable cell identity. */
+    static std::string cellKey(const std::string &config,
+                               const std::string &suite,
+                               const std::string &program,
+                               std::uint64_t seed = 0);
+
+    /** The stored cell JSON for @p key, or nullptr.  Pointer stays valid
+     *  for the Checkpoint's lifetime (loaded cells are never evicted). */
+    const obs::Json *find(const std::string &key) const;
+
+    /** Append one completed cell and flush.  @throws IoError on write
+     *  failure.  Thread-safe. */
+    void record(const std::string &key, const obs::Json &cell);
+
+    /** Cells loaded from a previous run (resume only). */
+    std::size_t loadedCells() const;
+
+    const std::string &path() const { return path_; }
+
+  private:
+    void loadExisting();
+
+    mutable std::mutex mu_;
+    std::string path_;
+    std::ofstream out_;
+    std::map<std::string, obs::Json> cells_;
+    std::size_t loaded_ = 0;
+    bool sealNeeded_ = false; ///< resumed file ends in a torn line
+};
+
+} // namespace lp::guard

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "guard/fault.hpp"
 #include "obs/metrics.hpp"
 #include "support/error.hpp"
 #include "support/text.hpp"
@@ -35,6 +36,22 @@ asI64(std::uint64_t bits)
     return static_cast<std::int64_t>(bits);
 }
 
+/**
+ * Instructions between wall-clock deadline polls.  A clock read every
+ * ~262k instructions is a few hundred reads per simulated second —
+ * invisible next to the interpreter loop — while bounding deadline
+ * overshoot to a few milliseconds.
+ */
+constexpr std::uint64_t kDeadlineStride = 1ULL << 18;
+
+ErrorContext
+fnContext(const ir::Function *fn)
+{
+    ErrorContext ctx;
+    ctx.function = fn->name();
+    return ctx;
+}
+
 } // namespace
 
 Machine::Machine(const ir::Module &mod, ExecListener *listener)
@@ -48,6 +65,42 @@ Machine::Machine(const ir::Module &mod, ExecListener *listener)
     extImpls_.reserve(mod.externals().size());
     for (const auto &ext : mod.externals())
         extImpls_.push_back(ext->impl());
+    setBudget(guard::defaultBudget());
+}
+
+void
+Machine::setBudget(const guard::RunBudget &b)
+{
+    costLimit_ = b.maxInstructions == 0 ? UINT64_MAX : b.maxInstructions;
+    wallLimitMs_ = b.maxWallMs;
+    mem_.setHeapLimit(b.maxHeapBytes);
+}
+
+void
+Machine::throwFuelExhausted(const ir::Function *fn) const
+{
+    throw ResourceExhausted(
+        ErrorCode::Fuel,
+        strf("dynamic instruction limit exceeded in @%s: %llu "
+             "instructions > budget %llu",
+             fn->name().c_str(), static_cast<unsigned long long>(cost_),
+             static_cast<unsigned long long>(costLimit_)),
+        fnContext(fn));
+}
+
+void
+Machine::checkDeadline(const ir::Function *fn)
+{
+    nextDeadlineCheckCost_ = cost_ + kDeadlineStride;
+    if (std::chrono::steady_clock::now() <= deadline_)
+        return;
+    throw ResourceExhausted(
+        ErrorCode::Deadline,
+        strf("wall-clock budget of %llu ms exceeded in @%s after %llu "
+             "instructions",
+             static_cast<unsigned long long>(wallLimitMs_),
+             fn->name().c_str(), static_cast<unsigned long long>(cost_)),
+        fnContext(fn));
 }
 
 std::uint64_t
@@ -55,6 +108,12 @@ Machine::run()
 {
     fatalIf(ran_, "Machine::run may only be called once");
     ran_ = true;
+    guard::faultPoint("interp");
+    if (wallLimitMs_ != 0) {
+        deadline_ = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(wallLimitMs_);
+        nextDeadlineCheckCost_ = 0;
+    }
 
     for (const auto &g : mod_.globals()) {
         [[maybe_unused]] std::uint64_t addr =
@@ -102,7 +161,11 @@ Machine::execFunction(const ir::Function *fn,
 {
     fatalIf(args.size() != fn->args().size(),
             "argument count mismatch calling @" + fn->name());
-    fatalIf(++callDepth_ > 10'000, "simulated call stack overflow");
+    if (++callDepth_ > 10'000)
+        throw ResourceExhausted(ErrorCode::Stack,
+                                "simulated call stack overflow calling @" +
+                                    fn->name(),
+                                fnContext(fn));
 
     const std::uint64_t savedSp = sp_;
     const std::uint64_t savedBlockSize = curBlockSize_;
@@ -122,7 +185,11 @@ Machine::execFunction(const ir::Function *fn,
         cost_ += bb->instructions().size();
         curBlockSize_ = bb->instructions().size();
         ipInBlock_ = 0;
-        fatalIf(cost_ > costLimit_, "dynamic instruction limit exceeded");
+        if (cost_ > costLimit_) [[unlikely]]
+            throwFuelExhausted(fn);
+        if (wallLimitMs_ != 0 && cost_ >= nextDeadlineCheckCost_)
+            [[unlikely]]
+            checkDeadline(fn);
         if (listener_)
             listener_->onBlockEnter(bb);
 
@@ -193,12 +260,14 @@ Machine::execInstruction(const Instruction &instr,
       case Opcode::Mul: return op(0) * op(1);
       case Opcode::SDiv: {
         std::int64_t d = iop(1);
-        fatalIf(d == 0, "division by zero");
+        if (d == 0)
+            throw InterpreterTrap("division by zero");
         return static_cast<std::uint64_t>(iop(0) / d);
       }
       case Opcode::SRem: {
         std::int64_t d = iop(1);
-        fatalIf(d == 0, "remainder by zero");
+        if (d == 0)
+            throw InterpreterTrap("remainder by zero");
         return static_cast<std::uint64_t>(iop(0) % d);
       }
       case Opcode::And: return op(0) & op(1);

@@ -20,9 +20,11 @@
 
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <vector>
 
+#include "guard/budget.hpp"
 #include "interp/events.hpp"
 #include "interp/memory.hpp"
 #include "ir/module.hpp"
@@ -78,17 +80,35 @@ class Machine
     /** Abort execution when the dynamic instruction count exceeds this. */
     void setCostLimit(std::uint64_t limit) { costLimit_ = limit; }
 
+    /**
+     * Apply all of @p b: instruction fuel (as setCostLimit), the
+     * wall-clock deadline (armed when run() starts; polled every ~262k
+     * instructions so the hot path never reads a clock per block) and
+     * the heap cap (enforced by Memory::allocHeap).  The constructor
+     * applies guard::defaultBudget(), so LP_BUDGET_* / --budget-* reach
+     * every Machine without call-site changes; call this to override.
+     * Budget violations throw lp::ResourceExhausted naming the running
+     * function and the exhausted resource.
+     */
+    void setBudget(const guard::RunBudget &b);
+
   private:
     std::uint64_t evalValue(const ir::Value *v,
                             const std::vector<std::uint64_t> &regs) const;
     std::uint64_t execInstruction(const ir::Instruction &instr,
                                   std::vector<std::uint64_t> &regs);
+    [[noreturn]] void throwFuelExhausted(const ir::Function *fn) const;
+    /** Poll the wall-clock deadline (cold; called every ~262k insts). */
+    void checkDeadline(const ir::Function *fn);
 
     const ir::Module &mod_;
     ExecListener *listener_;
     Memory mem_;
     std::uint64_t cost_ = 0;
     std::uint64_t costLimit_ = 50'000'000'000ULL;
+    std::uint64_t wallLimitMs_ = 0; ///< 0 = no deadline
+    std::uint64_t nextDeadlineCheckCost_ = 0;
+    std::chrono::steady_clock::time_point deadline_{};
     std::uint64_t curBlockSize_ = 0;
     std::uint64_t ipInBlock_ = 0;
     std::uint64_t sp_ = Memory::kStackBase;

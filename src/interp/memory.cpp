@@ -22,8 +22,9 @@ Memory::allocGlobal(std::uint64_t size)
 {
     std::uint64_t addr = kGlobalBase + globals_.size();
     globals_.resize(globals_.size() + align8(size), 0);
-    fatalIf(kGlobalBase + globals_.size() > kHeapBase,
-            "global segment overflow");
+    if (kGlobalBase + globals_.size() > kHeapBase)
+        throw ResourceExhausted(ErrorCode::Heap,
+                                "global segment overflow");
     return addr;
 }
 
@@ -31,8 +32,18 @@ std::uint64_t
 Memory::allocHeap(std::uint64_t size)
 {
     std::uint64_t addr = kHeapBase + heapTop_;
-    heapTop_ += align8(size);
-    fatalIf(kHeapBase + heapTop_ > kStackBase, "heap segment overflow");
+    std::uint64_t newTop = heapTop_ + align8(size);
+    if (heapLimit_ != 0 && newTop > heapLimit_)
+        throw ResourceExhausted(
+            ErrorCode::Heap,
+            strf("heap budget of %llu bytes exceeded (allocating %llu, "
+                 "%llu in use)",
+                 static_cast<unsigned long long>(heapLimit_),
+                 static_cast<unsigned long long>(size),
+                 static_cast<unsigned long long>(heapTop_)));
+    heapTop_ = newTop;
+    if (kHeapBase + heapTop_ > kStackBase)
+        throw ResourceExhausted(ErrorCode::Heap, "heap segment overflow");
     if (heapTop_ > heap_.size())
         heap_.resize(std::max<std::uint64_t>(heapTop_, heap_.size() * 2),
                      0);
@@ -42,7 +53,9 @@ Memory::allocHeap(std::uint64_t size)
 void
 Memory::ensureStack(std::uint64_t top)
 {
-    fatalIf(top > kStackLimit, "stack segment overflow");
+    if (top > kStackLimit)
+        throw ResourceExhausted(ErrorCode::Stack,
+                                "stack segment overflow");
     std::uint64_t need = top - kStackBase;
     if (need > stack_.size())
         stack_.resize(std::max<std::uint64_t>(need, stack_.size() * 2 + 4096),
@@ -58,8 +71,8 @@ Memory::locate(std::uint64_t addr, std::uint64_t size) const
         return heap_.data() + (addr - kHeapBase);
     if (addr >= kStackBase && addr + size <= kStackBase + stack_.size())
         return stack_.data() + (addr - kStackBase);
-    fatal(strf("invalid memory access at 0x%llx",
-               static_cast<unsigned long long>(addr)));
+    throw InterpreterTrap(strf("invalid memory access at 0x%llx",
+                               static_cast<unsigned long long>(addr)));
 }
 
 std::uint8_t *

@@ -51,6 +51,13 @@ class Memory
     /** Bytes of heap currently allocated. */
     std::uint64_t heapUsed() const { return heapTop_; }
 
+    /**
+     * Cap the simulated heap at @p bytes (0 = uncapped up to the
+     * segment size).  Exceeding the cap throws lp::ResourceExhausted
+     * (LP_HEAP) — the heap arm of the lp::guard run budget.
+     */
+    void setHeapLimit(std::uint64_t bytes) { heapLimit_ = bytes; }
+
   private:
     const std::uint8_t *locate(std::uint64_t addr, std::uint64_t size) const;
     std::uint8_t *locate(std::uint64_t addr, std::uint64_t size);
@@ -59,6 +66,7 @@ class Memory
     std::vector<std::uint8_t> heap_;
     std::vector<std::uint8_t> stack_;
     std::uint64_t heapTop_ = 0;
+    std::uint64_t heapLimit_ = 0; ///< 0 = segment-sized
 };
 
 } // namespace lp::interp

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "guard/fault.hpp"
 #include "support/error.hpp"
 #include "support/text.hpp"
 
@@ -397,6 +398,11 @@ class Parser
             fatalIf(!bb, c.err("instruction outside block"));
             parseInstruction(fn, bb, c);
         }
+        if (fn)
+            fatal(strf("parse error (line %zu): unexpected end of input "
+                       "inside func @%s — missing '}' (truncated "
+                       "module?)",
+                       lines_.size(), fn->name().c_str()));
     }
 
     void
@@ -526,10 +532,36 @@ class Parser
 
 } // namespace
 
+namespace {
+
+/** Recover the "(line N)" a Cursor::err message embeds, 0 if absent. */
+unsigned
+lineOfMessage(const std::string &msg)
+{
+    std::size_t at = msg.find("(line ");
+    if (at == std::string::npos)
+        return 0;
+    return static_cast<unsigned>(
+        std::strtoul(msg.c_str() + at + 6, nullptr, 10));
+}
+
+} // namespace
+
 std::unique_ptr<Module>
 parseModule(const std::string &text, const ExternResolver &resolver)
 {
-    return Parser(text, resolver).run();
+    guard::faultPoint("parser");
+    try {
+        return Parser(text, resolver).run();
+    }
+    catch (const Error &) {
+        throw; // already categorized (e.g. an injected fault)
+    }
+    catch (const FatalError &e) {
+        // Legacy fatal()s already carry "(line N)" context in their text;
+        // re-throw them categorized so sweeps can quarantine by code.
+        throw ParseError(e.what(), lineOfMessage(e.what()));
+    }
 }
 
 } // namespace lp::ir

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "guard/fault.hpp"
 #include "support/error.hpp"
 #include "support/text.hpp"
 
@@ -279,9 +280,10 @@ verifyModule(const Module &mod)
 void
 verifyModuleOrDie(const Module &mod)
 {
+    guard::faultPoint("verify");
     VerifyResult r = verifyModule(mod);
     if (!r.ok())
-        fatal("IR verification failed:\n" + r.message());
+        throw VerifyError("IR verification failed:\n" + r.message());
 }
 
 } // namespace lp::ir

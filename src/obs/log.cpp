@@ -31,6 +31,7 @@ levelName(Level l)
     switch (l) {
       case Level::Off: return "off";
       case Level::Error: return "error";
+      case Level::Warn: return "warn";
       case Level::Info: return "info";
       case Level::Debug: return "debug";
     }
@@ -42,6 +43,8 @@ parseLevel(const std::string &s)
 {
     if (s == "error")
         return Level::Error;
+    if (s == "warn" || s == "warning")
+        return Level::Warn;
     if (s == "info")
         return Level::Info;
     if (s == "debug")
@@ -52,7 +55,8 @@ parseLevel(const std::string &s)
 bool
 isLevelName(const std::string &s)
 {
-    return s == "off" || s == "error" || s == "info" || s == "debug";
+    return s == "off" || s == "error" || s == "warn" || s == "warning" ||
+           s == "info" || s == "debug";
 }
 
 Level
@@ -109,7 +113,7 @@ initFromEnv()
             static const bool warned = [&] {
                 logMessage(Level::Error,
                            std::string("LP_LOG value not understood: ") +
-                               lvl + " (want off|error|info|debug); "
+                               lvl + " (want off|error|warn|info|debug); "
                                "logging stays off",
                            /*force=*/true);
                 return true;

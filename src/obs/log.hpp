@@ -2,7 +2,7 @@
  * @file
  * Leveled logging for the whole framework — the single diagnostics path.
  *
- * Off by default.  `LP_LOG=off|error|info|debug` selects the level at
+ * Off by default.  `LP_LOG=off|error|warn|info|debug` selects the level at
  * process start (an unrecognized value warns once, naming the accepted
  * spellings); setLogLevel() overrides it programmatically.  The guard
  * is an inline relaxed read of one atomic, so a disabled log site costs
@@ -31,9 +31,9 @@
 namespace lp::obs {
 
 /** Verbosity, ordered: a level enables everything below it. */
-enum class Level { Off = 0, Error = 1, Info = 2, Debug = 3 };
+enum class Level { Off = 0, Error = 1, Warn = 2, Info = 3, Debug = 4 };
 
-/** "off"/"error"/"info"/"debug". */
+/** "off"/"error"/"warn"/"info"/"debug". */
 const char *levelName(Level l);
 
 /** Parse an LP_LOG value; unknown strings map to Off. */
@@ -93,5 +93,6 @@ void initFromEnv();
     } while (0)
 
 #define LP_LOG_ERROR(...) LP_LOG_AT(::lp::obs::Level::Error, __VA_ARGS__)
+#define LP_LOG_WARN(...) LP_LOG_AT(::lp::obs::Level::Warn, __VA_ARGS__)
 #define LP_LOG_INFO(...) LP_LOG_AT(::lp::obs::Level::Info, __VA_ARGS__)
 #define LP_LOG_DEBUG(...) LP_LOG_AT(::lp::obs::Level::Debug, __VA_ARGS__)

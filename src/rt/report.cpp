@@ -7,10 +7,32 @@
 
 namespace lp::rt {
 
+const char *
+runStatusName(RunStatus s)
+{
+    switch (s) {
+      case RunStatus::Ok: return "ok";
+      case RunStatus::Failed: return "failed";
+      case RunStatus::Skipped: return "skipped";
+    }
+    return "ok";
+}
+
 void
 ProgramReport::print(std::ostream &os, bool perLoop) const
 {
     os << "program " << program << "  [" << config.str() << "]\n";
+    if (!ok()) {
+        os << "  status        : " << runStatusName(status);
+        if (!errorCode.empty())
+            os << " [" << errorCode << "]";
+        os << "\n";
+        if (!errorMessage.empty())
+            os << "  error         : " << errorMessage << "\n";
+        if (attempts > 1)
+            os << "  attempts      : " << attempts << "\n";
+        return;
+    }
     os << "  serial cost   : " << withCommas(serialCost)
        << " dynamic IR instructions\n";
     os << "  parallel cost : " << withCommas(parallelCost) << "\n";
@@ -86,6 +108,12 @@ ProgramReport::toJson(bool withObsSnapshot) const
     Json out = Json::object();
     out.set("program", program);
     out.set("config", std::move(cfgJson));
+    out.set("status", std::string(runStatusName(status)));
+    out.set("error_code", errorCode);
+    if (!ok()) {
+        out.set("error", errorMessage);
+        out.set("attempts", attempts);
+    }
     out.set("serial_cost", serialCost);
     out.set("parallel_cost", parallelCost);
     out.set("speedup", speedup());

@@ -65,11 +65,33 @@ struct Census
     std::uint64_t canonicalLoops = 0;
 };
 
+/**
+ * What happened to one sweep cell.  Failed cells carry the lp::Error
+ * code and message instead of measurements; Skipped marks cells whose
+ * program never prepared (so the cell was never attempted at all).
+ */
+enum class RunStatus
+{
+    Ok,
+    Failed,
+    Skipped,
+};
+
+/** Stable lowercase name: "ok", "failed", "skipped". */
+const char *runStatusName(RunStatus s);
+
 /** Whole-program result of one run under one configuration. */
 struct ProgramReport
 {
     std::string program;
     LPConfig config;
+
+    RunStatus status = RunStatus::Ok;
+    std::string errorCode;    ///< stable code ("LP_FUEL", ...) when !ok()
+    std::string errorMessage; ///< rendered error text when !ok()
+    unsigned attempts = 1;    ///< guardedRun attempts consumed
+
+    bool ok() const { return status == RunStatus::Ok; }
 
     std::uint64_t serialCost = 0;   ///< total dynamic IR instructions
     std::uint64_t parallelCost = 0; ///< serial minus accumulated savings

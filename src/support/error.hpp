@@ -8,6 +8,25 @@
  *  - fatal():  the user handed us something unusable (malformed IR, bad
  *              configuration).  Throws lp::FatalError so callers and tests
  *              can recover.
+ *
+ * On top of FatalError sits the categorized lp::Error hierarchy used by
+ * the lp::guard resilience layer (docs/robustness.md).  Every category
+ * carries a stable machine-readable code (errorCodeName) so sweep
+ * reports can record *why* a cell failed, plus an ErrorContext naming
+ * the failing cell (program / suite / configuration) and location
+ * (function, loop, source line).  All categories derive from FatalError,
+ * so pre-taxonomy `catch (const FatalError &)` sites keep working; new
+ * code should throw the specific category:
+ *
+ *   ParseError         malformed .lir text / flag values     LP_PARSE
+ *   VerifyError        module failed structural/SSA checks   LP_VERIFY
+ *   ResourceExhausted  a run budget was exceeded             LP_FUEL /
+ *                      (fuel, wall deadline, heap, stack)    LP_DEADLINE /
+ *                                                            LP_HEAP / LP_STACK
+ *   InterpreterTrap    the simulated program did something   LP_TRAP
+ *                      undefined (div by 0, wild access)
+ *   IoError            a file could not be read/written      LP_IO
+ *   InternalError      uncategorized / framework-level       LP_INTERNAL
  */
 
 #pragma once
@@ -22,6 +41,130 @@ class FatalError : public std::runtime_error
 {
   public:
     explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/**
+ * Stable machine-readable failure codes.  These are part of the report
+ * format (ProgramReport JSON `error_code`, checkpoint files): append new
+ * codes, never renumber or rename existing ones.
+ */
+enum class ErrorCode {
+    Parse,    ///< LP_PARSE — malformed input text or flag value
+    Verify,   ///< LP_VERIFY — module failed verification
+    Fuel,     ///< LP_FUEL — dynamic-instruction budget exceeded
+    Deadline, ///< LP_DEADLINE — wall-clock budget exceeded
+    Heap,     ///< LP_HEAP — simulated heap budget exceeded
+    Stack,    ///< LP_STACK — simulated call stack overflow
+    Trap,     ///< LP_TRAP — undefined behaviour in the simulated program
+    Io,       ///< LP_IO — file read/write failure
+    Internal, ///< LP_INTERNAL — uncategorized framework error
+};
+
+/** "LP_PARSE", "LP_VERIFY", ... — the stable wire name of @p code. */
+const char *errorCodeName(ErrorCode code);
+
+/**
+ * Is a failure with @p code worth retrying?  Transient failures come
+ * from the environment (I/O hiccup, wall-clock deadline missed on a
+ * loaded machine) and may pass on a second attempt; everything else is
+ * deterministic and quarantines immediately.
+ */
+bool errorIsTransient(ErrorCode code);
+
+/**
+ * Where an error happened: the sweep cell (program / suite / config)
+ * and the location inside the run (function, loop, source line).  All
+ * fields optional; str() renders only what is set.
+ */
+struct ErrorContext
+{
+    std::string program;
+    std::string suite;
+    std::string config;
+    std::string function; ///< IR function name, no '@'
+    std::string loop;     ///< "function.header" loop label
+    unsigned line = 0;    ///< 1-based source line (parser errors)
+
+    /** " (program=x, function=@f, line=4)" — empty when nothing is set. */
+    std::string str() const;
+};
+
+/**
+ * Base of the categorized hierarchy.  what() renders
+ * "[CODE] message (context)"; rawMessage() is the message alone.
+ */
+class Error : public FatalError
+{
+  public:
+    Error(ErrorCode code, std::string msg, ErrorContext ctx = {});
+
+    ErrorCode code() const { return code_; }
+    const char *codeName() const { return errorCodeName(code_); }
+    bool transient() const { return errorIsTransient(code_); }
+    const ErrorContext &context() const { return ctx_; }
+    const std::string &rawMessage() const { return msg_; }
+
+    const char *what() const noexcept override { return full_.c_str(); }
+
+    /**
+     * Attach the failing sweep-cell identity (fills only fields that are
+     * still empty).  Used by catch-enrich-rethrow sites so an error that
+     * crossed a parallel region still names its cell.
+     */
+    void noteCell(const std::string &program, const std::string &suite,
+                  const std::string &config);
+
+  private:
+    void render();
+
+    ErrorCode code_;
+    std::string msg_;
+    ErrorContext ctx_;
+    std::string full_;
+};
+
+/** Malformed input text (IR or flag/option values); carries the line. */
+class ParseError : public Error
+{
+  public:
+    explicit ParseError(std::string msg, unsigned line = 0);
+};
+
+/** Module failed structural or SSA verification. */
+class VerifyError : public Error
+{
+  public:
+    explicit VerifyError(std::string msg, ErrorContext ctx = {});
+};
+
+/** A run budget (fuel / deadline / heap / stack) was exceeded. */
+class ResourceExhausted : public Error
+{
+  public:
+    /** @p which must be Fuel, Deadline, Heap or Stack. */
+    ResourceExhausted(ErrorCode which, std::string msg,
+                      ErrorContext ctx = {});
+};
+
+/** The simulated program did something undefined. */
+class InterpreterTrap : public Error
+{
+  public:
+    explicit InterpreterTrap(std::string msg, ErrorContext ctx = {});
+};
+
+/** A file could not be opened, read or written. */
+class IoError : public Error
+{
+  public:
+    explicit IoError(std::string msg);
+};
+
+/** Everything else — including wrapped pre-taxonomy FatalErrors. */
+class InternalError : public Error
+{
+  public:
+    explicit InternalError(std::string msg);
 };
 
 /** Abort with a message: an internal framework invariant was violated. */

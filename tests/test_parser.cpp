@@ -129,6 +129,54 @@ TEST(Parser, ErrorsCarryLineNumbers)
     }
 }
 
+// Malformed input must surface as *categorized* errors (lp::Error with
+// a stable code) so keep-going sweeps can quarantine by category —
+// never as a crash, never as an uncategorized abort.
+
+TEST(Parser, TruncatedModuleIsCategorizedParseError)
+{
+    // A function body cut off mid-block, as from a truncated download.
+    try {
+        parseModule("module m\nfunc i64 @main() {\n  entry:\n"
+                    "    %x = add i64 1, 2\n");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.code(), ErrorCode::Parse);
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("[LP_PARSE]"), std::string::npos) << msg;
+    }
+}
+
+TEST(Parser, SyntaxErrorsCarryTheParseCodeAndLineContext)
+{
+    try {
+        parseModule("module m\nfunc i64 @main() {\n  entry:\n"
+                    "    %x = frobnicate i64 1, 2\n    ret %x\n}\n");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.code(), ErrorCode::Parse);
+        EXPECT_EQ(e.context().line, 4u);
+        EXPECT_NE(std::string(e.what()).find("line 4"),
+                  std::string::npos);
+    }
+}
+
+TEST(Parser, VerifierRejectionIsCategorizedVerifyError)
+{
+    // Parses fine but is not a valid program: no main().
+    auto mod = parseModule("module m\nfunc i64 @helper() {\n  entry:\n"
+                           "    ret 0\n}\n");
+    try {
+        verifyModuleOrDie(*mod);
+        FAIL() << "expected VerifyError";
+    } catch (const VerifyError &e) {
+        EXPECT_EQ(e.code(), ErrorCode::Verify);
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("[LP_VERIFY]"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("no main()"), std::string::npos) << msg;
+    }
+}
+
 TEST(Parser, RejectsUndefinedValue)
 {
     EXPECT_THROW(parseModule("module m\nfunc i64 @main() {\n  entry:\n"
