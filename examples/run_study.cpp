@@ -28,6 +28,16 @@
  *                                    byte-identical to an uninterrupted
  *                                    run
  *
+ * Static diagnostics (see docs/static_analysis.md):
+ *   --lint | --lint=error            lint every module before the sweep
+ *   (or LP_LINT=on|error)            (modules with error-level findings
+ *                                    are quarantined as skipped/LP_LINT
+ *                                    cells, or abort under --strict) and
+ *                                    attach the static-vs-dynamic
+ *                                    consistency oracle to every cell;
+ *                                    "error" promotes warnings.  Oracle
+ *                                    mismatches fail the sweep (exit 1).
+ *
  * Observability (see docs/observability.md):
  *   --json PATH (or LP_REPORT=PATH)  write the machine-readable run
  *                                    report(s) as JSON
@@ -59,6 +69,7 @@
 #include "guard/quarantine.hpp"
 #include "interp/stdlib.hpp"
 #include "ir/parser.hpp"
+#include "lint/engine.hpp"
 #include "obs/json.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
@@ -75,6 +86,47 @@ namespace {
 
 /** --json PATH, or LP_REPORT, or empty. */
 std::string g_reportPath;
+
+/**
+ * Lint mode (--lint / LP_LINT): 0 = off, 1 = on (gate on error-level
+ * findings, attach the consistency oracle), 2 = "error" (additionally
+ * promote warnings to errors).
+ */
+int g_lintMode = 0;
+
+/** Parse a lint-mode spelling; -1 when not understood. */
+int
+parseLintMode(const std::string &s)
+{
+    if (s == "on" || s == "1")
+        return 1;
+    if (s == "error")
+        return 2;
+    if (s == "off" || s == "0" || s.empty())
+        return 0;
+    return -1;
+}
+
+/**
+ * Lint one module under the active mode, print every finding, and bump
+ * the lint counters.
+ */
+lint::LintResult
+lintOne(const ir::Module &mod)
+{
+    lint::LintOptions lo;
+    lo.warningsAsErrors = g_lintMode == 2;
+    lint::LintResult res = lint::lintModule(mod, lo);
+    if (obs::metricsOn()) {
+        obs::Registry::instance().counter("lint.modules_linted").add(1);
+        obs::Registry::instance()
+            .counter("lint.findings")
+            .add(res.diags.size());
+    }
+    for (const lint::Diagnostic &d : res.diags)
+        std::cout << "lint: " << d.str() << "\n";
+    return res;
+}
 
 /** Sweep behavior collected from the command line. */
 struct SweepOptions
@@ -135,9 +187,19 @@ runFile(const std::string &path, const std::string &flags,
     std::stringstream buf;
     buf << in.rdbuf();
     auto mod = ir::parseModule(buf.str(), interp::stdlibImplFor);
+    if (g_lintMode != 0) {
+        lint::LintResult res = lintOne(*mod);
+        if (res.hasErrors()) {
+            std::cerr << "error: [LP_LINT] " << path << ": "
+                      << res.countAtLeast(lint::Severity::Error)
+                      << " error-level lint finding(s)\n";
+            return 1;
+        }
+    }
     core::Loopapalooza lp(*mod);
     rt::LPConfig cfg = rt::LPConfig::parse(flags, parseModel(model));
-    return reportOne(lp.run(cfg));
+    return reportOne(g_lintMode != 0 ? lp.runWithOracle(cfg)
+                                     : lp.run(cfg));
 }
 
 int
@@ -148,8 +210,18 @@ runSingle(const std::string &name, const std::string &flags,
         if (prog.name != name)
             continue;
         core::PreparedProgram prepared(prog);
+        if (g_lintMode != 0) {
+            lint::LintResult res = lintOne(prepared.driver().module());
+            if (res.hasErrors()) {
+                std::cerr << "error: [LP_LINT] " << name << ": "
+                          << res.countAtLeast(lint::Severity::Error)
+                          << " error-level lint finding(s)\n";
+                return 1;
+            }
+        }
         rt::LPConfig cfg = rt::LPConfig::parse(flags, parseModel(model));
-        return reportOne(prepared.run(cfg));
+        return reportOne(g_lintMode != 0 ? prepared.runWithOracle(cfg)
+                                         : prepared.run(cfg));
     }
     std::cerr << "unknown benchmark: " << name << "\n";
     return 1;
@@ -177,6 +249,37 @@ runSuites(const std::string &onlySuite, const SweepOptions &sweep)
     std::map<std::string, const core::PrepareFailure *> prepFailByName;
     for (const auto &f : study.prepareFailures())
         prepFailByName[f.program] = &f;
+
+    // Pre-sweep lint gate (--lint / LP_LINT): every prepared module is
+    // linted once, before any cell runs.  A module with error-level
+    // findings never executes — strict mode aborts the sweep, keep-going
+    // quarantines all its cells as status=skipped / LP_LINT.
+    std::map<std::string, std::string> lintFailByName;
+    if (g_lintMode != 0) {
+        obs::ScopedPhase phase("lint");
+        for (const auto &p : study.programs()) {
+            lint::LintResult res = lintOne(p->driver().module());
+            if (!res.hasErrors())
+                continue;
+            std::string first;
+            for (const lint::Diagnostic &d : res.diags)
+                if (d.severity == lint::Severity::Error) {
+                    first = d.str();
+                    break;
+                }
+            std::string msg =
+                "lint: " +
+                std::to_string(res.countAtLeast(lint::Severity::Error)) +
+                " error-level finding(s); first: " + first;
+            if (!sweep.keepGoing) {
+                ErrorContext ctx;
+                ctx.program = p->name();
+                ctx.suite = p->suite();
+                throw LintError(msg, ctx);
+            }
+            lintFailByName[p->name()] = msg;
+        }
+    }
 
     // Suite order from the registration list, not study.suites(): a
     // suite whose every program failed to prepare must still show up
@@ -240,6 +343,19 @@ runSuites(const std::string &onlySuite, const SweepOptions &sweep)
             cell.json = rep.toJson(/*withObsSnapshot=*/false);
             return;
         }
+        auto lintFail = lintFailByName.find(cell.program);
+        if (lintFail != lintFailByName.end()) {
+            // Quarantined by the lint gate; like prepare failures these
+            // cells are synthesized fresh every run, never checkpointed.
+            rt::ProgramReport rep;
+            rep.program = cell.program;
+            rep.config = cfg;
+            rep.status = rt::RunStatus::Skipped;
+            rep.errorCode = errorCodeName(ErrorCode::Lint);
+            rep.errorMessage = lintFail->second;
+            cell.json = rep.toJson(/*withObsSnapshot=*/false);
+            return;
+        }
         const std::string key = guard::Checkpoint::cellKey(
             cell.config->label, cell.suite, cell.program);
         if (ckpt) {
@@ -252,7 +368,13 @@ runSuites(const std::string &onlySuite, const SweepOptions &sweep)
         // while recording the cell retries the whole unit, so a cell is
         // checkpointed iff it really finished.
         auto work = [&] {
-            rt::ProgramReport rep = cell.prepared->run(cfg);
+            // Under --lint the consistency oracle rides along on every
+            // cell (the report gains its "oracle" section; reports of
+            // lint-free runs are unchanged, keeping checkpoint resume
+            // byte-identical).
+            rt::ProgramReport rep = g_lintMode != 0
+                ? cell.prepared->runWithOracle(cfg)
+                : cell.prepared->run(cfg);
             cell.json = rep.toJson(/*withObsSnapshot=*/false);
             if (ckpt)
                 ckpt->record(key, cell.json);
@@ -292,6 +414,8 @@ runSuites(const std::string &onlySuite, const SweepOptions &sweep)
     TextTable t({"configuration", "suite", "geomean speedup",
                  "geomean coverage", "ok", "failed", "skipped"});
     std::vector<const Cell *> unhealthy;
+    std::uint64_t oraclePhisChecked = 0, oracleMismatches = 0;
+    std::size_t oracleCells = 0;
 
     // Aggregate per (configuration, suite) group.  Everything — status,
     // geomean inputs — is read back from the cell JSON, so fresh and
@@ -318,6 +442,12 @@ runSuites(const std::string &onlySuite, const SweepOptions &sweep)
                     (status == "failed" ? failed : skipped) += 1;
                     unhealthy.push_back(&cell);
                 }
+                if (cell.json.contains("oracle")) {
+                    const obs::Json &o = cell.json.at("oracle");
+                    oraclePhisChecked += o.at("phis_checked").asU64();
+                    oracleMismatches += o.at("mismatches").asU64();
+                    ++oracleCells;
+                }
                 if (wantJson)
                     reportsJson.push(cell.json);
             }
@@ -342,6 +472,11 @@ runSuites(const std::string &onlySuite, const SweepOptions &sweep)
     }
     t.print(std::cout);
 
+    if (oracleCells != 0)
+        std::cout << "oracle: " << oraclePhisChecked
+                  << " phi(s) checked across " << oracleCells
+                  << " cell(s), " << oracleMismatches << " mismatch(es)\n";
+
     if (!unhealthy.empty()) {
         std::cout << unhealthy.size()
                   << " cell(s) did not complete:\n";
@@ -365,9 +500,12 @@ runSuites(const std::string &onlySuite, const SweepOptions &sweep)
             doc.set("metrics", obs::Registry::instance().toJson());
             doc.set("phases", obs::PhaseTree::instance().toJson());
         }
-        return maybeWriteReport(doc);
+        int rc = maybeWriteReport(doc);
+        return oracleMismatches != 0 ? 1 : rc;
     }
-    return 0;
+    // A static-vs-dynamic inconsistency is a defect in the framework's
+    // classifier, not in the benchmark: fail the sweep.
+    return oracleMismatches != 0 ? 1 : 0;
 }
 
 } // namespace
@@ -377,6 +515,17 @@ main(int argc, char **argv)
 {
     if (const char *env = std::getenv("LP_REPORT"))
         g_reportPath = env;
+    if (const char *env = std::getenv("LP_LINT")) {
+        int mode = parseLintMode(env);
+        if (mode < 0)
+            obs::logMessage(obs::Level::Error,
+                            std::string("LP_LINT value not understood: ") +
+                                env + " (want on|error|off); lint stays "
+                                      "off",
+                            /*force=*/true);
+        else
+            g_lintMode = mode;
+    }
 
     SweepOptions sweep;
     guard::RunBudget budget = guard::defaultBudget();
@@ -394,6 +543,15 @@ main(int argc, char **argv)
             };
             if (a == "--json") {
                 g_reportPath = value("--json");
+                continue;
+            }
+            if (a == "--lint" || a.rfind("--lint=", 0) == 0) {
+                std::string spec =
+                    a == "--lint" ? "on" : a.substr(sizeof("--lint=") - 1);
+                int mode = parseLintMode(spec);
+                if (mode < 0)
+                    fatal("bad --lint value (want on|error|off): " + spec);
+                g_lintMode = mode;
                 continue;
             }
             if (a == "--keep-going") {

@@ -2,6 +2,7 @@
 
 #include "analysis/ssa_verify.hpp"
 #include "ir/verifier.hpp"
+#include "lint/oracle.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
@@ -42,6 +43,24 @@ Loopapalooza::run(const rt::LPConfig &cfg) const
     LP_LOG_DEBUG("running %s under %s", mod_.name().c_str(),
                  cfg.str().c_str());
     return rt::runLimitStudy(mod_, *plan_, cfg, mod_.name());
+}
+
+rt::ProgramReport
+Loopapalooza::runWithOracle(const rt::LPConfig &cfg) const
+{
+    rt::OracleCapture cap;
+    return run(cfg, cap);
+}
+
+rt::ProgramReport
+Loopapalooza::run(const rt::LPConfig &cfg, rt::OracleCapture &cap) const
+{
+    LP_LOG_DEBUG("running %s under %s (oracle attached)",
+                 mod_.name().c_str(), cfg.str().c_str());
+    rt::ProgramReport rep =
+        rt::runLimitStudy(mod_, *plan_, cfg, mod_.name(), &cap);
+    lint::applyOracle(cap, rep);
+    return rep;
 }
 
 } // namespace lp::core

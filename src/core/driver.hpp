@@ -15,6 +15,7 @@
 #include <string>
 
 #include "ir/module.hpp"
+#include "rt/oracle_capture.hpp"
 #include "rt/plan.hpp"
 #include "rt/report.hpp"
 #include "rt/tracker.hpp"
@@ -40,6 +41,23 @@ class Loopapalooza
      * lp::exec workers may call it concurrently on one driver.
      */
     rt::ProgramReport run(const rt::LPConfig &cfg) const;
+
+    /**
+     * As run(), but with the static-vs-dynamic consistency oracle
+     * attached: every SCEV-claimed and tracked header phi is watched,
+     * the evidence is judged by lp::lint, and the report's oracle
+     * section (oracleRan, mismatches, findings) is filled in.  Same
+     * thread-safety as run().
+     */
+    rt::ProgramReport runWithOracle(const rt::LPConfig &cfg) const;
+
+    /**
+     * As runWithOracle() with a caller-owned capture — lets tests
+     * pre-seed it (e.g. OracleCapture::forceClaim) and inspect the raw
+     * evidence afterwards.  @p cap must be freshly constructed.
+     */
+    rt::ProgramReport run(const rt::LPConfig &cfg,
+                          rt::OracleCapture &cap) const;
 
     /** The compile-time component's output. */
     const rt::ModulePlan &plan() const { return *plan_; }

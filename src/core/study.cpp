@@ -47,6 +47,14 @@ PreparedProgram::run(const rt::LPConfig &cfg) const
     return rep;
 }
 
+rt::ProgramReport
+PreparedProgram::runWithOracle(const rt::LPConfig &cfg) const
+{
+    rt::ProgramReport rep = lp_->runWithOracle(cfg);
+    rep.program = prog_.name;
+    return rep;
+}
+
 Study::Study(const std::vector<BenchProgram> &programs, unsigned jobs)
 {
     StudyOptions opts;
@@ -138,13 +146,17 @@ Study::runSuite(const std::string &suite, const rt::LPConfig &cfg,
             members.push_back(p.get());
     }
     std::vector<rt::ProgramReport> out(members.size());
+    auto runCell = [&](std::size_t i) {
+        return opts.oracle ? members[i]->runWithOracle(cfg)
+                           : members[i]->run(cfg);
+    };
 
     if (!opts.keepGoing) {
         exec::parallelFor(
             members.size(),
             [&](std::size_t i) {
                 try {
-                    out[i] = members[i]->run(cfg);
+                    out[i] = runCell(i);
                 }
                 catch (Error &e) {
                     // Stamp the failing cell's identity before the
@@ -166,7 +178,7 @@ Study::runSuite(const std::string &suite, const rt::LPConfig &cfg,
         [&](std::size_t i) {
             guard::RunVerdict v = guard::guardedRun(
                 members[i]->name() + " [" + cfg.str() + "]",
-                [&] { out[i] = members[i]->run(cfg); },
+                [&] { out[i] = runCell(i); },
                 policy);
             if (!v.ok) {
                 out[i] = rt::ProgramReport{}; // drop any partial result

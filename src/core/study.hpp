@@ -42,6 +42,9 @@ class PreparedProgram
     /** Run under @p cfg; also self-checks the program output once. */
     rt::ProgramReport run(const rt::LPConfig &cfg) const;
 
+    /** As run(), with the consistency oracle attached and judged. */
+    rt::ProgramReport runWithOracle(const rt::LPConfig &cfg) const;
+
     const Loopapalooza &driver() const { return *lp_; }
 
   private:
@@ -131,6 +134,12 @@ class Study
         /** First-retry backoff in ms; doubles per retry. */
         unsigned backoffBaseMs = 5;
         unsigned jobs = exec::defaultJobs();
+        /**
+         * Attach the static-vs-dynamic consistency oracle to every
+         * cell; reports come back with their oracle section filled
+         * (see rt::ProgramReport::oracleRan).
+         */
+        bool oracle = false;
     };
 
     /**

@@ -44,6 +44,39 @@ siteIndex(const std::string &site)
     return -1;
 }
 
+/** "parser|verify|interp|io" — built from the registry, never stale. */
+std::string
+knownSites()
+{
+    std::string out;
+    for (const SiteInfo &s : kSites) {
+        if (!out.empty())
+            out += '|';
+        out += s.name;
+    }
+    return out;
+}
+
+/**
+ * One-time warning for an unrecognized site name, mirroring the LP_LOG /
+ * LP_JOBS misconfiguration warnings: the first bad name warns loudly
+ * (bypassing LP_LOG=off), repeats stay silent so a sweep retrying the
+ * same misconfigured cell does not flood the log.  Call under g_mu.
+ */
+void
+warnUnknownSiteLocked(const std::string &origin, const std::string &site)
+{
+    static bool warned = false;
+    if (warned)
+        return;
+    warned = true;
+    obs::logMessage(obs::Level::Warn,
+                    origin + " names unknown fault site '" + site +
+                        "' (known sites: " + knownSites() +
+                        "); fault injection off",
+                    /*force=*/true);
+}
+
 /** Arm/disarm under g_mu; resets counters either way. */
 void
 armLocked(const std::string &site, std::uint64_t nth)
@@ -97,11 +130,16 @@ faultStateSlow()
         if (*end != '\0')
             nth = 0;
     }
-    if (nth == 0 || siteIndex(site) < 0) {
+    if (siteIndex(site) < 0) {
+        warnUnknownSiteLocked("LP_FAULT", site);
+        armLocked("", 0);
+        return false;
+    }
+    if (nth == 0) {
         obs::logMessage(obs::Level::Warn,
                         "LP_FAULT spec not understood: " + spec +
-                            " (want <site>:<nth> with site one of "
-                            "parser|verify|interp|io); fault injection off",
+                            " (want <site>:<nth> with site one of " +
+                            knownSites() + "); fault injection off",
                         /*force=*/true);
         armLocked("", 0);
         return false;
@@ -138,10 +176,7 @@ setFault(const std::string &site, std::uint64_t nth)
 {
     std::lock_guard<std::mutex> lock(g_mu);
     if (!site.empty() && nth != 0 && siteIndex(site) < 0)
-        obs::logMessage(obs::Level::Warn,
-                        "setFault: unknown site '" + site +
-                            "'; fault injection off",
-                        /*force=*/true);
+        warnUnknownSiteLocked("setFault", site);
     armLocked(site, nth);
 }
 

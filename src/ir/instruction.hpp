@@ -23,6 +23,18 @@ class BasicBlock;
 class Function;
 class ExternalFunction;
 
+/**
+ * Source position of an instruction in its .lir text, 1-based.
+ * {0, 0} means "no location" (builder-constructed modules).
+ */
+struct SrcLoc
+{
+    unsigned line = 0;
+    unsigned column = 0;
+
+    bool valid() const { return line != 0; }
+};
+
 /** Every operation the IR supports. */
 enum class Opcode {
     // Integer arithmetic (i64 x i64 -> i64).
@@ -105,8 +117,13 @@ class Instruction : public Value
     /** For a phi: the value flowing in from predecessor @p bb. */
     Value *incomingFor(const BasicBlock *bb) const;
 
+    /** Source position in the .lir text; invalid for built modules. */
+    SrcLoc srcLoc() const { return loc_; }
+    void setSrcLoc(SrcLoc loc) { loc_ = loc; }
+
   private:
     Opcode op_;
+    SrcLoc loc_;
     BasicBlock *parent_ = nullptr;
     std::vector<Value *> ops_;
     std::vector<BasicBlock *> blocks_;

@@ -31,8 +31,11 @@ class Cursor
         while (pos_ < line_.size() &&
                std::isspace(static_cast<unsigned char>(line_[pos_])))
             ++pos_;
-        if (pos_ >= line_.size())
+        if (pos_ >= line_.size()) {
+            tokCol_ = static_cast<unsigned>(line_.size()) + 1;
             return "";
+        }
+        tokCol_ = static_cast<unsigned>(pos_) + 1;
         char c = line_[pos_];
         if (std::strchr(",[]{}()=:", c)) {
             ++pos_;
@@ -68,21 +71,35 @@ class Cursor
     atEnd()
     {
         std::size_t save = pos_;
+        unsigned saveCol = tokCol_;
         bool end = next().empty();
         pos_ = save;
+        tokCol_ = saveCol;
         return end;
     }
 
     std::string
     err(const std::string &msg) const
     {
+        // "(line N, col M)" — the column is the start of the token most
+        // recently handed out, i.e. the one the caller is complaining
+        // about.  Col 0 means no token was consumed yet on this line.
+        if (tokCol_ != 0)
+            return strf("parse error (line %u, col %u): %s", lineNo_,
+                        tokCol_, msg.c_str());
         return strf("parse error (line %u): %s", lineNo_, msg.c_str());
     }
+
+    unsigned lineNo() const { return lineNo_; }
+
+    /** 1-based start column of the last token next() returned. */
+    unsigned tokenCol() const { return tokCol_; }
 
   private:
     const std::string &line_;
     std::size_t pos_ = 0;
     unsigned lineNo_;
+    unsigned tokCol_ = 0;
 };
 
 Type
@@ -409,6 +426,7 @@ class Parser
     parseInstruction(Function *fn, BasicBlock *bb, Cursor &c)
     {
         std::string first = c.expect("instruction");
+        SrcLoc loc{c.lineNo(), c.tokenCol()};
         std::string resultName;
         std::string mnem;
         if (first[0] == '%') {
@@ -430,6 +448,7 @@ class Parser
         auto instr =
             std::make_unique<Instruction>(op, type, resultName);
         Instruction *raw = instr.get();
+        raw->setSrcLoc(loc);
 
         // Callee, if any.
         if (op == Opcode::Call) {
@@ -534,11 +553,21 @@ class Parser
 
 namespace {
 
-/** Recover the "(line N)" a Cursor::err message embeds, 0 if absent. */
+/** Recover the "(line N[, col M])" a Cursor::err message embeds. */
 unsigned
 lineOfMessage(const std::string &msg)
 {
     std::size_t at = msg.find("(line ");
+    if (at == std::string::npos)
+        return 0;
+    return static_cast<unsigned>(
+        std::strtoul(msg.c_str() + at + 6, nullptr, 10));
+}
+
+unsigned
+colOfMessage(const std::string &msg)
+{
+    std::size_t at = msg.find(", col ");
     if (at == std::string::npos)
         return 0;
     return static_cast<unsigned>(
@@ -558,9 +587,11 @@ parseModule(const std::string &text, const ExternResolver &resolver)
         throw; // already categorized (e.g. an injected fault)
     }
     catch (const FatalError &e) {
-        // Legacy fatal()s already carry "(line N)" context in their text;
-        // re-throw them categorized so sweeps can quarantine by code.
-        throw ParseError(e.what(), lineOfMessage(e.what()));
+        // Legacy fatal()s already carry "(line N, col M)" context in
+        // their text; re-throw them categorized so sweeps can
+        // quarantine by code.
+        throw ParseError(e.what(), lineOfMessage(e.what()),
+                         colOfMessage(e.what()));
     }
 }
 

@@ -1,6 +1,7 @@
 #include "ir/verifier.hpp"
 
 #include <algorithm>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "guard/fault.hpp"
@@ -26,6 +27,10 @@ class FunctionVerifier
         collectBlocks();
         for (const auto &bb : fn_.blocks())
             checkBlock(*bb);
+        // Dominance only makes sense once the CFG is structurally sound
+        // (terminators present, no cross-function edges).
+        if (out_.ok())
+            checkDominance();
         return out_;
     }
 
@@ -225,6 +230,110 @@ class FunctionVerifier
                 }
             }
             break;
+        }
+    }
+
+    /**
+     * Every non-phi operand must be defined by an instruction that
+     * dominates the use (earlier in the same block, or in a dominating
+     * block).  Mirrors analysis/dominators, but the ir layer cannot
+     * depend on analysis, so a compact local computation lives here.
+     * Uses inside unreachable blocks are exempt (LLVM's rule): no
+     * execution can observe them.
+     */
+    void
+    checkDominance()
+    {
+        const BasicBlock *entry = fn_.entry();
+
+        // Postorder over the reachable subgraph (iterative DFS).
+        std::vector<const BasicBlock *> post;
+        std::unordered_set<const BasicBlock *> seen;
+        std::vector<std::pair<const BasicBlock *, std::size_t>> stack;
+        seen.insert(entry);
+        stack.emplace_back(entry, 0);
+        while (!stack.empty()) {
+            auto &[bb, next] = stack.back();
+            auto succs = bb->successors();
+            if (next < succs.size()) {
+                const BasicBlock *s = succs[next++];
+                if (seen.insert(s).second)
+                    stack.emplace_back(s, 0);
+            } else {
+                post.push_back(bb);
+                stack.pop_back();
+            }
+        }
+
+        // Cooper-Harvey-Kennedy iterative idom over reverse postorder.
+        std::unordered_map<const BasicBlock *, unsigned> rpoIndex;
+        std::vector<const BasicBlock *> rpo(post.rbegin(), post.rend());
+        for (unsigned i = 0; i < rpo.size(); ++i)
+            rpoIndex[rpo[i]] = i;
+        std::vector<unsigned> idom(rpo.size(), ~0u);
+        idom[0] = 0;
+        auto intersect = [&](unsigned a, unsigned b) {
+            while (a != b) {
+                while (a > b)
+                    a = idom[a];
+                while (b > a)
+                    b = idom[b];
+            }
+            return a;
+        };
+        for (bool changed = true; changed;) {
+            changed = false;
+            for (unsigned i = 1; i < rpo.size(); ++i) {
+                unsigned best = ~0u;
+                for (const BasicBlock *p : rpo[i]->predecessors()) {
+                    auto it = rpoIndex.find(p);
+                    if (it == rpoIndex.end() || idom[it->second] == ~0u)
+                        continue; // unreachable or unprocessed pred
+                    best = best == ~0u ? it->second
+                                       : intersect(best, it->second);
+                }
+                if (best != ~0u && idom[i] != best) {
+                    idom[i] = best;
+                    changed = true;
+                }
+            }
+        }
+        auto dominates = [&](const BasicBlock *a, const BasicBlock *b) {
+            auto ia = rpoIndex.find(a), ib = rpoIndex.find(b);
+            if (ia == rpoIndex.end() || ib == rpoIndex.end())
+                return false;
+            unsigned x = ib->second;
+            while (x > ia->second)
+                x = idom[x];
+            return x == ia->second;
+        };
+
+        for (const BasicBlock *bb : rpo) {
+            std::unordered_set<const Value *> earlier;
+            for (const auto &instr : bb->instructions()) {
+                if (!instr->isPhi()) {
+                    for (const Value *op : instr->operands()) {
+                        if (op->kind() != ValueKind::Instruction)
+                            continue;
+                        const auto *def =
+                            static_cast<const Instruction *>(op);
+                        const BasicBlock *defBB = def->parent();
+                        bool ok = defBB == bb ? earlier.count(def) != 0
+                                              : dominates(defBB, bb);
+                        if (!ok) {
+                            err("%" + def->name() + " (defined in " +
+                                defBB->name() +
+                                ") does not dominate its use by %" +
+                                (instr->name().empty()
+                                     ? std::string(
+                                           opcodeName(instr->opcode()))
+                                     : instr->name()) +
+                                " in " + bb->name());
+                        }
+                    }
+                }
+                earlier.insert(instr.get());
+            }
         }
     }
 

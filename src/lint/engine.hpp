@@ -1,0 +1,185 @@
+/**
+ * @file
+ * lp::lint — static IR diagnostics over LIR modules.
+ *
+ * A small pass manager in the spirit of clang-tidy: rules with stable
+ * ids (LINT_*), severities and per-instruction source locations, run
+ * over the same analyses (dominators, loop info, SCEV, use lists) the
+ * limit study itself uses.  See docs/static_analysis.md for the rule
+ * catalog.
+ *
+ * Unlike ir::verifyModuleOrDie, linting never throws on dirty input:
+ * every rule degrades to diagnostics, so a sweep driver can lint a
+ * module that would fail verification and quarantine it with the full
+ * finding list instead of the first fatal error.
+ */
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/dominators.hpp"
+#include "analysis/loop_info.hpp"
+#include "analysis/uses.hpp"
+#include "ir/module.hpp"
+#include "obs/json.hpp"
+
+namespace lp::lint {
+
+/** Finding severity; Error-level findings gate sweeps under --lint. */
+enum class Severity {
+    Note,
+    Warning,
+    Error,
+};
+
+/** "note" / "warning" / "error" — also the SARIF `level` values. */
+const char *severityName(Severity s);
+
+/** Where a finding points (all fields optional; 0 = unknown line/col). */
+struct Location
+{
+    std::string function; ///< IR function name, no '@'
+    std::string block;    ///< basic-block label
+    std::string instr;    ///< instruction result name, no '%'
+    unsigned line = 0;    ///< 1-based .lir line (0 for built modules)
+    unsigned column = 0;  ///< 1-based .lir column
+
+    /** "@f:entry:%x (line 4, col 5)" — only what is known. */
+    std::string str() const;
+};
+
+/** One finding. */
+struct Diagnostic
+{
+    std::string rule; ///< stable "LINT_*" id
+    Severity severity;
+    Location loc;
+    std::string message;
+
+    /** "error LINT_X @f:bb:%v (line N): message" */
+    std::string str() const;
+};
+
+/** Knobs for one lint run. */
+struct LintOptions
+{
+    /** Promote every Warning finding to Error. */
+    bool warningsAsErrors = false;
+    /** Rule ids to skip entirely. */
+    std::vector<std::string> disabledRules;
+    /** Emit the lint.deps LCD-classification section. */
+    bool classify = true;
+};
+
+/** Result of linting one module. */
+struct LintResult
+{
+    std::string module;   ///< module name
+    std::string artifact; ///< file path when linted from disk, else name
+    std::vector<Diagnostic> diags;
+    /** lint.deps: machine-readable Table-I classification per loop. */
+    obs::Json deps;
+
+    bool
+    hasErrors() const
+    {
+        for (const Diagnostic &d : diags)
+            if (d.severity == Severity::Error)
+                return true;
+        return false;
+    }
+
+    std::size_t
+    countAtLeast(Severity s) const
+    {
+        std::size_t n = 0;
+        for (const Diagnostic &d : diags)
+            if (static_cast<int>(d.severity) >= static_cast<int>(s))
+                ++n;
+        return n;
+    }
+};
+
+/**
+ * The per-function analysis bundle handed to every rule.  Built by the
+ * engine directly from the function (not via rt::ModulePlan) so rules
+ * run even on modules the verifier would reject.
+ */
+struct FunctionAnalyses
+{
+    const ir::Module &mod;
+    const ir::Function &fn;
+    analysis::DominatorTree dt;
+    analysis::LoopInfo li;
+    analysis::UseMap uses;
+
+    explicit FunctionAnalyses(const ir::Module &m, const ir::Function &f)
+        : mod(m), fn(f), dt(f), li(f, dt), uses(f)
+    {
+    }
+};
+
+/** Base class of all lint rules. */
+class Rule
+{
+  public:
+    virtual ~Rule() = default;
+
+    /** Stable "LINT_*" id. */
+    virtual const char *id() const = 0;
+
+    /** One-line description (SARIF rule metadata, docs). */
+    virtual const char *description() const = 0;
+
+    /** Default severity of this rule's findings. */
+    virtual Severity severity() const = 0;
+
+    /** Append findings for one function. */
+    virtual void run(const FunctionAnalyses &fa,
+                     std::vector<Diagnostic> &out) const = 0;
+};
+
+/** The standard rule set, registration order = report order. */
+std::vector<std::unique_ptr<Rule>> standardRules();
+
+/** Names and descriptions of the standard rules (SARIF tool metadata). */
+struct RuleMeta
+{
+    std::string id;
+    std::string description;
+    Severity severity;
+};
+std::vector<RuleMeta> standardRuleMeta();
+
+/** Fill loc from an instruction (parent block, name, source position). */
+Location locate(const ir::Instruction *instr);
+
+/**
+ * The engine: owns a rule list and runs it over modules.  Stateless
+ * between run() calls; safe to reuse and to share across threads for
+ * concurrent run() invocations.
+ */
+class Engine
+{
+  public:
+    /** An engine pre-loaded with standardRules(). */
+    Engine();
+
+    /** Extra rule (tests, extensions); appended after the standard set. */
+    void addRule(std::unique_ptr<Rule> rule);
+
+    /** Lint one module. */
+    LintResult run(const ir::Module &mod,
+                   const LintOptions &opts = {}) const;
+
+  private:
+    std::vector<std::unique_ptr<Rule>> rules_;
+};
+
+/** One-shot convenience: standard rules over @p mod. */
+LintResult lintModule(const ir::Module &mod, const LintOptions &opts = {});
+
+} // namespace lp::lint

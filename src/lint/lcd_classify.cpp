@@ -1,0 +1,67 @@
+#include "lint/lcd_classify.hpp"
+
+#include "analysis/dominators.hpp"
+#include "analysis/loop_info.hpp"
+#include "analysis/reduction.hpp"
+#include "analysis/scev.hpp"
+#include "analysis/uses.hpp"
+
+namespace lp::lint {
+
+const char *const kClassComputable = "computable";
+const char *const kClassReduction = "reduction";
+const char *const kClassPredictionCandidate = "prediction-candidate";
+
+obs::Json
+classifyModule(const ir::Module &mod)
+{
+    using obs::Json;
+
+    Json loops = Json::array();
+    for (const auto &fn : mod.functions()) {
+        if (fn->entry() == nullptr)
+            continue;
+        analysis::DominatorTree dt(*fn);
+        analysis::LoopInfo li(*fn, dt);
+        analysis::UseMap uses(*fn);
+        analysis::ScalarEvolution se(*fn, li);
+
+        for (const auto &loop : li.loops()) {
+            Json entry = Json::object();
+            entry.set("loop", loop->label());
+            entry.set("depth", loop->depth());
+            entry.set("canonical", loop->isCanonical());
+
+            Json phis = Json::array();
+            for (const ir::Instruction *phi : loop->headerPhis()) {
+                Json p = Json::object();
+                p.set("name", phi->name());
+                if (se.isComputablePhi(phi)) {
+                    const analysis::Scev *s = se.phiEvolution(phi);
+                    p.set("class", kClassComputable);
+                    p.set("scev", se.str(s));
+                    unsigned depth = 0;
+                    for (; s != nullptr && s->isAddRec(); s = s->rhs)
+                        ++depth;
+                    p.set("addrec_depth", depth);
+                } else if (auto red = analysis::matchReduction(
+                               phi, loop.get(), uses)) {
+                    p.set("class", kClassReduction);
+                    p.set("kind", analysis::recurKindName(red->kind));
+                } else {
+                    p.set("class", kClassPredictionCandidate);
+                }
+                phis.push(std::move(p));
+            }
+            entry.set("phis", std::move(phis));
+            loops.push(std::move(entry));
+        }
+    }
+
+    Json out = obs::Json::object();
+    out.set("module", mod.name());
+    out.set("loops", std::move(loops));
+    return out;
+}
+
+} // namespace lp::lint

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Static LCD classifier: predicts, per loop-header phi, which paper
+ * Table-I category its loop-carried register dependency falls into —
+ * computable (SCEV add-recurrence), reduction (recognized accumulator
+ * chain), or prediction-candidate (everything else, left to the value
+ * predictors) — and emits the result as the machine-readable
+ * `lint.deps` section carried by LintResult and the SARIF export.
+ */
+
+#pragma once
+
+#include "ir/module.hpp"
+#include "obs/json.hpp"
+
+namespace lp::lint {
+
+/** Stable class names: "computable", "reduction", "prediction-candidate". */
+extern const char *const kClassComputable;
+extern const char *const kClassReduction;
+extern const char *const kClassPredictionCandidate;
+
+/**
+ * Classify every loop-header phi of @p mod.
+ *
+ * Shape:
+ * @code
+ * {"module": "name",
+ *  "loops": [{"loop": "fn.header", "depth": 1, "canonical": true,
+ *             "phis": [{"name": "i", "class": "computable",
+ *                       "scev": "{0,+,1}<...>", "addrec_depth": 1},
+ *                      {"name": "acc", "class": "reduction",
+ *                       "kind": "sum"},
+ *                      {"name": "p", "class": "prediction-candidate"}]}]}
+ * @endcode
+ */
+obs::Json classifyModule(const ir::Module &mod);
+
+} // namespace lp::lint

@@ -1,0 +1,88 @@
+#include "lint/oracle.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace lp::lint {
+
+std::vector<Diagnostic>
+checkOracle(const rt::OracleCapture &cap)
+{
+    std::vector<Diagnostic> out;
+    const auto &watches = cap.watches();
+    for (unsigned i = 0; i < watches.size(); ++i) {
+        const rt::OracleCapture::Watch &w = watches[i];
+        const rt::OracleCapture::Stats &s = cap.stats(i);
+        if (w.claimedComputable) {
+            if (s.divergedInstances == 0)
+                continue;
+            Diagnostic d;
+            d.rule = "LINT_ORACLE_COMPUTABLE_DIVERGED";
+            d.severity = Severity::Error;
+            d.loc = locate(w.phi);
+            d.message =
+                "phi %" + w.phiName + " of loop " + w.loop +
+                " was claimed SCEV-computable (add-recurrence depth " +
+                std::to_string(w.depth) + ") but diverged in " +
+                std::to_string(s.divergedInstances) + " of " +
+                std::to_string(s.instances) + " instance(s)";
+            out.push_back(std::move(d));
+        } else {
+            // Claimed non-computable: affine in EVERY observed instance
+            // (and every instance long enough to check) is a precision
+            // note, never a mismatch.
+            if (s.instances == 0 || s.divergedInstances != 0 ||
+                s.checkedInstances != s.instances)
+                continue;
+            Diagnostic d;
+            d.rule = "LINT_ORACLE_MISSED_IV";
+            d.severity = Severity::Note;
+            d.loc = locate(w.phi);
+            d.message =
+                "tracked phi %" + w.phiName + " of loop " + w.loop +
+                " behaved like an affine induction variable in all " +
+                std::to_string(s.instances) +
+                " instance(s); SCEV may be imprecise here";
+            out.push_back(std::move(d));
+        }
+    }
+    return out;
+}
+
+void
+applyOracle(const rt::OracleCapture &cap, rt::ProgramReport &report)
+{
+    std::vector<Diagnostic> diags = checkOracle(cap);
+
+    report.oracleRan = true;
+    report.oraclePhisChecked = 0;
+    for (unsigned i = 0; i < cap.watches().size(); ++i)
+        if (cap.stats(i).checkedInstances > 0)
+            report.oraclePhisChecked += 1;
+
+    report.oracleMismatches = 0;
+    report.oracleFindings.clear();
+    for (const Diagnostic &d : diags) {
+        if (d.severity == Severity::Error)
+            report.oracleMismatches += 1;
+        rt::OracleFinding f;
+        f.rule = d.rule;
+        f.severity = severityName(d.severity);
+        f.loop = d.loc.function.empty()
+            ? std::string()
+            : d.loc.function + "." + d.loc.block;
+        f.phi = d.loc.instr;
+        f.message = d.message;
+        report.oracleFindings.push_back(std::move(f));
+    }
+
+    if (obs::metricsOn()) {
+        obs::Registry::instance()
+            .counter("oracle.phis_checked")
+            .add(report.oraclePhisChecked);
+        obs::Registry::instance()
+            .counter("oracle.mismatches")
+            .add(report.oracleMismatches);
+    }
+}
+
+} // namespace lp::lint

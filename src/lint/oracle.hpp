@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The static-vs-dynamic consistency oracle.
+ *
+ * Turns the evidence an rt::OracleCapture gathered during a run into
+ * LINT_ORACLE_* diagnostics and folds them into the run's
+ * rt::ProgramReport:
+ *
+ * - LINT_ORACLE_COMPUTABLE_DIVERGED (error): a phi the compile-time
+ *   side claimed SCEV-computable produced a value off its claimed
+ *   add-recurrence in at least one dynamic instance.  This is the
+ *   invariant the whole limit study rests on — computable LCDs are
+ *   regenerated thread-locally and never tracked — so a single
+ *   divergence means the static classifier mislabeled an unpredictable
+ *   register LCD.
+ *
+ * - LINT_ORACLE_MISSED_IV (note): a tracked (claimed non-computable)
+ *   phi passed the order-2 finite-difference check in every observed
+ *   instance.  Not a defect — per-instance affine behavior (e.g. a
+ *   strided pointer chase) is invisible to SCEV by design — but worth
+ *   surfacing as a precision report.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "lint/engine.hpp"
+#include "rt/oracle_capture.hpp"
+#include "rt/report.hpp"
+
+namespace lp::lint {
+
+/** Judge the evidence in @p cap; returns the LINT_ORACLE_* findings. */
+std::vector<Diagnostic> checkOracle(const rt::OracleCapture &cap);
+
+/**
+ * Run checkOracle and fold the verdicts into @p report: sets oracleRan,
+ * oraclePhisChecked (watches with at least one checked instance),
+ * oracleMismatches (error-level findings) and oracleFindings, and bumps
+ * the `oracle.phis_checked` / `oracle.mismatches` counters.
+ */
+void applyOracle(const rt::OracleCapture &cap, rt::ProgramReport &report);
+
+} // namespace lp::lint

@@ -1,0 +1,443 @@
+/**
+ * @file
+ * The standard lint rule set.  Rule ids are stable API: tools (CI, the
+ * SARIF emitter, the sweep gate) match on them, so renaming one is a
+ * breaking change.  See docs/static_analysis.md for the catalog.
+ */
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "analysis/ssa_verify.hpp"
+#include "lint/engine.hpp"
+
+namespace lp::lint {
+
+namespace {
+
+/** First instruction of @p bb (for locating block-level findings). */
+const ir::Instruction *
+firstInstr(const ir::BasicBlock *bb)
+{
+    if (bb == nullptr || bb->instructions().empty())
+        return nullptr;
+    return bb->instructions().front().get();
+}
+
+Location
+locateBlock(const std::string &fn, const ir::BasicBlock *bb)
+{
+    Location loc = locate(firstInstr(bb));
+    loc.function = fn;
+    loc.block = bb != nullptr ? bb->name() : "";
+    loc.instr.clear();
+    return loc;
+}
+
+/**
+ * LINT_DOM_OPERAND — a non-phi instruction uses a value its definition
+ * does not dominate.  The same defect class ir::verifyModuleOrDie now
+ * rejects, degraded to a diagnostic so the whole module can be surveyed.
+ */
+class DomOperandRule : public Rule
+{
+  public:
+    const char *id() const override { return "LINT_DOM_OPERAND"; }
+    const char *
+    description() const override
+    {
+        return "operand definition does not dominate its use";
+    }
+    Severity severity() const override { return Severity::Error; }
+
+    void
+    run(const FunctionAnalyses &fa, std::vector<Diagnostic> &out) const override
+    {
+        for (const ir::BasicBlock *bb : fa.dt.rpo()) {
+            std::unordered_set<const ir::Value *> earlier;
+            for (const auto &instr : bb->instructions()) {
+                if (!instr->isPhi())
+                    checkOperands(fa, instr.get(), earlier, out);
+                earlier.insert(instr.get());
+            }
+        }
+    }
+
+  private:
+    void
+    checkOperands(const FunctionAnalyses &fa, const ir::Instruction *instr,
+                  const std::unordered_set<const ir::Value *> &earlier,
+                  std::vector<Diagnostic> &out) const
+    {
+        for (const ir::Value *op : instr->operands()) {
+            if (op->kind() != ir::ValueKind::Instruction)
+                continue;
+            const auto *def = static_cast<const ir::Instruction *>(op);
+            const ir::BasicBlock *defBB = def->parent();
+            bool ok = defBB == instr->parent()
+                ? earlier.count(def) != 0
+                : fa.dt.reachable(defBB) &&
+                      fa.dt.dominates(defBB, instr->parent());
+            if (ok)
+                continue;
+            Diagnostic d;
+            d.rule = id();
+            d.severity = severity();
+            d.loc = locate(instr);
+            d.message = "%" + def->name() + " (defined in " +
+                        defBB->name() +
+                        ") does not dominate this use in " +
+                        instr->parent()->name();
+            out.push_back(std::move(d));
+        }
+    }
+};
+
+/**
+ * LINT_SSA — findings of the analysis-layer SSA verifier (phi incoming
+ * edges included), promoted to diagnostics.  Overlaps LINT_DOM_OPERAND
+ * on plain operand violations by design: one rule mirrors the verifier,
+ * the other pinpoints the offending instruction.
+ */
+class SsaRule : public Rule
+{
+  public:
+    const char *id() const override { return "LINT_SSA"; }
+    const char *
+    description() const override
+    {
+        return "SSA dominance violation reported by the analysis verifier";
+    }
+    Severity severity() const override { return Severity::Error; }
+
+    void
+    run(const FunctionAnalyses &fa, std::vector<Diagnostic> &out) const override
+    {
+        ir::VerifyResult vr = analysis::verifySSA(fa.fn);
+        for (const std::string &msg : vr.errors) {
+            Diagnostic d;
+            d.rule = id();
+            d.severity = severity();
+            d.loc.function = fa.fn.name();
+            d.message = msg;
+            out.push_back(std::move(d));
+        }
+    }
+};
+
+/** LINT_UNREACHABLE — a block no path from entry ever reaches. */
+class UnreachableRule : public Rule
+{
+  public:
+    const char *id() const override { return "LINT_UNREACHABLE"; }
+    const char *
+    description() const override
+    {
+        return "basic block is unreachable from the function entry";
+    }
+    Severity severity() const override { return Severity::Warning; }
+
+    void
+    run(const FunctionAnalyses &fa, std::vector<Diagnostic> &out) const override
+    {
+        for (const auto &bb : fa.fn.blocks()) {
+            if (fa.dt.reachable(bb.get()))
+                continue;
+            Diagnostic d;
+            d.rule = id();
+            d.severity = severity();
+            d.loc = locateBlock(fa.fn.name(), bb.get());
+            d.message = "block " + bb->name() +
+                        " is unreachable from entry";
+            out.push_back(std::move(d));
+        }
+    }
+};
+
+/**
+ * LINT_DEAD_DEF — an instruction computes a result nothing uses.  Side
+ * effects keep Call/CallExt/Alloca out of scope; unreachable blocks are
+ * LINT_UNREACHABLE's finding, not this rule's.
+ */
+class DeadDefRule : public Rule
+{
+  public:
+    const char *id() const override { return "LINT_DEAD_DEF"; }
+    const char *
+    description() const override
+    {
+        return "instruction result is never used";
+    }
+    Severity severity() const override { return Severity::Warning; }
+
+    void
+    run(const FunctionAnalyses &fa, std::vector<Diagnostic> &out) const override
+    {
+        for (const auto &bb : fa.fn.blocks()) {
+            if (!fa.dt.reachable(bb.get()))
+                continue;
+            for (const auto &instr : bb->instructions()) {
+                if (instr->name().empty())
+                    continue; // no result (store, terminators)
+                switch (instr->opcode()) {
+                  case ir::Opcode::Call:
+                  case ir::Opcode::CallExt:
+                  case ir::Opcode::Alloca:
+                    continue;
+                  default:
+                    break;
+                }
+                if (!fa.uses.users(instr.get()).empty())
+                    continue;
+                Diagnostic d;
+                d.rule = id();
+                d.severity = severity();
+                d.loc = locate(instr.get());
+                d.message = "%" + instr->name() + " (" +
+                            ir::opcodeName(instr->opcode()) +
+                            ") is never used";
+                out.push_back(std::move(d));
+            }
+        }
+    }
+};
+
+/**
+ * LINT_NON_CANONICAL_LOOP — a natural loop the limit study will skip
+ * because it is not in loop-simplified form.  Names the missing
+ * property, mirroring Loop::isCanonical.
+ */
+class NonCanonicalLoopRule : public Rule
+{
+  public:
+    const char *id() const override { return "LINT_NON_CANONICAL_LOOP"; }
+    const char *
+    description() const override
+    {
+        return "loop is not in canonical (loop-simplified) form and will "
+               "not be instrumented";
+    }
+    Severity severity() const override { return Severity::Warning; }
+
+    void
+    run(const FunctionAnalyses &fa, std::vector<Diagnostic> &out) const override
+    {
+        for (const auto &loop : fa.li.loops()) {
+            if (loop->isCanonical())
+                continue;
+            std::string why;
+            auto add = [&](const char *p) {
+                if (!why.empty())
+                    why += ", ";
+                why += p;
+            };
+            if (loop->preheader() == nullptr)
+                add("no unique preheader");
+            if (loop->latches().size() != 1)
+                add("multiple latches");
+            if (why.empty())
+                add("non-dedicated exit block(s)");
+            Diagnostic d;
+            d.rule = id();
+            d.severity = severity();
+            d.loc = locateBlock(fa.fn.name(), loop->header());
+            d.message = "loop " + loop->label() +
+                        " is not canonical: " + why;
+            out.push_back(std::move(d));
+        }
+    }
+};
+
+/**
+ * LINT_IRREDUCIBLE — a retreating CFG edge whose target does not
+ * dominate its source: control flow enters a cycle at more than one
+ * point, so no natural loop covers it.
+ */
+class IrreducibleRule : public Rule
+{
+  public:
+    const char *id() const override { return "LINT_IRREDUCIBLE"; }
+    const char *
+    description() const override
+    {
+        return "irreducible control flow (retreating edge into a cycle "
+               "with multiple entries)";
+    }
+    Severity severity() const override { return Severity::Warning; }
+
+    void
+    run(const FunctionAnalyses &fa, std::vector<Diagnostic> &out) const override
+    {
+        std::unordered_map<const ir::BasicBlock *, unsigned> order;
+        for (const ir::BasicBlock *bb : fa.dt.rpo())
+            order.emplace(bb, static_cast<unsigned>(order.size()));
+        for (const ir::BasicBlock *bb : fa.dt.rpo()) {
+            for (const ir::BasicBlock *succ : bb->successors()) {
+                auto it = order.find(succ);
+                if (it == order.end() || it->second > order.at(bb))
+                    continue; // forward/cross edge or unreachable target
+                if (fa.dt.dominates(succ, bb))
+                    continue; // proper back edge of a natural loop
+                Diagnostic d;
+                d.rule = id();
+                d.severity = severity();
+                d.loc = locate(bb->terminator());
+                d.message = "retreating edge " + bb->name() + " -> " +
+                            succ->name() +
+                            " does not target a dominating header "
+                            "(irreducible cycle)";
+                out.push_back(std::move(d));
+            }
+        }
+    }
+};
+
+/**
+ * LINT_GLOBAL_OOB — a load/store whose address is a constant-offset
+ * ptradd chain rooted at a global accesses outside the object.  Every
+ * access is 8 bytes wide (the IR's only granularity).
+ */
+class GlobalOobRule : public Rule
+{
+  public:
+    const char *id() const override { return "LINT_GLOBAL_OOB"; }
+    const char *
+    description() const override
+    {
+        return "constant-offset access is out of bounds of its global";
+    }
+    Severity severity() const override { return Severity::Error; }
+
+    void
+    run(const FunctionAnalyses &fa, std::vector<Diagnostic> &out) const override
+    {
+        for (const ir::BasicBlock *bb : fa.dt.rpo()) {
+            for (const auto &instr : bb->instructions()) {
+                const ir::Value *ptr = nullptr;
+                if (instr->opcode() == ir::Opcode::Load)
+                    ptr = instr->operand(0);
+                else if (instr->opcode() == ir::Opcode::Store)
+                    ptr = instr->operand(1);
+                else
+                    continue;
+                check(instr.get(), ptr, out);
+            }
+        }
+    }
+
+  private:
+    void
+    check(const ir::Instruction *access, const ir::Value *ptr,
+          std::vector<Diagnostic> &out) const
+    {
+        // Fold the ptradd chain; bail at the first non-constant offset.
+        std::int64_t off = 0;
+        while (ptr->kind() == ir::ValueKind::Instruction) {
+            const auto *in = static_cast<const ir::Instruction *>(ptr);
+            if (in->opcode() != ir::Opcode::PtrAdd)
+                return;
+            const ir::Value *step = in->operand(1);
+            if (step->kind() != ir::ValueKind::ConstInt)
+                return;
+            off += static_cast<const ir::ConstInt *>(step)->value();
+            ptr = in->operand(0);
+        }
+        if (ptr->kind() != ir::ValueKind::Global)
+            return;
+        const auto *g = static_cast<const ir::Global *>(ptr);
+        auto size = static_cast<std::int64_t>(g->sizeBytes());
+        if (off >= 0 && off + 8 <= size)
+            return;
+        Diagnostic d;
+        d.rule = id();
+        d.severity = severity();
+        d.loc = locate(access);
+        d.message = std::string(ir::opcodeName(access->opcode())) +
+                    " at @" + g->name() + "+" + std::to_string(off) +
+                    " is out of bounds (object is " +
+                    std::to_string(g->sizeBytes()) + " bytes)";
+        out.push_back(std::move(d));
+    }
+};
+
+/**
+ * LINT_INFINITE_LOOP — a loop with no exit edge and no ret inside: once
+ * entered, execution can never leave it.
+ */
+class InfiniteLoopRule : public Rule
+{
+  public:
+    const char *id() const override { return "LINT_INFINITE_LOOP"; }
+    const char *
+    description() const override
+    {
+        return "loop has no exit edge and no ret; it can never terminate";
+    }
+    Severity severity() const override { return Severity::Warning; }
+
+    void
+    run(const FunctionAnalyses &fa, std::vector<Diagnostic> &out) const override
+    {
+        for (const auto &loop : fa.li.loops()) {
+            if (!loop->exitBlocks().empty())
+                continue;
+            bool hasRet = false;
+            for (const ir::BasicBlock *bb : loop->blocks()) {
+                const ir::Instruction *term = bb->terminator();
+                if (term != nullptr &&
+                    term->opcode() == ir::Opcode::Ret) {
+                    hasRet = true;
+                    break;
+                }
+            }
+            if (hasRet)
+                continue;
+            Diagnostic d;
+            d.rule = id();
+            d.severity = severity();
+            d.loc = locateBlock(fa.fn.name(), loop->header());
+            d.message = "loop " + loop->label() +
+                        " has no exit edge and no ret";
+            out.push_back(std::move(d));
+        }
+    }
+};
+
+} // namespace
+
+std::vector<std::unique_ptr<Rule>>
+standardRules()
+{
+    std::vector<std::unique_ptr<Rule>> rules;
+    rules.push_back(std::make_unique<DomOperandRule>());
+    rules.push_back(std::make_unique<SsaRule>());
+    rules.push_back(std::make_unique<UnreachableRule>());
+    rules.push_back(std::make_unique<DeadDefRule>());
+    rules.push_back(std::make_unique<NonCanonicalLoopRule>());
+    rules.push_back(std::make_unique<IrreducibleRule>());
+    rules.push_back(std::make_unique<GlobalOobRule>());
+    rules.push_back(std::make_unique<InfiniteLoopRule>());
+    return rules;
+}
+
+std::vector<RuleMeta>
+standardRuleMeta()
+{
+    std::vector<RuleMeta> meta;
+    for (const auto &rule : standardRules())
+        meta.push_back({rule->id(), rule->description(), rule->severity()});
+    // Oracle rules are emitted by lint::checkOracle, not by an Engine
+    // pass, but share the SARIF rule table.
+    meta.push_back({"LINT_ORACLE_COMPUTABLE_DIVERGED",
+                    "phi claimed SCEV-computable diverged from its "
+                    "add-recurrence at run time",
+                    Severity::Error});
+    meta.push_back({"LINT_ORACLE_MISSED_IV",
+                    "untracked phi behaved like a computable induction "
+                    "variable in every observed instance",
+                    Severity::Note});
+    return meta;
+}
+
+} // namespace lp::lint

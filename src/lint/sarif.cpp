@@ -1,0 +1,101 @@
+#include "lint/sarif.hpp"
+
+namespace lp::lint {
+
+const char *
+sarifLevel(Severity s)
+{
+    // SARIF levels happen to share our severity names.
+    return severityName(s);
+}
+
+obs::Json
+toSarif(const std::vector<LintResult> &results)
+{
+    using obs::Json;
+
+    Json rules = Json::array();
+    for (const RuleMeta &m : standardRuleMeta()) {
+        Json rule = Json::object();
+        rule.set("id", m.id);
+        Json desc = Json::object();
+        desc.set("text", m.description);
+        rule.set("shortDescription", std::move(desc));
+        Json cfg = Json::object();
+        cfg.set("level", std::string(sarifLevel(m.severity)));
+        rule.set("defaultConfiguration", std::move(cfg));
+        rules.push(std::move(rule));
+    }
+
+    Json driver = Json::object();
+    driver.set("name", "lp-lint");
+    driver.set("informationUri",
+               "https://github.com/loopapalooza/loopapalooza");
+    driver.set("rules", std::move(rules));
+    Json tool = Json::object();
+    tool.set("driver", std::move(driver));
+
+    Json sarifResults = Json::array();
+    Json deps = Json::array();
+    for (const LintResult &res : results) {
+        for (const Diagnostic &d : res.diags) {
+            Json r = Json::object();
+            r.set("ruleId", d.rule);
+            r.set("level", std::string(sarifLevel(d.severity)));
+            Json msg = Json::object();
+            msg.set("text", d.message);
+            r.set("message", std::move(msg));
+
+            Json loc = Json::object();
+            Json phys = Json::object();
+            Json artifact = Json::object();
+            artifact.set("uri", res.artifact);
+            phys.set("artifactLocation", std::move(artifact));
+            if (d.loc.line != 0) {
+                Json region = Json::object();
+                region.set("startLine", d.loc.line);
+                if (d.loc.column != 0)
+                    region.set("startColumn", d.loc.column);
+                phys.set("region", std::move(region));
+            }
+            loc.set("physicalLocation", std::move(phys));
+
+            std::string fq = d.loc.function;
+            if (!d.loc.block.empty())
+                fq += ":" + d.loc.block;
+            if (!d.loc.instr.empty())
+                fq += ":%" + d.loc.instr;
+            if (!fq.empty()) {
+                Json logical = Json::object();
+                logical.set("fullyQualifiedName", fq);
+                Json logicals = Json::array();
+                logicals.push(std::move(logical));
+                loc.set("logicalLocations", std::move(logicals));
+            }
+
+            Json locs = Json::array();
+            locs.push(std::move(loc));
+            r.set("locations", std::move(locs));
+            sarifResults.push(std::move(r));
+        }
+        if (!res.deps.isNull())
+            deps.push(res.deps);
+    }
+
+    Json run = Json::object();
+    run.set("tool", std::move(tool));
+    run.set("results", std::move(sarifResults));
+    Json props = Json::object();
+    props.set("lint.deps", std::move(deps));
+    run.set("properties", std::move(props));
+
+    Json out = Json::object();
+    out.set("$schema", "https://json.schemastore.org/sarif-2.1.0.json");
+    out.set("version", "2.1.0");
+    Json runs = Json::array();
+    runs.push(std::move(run));
+    out.set("runs", std::move(runs));
+    return out;
+}
+
+} // namespace lp::lint

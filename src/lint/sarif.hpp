@@ -1,0 +1,26 @@
+/**
+ * @file
+ * SARIF 2.1.0 export of lint results.
+ *
+ * Emits the minimal static-analysis interchange document code hosts
+ * ingest: one run, the lp-lint tool descriptor with the full rule
+ * table, one result per diagnostic (physical location = .lir file,
+ * line, column; logical location = function:block:%instr), and the
+ * machine-readable LCD classification under run.properties["lint.deps"].
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "lint/engine.hpp"
+
+namespace lp::lint {
+
+/** SARIF `level` for a severity: "note" / "warning" / "error". */
+const char *sarifLevel(Severity s);
+
+/** Build one SARIF 2.1.0 document covering @p results (one run). */
+obs::Json toSarif(const std::vector<LintResult> &results);
+
+} // namespace lp::lint

@@ -89,6 +89,11 @@ ModulePlan::buildFunctionPlan(FunctionPlan &fp)
         for (const Instruction *phi : loop->headerPhis()) {
             if (fp.se->isComputablePhi(phi)) {
                 lplan.computablePhis.push_back(phi);
+                unsigned depth = 0;
+                for (const analysis::Scev *s = fp.se->phiEvolution(phi);
+                     s && s->isAddRec(); s = s->rhs)
+                    ++depth;
+                lplan.computableDepths.push_back(depth);
                 continue;
             }
             if (auto red = analysis::matchReduction(phi, loop, *fp.uses)) {

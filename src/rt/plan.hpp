@@ -60,6 +60,13 @@ struct LoopPlan
     const analysis::Loop *loop = nullptr;
 
     std::vector<const ir::Instruction *> computablePhis; ///< IVs & MIVs
+    /**
+     * AddRec nesting depth of each computable phi (parallel to
+     * computablePhis; 1 = affine IV, 2 = MIV, ...).  Precomputed here
+     * because ScalarEvolution memoizes through non-const methods and a
+     * ModulePlan is shared read-only across sweep workers.
+     */
+    std::vector<unsigned> computableDepths;
     std::vector<analysis::ReductionDescriptor> reductions;
     /** Non-computable, non-reduction header phis. */
     std::vector<TrackedPhi> nonComputable;

@@ -41,6 +41,15 @@ ProgramReport::print(std::ostream &os, bool perLoop) const
     os << strf("  loops         : %llu static, %llu canonical\n",
                static_cast<unsigned long long>(census.staticLoops),
                static_cast<unsigned long long>(census.canonicalLoops));
+    if (oracleRan) {
+        os << strf("  oracle        : %llu phi(s) checked, "
+                   "%llu mismatch(es)\n",
+                   static_cast<unsigned long long>(oraclePhisChecked),
+                   static_cast<unsigned long long>(oracleMismatches));
+        for (const OracleFinding &f : oracleFindings)
+            os << "    " << f.severity << " " << f.rule << " " << f.loop
+               << " %" << f.phi << ": " << f.message << "\n";
+    }
 
     if (!perLoop)
         return;
@@ -120,6 +129,25 @@ ProgramReport::toJson(bool withObsSnapshot) const
     out.set("coverage", coverage);
     out.set("census", std::move(censusJson));
     out.set("loops", std::move(loopsJson));
+    if (oracleRan) {
+        // Section is present only when an OracleCapture was attached, so
+        // reports of oracle-free runs are byte-identical to before.
+        Json oracle = Json::object();
+        oracle.set("phis_checked", oraclePhisChecked);
+        oracle.set("mismatches", oracleMismatches);
+        Json findings = Json::array();
+        for (const OracleFinding &f : oracleFindings) {
+            Json one = Json::object();
+            one.set("rule", f.rule);
+            one.set("severity", f.severity);
+            one.set("loop", f.loop);
+            one.set("phi", f.phi);
+            one.set("message", f.message);
+            findings.push(std::move(one));
+        }
+        oracle.set("findings", std::move(findings));
+        out.set("oracle", std::move(oracle));
+    }
     if (withObsSnapshot) {
         out.set("metrics", obs::Registry::instance().toJson());
         out.set("phases", obs::PhaseTree::instance().toJson());

@@ -80,6 +80,20 @@ enum class RunStatus
 /** Stable lowercase name: "ok", "failed", "skipped". */
 const char *runStatusName(RunStatus s);
 
+/**
+ * One finding of the static-vs-dynamic consistency oracle, already
+ * rendered to stable strings (rule id, severity name) so the report
+ * layer needs no dependency on lp::lint.
+ */
+struct OracleFinding
+{
+    std::string rule;     ///< "LINT_ORACLE_COMPUTABLE_DIVERGED", ...
+    std::string severity; ///< "error" | "warning" | "note"
+    std::string loop;     ///< "function.header" label
+    std::string phi;      ///< phi result name, no '%'
+    std::string message;
+};
+
 /** Whole-program result of one run under one configuration. */
 struct ProgramReport
 {
@@ -101,6 +115,14 @@ struct ProgramReport
 
     std::vector<LoopReport> loops;
     Census census;
+
+    /// @name Consistency-oracle results (filled by lint::applyOracle)
+    /// @{
+    bool oracleRan = false;           ///< an OracleCapture was attached
+    std::uint64_t oraclePhisChecked = 0;
+    std::uint64_t oracleMismatches = 0; ///< error-level findings only
+    std::vector<OracleFinding> oracleFindings;
+    /// @}
 
     double
     speedup() const

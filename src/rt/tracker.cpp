@@ -13,8 +13,9 @@ namespace lp::rt {
 using ir::BasicBlock;
 using ir::Instruction;
 
-LoopRuntime::LoopRuntime(const ModulePlan &plan, const LPConfig &cfg)
-    : plan_(plan), cfg_(cfg)
+LoopRuntime::LoopRuntime(const ModulePlan &plan, const LPConfig &cfg,
+                         OracleCapture *oracle)
+    : plan_(plan), cfg_(cfg), oracle_(oracle)
 {
     cfg_.validate();
 
@@ -63,6 +64,35 @@ LoopRuntime::LoopRuntime(const ModulePlan &plan, const LPConfig &cfg)
             if (lplan.loop)
                 byHeader_[lplan.loop->header()] = rli.get();
 
+            // Oracle watches: every SCEV-claimed phi (with its claimed
+            // AddRec depth) and every tracked LCD (unclaimed, watched at
+            // depth 1 so the oracle can also spot *missed* IVs).  The
+            // claims are config-independent, so watches are registered
+            // for every loop whatever this run's verdict.
+            if (oracle_ && lplan.loop) {
+                auto watch = [&](const Instruction *phi, unsigned depth,
+                                 bool claimed) {
+                    if (phi->type() != ir::Type::I64 &&
+                        phi->type() != ir::Type::Ptr)
+                        return; // differencing f64 bits is meaningless
+                    unsigned w = oracle_->addWatch(
+                        {phi, lplan.loop->label(), phi->name(), depth,
+                         claimed});
+                    rli->oracleIndex[phi] =
+                        static_cast<unsigned>(rli->oracleSlots.size());
+                    rli->oracleSlots.push_back({w, depth});
+                };
+                for (unsigned i = 0; i < lplan.computablePhis.size();
+                     ++i) {
+                    watch(lplan.computablePhis[i],
+                          lplan.computableDepths[i], true);
+                }
+                for (const TrackedPhi &tp : lplan.nonComputable) {
+                    watch(tp.phi, 1,
+                          oracle_->isForcedClaim(tp.phi));
+                }
+            }
+
             // Def-site watches for the effective tracked LCDs.
             if (rli->verdict == SerialReason::None) {
                 for (unsigned i = 0; i < rli->tracked.size(); ++i) {
@@ -83,6 +113,8 @@ LoopRuntime::LoopRuntime(const ModulePlan &plan, const LPConfig &cfg)
             runLoops_.push_back(std::move(rli));
         }
     }
+    if (oracle_)
+        oracle_->seal();
 }
 
 LoopRuntime::~LoopRuntime() = default;
@@ -188,6 +220,8 @@ LoopRuntime::openInstance(RunLoopInfo *rli, std::uint64_t now)
     inst.iterStartTs = now;
     inst.spAtIterStart = machine_->stackPointer();
     inst.regs.resize(rli->tracked.size());
+    if (oracle_)
+        inst.oracle.resize(rli->oracleSlots.size());
     frame.loopStack.push_back(std::move(inst));
     rli->report.instances += 1;
     if (obs::metricsOn())
@@ -265,6 +299,13 @@ void
 LoopRuntime::closeInstance(Instance &inst, std::uint64_t now)
 {
     RunLoopInfo &rli = *inst.rli;
+
+    if (oracle_) {
+        for (std::size_t i = 0; i < inst.oracle.size(); ++i)
+            oracle_->recordInstance(rli.oracleSlots[i].watch,
+                                    inst.oracle[i],
+                                    rli.oracleSlots[i].depth);
+    }
 
     // The trailing partial iteration (the final header visit that failed
     // the trip condition) plus anything after the last boundary.
@@ -359,6 +400,26 @@ LoopRuntime::onPhiResolved(const Instruction *phi, std::uint64_t bits)
     if (hit == byHeader_.end())
         return;
     RunLoopInfo *rli = hit->second;
+
+    // Oracle observation first: it watches computable phis and tracked
+    // phis alike, and is independent of this run's verdict (the static
+    // claim being checked is config-independent).  Every header visit
+    // resolves the phi to the next point of the claimed recurrence,
+    // initial value included, so the whole sequence is streamed.
+    if (oracle_ && !rli->oracleSlots.empty()) {
+        auto oi = rli->oracleIndex.find(phi);
+        if (oi != rli->oracleIndex.end()) {
+            FrameCtx &oframe = frames_.back();
+            if (!oframe.loopStack.empty() &&
+                oframe.loopStack.back().rli == rli) {
+                Instance &oinst = oframe.loopStack.back();
+                OracleCapture::observe(
+                    oinst.oracle[oi->second],
+                    rli->oracleSlots[oi->second].depth, bits);
+            }
+        }
+    }
+
     auto idx = rli->phiIndex.find(phi);
     if (idx == rli->phiIndex.end())
         return; // computable or decoupled-reduction phi
@@ -588,12 +649,13 @@ LoopRuntime::finish(const std::string &programName)
 
 ProgramReport
 runLimitStudy(const ir::Module &mod, const ModulePlan &plan,
-              const LPConfig &cfg, const std::string &name)
+              const LPConfig &cfg, const std::string &name,
+              OracleCapture *oracle)
 {
     std::unique_ptr<LoopRuntime> runtime;
     {
         obs::ScopedPhase phase("plan");
-        runtime = std::make_unique<LoopRuntime>(plan, cfg);
+        runtime = std::make_unique<LoopRuntime>(plan, cfg, oracle);
     }
     interp::Machine machine(mod, runtime.get());
     runtime->attach(machine);

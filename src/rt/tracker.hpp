@@ -21,6 +21,7 @@
 #include "interp/machine.hpp"
 #include "obs/metrics.hpp"
 #include "predict/predictor.hpp"
+#include "rt/oracle_capture.hpp"
 #include "rt/plan.hpp"
 #include "rt/report.hpp"
 
@@ -30,7 +31,14 @@ namespace lp::rt {
 class LoopRuntime : public interp::ExecListener
 {
   public:
-    LoopRuntime(const ModulePlan &plan, const LPConfig &cfg);
+    /**
+     * @param oracle when non-null, every SCEV-claimed and tracked header
+     *        phi is watched and its resolved values are streamed into
+     *        the capture's finite-difference checks (consistency
+     *        oracle); null keeps the hot path oracle-free.
+     */
+    LoopRuntime(const ModulePlan &plan, const LPConfig &cfg,
+                OracleCapture *oracle = nullptr);
     ~LoopRuntime() override;
 
     /** Bind the machine whose clock and stack pointer we sample. */
@@ -66,6 +74,13 @@ class LoopRuntime : public interp::ExecListener
         bool defSeen = false;
     };
 
+    /** One oracle watch bound to this loop (index into the capture). */
+    struct OracleSlot
+    {
+        unsigned watch; ///< OracleCapture watch index
+        unsigned depth; ///< difference order - 1
+    };
+
     /** Per-configuration, per-static-loop facts. */
     struct RunLoopInfo
     {
@@ -74,6 +89,9 @@ class LoopRuntime : public interp::ExecListener
         std::vector<TrackedPhi> tracked;
         std::unordered_map<const ir::Instruction *, unsigned> phiIndex;
         LoopReport report;
+        /** Oracle watches of this loop's header phis (capture attached). */
+        std::vector<OracleSlot> oracleSlots;
+        std::unordered_map<const ir::Instruction *, unsigned> oracleIndex;
     };
 
     /** One dynamic loop instance. */
@@ -100,6 +118,8 @@ class LoopRuntime : public interp::ExecListener
         std::uint64_t memConflicts = 0;
         std::unordered_map<std::uint64_t, WriteRec> lastWrite;
         std::vector<RegState> regs;
+        /** Per-watch difference states; empty when no capture attached. */
+        std::vector<OracleCapture::State> oracle;
     };
 
     struct FrameCtx
@@ -123,6 +143,7 @@ class LoopRuntime : public interp::ExecListener
     const ModulePlan &plan_;
     LPConfig cfg_;
     interp::Machine *machine_ = nullptr;
+    OracleCapture *oracle_ = nullptr;
 
     std::vector<std::unique_ptr<RunLoopInfo>> runLoops_;
     std::unordered_map<const ir::BasicBlock *, RunLoopInfo *> byHeader_;
@@ -166,8 +187,10 @@ class LoopRuntime : public interp::ExecListener
 /**
  * Convenience driver: run @p mod under @p cfg and report.
  * @param name program name recorded in the report
+ * @param oracle optional consistency-oracle capture (see OracleCapture)
  */
 ProgramReport runLimitStudy(const ir::Module &mod, const ModulePlan &plan,
-                            const LPConfig &cfg, const std::string &name);
+                            const LPConfig &cfg, const std::string &name,
+                            OracleCapture *oracle = nullptr);
 
 } // namespace lp::rt

@@ -19,6 +19,7 @@ errorCodeName(ErrorCode code)
       case ErrorCode::Trap: return "LP_TRAP";
       case ErrorCode::Io: return "LP_IO";
       case ErrorCode::Internal: return "LP_INTERNAL";
+      case ErrorCode::Lint: return "LP_LINT";
     }
     return "LP_INTERNAL";
 }
@@ -48,6 +49,8 @@ ErrorContext::str() const
     add("loop", loop);
     if (line != 0)
         add("line", std::to_string(line));
+    if (column != 0)
+        add("col", std::to_string(column));
     if (!out.empty())
         out += ')';
     return out;
@@ -82,11 +85,12 @@ Error::noteCell(const std::string &program, const std::string &suite,
     render();
 }
 
-ParseError::ParseError(std::string msg, unsigned line)
+ParseError::ParseError(std::string msg, unsigned line, unsigned column)
     : Error(ErrorCode::Parse, std::move(msg),
             [&] {
                 ErrorContext c;
                 c.line = line;
+                c.column = column;
                 return c;
             }())
 {
@@ -108,6 +112,11 @@ ResourceExhausted::ResourceExhausted(ErrorCode which, std::string msg,
 
 InterpreterTrap::InterpreterTrap(std::string msg, ErrorContext ctx)
     : Error(ErrorCode::Trap, std::move(msg), std::move(ctx))
+{
+}
+
+LintError::LintError(std::string msg, ErrorContext ctx)
+    : Error(ErrorCode::Lint, std::move(msg), std::move(ctx))
 {
 }
 

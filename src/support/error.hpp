@@ -25,6 +25,7 @@
  *                                                            LP_HEAP / LP_STACK
  *   InterpreterTrap    the simulated program did something   LP_TRAP
  *                      undefined (div by 0, wild access)
+ *   LintError          module quarantined by lp::lint        LP_LINT
  *   IoError            a file could not be read/written      LP_IO
  *   InternalError      uncategorized / framework-level       LP_INTERNAL
  */
@@ -58,6 +59,7 @@ enum class ErrorCode {
     Trap,     ///< LP_TRAP — undefined behaviour in the simulated program
     Io,       ///< LP_IO — file read/write failure
     Internal, ///< LP_INTERNAL — uncategorized framework error
+    Lint,     ///< LP_LINT — module quarantined by static diagnostics
 };
 
 /** "LP_PARSE", "LP_VERIFY", ... — the stable wire name of @p code. */
@@ -84,6 +86,7 @@ struct ErrorContext
     std::string function; ///< IR function name, no '@'
     std::string loop;     ///< "function.header" loop label
     unsigned line = 0;    ///< 1-based source line (parser errors)
+    unsigned column = 0;  ///< 1-based source column (0 = unknown)
 
     /** " (program=x, function=@f, line=4)" — empty when nothing is set. */
     std::string str() const;
@@ -123,11 +126,16 @@ class Error : public FatalError
     std::string full_;
 };
 
-/** Malformed input text (IR or flag/option values); carries the line. */
+/**
+ * Malformed input text (IR or flag/option values); carries the 1-based
+ * line and, when the tokenizer knows it, the column of the offending
+ * token (0 = unknown).
+ */
 class ParseError : public Error
 {
   public:
-    explicit ParseError(std::string msg, unsigned line = 0);
+    explicit ParseError(std::string msg, unsigned line = 0,
+                        unsigned column = 0);
 };
 
 /** Module failed structural or SSA verification. */
@@ -158,6 +166,13 @@ class IoError : public Error
 {
   public:
     explicit IoError(std::string msg);
+};
+
+/** Module quarantined by static diagnostics (lp::lint error findings). */
+class LintError : public Error
+{
+  public:
+    explicit LintError(std::string msg, ErrorContext ctx = {});
 };
 
 /** Everything else — including wrapped pre-taxonomy FatalErrors. */

@@ -195,5 +195,33 @@ TEST(Ir, DuplicateFunctionNameRejected)
     EXPECT_THROW(mod.addFunction("f", Type::Void), FatalError);
 }
 
+TEST(Ir, VerifierCatchesOperandDominanceViolation)
+{
+    // A value defined on one side of a diamond and used at the join:
+    // every name resolves, yet the definition does not dominate the
+    // use — the non-phi dominance check must reject it.
+    Module mod("bad");
+    IRBuilder b(mod);
+    b.createFunction("main", Type::I64);
+    BasicBlock *left = b.newBlock("left");
+    BasicBlock *right = b.newBlock("right");
+    BasicBlock *join = b.newBlock("join");
+    b.br(b.icmpLt(b.i64(1), b.i64(2), "c"), left, right);
+    b.setInsertPoint(left);
+    Value *x = b.add(b.i64(1), b.i64(2), "x");
+    b.jmp(join);
+    b.setInsertPoint(right);
+    b.jmp(join);
+    b.setInsertPoint(join);
+    b.ret(b.add(x, b.i64(3), "y"));
+    mod.finalize();
+
+    VerifyResult r = verifyModule(mod);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.message().find("dominate"), std::string::npos)
+        << r.message();
+    EXPECT_NE(r.message().find("%x"), std::string::npos) << r.message();
+}
+
 } // namespace
 } // namespace lp

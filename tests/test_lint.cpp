@@ -1,0 +1,459 @@
+/**
+ * @file
+ * Tests for lp::lint: every LINT_* rule fires on its seeded-defect
+ * corpus file (tests/lint_corpus/) with the exact expected finding set,
+ * the bundled suites lint clean, the SARIF emitter produces parseable
+ * output, the LCD classifier matches the paper's Table-I classes, and
+ * the static-vs-dynamic consistency oracle reports zero mismatches on
+ * honest runs and catches a deliberately forced false claim.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/driver.hpp"
+#include "helpers.hpp"
+#include "interp/stdlib.hpp"
+#include "ir/parser.hpp"
+#include "lint/engine.hpp"
+#include "lint/lcd_classify.hpp"
+#include "lint/oracle.hpp"
+#include "lint/sarif.hpp"
+#include "rt/oracle_capture.hpp"
+#include "suites/registry.hpp"
+#include "support/error.hpp"
+
+namespace lp {
+namespace {
+
+using core::Loopapalooza;
+using rt::ExecModel;
+using rt::LPConfig;
+using rt::ProgramReport;
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+/** Parse tests/lint_corpus/<name>.lir and lint it. */
+lint::LintResult
+lintCorpus(const std::string &name, const lint::LintOptions &opts = {})
+{
+    std::string path =
+        std::string(LP_SOURCE_DIR) + "/tests/lint_corpus/" + name + ".lir";
+    auto mod = ir::parseModule(readFile(path), interp::stdlibImplFor);
+    return lint::lintModule(*mod, opts);
+}
+
+/** Sorted rule ids of all findings. */
+std::vector<std::string>
+rules(const lint::LintResult &res)
+{
+    std::vector<std::string> ids;
+    for (const lint::Diagnostic &d : res.diags)
+        ids.push_back(d.rule);
+    std::sort(ids.begin(), ids.end());
+    return ids;
+}
+
+const lint::Diagnostic *
+findRule(const lint::LintResult &res, const std::string &rule)
+{
+    for (const lint::Diagnostic &d : res.diags)
+        if (d.rule == rule)
+            return &d;
+    return nullptr;
+}
+
+// ---------------------------------------------------------------------
+// Seeded-defect corpus: each rule fires with the exact expected set.
+// ---------------------------------------------------------------------
+
+TEST(LintCorpus, DomOperandAlsoTripsSsa)
+{
+    // Operand-dominance defects fire both LINT_DOM_OPERAND (the precise
+    // per-use rule) and LINT_SSA (the verifier promotion) by design.
+    lint::LintResult res = lintCorpus("dom_operand");
+    EXPECT_EQ(rules(res),
+              (std::vector<std::string>{"LINT_DOM_OPERAND", "LINT_SSA"}));
+    EXPECT_TRUE(res.hasErrors());
+
+    const lint::Diagnostic *d = findRule(res, "LINT_DOM_OPERAND");
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->severity, lint::Severity::Error);
+    EXPECT_EQ(d->loc.function, "main");
+    EXPECT_EQ(d->loc.block, "join");
+    EXPECT_EQ(d->loc.instr, "y");
+    EXPECT_EQ(d->loc.line, 13u);
+    EXPECT_NE(d->message.find("%x"), std::string::npos);
+}
+
+TEST(LintCorpus, Unreachable)
+{
+    lint::LintResult res = lintCorpus("unreachable");
+    EXPECT_EQ(rules(res),
+              (std::vector<std::string>{"LINT_UNREACHABLE"}));
+    EXPECT_FALSE(res.hasErrors());
+    EXPECT_EQ(res.diags[0].severity, lint::Severity::Warning);
+    EXPECT_EQ(res.diags[0].loc.block, "island");
+    // The dead %z inside the unreachable block must NOT also fire
+    // LINT_DEAD_DEF: the unreachable finding owns that block.
+}
+
+TEST(LintCorpus, DeadDef)
+{
+    lint::LintResult res = lintCorpus("dead_def");
+    EXPECT_EQ(rules(res), (std::vector<std::string>{"LINT_DEAD_DEF"}));
+    EXPECT_FALSE(res.hasErrors());
+    EXPECT_EQ(res.diags[0].loc.instr, "unused");
+}
+
+TEST(LintCorpus, GlobalOob)
+{
+    lint::LintResult res = lintCorpus("global_oob");
+    EXPECT_EQ(rules(res), (std::vector<std::string>{"LINT_GLOBAL_OOB"}));
+    EXPECT_TRUE(res.hasErrors());
+    const lint::Diagnostic &d = res.diags[0];
+    EXPECT_NE(d.message.find("@buf"), std::string::npos);
+    EXPECT_NE(d.message.find("16"), std::string::npos);
+}
+
+TEST(LintCorpus, InfiniteLoop)
+{
+    lint::LintResult res = lintCorpus("infinite");
+    EXPECT_EQ(rules(res),
+              (std::vector<std::string>{"LINT_INFINITE_LOOP"}));
+    // The loop is otherwise canonical, so no shape warning rides along.
+    EXPECT_EQ(res.diags[0].loc.block, "spin.hdr");
+}
+
+TEST(LintCorpus, Irreducible)
+{
+    lint::LintResult res = lintCorpus("irreducible");
+    EXPECT_EQ(rules(res),
+              (std::vector<std::string>{"LINT_IRREDUCIBLE"}));
+    EXPECT_NE(res.diags[0].message.find("irreducible"),
+              std::string::npos);
+}
+
+TEST(LintCorpus, NonCanonicalLoop)
+{
+    lint::LintResult res = lintCorpus("noncanonical");
+    EXPECT_EQ(rules(res),
+              (std::vector<std::string>{"LINT_NON_CANONICAL_LOOP"}));
+    EXPECT_NE(res.diags[0].message.find("multiple latches"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Options.
+// ---------------------------------------------------------------------
+
+TEST(LintOptions, WarningsAsErrorsPromotes)
+{
+    lint::LintOptions opts;
+    opts.warningsAsErrors = true;
+    lint::LintResult res = lintCorpus("dead_def", opts);
+    ASSERT_EQ(res.diags.size(), 1u);
+    EXPECT_EQ(res.diags[0].severity, lint::Severity::Error);
+    EXPECT_TRUE(res.hasErrors());
+}
+
+TEST(LintOptions, DisabledRulesSkip)
+{
+    lint::LintOptions opts;
+    opts.disabledRules = {"LINT_DEAD_DEF"};
+    lint::LintResult res = lintCorpus("dead_def", opts);
+    EXPECT_TRUE(res.diags.empty());
+}
+
+TEST(LintOptions, ClassifyOffSuppressesDeps)
+{
+    lint::LintOptions opts;
+    opts.classify = false;
+    lint::LintResult res = lintCorpus("dead_def", opts);
+    EXPECT_TRUE(res.deps.isNull());
+}
+
+// ---------------------------------------------------------------------
+// Clean inputs: zero findings on everything we ship.
+// ---------------------------------------------------------------------
+
+TEST(LintClean, BundledSuitesHaveZeroFindings)
+{
+    for (const core::BenchProgram &prog : suites::allPrograms()) {
+        auto mod = prog.build();
+        lint::LintResult res = lint::lintModule(*mod);
+        EXPECT_TRUE(res.diags.empty())
+            << prog.suite << "/" << prog.name << ": "
+            << (res.diags.empty() ? "" : res.diags[0].str());
+    }
+}
+
+TEST(LintClean, SampleLirHasZeroFindings)
+{
+    std::string path = std::string(LP_SOURCE_DIR) + "/examples/sample.lir";
+    auto mod = ir::parseModule(readFile(path), interp::stdlibImplFor);
+    lint::LintResult res = lint::lintModule(*mod);
+    EXPECT_TRUE(res.diags.empty())
+        << (res.diags.empty() ? "" : res.diags[0].str());
+}
+
+// ---------------------------------------------------------------------
+// LCD classifier (lint.deps).
+// ---------------------------------------------------------------------
+
+/** All "class" strings across every loop/phi of a deps document. */
+std::vector<std::string>
+depClasses(const obs::Json &deps)
+{
+    std::vector<std::string> out;
+    const obs::Json &loops = deps.at("loops");
+    for (std::size_t i = 0; i < loops.size(); ++i) {
+        const obs::Json &phis = loops.at(i).at("phis");
+        for (std::size_t j = 0; j < phis.size(); ++j)
+            out.push_back(phis.at(j).at("class").asString());
+    }
+    return out;
+}
+
+TEST(LintDeps, SaxpyIsAllComputable)
+{
+    auto mod = test::buildSaxpy(64);
+    obs::Json deps = lint::classifyModule(*mod);
+    std::vector<std::string> classes = depClasses(deps);
+    ASSERT_FALSE(classes.empty());
+    for (const std::string &c : classes)
+        EXPECT_EQ(c, lint::kClassComputable);
+}
+
+TEST(LintDeps, SumReductionIsClassified)
+{
+    auto mod = test::buildSumReduction(64);
+    std::vector<std::string> classes =
+        depClasses(lint::classifyModule(*mod));
+    EXPECT_NE(std::find(classes.begin(), classes.end(),
+                        lint::kClassReduction),
+              classes.end());
+}
+
+TEST(LintDeps, PointerChaseIsPredictionCandidate)
+{
+    auto mod = test::buildPointerChaseShuffled(32);
+    std::vector<std::string> classes =
+        depClasses(lint::classifyModule(*mod));
+    EXPECT_NE(std::find(classes.begin(), classes.end(),
+                        lint::kClassPredictionCandidate),
+              classes.end());
+}
+
+// ---------------------------------------------------------------------
+// SARIF emitter.
+// ---------------------------------------------------------------------
+
+TEST(LintSarif, CorpusFindingsSurviveTheRoundTrip)
+{
+    std::vector<lint::LintResult> results;
+    for (const char *name :
+         {"dom_operand", "unreachable", "dead_def", "global_oob",
+          "infinite", "irreducible", "noncanonical"}) {
+        lint::LintResult res = lintCorpus(name);
+        res.artifact = std::string(name) + ".lir";
+        results.push_back(std::move(res));
+    }
+
+    std::string text = lint::toSarif(results).dump(2);
+    std::string err;
+    obs::Json doc = obs::Json::parse(text, &err);
+    ASSERT_TRUE(err.empty()) << err;
+
+    EXPECT_EQ(doc.at("version").asString(), "2.1.0");
+    const obs::Json &run = doc.at("runs").at(0);
+    const obs::Json &driver = run.at("tool").at("driver");
+    EXPECT_EQ(driver.at("name").asString(), "lp-lint");
+    // The rule table covers the 8 static rules plus the 2 oracle rules.
+    EXPECT_EQ(driver.at("rules").size(), 10u);
+
+    // 8 findings total: dom_operand contributes 2, the rest 1 each.
+    const obs::Json &sarifResults = run.at("results");
+    EXPECT_EQ(sarifResults.size(), 8u);
+    for (std::size_t i = 0; i < sarifResults.size(); ++i) {
+        const obs::Json &r = sarifResults.at(i);
+        EXPECT_EQ(r.at("ruleId").asString().rfind("LINT_", 0), 0u);
+        EXPECT_FALSE(r.at("message").at("text").asString().empty());
+        EXPECT_GE(r.at("locations").size(), 1u);
+    }
+
+    // The machine-readable classification rides along as a property.
+    EXPECT_TRUE(run.at("properties").contains("lint.deps"));
+}
+
+TEST(LintSarif, RuleMetaIncludesOracleRules)
+{
+    bool diverged = false, missed = false;
+    for (const lint::RuleMeta &m : lint::standardRuleMeta()) {
+        diverged |= m.id == "LINT_ORACLE_COMPUTABLE_DIVERGED";
+        missed |= m.id == "LINT_ORACLE_MISSED_IV";
+    }
+    EXPECT_TRUE(diverged);
+    EXPECT_TRUE(missed);
+}
+
+// ---------------------------------------------------------------------
+// Consistency oracle.
+// ---------------------------------------------------------------------
+
+LPConfig
+cfg(const char *flags)
+{
+    return LPConfig::parse(flags, ExecModel::DoAll);
+}
+
+/** First header phi of any loop in @p mod (for synthetic watches). */
+const ir::Instruction *
+anyPhi(const ir::Module &mod)
+{
+    for (const auto &fn : mod.functions())
+        for (const auto &bb : fn->blocks())
+            for (const ir::Instruction *phi : bb->phis())
+                return phi;
+    return nullptr;
+}
+
+TEST(LintOracle, CleanRunHasZeroMismatches)
+{
+    auto mod = test::buildSaxpy(256);
+    Loopapalooza lp(*mod);
+    rt::OracleCapture cap;
+    ProgramReport rep = lp.run(cfg("reduc0-dep0-fn0"), cap);
+
+    EXPECT_TRUE(rep.oracleRan);
+    EXPECT_GT(rep.oraclePhisChecked, 0u);
+    EXPECT_EQ(rep.oracleMismatches, 0u);
+    for (const lint::Diagnostic &d : lint::checkOracle(cap))
+        EXPECT_NE(d.severity, lint::Severity::Error) << d.str();
+    // The oracle section appears in the JSON report...
+    EXPECT_TRUE(rep.toJson(false).contains("oracle"));
+}
+
+TEST(LintOracle, OracleFreeReportsStayOracleFree)
+{
+    // ...and stays absent from oracle-free runs, so pre-oracle report
+    // consumers (checkpoints, aggregation) see byte-identical JSON.
+    auto mod = test::buildSaxpy(64);
+    Loopapalooza lp(*mod);
+    ProgramReport rep = lp.run(cfg("reduc0-dep0-fn0"));
+    EXPECT_FALSE(rep.oracleRan);
+    EXPECT_FALSE(rep.toJson(false).contains("oracle"));
+}
+
+TEST(LintOracle, RunWithOracleConvenience)
+{
+    auto mod = test::buildSumReduction(128);
+    Loopapalooza lp(*mod);
+    ProgramReport rep = lp.runWithOracle(cfg("reduc1-dep0-fn0"));
+    EXPECT_TRUE(rep.oracleRan);
+    EXPECT_EQ(rep.oracleMismatches, 0u);
+}
+
+TEST(LintOracle, ForcedFalseClaimIsCaughtEndToEnd)
+{
+    // Claim the shuffled pointer-chase LCD is SCEV-computable: the
+    // finite-difference check over the permuted addresses must break
+    // and surface as a LINT_ORACLE_COMPUTABLE_DIVERGED mismatch.
+    auto mod = test::buildPointerChaseShuffled(64);
+    Loopapalooza lp(*mod);
+    rt::OracleCapture cap;
+    for (const auto &fp : lp.plan().functionPlans())
+        for (const rt::LoopPlan &lplan : fp->loopPlans)
+            for (const rt::TrackedPhi &tp : lplan.nonComputable)
+                cap.forceClaim(tp.phi);
+
+    // Watch registration is config-independent, so plain dep0 works.
+    ProgramReport rep = lp.run(cfg("reduc0-dep0-fn0"), cap);
+    EXPECT_TRUE(rep.oracleRan);
+    EXPECT_GT(rep.oracleMismatches, 0u);
+    bool found = false;
+    for (const rt::OracleFinding &f : rep.oracleFindings) {
+        if (f.rule != "LINT_ORACLE_COMPUTABLE_DIVERGED")
+            continue;
+        found = true;
+        EXPECT_EQ(f.severity, std::string("error"));
+        EXPECT_FALSE(f.phi.empty());
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(LintOracle, SyntheticDivergenceIsAnError)
+{
+    auto mod = test::buildSaxpy(8);
+    const ir::Instruction *phi = anyPhi(*mod);
+    ASSERT_NE(phi, nullptr);
+
+    rt::OracleCapture cap;
+    unsigned w = cap.addWatch({phi, "main.loop", "i", 1, true});
+    cap.seal();
+    rt::OracleCapture::State st;
+    for (std::uint64_t v : {1u, 2u, 4u, 8u, 16u}) // not affine
+        rt::OracleCapture::observe(st, 1, v);
+    EXPECT_TRUE(st.broken);
+    cap.recordInstance(w, st, 1);
+
+    std::vector<lint::Diagnostic> diags = lint::checkOracle(cap);
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].rule, "LINT_ORACLE_COMPUTABLE_DIVERGED");
+    EXPECT_EQ(diags[0].severity, lint::Severity::Error);
+}
+
+TEST(LintOracle, SyntheticMissedIvIsANote)
+{
+    auto mod = test::buildSaxpy(8);
+    const ir::Instruction *phi = anyPhi(*mod);
+    ASSERT_NE(phi, nullptr);
+
+    // Claimed NON-computable, yet perfectly affine in every instance.
+    rt::OracleCapture cap;
+    unsigned w = cap.addWatch({phi, "main.loop", "p", 1, false});
+    cap.seal();
+    rt::OracleCapture::State st;
+    for (std::uint64_t v = 2; v < 32; v += 3)
+        rt::OracleCapture::observe(st, 1, v);
+    EXPECT_FALSE(st.broken);
+    cap.recordInstance(w, st, 1);
+
+    std::vector<lint::Diagnostic> diags = lint::checkOracle(cap);
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].rule, "LINT_ORACLE_MISSED_IV");
+    EXPECT_EQ(diags[0].severity, lint::Severity::Note);
+}
+
+// ---------------------------------------------------------------------
+// Error taxonomy.
+// ---------------------------------------------------------------------
+
+TEST(LintTaxonomy, LintErrorCarriesTheLintCode)
+{
+    ErrorContext ctx;
+    ctx.program = "chase";
+    LintError e("3 error-level lint finding(s)", ctx);
+    EXPECT_EQ(e.code(), ErrorCode::Lint);
+    EXPECT_EQ(std::string(e.codeName()), "LP_LINT");
+    EXPECT_FALSE(e.transient());
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("[LP_LINT]"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("chase"), std::string::npos) << msg;
+}
+
+} // namespace
+} // namespace lp

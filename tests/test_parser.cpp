@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 #include "generator.hpp"
@@ -320,6 +321,49 @@ TEST(Parser, RoundTripRandomPrograms)
         auto reparsed = parseModule(once, interp::stdlibImplFor);
         EXPECT_EQ(printed(*reparsed), once) << "seed " << seed;
     }
+}
+
+TEST(Parser, RoundTripSampleFile)
+{
+    // The checked-in example module survives parse -> print -> re-parse
+    // with a byte-identical second print.
+    std::ifstream in(std::string(LP_SOURCE_DIR) + "/examples/sample.lir");
+    ASSERT_TRUE(in.good());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    auto mod = parseModule(buf.str(), interp::stdlibImplFor);
+    std::string once = printed(*mod);
+    auto reparsed = parseModule(once, interp::stdlibImplFor);
+    EXPECT_EQ(printed(*reparsed), once);
+    EXPECT_TRUE(verifyModule(*reparsed).ok());
+}
+
+TEST(Parser, ErrorsCarryColumns)
+{
+    try {
+        parseModule("module m\nfunc i64 @main() {\n  entry:\n"
+                    "    %x = frobnicate i64 1, 2\n    ret %x\n}\n");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.context().line, 4u);
+        // "frobnicate" starts at column 10 of "    %x = frobnicate ...".
+        EXPECT_EQ(e.context().column, 10u);
+        EXPECT_NE(std::string(e.what()).find("col 10"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Parser, InstructionsCarrySourceLocations)
+{
+    auto mod = parseModule("module m\nfunc i64 @main() {\n  entry:\n"
+                           "    %x = add i64 1, 2\n    ret %x\n}\n");
+    const BasicBlock &entry = *mod->functions()[0]->blocks()[0];
+    const Instruction *add = entry.instructions()[0].get();
+    EXPECT_EQ(add->srcLoc().line, 4u);
+    EXPECT_EQ(add->srcLoc().column, 5u); // "%x" starts after 4 spaces
+    ASSERT_NE(entry.terminator(), nullptr);
+    EXPECT_EQ(entry.terminator()->srcLoc().line, 5u);
 }
 
 } // namespace
