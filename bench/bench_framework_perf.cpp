@@ -156,6 +156,41 @@ BENCHMARK(BM_SuiteSweep)
     ->UseRealTime();
 
 /**
+ * Record-once / replay-many vs interpret-every-cell, sweep-shaped: one
+ * program under all of the paper's configurations, serially.  Arg(0)
+ * interprets every cell; Arg(1) pays the interpreter once (the
+ * recording) and replays the trace for every cell.  A fresh driver per
+ * iteration keeps the comparison honest — the replay side re-records
+ * every time, exactly like a fresh sweep process would.
+ */
+void
+BM_ConfigSweepPerProgram(benchmark::State &state)
+{
+    auto mod = suites::buildCint2000Bzip2();
+    std::vector<rt::LPConfig> configs;
+    for (const auto &named : core::paperConfigs())
+        configs.push_back(named.config);
+    const bool replay = state.range(0) != 0;
+
+    std::uint64_t instructions = 0;
+    for (auto _ : state) {
+        core::Loopapalooza driver(*mod);
+        for (const rt::LPConfig &c : configs) {
+            rt::ProgramReport rep =
+                replay ? driver.runReplay(c) : driver.run(c);
+            benchmark::DoNotOptimize(rep.parallelCost);
+            instructions += rep.serialCost;
+        }
+    }
+    state.counters["cell_instr/s"] = benchmark::Counter(
+        static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ConfigSweepPerProgram)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+/**
  * Measure one phase: run @p body (which returns dynamic instructions
  * executed) @p reps times after one warm-up, and report instructions
  * per wall-clock second.
@@ -245,6 +280,44 @@ writeBenchBaseline()
         sweep.set("jobs4", std::move(par4));
         sweep.set("speedup_4j", s4 > 0 ? s1 / s4 : 0.0);
         doc.set("sweep", std::move(sweep));
+    }
+
+    // Record-once / replay-many: the 14-config grid over one suite,
+    // serial, fresh drivers per measurement so the replay side pays its
+    // recording every time.  "speedup" is the wall-clock ratio the
+    // trace subsystem is accountable for (target: >= 3x).
+    {
+        std::vector<std::unique_ptr<ir::Module>> mods;
+        for (const auto &prog : suites::nonNumericPrograms())
+            mods.push_back(prog.build());
+        std::vector<rt::LPConfig> configs;
+        for (const auto &named : core::paperConfigs())
+            configs.push_back(named.config);
+        auto sweepOnce = [&](bool replay) {
+            std::uint64_t instructions = 0;
+            for (const auto &mod : mods) {
+                core::Loopapalooza sweepDriver(*mod);
+                for (const rt::LPConfig &c : configs) {
+                    rt::ProgramReport rep = replay
+                                                ? sweepDriver.runReplay(c)
+                                                : sweepDriver.run(c);
+                    instructions += rep.serialCost;
+                }
+            }
+            return instructions;
+        };
+        obs::Json tr = obs::Json::object();
+        obs::Json interp =
+            measurePhase(3, [&] { return sweepOnce(false); });
+        obs::Json replay =
+            measurePhase(3, [&] { return sweepOnce(true); });
+        double si = interp.at("wall_seconds").asDouble();
+        double sr = replay.at("wall_seconds").asDouble();
+        tr.set("cells", mods.size() * configs.size());
+        tr.set("interpret", std::move(interp));
+        tr.set("replay", std::move(replay));
+        tr.set("speedup", sr > 0 ? si / sr : 0.0);
+        doc.set("trace_replay", std::move(tr));
     }
 
     // One instrumented analyze+run so the snapshot reflects real counter

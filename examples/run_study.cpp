@@ -20,7 +20,18 @@
  *   --budget-instructions N          dynamic-IR-instruction fuel per run
  *   --budget-wall-ms N               wall-clock deadline per run
  *   --budget-heap-bytes N            simulated heap cap per run
+ *   --budget-trace-bytes N           event-trace payload cap per recording
  *                                    (or LP_BUDGET_* env; flags win)
+ *
+ * Performance (see docs/performance.md):
+ *   --trace-replay / --no-trace-replay
+ *   (or LP_TRACE_REPLAY=on|off)      record-once / replay-many sweeps:
+ *                                    interpret each program once, replay
+ *                                    its event trace for every other
+ *                                    configuration cell.  Default on for
+ *                                    sweeps; reports are byte-identical
+ *                                    either way.  Single runs always
+ *                                    interpret.
  *   --checkpoint PATH                append one JSONL line per finished
  *                                    sweep cell to PATH
  *   --resume                         reuse cells already in the
@@ -132,9 +143,28 @@ lintOne(const ir::Module &mod)
 struct SweepOptions
 {
     bool keepGoing = true; ///< sweeps quarantine failures by default
+    /**
+     * Record-once / replay-many (--trace-replay / LP_TRACE_REPLAY).
+     * Defaults on: a sweep visits every program under many
+     * configurations, so paying the interpreter once per program and
+     * replaying the trace for the other cells is a pure win; reports
+     * are byte-identical either way (tests/test_trace.cpp).
+     */
+    bool traceReplay = true;
     std::string checkpointPath;
     bool resume = false;
 };
+
+/** Parse an on/off spelling; -1 when not understood. */
+int
+parseOnOff(const std::string &s)
+{
+    if (s == "on" || s == "1" || s == "true")
+        return 1;
+    if (s == "off" || s == "0" || s == "false")
+        return 0;
+    return -1;
+}
 
 rt::ExecModel
 parseModel(const std::string &s)
@@ -372,9 +402,13 @@ runSuites(const std::string &onlySuite, const SweepOptions &sweep)
             // cell (the report gains its "oracle" section; reports of
             // lint-free runs are unchanged, keeping checkpoint resume
             // byte-identical).
-            rt::ProgramReport rep = g_lintMode != 0
-                ? cell.prepared->runWithOracle(cfg)
-                : cell.prepared->run(cfg);
+            rt::ProgramReport rep =
+                g_lintMode != 0
+                    ? (sweep.traceReplay
+                           ? cell.prepared->runReplayWithOracle(cfg)
+                           : cell.prepared->runWithOracle(cfg))
+                    : (sweep.traceReplay ? cell.prepared->runReplay(cfg)
+                                         : cell.prepared->run(cfg));
             cell.json = rep.toJson(/*withObsSnapshot=*/false);
             if (ckpt)
                 ckpt->record(key, cell.json);
@@ -528,6 +562,18 @@ main(int argc, char **argv)
     }
 
     SweepOptions sweep;
+    if (const char *env = std::getenv("LP_TRACE_REPLAY")) {
+        int v = parseOnOff(env);
+        if (v < 0)
+            obs::logMessage(obs::Level::Error,
+                            std::string("LP_TRACE_REPLAY value not "
+                                        "understood: ") +
+                                env + " (want on|off); trace replay "
+                                      "stays on",
+                            /*force=*/true);
+        else
+            sweep.traceReplay = v == 1;
+    }
     guard::RunBudget budget = guard::defaultBudget();
     bool budgetTouched = false;
 
@@ -587,6 +633,21 @@ main(int argc, char **argv)
                 budget.maxHeapBytes = guard::parseBudgetValue(
                     "--budget-heap-bytes", value("--budget-heap-bytes"));
                 budgetTouched = true;
+                continue;
+            }
+            if (a == "--budget-trace-bytes") {
+                budget.maxTraceBytes = guard::parseBudgetValue(
+                    "--budget-trace-bytes",
+                    value("--budget-trace-bytes"));
+                budgetTouched = true;
+                continue;
+            }
+            if (a == "--trace-replay") {
+                sweep.traceReplay = true;
+                continue;
+            }
+            if (a == "--no-trace-replay") {
+                sweep.traceReplay = false;
                 continue;
             }
             if (a == "--jobs") {

@@ -1,11 +1,13 @@
 #include "core/driver.hpp"
 
 #include "analysis/ssa_verify.hpp"
+#include "guard/budget.hpp"
 #include "ir/verifier.hpp"
 #include "lint/oracle.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
+#include "rt/replay.hpp"
 #include "support/error.hpp"
 #include "support/text.hpp"
 
@@ -24,6 +26,7 @@ Loopapalooza::Loopapalooza(const ir::Module &mod) : mod_(mod)
     {
         obs::ScopedPhase phase("analyze");
         plan_ = std::make_unique<rt::ModulePlan>(mod);
+        index_ = std::make_unique<trace::ModuleIndex>(mod);
     }
 
     std::size_t loops = 0;
@@ -59,6 +62,70 @@ Loopapalooza::run(const rt::LPConfig &cfg, rt::OracleCapture &cap) const
                  mod_.name().c_str(), cfg.str().c_str());
     rt::ProgramReport rep =
         rt::runLimitStudy(mod_, *plan_, cfg, mod_.name(), &cap);
+    lint::applyOracle(cap, rep);
+    return rep;
+}
+
+const trace::Trace &
+Loopapalooza::trace() const
+{
+    std::lock_guard<std::mutex> lock(traceMu_);
+    if (trace_)
+        return *trace_;
+    if (traceError_)
+        std::rethrow_exception(traceError_);
+    try {
+        trace_ = std::make_unique<trace::Trace>(rt::recordTrace(
+            mod_, *index_, *plan_, guard::defaultBudget()));
+    }
+    catch (const Error &e) {
+        // A deterministic failure (trap, fuel, truncation, ...) would
+        // recur on every re-record, so cache it: later cells of this
+        // program fail fast with the same error.  Transient failures
+        // (wall-clock deadline on a loaded machine) stay uncached so a
+        // guardedRun retry records afresh.
+        if (!e.transient())
+            traceError_ = std::current_exception();
+        throw;
+    }
+    catch (...) {
+        traceError_ = std::current_exception();
+        throw;
+    }
+    LP_LOG_INFO("recorded %s: %llu events, %zu payload bytes, final "
+                "cost %llu",
+                mod_.name().c_str(),
+                static_cast<unsigned long long>(trace_->events),
+                trace_->payload.size(),
+                static_cast<unsigned long long>(trace_->finalCost));
+    return *trace_;
+}
+
+rt::ProgramReport
+Loopapalooza::runReplay(const rt::LPConfig &cfg) const
+{
+    const trace::Trace &t = trace();
+    LP_LOG_DEBUG("replaying %s under %s", mod_.name().c_str(),
+                 cfg.str().c_str());
+    return rt::replayLimitStudy(*plan_, *index_, t, cfg, mod_.name());
+}
+
+rt::ProgramReport
+Loopapalooza::runReplayWithOracle(const rt::LPConfig &cfg) const
+{
+    rt::OracleCapture cap;
+    return runReplay(cfg, cap);
+}
+
+rt::ProgramReport
+Loopapalooza::runReplay(const rt::LPConfig &cfg,
+                        rt::OracleCapture &cap) const
+{
+    const trace::Trace &t = trace();
+    LP_LOG_DEBUG("replaying %s under %s (oracle attached)",
+                 mod_.name().c_str(), cfg.str().c_str());
+    rt::ProgramReport rep =
+        rt::replayLimitStudy(*plan_, *index_, t, cfg, mod_.name(), &cap);
     lint::applyOracle(cap, rep);
     return rep;
 }

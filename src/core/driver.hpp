@@ -11,7 +11,9 @@
 
 #pragma once
 
+#include <exception>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "ir/module.hpp"
@@ -19,6 +21,8 @@
 #include "rt/plan.hpp"
 #include "rt/report.hpp"
 #include "rt/tracker.hpp"
+#include "trace/format.hpp"
+#include "trace/index.hpp"
 
 namespace lp::core {
 
@@ -59,14 +63,50 @@ class Loopapalooza
     rt::ProgramReport run(const rt::LPConfig &cfg,
                           rt::OracleCapture &cap) const;
 
+    /**
+     * As run(), but record-once / replay-many: the first call (across
+     * all threads) interprets the program once into a dynamic event
+     * trace; this and every later call replays that trace through a
+     * fresh LoopRuntime instead of re-interpreting.  Reports are
+     * byte-identical to run() on the same configuration.  Thread-safe;
+     * concurrent first calls serialize on the recording.
+     *
+     * @throws lp::IoError when the recording overflowed the trace byte
+     *         budget (LP_BUDGET_TRACE_BYTES) — fall back to run().
+     */
+    rt::ProgramReport runReplay(const rt::LPConfig &cfg) const;
+
+    /** As runWithOracle(), but replaying the recorded trace. */
+    rt::ProgramReport runReplayWithOracle(const rt::LPConfig &cfg) const;
+
+    /** As the OracleCapture overload of run(), but replaying. */
+    rt::ProgramReport runReplay(const rt::LPConfig &cfg,
+                                rt::OracleCapture &cap) const;
+
+    /**
+     * The recorded event trace, recording it on first use.  Recording
+     * failures that are deterministic (trap, fuel, ...) are cached and
+     * rethrown on every later call; transient ones (wall-clock deadline)
+     * are not, so a guardedRun retry re-records.
+     */
+    const trace::Trace &trace() const;
+
     /** The compile-time component's output. */
     const rt::ModulePlan &plan() const { return *plan_; }
+
+    /** Stable function/block numbering shared by recorder and replay. */
+    const trace::ModuleIndex &traceIndex() const { return *index_; }
 
     const ir::Module &module() const { return mod_; }
 
   private:
     const ir::Module &mod_;
     std::unique_ptr<rt::ModulePlan> plan_;
+    std::unique_ptr<trace::ModuleIndex> index_;
+
+    mutable std::mutex traceMu_;
+    mutable std::unique_ptr<trace::Trace> trace_;
+    mutable std::exception_ptr traceError_;
 };
 
 } // namespace lp::core

@@ -55,6 +55,22 @@ PreparedProgram::runWithOracle(const rt::LPConfig &cfg) const
     return rep;
 }
 
+rt::ProgramReport
+PreparedProgram::runReplay(const rt::LPConfig &cfg) const
+{
+    rt::ProgramReport rep = lp_->runReplay(cfg);
+    rep.program = prog_.name;
+    return rep;
+}
+
+rt::ProgramReport
+PreparedProgram::runReplayWithOracle(const rt::LPConfig &cfg) const
+{
+    rt::ProgramReport rep = lp_->runReplayWithOracle(cfg);
+    rep.program = prog_.name;
+    return rep;
+}
+
 Study::Study(const std::vector<BenchProgram> &programs, unsigned jobs)
 {
     StudyOptions opts;
@@ -147,6 +163,9 @@ Study::runSuite(const std::string &suite, const rt::LPConfig &cfg,
     }
     std::vector<rt::ProgramReport> out(members.size());
     auto runCell = [&](std::size_t i) {
+        if (opts.traceReplay)
+            return opts.oracle ? members[i]->runReplayWithOracle(cfg)
+                               : members[i]->runReplay(cfg);
         return opts.oracle ? members[i]->runWithOracle(cfg)
                            : members[i]->run(cfg);
     };

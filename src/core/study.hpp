@@ -45,6 +45,16 @@ class PreparedProgram
     /** As run(), with the consistency oracle attached and judged. */
     rt::ProgramReport runWithOracle(const rt::LPConfig &cfg) const;
 
+    /**
+     * As run(), but record-once / replay-many: the first replay of this
+     * program records its event trace, every other one replays it.
+     * Byte-identical reports to run() (see Loopapalooza::runReplay).
+     */
+    rt::ProgramReport runReplay(const rt::LPConfig &cfg) const;
+
+    /** As runWithOracle(), replaying the recorded trace. */
+    rt::ProgramReport runReplayWithOracle(const rt::LPConfig &cfg) const;
+
     const Loopapalooza &driver() const { return *lp_; }
 
   private:
@@ -140,6 +150,13 @@ class Study
          * (see rt::ProgramReport::oracleRan).
          */
         bool oracle = false;
+        /**
+         * Record-once / replay-many: interpret each program once (on
+         * its first cell) and replay the recorded event trace for every
+         * other configuration cell.  Reports are byte-identical to the
+         * interpret-every-cell default.
+         */
+        bool traceReplay = false;
     };
 
     /**

@@ -28,6 +28,7 @@ constexpr SiteInfo kSites[] = {
     {"verify", ErrorCode::Verify},
     {"interp", ErrorCode::Trap},
     {"io", ErrorCode::Io},
+    {"replay", ErrorCode::Io},
 };
 
 std::mutex g_mu;

@@ -8,6 +8,7 @@
 #include "obs/metrics.hpp"
 #include "support/error.hpp"
 #include "support/text.hpp"
+#include "trace/recorder.hpp"
 
 namespace lp::interp {
 
@@ -51,6 +52,70 @@ fnContext(const ir::Function *fn)
     ctx.function = fn->name();
     return ctx;
 }
+
+/**
+ * Instrumentation sinks for the templated interpreter loop.  Each event
+ * is a direct call the compiler can inline (and, for NullSink, erase),
+ * so instrumentation costs nothing unless a sink actually consumes it.
+ */
+struct NullSink
+{
+    void functionEnter(const ir::Function *) {}
+    void functionExit(const ir::Function *) {}
+    void blockEnter(const ir::BasicBlock *) {}
+    void phiResolved(const Instruction *, std::uint64_t) {}
+    void load(const Instruction *, std::uint64_t) {}
+    void store(const Instruction *, std::uint64_t) {}
+    void callSite(const Instruction *) {}
+};
+
+/** Classic virtual-dispatch path for external ExecListener observers. */
+struct ListenerSink
+{
+    ExecListener *l;
+
+    void functionEnter(const ir::Function *fn) { l->onFunctionEnter(fn); }
+    void functionExit(const ir::Function *fn) { l->onFunctionExit(fn); }
+    void blockEnter(const ir::BasicBlock *bb) { l->onBlockEnter(bb); }
+    void phiResolved(const Instruction *phi, std::uint64_t bits)
+    {
+        l->onPhiResolved(phi, bits);
+    }
+    void load(const Instruction *i, std::uint64_t a) { l->onLoad(i, a); }
+    void store(const Instruction *i, std::uint64_t a) { l->onStore(i, a); }
+    void callSite(const Instruction *i) { l->onCallSite(i); }
+};
+
+/**
+ * Trace-recording path: forwards each event to the Recorder together
+ * with the machine-clock sample taken at the call-back point, all as
+ * direct calls.
+ */
+struct RecorderSink
+{
+    trace::Recorder *r;
+    const Machine *m;
+
+    void functionEnter(const ir::Function *fn) { r->functionEnter(fn); }
+    void functionExit(const ir::Function *) { r->functionExit(m->cost()); }
+    void blockEnter(const ir::BasicBlock *bb)
+    {
+        r->blockEnter(bb, m->cost(), m->stackPointer());
+    }
+    void phiResolved(const Instruction *, std::uint64_t bits)
+    {
+        r->phiResolved(bits);
+    }
+    void load(const Instruction *i, std::uint64_t a)
+    {
+        r->load(i, a, m->preciseCost());
+    }
+    void store(const Instruction *i, std::uint64_t a)
+    {
+        r->store(i, a, m->preciseCost());
+    }
+    void callSite(const Instruction *i) { r->callSite(i); }
+};
 
 } // namespace
 
@@ -159,6 +224,18 @@ std::uint64_t
 Machine::execFunction(const ir::Function *fn,
                       const std::vector<std::uint64_t> &args)
 {
+    if (recorder_)
+        return execFunctionT(fn, args, RecorderSink{recorder_, this});
+    if (listener_)
+        return execFunctionT(fn, args, ListenerSink{listener_});
+    return execFunctionT(fn, args, NullSink{});
+}
+
+template <typename Sink>
+std::uint64_t
+Machine::execFunctionT(const ir::Function *fn,
+                       const std::vector<std::uint64_t> &args, Sink sink)
+{
     fatalIf(args.size() != fn->args().size(),
             "argument count mismatch calling @" + fn->name());
     if (++callDepth_ > 10'000)
@@ -170,10 +247,12 @@ Machine::execFunction(const ir::Function *fn,
     const std::uint64_t savedSp = sp_;
     const std::uint64_t savedBlockSize = curBlockSize_;
     const std::uint64_t savedIp = ipInBlock_;
-    if (listener_)
-        listener_->onFunctionEnter(fn);
+    sink.functionEnter(fn);
 
-    std::vector<std::uint64_t> regs(fn->numLocals(), 0);
+    if (regScratch_.size() < callDepth_)
+        regScratch_.emplace_back();
+    std::vector<std::uint64_t> &regs = regScratch_[callDepth_ - 1];
+    regs.assign(fn->numLocals(), 0);
     for (std::size_t i = 0; i < args.size(); ++i)
         regs[fn->args()[i]->localId()] = args[i];
 
@@ -190,25 +269,22 @@ Machine::execFunction(const ir::Function *fn,
         if (wallLimitMs_ != 0 && cost_ >= nextDeadlineCheckCost_)
             [[unlikely]]
             checkDeadline(fn);
-        if (listener_)
-            listener_->onBlockEnter(bb);
+        sink.blockEnter(bb);
 
         // Phis resolve in parallel against the incoming edge.
         std::size_t ip = 0;
         const auto &instrs = bb->instructions();
         if (!instrs.empty() && instrs[0]->isPhi()) {
-            std::vector<std::pair<const Instruction *, std::uint64_t>>
-                resolved;
+            phiScratch_.clear();
             for (; ip < instrs.size() && instrs[ip]->isPhi(); ++ip) {
                 const Instruction *phi = instrs[ip].get();
                 panicIf(!prev, "phi in entry block of @" + fn->name());
-                resolved.emplace_back(
+                phiScratch_.emplace_back(
                     phi, evalValue(phi->incomingFor(prev), regs));
             }
-            for (const auto &[phi, bits] : resolved) {
+            for (const auto &[phi, bits] : phiScratch_) {
                 regs[phi->localId()] = bits;
-                if (listener_)
-                    listener_->onPhiResolved(phi, bits);
+                sink.phiResolved(phi, bits);
             }
         }
 
@@ -228,15 +304,15 @@ Machine::execFunction(const ir::Function *fn,
               case Opcode::Ret:
                 if (instr.numOperands() == 1)
                     result = evalValue(instr.operand(0), regs);
-                if (listener_)
-                    listener_->onFunctionExit(fn);
+                sink.functionExit(fn);
                 sp_ = savedSp;
                 curBlockSize_ = savedBlockSize;
                 ipInBlock_ = savedIp;
                 --callDepth_;
                 return result;
               default:
-                regs[instr.localId()] = execInstruction(instr, regs);
+                regs[instr.localId()] =
+                    execInstructionT(instr, regs, sink);
                 break;
             }
         }
@@ -246,9 +322,10 @@ Machine::execFunction(const ir::Function *fn,
     }
 }
 
+template <typename Sink>
 std::uint64_t
-Machine::execInstruction(const Instruction &instr,
-                         std::vector<std::uint64_t> &regs)
+Machine::execInstructionT(const Instruction &instr,
+                          std::vector<std::uint64_t> &regs, Sink sink)
 {
     auto op = [&](unsigned i) { return evalValue(instr.operand(i), regs); };
     auto iop = [&](unsigned i) { return asI64(op(i)); };
@@ -311,31 +388,35 @@ Machine::execInstruction(const Instruction &instr,
       }
       case Opcode::Load: {
         std::uint64_t addr = op(0);
-        if (listener_)
-            listener_->onLoad(&instr, addr);
+        sink.load(&instr, addr);
         return mem_.load64(addr);
       }
       case Opcode::Store: {
         std::uint64_t addr = op(1);
-        if (listener_)
-            listener_->onStore(&instr, addr);
+        sink.store(&instr, addr);
         mem_.store64(addr, op(0));
         return 0;
       }
       case Opcode::PtrAdd: return op(0) + op(1);
 
       case Opcode::Call: {
-        if (listener_)
-            listener_->onCallSite(&instr);
-        std::vector<std::uint64_t> args(instr.numOperands());
+        sink.callSite(&instr);
+        // Scratch slot by depth: dead once the callee (depth + 1) has
+        // copied it into its registers, so depths never collide.
+        while (argScratch_.size() <= callDepth_)
+            argScratch_.emplace_back();
+        std::vector<std::uint64_t> &args = argScratch_[callDepth_];
+        args.resize(instr.numOperands());
         for (unsigned i = 0; i < instr.numOperands(); ++i)
             args[i] = op(i);
-        return execFunction(instr.callee(), args);
+        return execFunctionT(instr.callee(), args, sink);
       }
       case Opcode::CallExt: {
-        if (listener_)
-            listener_->onCallSite(&instr);
-        std::vector<std::uint64_t> args(instr.numOperands());
+        sink.callSite(&instr);
+        while (argScratch_.size() <= callDepth_)
+            argScratch_.emplace_back();
+        std::vector<std::uint64_t> &args = argScratch_[callDepth_];
+        args.resize(instr.numOperands());
         for (unsigned i = 0; i < instr.numOperands(); ++i)
             args[i] = op(i);
         const ir::ExternalFunction *ext = instr.externalCallee();

@@ -22,12 +22,18 @@
 
 #include <chrono>
 #include <cstdint>
+#include <deque>
+#include <utility>
 #include <vector>
 
 #include "guard/budget.hpp"
 #include "interp/events.hpp"
 #include "interp/memory.hpp"
 #include "ir/module.hpp"
+
+namespace lp::trace {
+class Recorder;
+}
 
 namespace lp::interp {
 
@@ -92,17 +98,38 @@ class Machine
      */
     void setBudget(const guard::RunBudget &b);
 
+    /**
+     * Record the run into @p r instead of firing listener call-backs.
+     * The recorder becomes the (devirtualized) instrumentation sink:
+     * every event reaches it as a direct call together with the machine
+     * clock samples it needs, and any listener passed at construction
+     * is ignored for the run.  Set before run().
+     */
+    void setRecorder(trace::Recorder *r) { recorder_ = r; }
+
   private:
     std::uint64_t evalValue(const ir::Value *v,
                             const std::vector<std::uint64_t> &regs) const;
-    std::uint64_t execInstruction(const ir::Instruction &instr,
-                                  std::vector<std::uint64_t> &regs);
+    /**
+     * The interpreter loop, templated on the instrumentation sink so
+     * the null-instrumentation and recording paths compile to direct
+     * (inlineable) calls instead of virtual dispatch per event.
+     */
+    template <typename Sink>
+    std::uint64_t execFunctionT(const ir::Function *fn,
+                                const std::vector<std::uint64_t> &args,
+                                Sink sink);
+    template <typename Sink>
+    std::uint64_t execInstructionT(const ir::Instruction &instr,
+                                   std::vector<std::uint64_t> &regs,
+                                   Sink sink);
     [[noreturn]] void throwFuelExhausted(const ir::Function *fn) const;
     /** Poll the wall-clock deadline (cold; called every ~262k insts). */
     void checkDeadline(const ir::Function *fn);
 
     const ir::Module &mod_;
     ExecListener *listener_;
+    trace::Recorder *recorder_ = nullptr;
     Memory mem_;
     std::uint64_t cost_ = 0;
     std::uint64_t costLimit_ = 50'000'000'000ULL;
@@ -114,6 +141,22 @@ class Machine
     std::uint64_t sp_ = Memory::kStackBase;
     unsigned callDepth_ = 0;
     bool ran_ = false;
+    /**
+     * Reusable per-call-depth scratch: register files and outgoing call
+     * arguments.  Allocated once per depth on first use and then reused
+     * by every call at that depth, removing the interpreter's per-call
+     * allocations.  Deques: growth must not move the slots of the
+     * suspended outer calls that still hold references into them.
+     */
+    std::deque<std::vector<std::uint64_t>> regScratch_;
+    std::deque<std::vector<std::uint64_t>> argScratch_;
+    /**
+     * Scratch for parallel phi resolution.  A single buffer suffices:
+     * its live range (top of a block) contains no calls, so it is never
+     * needed at two depths at once.
+     */
+    std::vector<std::pair<const ir::Instruction *, std::uint64_t>>
+        phiScratch_;
     /**
      * Per-run copies of external impls (run isolation; see @file),
      * indexed by ExternalFunction::index().  Last member: cold relative

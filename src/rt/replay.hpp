@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Record-once / replay-many execution of the limit study.
+ *
+ * runLimitStudy() interprets a program afresh for every configuration
+ * cell even though the paper's method only needs one dynamic event
+ * stream per program (Section III: instrument once, run once, evaluate
+ * every model from the stream).  This front end makes the sweep pay the
+ * interpreter exactly once: recordTrace() performs one recording run
+ * (devirtualized sink, no tracker), and replayLimitStudy() then drives
+ * a LoopRuntime for each remaining configuration straight from the
+ * trace — no Machine, no register file, no simulated memory — while
+ * reconstructing the machine clock and stack-pointer samples the
+ * tracker needs bit-exactly.  Replay reports are therefore
+ * byte-identical to interpret-mode reports (enforced by
+ * tests/test_trace.cpp across the whole config grid).
+ *
+ * Failure taxonomy: a truncated trace (byte budget hit during
+ * recording), a fingerprint mismatch, or any malformed stream raises
+ * lp::IoError (LP_IO), so affected sweep cells quarantine under
+ * keep-going exactly like a damaged input file would.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "guard/budget.hpp"
+#include "rt/config.hpp"
+#include "rt/oracle_capture.hpp"
+#include "rt/plan.hpp"
+#include "rt/report.hpp"
+#include "trace/format.hpp"
+#include "trace/index.hpp"
+
+namespace lp::rt {
+
+/**
+ * Loop-header flags by global trace block id, from the compile-time
+ * loop analysis.  Header set membership is configuration-independent,
+ * so one recording serves every configuration.
+ */
+std::vector<bool> headerBlockFlags(const ModulePlan &plan,
+                                   const trace::ModuleIndex &index);
+
+/**
+ * Record one run of @p mod into a trace: the machine runs with the
+ * recording sink (no tracker) under @p budget; the trace payload is
+ * capped at budget.maxTraceBytes.
+ */
+trace::Trace recordTrace(const ir::Module &mod,
+                         const trace::ModuleIndex &index,
+                         const ModulePlan &plan,
+                         const guard::RunBudget &budget);
+
+/**
+ * Run the limit study for one configuration by replaying @p t.
+ * Byte-identical to runLimitStudy() on the same module/config.
+ *
+ * @throws lp::IoError when the trace is truncated, does not match the
+ *         module, or is malformed.
+ */
+ProgramReport replayLimitStudy(const ModulePlan &plan,
+                               const trace::ModuleIndex &index,
+                               const trace::Trace &t, const LPConfig &cfg,
+                               const std::string &name,
+                               OracleCapture *oracle = nullptr);
+
+} // namespace lp::rt

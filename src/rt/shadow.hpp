@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Flat shadow memory for cross-iteration write tracking.
+ *
+ * The conflict tracker needs, per live loop instance, "who last wrote
+ * this 8-byte granule and when".  A hash map probed on every load and
+ * store dominates tracking cost (Salamanca & Baldassin observe the
+ * same for software-TLS shadow state), so ShadowWriteMap keeps the
+ * common case flat: the simulated address space has exactly three
+ * dense segments (globals, heap, stack — see interp/memory.hpp), and
+ * each gets a direct-mapped page table of fixed 512-granule pages
+ * (4 KiB of simulated address space, ~12 KiB of host memory per page).
+ * A granule resolves to its entry with two shifts and two bounds
+ * checks — no hashing, no probing.
+ *
+ * Instance reset is epoch-tagged: every entry stamps the epoch it was
+ * written in, and reset() just bumps the map's epoch, invalidating all
+ * entries at once — O(1), keeping pages warm for the next instance of
+ * the same loop.  Maps are pooled by the tracker so one allocation
+ * services many instances.
+ *
+ * Anything outside the three segments (wild addresses a trap is about
+ * to reject) falls back to the old hash map, so correctness never
+ * depends on the fast path's coverage.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "interp/memory.hpp"
+
+namespace lp::rt {
+
+/** Last cross-iteration write to one 8-byte granule. */
+struct WriteRec
+{
+    std::uint64_t iter;   ///< iteration index of the writer
+    std::uint64_t offset; ///< writer's offset within its iteration
+};
+
+/** Per-loop-instance granule -> last-write map (see @file). */
+class ShadowWriteMap
+{
+  public:
+    ShadowWriteMap() = default;
+
+    /** Invalidate every entry (O(1): epoch bump); pages stay mapped. */
+    void
+    reset()
+    {
+        ++epoch_;
+    }
+
+    /** The current-instance write to @p granule, or null. */
+    const WriteRec *
+    lookup(std::uint64_t granule) const
+    {
+        const Segment *seg = segmentFor(granule);
+        if (seg) [[likely]] {
+            const std::size_t idx =
+                static_cast<std::size_t>(granule - seg->base) >> kPageBits;
+            if (idx >= seg->pages.size() || !seg->pages[idx])
+                return nullptr;
+            const Entry &e =
+                seg->pages[idx]->at[granule & (kPageGranules - 1)];
+            return e.epoch == epoch_ ? &e.rec : nullptr;
+        }
+        auto it = fallback_.find(granule);
+        if (it == fallback_.end() || it->second.epoch != epoch_)
+            return nullptr;
+        return &it->second.rec;
+    }
+
+    /** Record a write to @p granule in the current instance. */
+    void
+    record(std::uint64_t granule, std::uint64_t iter, std::uint64_t offset)
+    {
+        Segment *seg = segmentFor(granule);
+        if (seg) [[likely]] {
+            const std::size_t idx =
+                static_cast<std::size_t>(granule - seg->base) >> kPageBits;
+            if (idx >= seg->pages.size())
+                seg->pages.resize(idx + 1);
+            if (!seg->pages[idx])
+                seg->pages[idx] = std::make_unique<Page>();
+            Entry &e = seg->pages[idx]->at[granule & (kPageGranules - 1)];
+            e.rec = {iter, offset};
+            e.epoch = epoch_;
+            return;
+        }
+        Entry &e = fallback_[granule];
+        e.rec = {iter, offset};
+        e.epoch = epoch_;
+    }
+
+    /** Host pages currently mapped (for metrics / memory accounting). */
+    std::size_t
+    pagesMapped() const
+    {
+        std::size_t n = 0;
+        for (const Segment &s : segs_)
+            for (const auto &p : s.pages)
+                n += p != nullptr;
+        return n;
+    }
+
+    static constexpr unsigned kPageBits = 9;
+    static constexpr std::uint64_t kPageGranules = 1ULL << kPageBits;
+
+  private:
+    struct Entry
+    {
+        WriteRec rec;
+        std::uint64_t epoch; ///< 0 in fresh pages = never valid
+    };
+
+    struct Page
+    {
+        std::array<Entry, kPageGranules> at{}; ///< value-init: epoch 0
+    };
+
+    /** One dense address band, [base, end) in granules. */
+    struct Segment
+    {
+        std::uint64_t base;
+        std::uint64_t end;
+        std::vector<std::unique_ptr<Page>> pages; ///< grown as touched
+    };
+
+    const Segment *
+    segmentFor(std::uint64_t granule) const
+    {
+        // Stack first: loop-carried traffic is most often stack/heap.
+        if (granule >= segs_[2].base)
+            return granule < segs_[2].end ? &segs_[2] : nullptr;
+        if (granule >= segs_[1].base)
+            return &segs_[1]; // heap band ends where the stack begins
+        if (granule >= segs_[0].base)
+            return &segs_[0]; // global band ends where the heap begins
+        return nullptr;
+    }
+
+    Segment *
+    segmentFor(std::uint64_t granule)
+    {
+        return const_cast<Segment *>(
+            static_cast<const ShadowWriteMap *>(this)->segmentFor(granule));
+    }
+
+    Segment segs_[3] = {
+        {interp::Memory::kGlobalBase >> 3, interp::Memory::kHeapBase >> 3,
+         {}},
+        {interp::Memory::kHeapBase >> 3, interp::Memory::kStackBase >> 3,
+         {}},
+        {interp::Memory::kStackBase >> 3, interp::Memory::kStackLimit >> 3,
+         {}},
+    };
+    /** Granules outside every band (wild addresses). */
+    std::unordered_map<std::uint64_t, Entry> fallback_;
+    std::uint64_t epoch_ = 1; ///< starts above the fresh-page epoch 0
+};
+
+} // namespace lp::rt

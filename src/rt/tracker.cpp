@@ -7,6 +7,8 @@
 #include "obs/timer.hpp"
 #include "support/error.hpp"
 #include "support/text.hpp"
+#include "trace/format.hpp"
+#include "trace/index.hpp"
 
 namespace lp::rt {
 
@@ -15,7 +17,8 @@ using ir::Instruction;
 
 LoopRuntime::LoopRuntime(const ModulePlan &plan, const LPConfig &cfg,
                          OracleCapture *oracle)
-    : plan_(plan), cfg_(cfg), oracle_(oracle)
+    : plan_(plan), cfg_(cfg), oracle_(oracle),
+      metrics_(obs::metricsOn())
 {
     cfg_.validate();
 
@@ -93,7 +96,9 @@ LoopRuntime::LoopRuntime(const ModulePlan &plan, const LPConfig &cfg,
                 }
             }
 
-            // Def-site watches for the effective tracked LCDs.
+            // Def-site watches for the effective tracked LCDs; offsets
+            // come from the plan's precomputed per-block def sites
+            // instead of rescanning the block per watch.
             if (rli->verdict == SerialReason::None) {
                 for (unsigned i = 0; i < rli->tracked.size(); ++i) {
                     const TrackedPhi &tp = rli->tracked[i];
@@ -101,11 +106,17 @@ LoopRuntime::LoopRuntime(const ModulePlan &plan, const LPConfig &cfg,
                         continue;
                     const BasicBlock *bb = tp.defInstr->parent();
                     unsigned offset = 0;
-                    for (const auto &instr : bb->instructions()) {
-                        ++offset;
-                        if (instr.get() == tp.defInstr)
+                    auto sites = fp->defSites.find(bb);
+                    panicIf(sites == fp->defSites.end(),
+                            "tracked def site missing from the plan");
+                    for (const DefSite &d : sites->second) {
+                        if (d.instr == tp.defInstr) {
+                            offset = d.offsetInBlock;
                             break;
+                        }
                     }
+                    panicIf(offset == 0,
+                            "tracked def site missing from the plan");
                     defWatch_[bb].push_back({tp.defInstr, offset,
                                              lplan.loop->header(), i});
                 }
@@ -119,27 +130,52 @@ LoopRuntime::LoopRuntime(const ModulePlan &plan, const LPConfig &cfg,
 
 LoopRuntime::~LoopRuntime() = default;
 
-std::uint64_t
-LoopRuntime::nowBefore(const BasicBlock *bb) const
+ShadowWriteMap *
+LoopRuntime::acquireShadow()
 {
-    return machine_->cost() - bb->instructions().size();
+    if (!shadowFree_.empty()) {
+        ShadowWriteMap *s = shadowFree_.back();
+        shadowFree_.pop_back();
+        s->reset();
+        return s;
+    }
+    shadowPool_.push_back(std::make_unique<ShadowWriteMap>());
+    return shadowPool_.back().get();
+}
+
+void
+LoopRuntime::releaseShadow(ShadowWriteMap *s)
+{
+    if (s)
+        shadowFree_.push_back(s);
 }
 
 void
 LoopRuntime::onFunctionEnter(const ir::Function *fn)
 {
-    frames_.push_back({&plan_.planFor(fn), {}, 0});
+    feedFunctionEnter(fn);
 }
 
 void
 LoopRuntime::onFunctionExit(const ir::Function *fn)
+{
+    feedFunctionExit(fn, machine_->cost());
+}
+
+void
+LoopRuntime::feedFunctionEnter(const ir::Function *fn)
+{
+    frames_.push_back({&plan_.planFor(fn), {}, 0});
+}
+
+void
+LoopRuntime::feedFunctionExit(const ir::Function *fn, std::uint64_t now)
 {
     panicIf(frames_.empty() || frames_.back().fp->fn != fn,
             "function exit does not match runtime frame stack");
     FrameCtx &frame = frames_.back();
 
     // Early returns may leave loop instances open; close them now.
-    std::uint64_t now = machine_->cost();
     while (!frame.loopStack.empty()) {
         Instance inst = std::move(frame.loopStack.back());
         frame.loopStack.pop_back(); // pop first: savings go to the parent
@@ -169,8 +205,29 @@ LoopRuntime::addSavingsToCurrentContext(std::uint64_t s)
 void
 LoopRuntime::onBlockEnter(const BasicBlock *bb)
 {
+    feedBlockEnter(bb, machine_->cost() - bb->instructions().size(),
+                   machine_->stackPointer());
+}
+
+void
+LoopRuntime::feedBlockEnter(const BasicBlock *bb, std::uint64_t nowBefore,
+                            std::uint64_t sp)
+{
+    auto hit = byHeader_.find(bb);
+    auto dw = defWatch_.find(bb);
+    feedBlockEnterAt(bb, nowBefore, sp,
+                     hit != byHeader_.end() ? hit->second : nullptr,
+                     dw != defWatch_.end() ? &dw->second : nullptr);
+}
+
+void
+LoopRuntime::feedBlockEnterAt(const BasicBlock *bb,
+                              std::uint64_t nowBefore, std::uint64_t sp,
+                              RunLoopInfo *headerRli,
+                              const std::vector<DefWatch> *watches)
+{
     FrameCtx &frame = frames_.back();
-    const std::uint64_t now = nowBefore(bb);
+    const std::uint64_t now = nowBefore;
 
     // Exited loops: pop every instance that does not contain this block.
     while (!frame.loopStack.empty() &&
@@ -181,21 +238,18 @@ LoopRuntime::onBlockEnter(const BasicBlock *bb)
     }
 
     // Loop entry or iteration boundary.
-    auto hit = byHeader_.find(bb);
-    if (hit != byHeader_.end()) {
-        RunLoopInfo *rli = hit->second;
+    if (headerRli) {
         if (!frame.loopStack.empty() &&
-            frame.loopStack.back().rli == rli) {
-            iterationBoundary(frame.loopStack.back(), now);
+            frame.loopStack.back().rli == headerRli) {
+            iterationBoundary(frame.loopStack.back(), now, sp);
         } else {
-            openInstance(rli, now);
+            openInstance(headerRli, now, sp);
         }
     }
 
     // Timestamp watched def sites in this block.
-    auto dw = defWatch_.find(bb);
-    if (dw != defWatch_.end()) {
-        for (const DefWatch &w : dw->second) {
+    if (watches) {
+        for (const DefWatch &w : *watches) {
             // Find the instance of the watched loop on this frame's stack.
             for (auto it = frame.loopStack.rbegin();
                  it != frame.loopStack.rend(); ++it) {
@@ -211,20 +265,22 @@ LoopRuntime::onBlockEnter(const BasicBlock *bb)
 }
 
 void
-LoopRuntime::openInstance(RunLoopInfo *rli, std::uint64_t now)
+LoopRuntime::openInstance(RunLoopInfo *rli, std::uint64_t now,
+                          std::uint64_t sp)
 {
     FrameCtx &frame = frames_.back();
     Instance inst;
     inst.rli = rli;
     inst.entryTs = now;
     inst.iterStartTs = now;
-    inst.spAtIterStart = machine_->stackPointer();
+    inst.spAtIterStart = sp;
+    inst.shadow = acquireShadow();
     inst.regs.resize(rli->tracked.size());
     if (oracle_)
         inst.oracle.resize(rli->oracleSlots.size());
     frame.loopStack.push_back(std::move(inst));
     rli->report.instances += 1;
-    if (obs::metricsOn())
+    if (metrics_)
         instancesCtr_->add(1);
 }
 
@@ -233,20 +289,21 @@ LoopRuntime::registerConflict(Instance &inst)
 {
     // A register LCD manifesting at the start of the current iteration.
     inst.anyConflict = true;
-    if (obs::metricsOn())
+    if (metrics_)
         conflictsCtr_->add(1);
     if (cfg_.model == ExecModel::PartialDoAll && !inst.conflictedThisIter) {
         inst.parallelAccum += inst.phaseSlowest;
         inst.phaseSlowest = 0;
         inst.conflictedThisIter = true;
         inst.conflictIters += 1;
-        if (obs::metricsOn())
+        if (metrics_)
             squashesCtr_->add(1);
     }
 }
 
 void
-LoopRuntime::iterationBoundary(Instance &inst, std::uint64_t now)
+LoopRuntime::iterationBoundary(Instance &inst, std::uint64_t now,
+                               std::uint64_t sp)
 {
     // Close the finishing iteration.
     std::uint64_t serialIterCost = now - inst.iterStartTs;
@@ -285,7 +342,7 @@ LoopRuntime::iterationBoundary(Instance &inst, std::uint64_t now)
     inst.iterStartTs = now;
     inst.curIterSavings = 0;
     inst.conflictedThisIter = false;
-    inst.spAtIterStart = machine_->stackPointer();
+    inst.spAtIterStart = sp;
 
     // dep1 under a speculative model: the lowered LCD conflicts at the
     // top of every iteration after the first.
@@ -317,7 +374,10 @@ LoopRuntime::closeInstance(Instance &inst, std::uint64_t now)
     std::uint64_t rawSerial = now - inst.entryTs;
     std::uint64_t adjSerial = rawSerial - inst.totalChildSavings;
 
-    if (obs::metricsOn()) {
+    releaseShadow(inst.shadow);
+    inst.shadow = nullptr;
+
+    if (metrics_) {
         tripCountHist_->record(inst.curIter);
         // DOALL is all-or-nothing speculation: any conflict discards
         // the whole instance's parallel execution.
@@ -395,6 +455,12 @@ LoopRuntime::closeInstance(Instance &inst, std::uint64_t now)
 
 void
 LoopRuntime::onPhiResolved(const Instruction *phi, std::uint64_t bits)
+{
+    feedPhiResolved(phi, bits);
+}
+
+void
+LoopRuntime::feedPhiResolved(const Instruction *phi, std::uint64_t bits)
 {
     auto hit = byHeader_.find(phi->parent());
     if (hit == byHeader_.end())
@@ -476,7 +542,7 @@ LoopRuntime::noteMemConflict(Instance &inst, const WriteRec &rec,
 {
     inst.memConflicts += 1;
     inst.anyConflict = true;
-    if (obs::metricsOn())
+    if (metrics_)
         conflictsCtr_->add(1);
     switch (cfg_.model) {
       case ExecModel::DoAll:
@@ -487,7 +553,7 @@ LoopRuntime::noteMemConflict(Instance &inst, const WriteRec &rec,
             inst.phaseSlowest = 0;
             inst.conflictedThisIter = true;
             inst.conflictIters += 1;
-            if (obs::metricsOn())
+            if (metrics_)
                 squashesCtr_->add(1);
         }
         break;
@@ -509,10 +575,16 @@ LoopRuntime::noteMemConflict(Instance &inst, const WriteRec &rec,
 void
 LoopRuntime::onLoad(const Instruction *instr, std::uint64_t addr)
 {
-    if (obs::metricsOn())
+    feedLoad(instr, addr, machine_->preciseCost());
+}
+
+void
+LoopRuntime::feedLoad(const Instruction *instr, std::uint64_t addr,
+                      std::uint64_t preciseNow)
+{
+    if (metrics_)
         memEventsCtr_->add(1);
     const std::uint64_t granule = addr >> 3;
-    std::uint64_t now = machine_->preciseCost();
     for (FrameCtx &frame : frames_) {
         for (Instance &inst : frame.loopStack) {
             if (inst.rli->verdict != SerialReason::None)
@@ -523,11 +595,10 @@ LoopRuntime::onLoad(const Instruction *instr, std::uint64_t addr)
             }
             if (inst.rli->plan->untrackedMem.count(instr))
                 continue; // statically proven conflict-free
-            auto rec = inst.lastWrite.find(granule);
-            if (rec != inst.lastWrite.end() &&
-                rec->second.iter < inst.curIter) {
-                noteMemConflict(inst, rec->second,
-                                now - inst.iterStartTs);
+            const WriteRec *rec = inst.shadow->lookup(granule);
+            if (rec && rec->iter < inst.curIter) {
+                noteMemConflict(inst, *rec,
+                                preciseNow - inst.iterStartTs);
             }
         }
     }
@@ -536,10 +607,16 @@ LoopRuntime::onLoad(const Instruction *instr, std::uint64_t addr)
 void
 LoopRuntime::onStore(const Instruction *instr, std::uint64_t addr)
 {
-    if (obs::metricsOn())
+    feedStore(instr, addr, machine_->preciseCost());
+}
+
+void
+LoopRuntime::feedStore(const Instruction *instr, std::uint64_t addr,
+                       std::uint64_t preciseNow)
+{
+    if (metrics_)
         memEventsCtr_->add(1);
     const std::uint64_t granule = addr >> 3;
-    std::uint64_t now = machine_->preciseCost();
     for (FrameCtx &frame : frames_) {
         for (Instance &inst : frame.loopStack) {
             if (inst.rli->verdict != SerialReason::None)
@@ -550,14 +627,21 @@ LoopRuntime::onStore(const Instruction *instr, std::uint64_t addr)
             }
             if (inst.rli->plan->untrackedMem.count(instr))
                 continue;
-            inst.lastWrite[granule] = {inst.curIter,
-                                       now - inst.iterStartTs};
+            inst.shadow->record(granule, inst.curIter,
+                                preciseNow - inst.iterStartTs);
         }
     }
 }
 
 ProgramReport
 LoopRuntime::finish(const std::string &programName)
+{
+    return finishAt(programName, machine_->cost());
+}
+
+ProgramReport
+LoopRuntime::finishAt(const std::string &programName,
+                      std::uint64_t serialCost)
 {
     panicIf(finished_, "finish called twice");
     panicIf(!frames_.empty(), "finish with live frames");
@@ -566,7 +650,7 @@ LoopRuntime::finish(const std::string &programName)
     ProgramReport rep;
     rep.program = programName;
     rep.config = cfg_;
-    rep.serialCost = machine_->cost();
+    rep.serialCost = serialCost;
     rep.parallelCost = rep.serialCost - totalSavings_;
 
     // Coverage: merge the (nested-or-disjoint) covered intervals.
@@ -640,11 +724,137 @@ LoopRuntime::finish(const std::string &programName)
               [](const LoopReport &a, const LoopReport &b) {
                   return a.serialCost > b.serialCost;
               });
-    if (obs::metricsOn())
+    if (metrics_)
         obs::Registry::instance()
             .counter("report.loops_reported")
             .add(rep.loops.size());
     return rep;
+}
+
+void
+LoopRuntime::consumeTrace(const trace::ModuleIndex &index,
+                          const trace::Trace &t)
+{
+    using trace::EventKind;
+
+    /** One suspended or running function activation. */
+    struct Frame
+    {
+        const ir::Function *fn;
+        const ir::BasicBlock *cur = nullptr;
+        std::uint64_t blockSize = 0;
+        std::size_t phiIdx = 0;
+    };
+    std::vector<Frame> frames;
+
+    // Per-block-id facts (loop header? watched def sites?), resolved
+    // once up front: the stream names every executed block, and the
+    // hash probes feedBlockEnter would repeat per entry are measurable
+    // across a multi-hundred-thousand-event replay.
+    struct BlockFacts
+    {
+        RunLoopInfo *headerRli = nullptr;
+        const std::vector<DefWatch> *watches = nullptr;
+    };
+    std::vector<BlockFacts> facts(index.numBlocks());
+    for (const auto &[bb, rli] : byHeader_)
+        facts[index.blockId(bb)].headerRli = rli;
+    for (const auto &[bb, ws] : defWatch_)
+        facts[index.blockId(bb)].watches = &ws;
+
+    std::uint64_t cost = 0;
+    trace::PayloadReader r(t);
+    trace::Event e;
+    while (r.next(e)) {
+        switch (e.kind) {
+          case EventKind::FuncEnter: {
+            const ir::Function *fn = index.functionById(e.a);
+            feedFunctionEnter(fn);
+            frames.push_back({fn});
+            break;
+          }
+          case EventKind::FuncExit: {
+            if (frames.empty())
+                throw IoError("trace function exit without a frame");
+            feedFunctionExit(frames.back().fn, cost);
+            frames.pop_back();
+            break;
+          }
+          case EventKind::BlockEnter:
+          case EventKind::BlockEnterHeader: {
+            const ir::BasicBlock *bb = index.blockById(e.a);
+            if (frames.empty() || bb->parent() != frames.back().fn)
+                throw IoError(
+                    "trace block id " + std::to_string(e.a) +
+                    " does not belong to the running function");
+            Frame &f = frames.back();
+            f.cur = bb;
+            f.blockSize = bb->instructions().size();
+            f.phiIdx = 0;
+            cost += f.blockSize;
+            const BlockFacts &bf = facts[e.a];
+            feedBlockEnterAt(bb, cost - f.blockSize,
+                             e.kind == EventKind::BlockEnterHeader
+                                 ? e.b << 3
+                                 : 0,
+                             bf.headerRli, bf.watches);
+            break;
+          }
+          case EventKind::Phi: {
+            if (frames.empty() || !frames.back().cur)
+                throw IoError("trace phi event outside a block");
+            Frame &f = frames.back();
+            const auto &instrs = f.cur->instructions();
+            if (f.phiIdx >= instrs.size() || !instrs[f.phiIdx]->isPhi())
+                throw IoError("trace phi event does not line up with "
+                              "the block's phis");
+            feedPhiResolved(instrs[f.phiIdx++].get(), e.a);
+            break;
+          }
+          case EventKind::Load:
+          case EventKind::Store: {
+            if (frames.empty() || !frames.back().cur)
+                throw IoError("trace memory event outside a block");
+            Frame &f = frames.back();
+            if (e.a >= f.cur->instructions().size())
+                throw IoError("trace memory event offset " +
+                              std::to_string(e.a) +
+                              " is past the end of its block");
+            const Instruction *instr = f.cur->instructions()[e.a].get();
+            const std::uint64_t precise = cost - f.blockSize + e.a + 1;
+            if (e.kind == EventKind::Load)
+                feedLoad(instr, e.b << 3, precise);
+            else
+                feedStore(instr, e.b << 3, precise);
+            break;
+          }
+          case EventKind::Charge:
+            cost += e.a;
+            break;
+          case EventKind::CallSite: {
+            if (frames.empty() || !frames.back().cur)
+                throw IoError("trace call site outside a block");
+            Frame &f = frames.back();
+            if (e.a >= f.cur->instructions().size())
+                throw IoError("trace call site offset " +
+                              std::to_string(e.a) +
+                              " is past the end of its block");
+            const Instruction *instr = f.cur->instructions()[e.a].get();
+            if (instr->opcode() == ir::Opcode::CallExt)
+                cost += instr->externalCallee()->cost();
+            break;
+          }
+        }
+    }
+    if (!frames.empty())
+        throw IoError("trace ended with " +
+                      std::to_string(frames.size()) +
+                      " function frames still open");
+    if (cost != t.finalCost)
+        throw IoError("replayed clock disagrees with the recording (" +
+                      std::to_string(cost) + " vs " +
+                      std::to_string(t.finalCost) +
+                      "): trace does not match this module");
 }
 
 ProgramReport

@@ -24,6 +24,12 @@
 #include "rt/oracle_capture.hpp"
 #include "rt/plan.hpp"
 #include "rt/report.hpp"
+#include "rt/shadow.hpp"
+
+namespace lp::trace {
+class ModuleIndex;
+struct Trace;
+} // namespace lp::trace
 
 namespace lp::rt {
 
@@ -47,7 +53,41 @@ class LoopRuntime : public interp::ExecListener
     /** Build the final report; call after Machine::run() returned. */
     ProgramReport finish(const std::string &programName);
 
-    /// @name ExecListener interface
+    /** Like finish(), but with an explicit final clock (replay mode). */
+    ProgramReport finishAt(const std::string &programName,
+                           std::uint64_t serialCost);
+
+    /// @name Event feed
+    /// The runtime's real front end.  Clock and stack-pointer samples
+    /// arrive as explicit arguments, so events can come either from the
+    /// live listener call-backs below (which sample the attached
+    /// machine) or from a recorded trace whose replay driver
+    /// reconstructs the same samples (rt/replay.hpp).
+    /// @{
+    void feedFunctionEnter(const ir::Function *fn);
+    void feedFunctionExit(const ir::Function *fn, std::uint64_t now);
+    /** @param nowBefore clock excluding @p bb's charge
+     *  @param sp stack pointer at entry (used for header blocks) */
+    void feedBlockEnter(const ir::BasicBlock *bb, std::uint64_t nowBefore,
+                        std::uint64_t sp);
+    void feedPhiResolved(const ir::Instruction *phi, std::uint64_t bits);
+    void feedLoad(const ir::Instruction *instr, std::uint64_t addr,
+                  std::uint64_t preciseNow);
+    void feedStore(const ir::Instruction *instr, std::uint64_t addr,
+                   std::uint64_t preciseNow);
+    /**
+     * Feed every event of @p t, reconstructing the clock and
+     * stack-pointer samples the recording mirrored (rt/replay.hpp has
+     * the protocol).  Defined alongside the feed* bodies so the
+     * per-event dispatch inlines into them — this loop is the whole
+     * hot path of a replayed sweep cell.
+     * @throws lp::IoError on any malformed or mismatched stream.
+     */
+    void consumeTrace(const trace::ModuleIndex &index,
+                      const trace::Trace &t);
+    /// @}
+
+    /// @name ExecListener interface (live-machine front end)
     /// @{
     void onBlockEnter(const ir::BasicBlock *bb) override;
     void onPhiResolved(const ir::Instruction *phi,
@@ -59,13 +99,6 @@ class LoopRuntime : public interp::ExecListener
     /// @}
 
   private:
-    /** Last cross-iteration write to one 8-byte granule. */
-    struct WriteRec
-    {
-        std::uint64_t iter;   ///< iteration index of the writer
-        std::uint64_t offset; ///< writer's offset within its iteration
-    };
-
     /** Per-instance state of one tracked register LCD. */
     struct RegState
     {
@@ -116,7 +149,8 @@ class LoopRuntime : public interp::ExecListener
         bool anyConflict = false;
         std::uint64_t conflictIters = 0;
         std::uint64_t memConflicts = 0;
-        std::unordered_map<std::uint64_t, WriteRec> lastWrite;
+        /** Pooled last-write shadow map (owned by the LoopRuntime). */
+        ShadowWriteMap *shadow = nullptr;
         std::vector<RegState> regs;
         /** Per-watch difference states; empty when no capture attached. */
         std::vector<OracleCapture::State> oracle;
@@ -129,16 +163,17 @@ class LoopRuntime : public interp::ExecListener
         std::uint64_t savings = 0;
     };
 
-    /** Clock excluding the block currently being entered. */
-    std::uint64_t nowBefore(const ir::BasicBlock *bb) const;
-
-    void openInstance(RunLoopInfo *rli, std::uint64_t now);
-    void iterationBoundary(Instance &inst, std::uint64_t now);
+    void openInstance(RunLoopInfo *rli, std::uint64_t now,
+                      std::uint64_t sp);
+    void iterationBoundary(Instance &inst, std::uint64_t now,
+                           std::uint64_t sp);
     void closeInstance(Instance &inst, std::uint64_t now);
     void addSavingsToCurrentContext(std::uint64_t s);
     void registerConflict(Instance &inst);
     void noteMemConflict(Instance &inst, const WriteRec &rec,
                          std::uint64_t consumerOffset);
+    ShadowWriteMap *acquireShadow();
+    void releaseShadow(ShadowWriteMap *s);
 
     const ModulePlan &plan_;
     LPConfig cfg_;
@@ -159,6 +194,18 @@ class LoopRuntime : public interp::ExecListener
     std::unordered_map<const ir::BasicBlock *, std::vector<DefWatch>>
         defWatch_;
 
+    /**
+     * feedBlockEnter with its two per-block lookups (loop header?
+     * watched def sites?) already resolved.  The live path resolves
+     * them per call; replay pre-resolves them per block id once and
+     * calls this directly (two hash probes per block entry are
+     * measurable over a multi-million-event stream).
+     */
+    void feedBlockEnterAt(const ir::BasicBlock *bb,
+                          std::uint64_t nowBefore, std::uint64_t sp,
+                          RunLoopInfo *headerRli,
+                          const std::vector<DefWatch> *watches);
+
     /** Shared (hardware-like) per-LCD predictors and their counters. */
     std::unordered_map<const ir::Instruction *,
                        std::unique_ptr<predict::HybridPredictor>>
@@ -170,13 +217,22 @@ class LoopRuntime : public interp::ExecListener
     };
     std::unordered_map<const ir::Instruction *, PredStats> predStats_;
 
-    // Cached metric handles (registry entries live forever); every
-    // update in the hot event path is guarded by obs::metricsOn().
+    // Cached metric handles (registry entries live forever).  Whether
+    // metrics are on is resolved ONCE at construction into metrics_, so
+    // the disabled-metrics hot path carries no registry-state branches.
     obs::Counter *memEventsCtr_;
     obs::Counter *conflictsCtr_;
     obs::Counter *squashesCtr_; ///< model.squashes.<model>; null for HELIX
     obs::Counter *instancesCtr_;
     obs::Histogram *tripCountHist_;
+    const bool metrics_;
+
+    /**
+     * Shadow-map pool: maps are acquired per dynamic loop instance and
+     * returned (still warm — reset is an epoch bump) when it closes.
+     */
+    std::vector<std::unique_ptr<ShadowWriteMap>> shadowPool_;
+    std::vector<ShadowWriteMap *> shadowFree_;
 
     std::vector<FrameCtx> frames_;
     std::uint64_t totalSavings_ = 0;

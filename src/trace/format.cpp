@@ -1,0 +1,211 @@
+#include "trace/format.hpp"
+
+#include <cstring>
+
+#include "support/error.hpp"
+
+namespace lp::trace {
+
+namespace {
+
+/** "LPTR" little-endian. */
+constexpr std::uint32_t kMagic = 0x5254504c;
+
+/** Header layout, all fields little-endian, fixed 44 bytes. */
+struct Header
+{
+    std::uint32_t magic;
+    std::uint32_t version;
+    std::uint32_t numFunctions;
+    std::uint32_t numBlocks;
+    std::uint64_t events;
+    std::uint64_t finalCost;
+    std::uint64_t payloadBytes;
+    std::uint32_t flags; ///< bit 0: truncated
+};
+
+constexpr std::size_t kHeaderBytes = 44;
+constexpr std::uint32_t kFlagTruncated = 1u << 0;
+
+void
+put32(std::vector<std::uint8_t> &buf, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+put64(std::vector<std::uint8_t> &buf, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t
+get32(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+get64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+void
+appendVarint(std::vector<std::uint8_t> &buf, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        buf.push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    buf.push_back(static_cast<std::uint8_t>(v));
+}
+
+void
+PayloadWriter::event(const Event &e)
+{
+    buf_.push_back(static_cast<std::uint8_t>(e.kind));
+    switch (e.kind) {
+      case EventKind::FuncEnter:
+        appendVarint(buf_, e.a);
+        break;
+      case EventKind::FuncExit:
+        break;
+      case EventKind::BlockEnter:
+        appendVarint(buf_, zigzagEncode(static_cast<std::int64_t>(
+                               e.a - prevBlockId_)));
+        prevBlockId_ = e.a;
+        break;
+      case EventKind::BlockEnterHeader:
+        appendVarint(buf_, zigzagEncode(static_cast<std::int64_t>(
+                               e.a - prevBlockId_)));
+        appendVarint(buf_, zigzagEncode(static_cast<std::int64_t>(
+                               e.b - prevSpGranule_)));
+        prevBlockId_ = e.a;
+        prevSpGranule_ = e.b;
+        break;
+      case EventKind::Phi:
+        appendVarint(buf_, zigzagEncode(static_cast<std::int64_t>(e.a)));
+        break;
+      case EventKind::Load:
+      case EventKind::Store:
+        appendVarint(buf_, e.a);
+        appendVarint(buf_, zigzagEncode(static_cast<std::int64_t>(
+                               e.b - prevGranule_)));
+        prevGranule_ = e.b;
+        break;
+      case EventKind::Charge:
+      case EventKind::CallSite:
+        appendVarint(buf_, e.a);
+        break;
+    }
+}
+
+namespace detail {
+
+void
+throwTruncatedVarint()
+{
+    throw IoError("trace payload truncated inside a varint");
+}
+
+void
+throwVarintOverflow()
+{
+    throw IoError("trace payload varint overflows 64 bits");
+}
+
+void
+throwUnknownTag(std::uint8_t tag)
+{
+    throw IoError("trace payload has unknown event tag " +
+                  std::to_string(tag));
+}
+
+} // namespace detail
+
+std::vector<std::uint8_t>
+serialize(const Trace &t)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(kHeaderBytes + t.payload.size());
+    put32(out, kMagic);
+    put32(out, kFormatVersion);
+    put32(out, t.numFunctions);
+    put32(out, t.numBlocks);
+    put64(out, t.events);
+    put64(out, t.finalCost);
+    put64(out, static_cast<std::uint64_t>(t.payload.size()));
+    put32(out, t.truncated ? kFlagTruncated : 0);
+    out.insert(out.end(), t.payload.begin(), t.payload.end());
+    return out;
+}
+
+Trace
+deserialize(const std::uint8_t *data, std::size_t size)
+{
+    if (size < kHeaderBytes)
+        throw IoError("trace blob smaller than its header (" +
+                      std::to_string(size) + " bytes)");
+    if (get32(data) != kMagic)
+        throw IoError("trace blob has bad magic (not an LPTR trace)");
+    std::uint32_t version = get32(data + 4);
+    if (version != kFormatVersion)
+        throw IoError("trace format version " + std::to_string(version) +
+                      " not supported (expected " +
+                      std::to_string(kFormatVersion) + ")");
+    Trace t;
+    t.numFunctions = get32(data + 8);
+    t.numBlocks = get32(data + 12);
+    t.events = get64(data + 16);
+    t.finalCost = get64(data + 24);
+    std::uint64_t payloadBytes = get64(data + 32);
+    std::uint32_t flags = get32(data + 40);
+    t.truncated = (flags & kFlagTruncated) != 0;
+    if (size - kHeaderBytes != payloadBytes)
+        throw IoError("trace payload size mismatch: header says " +
+                      std::to_string(payloadBytes) + " bytes, blob has " +
+                      std::to_string(size - kHeaderBytes));
+    t.payload.assign(data + kHeaderBytes, data + size);
+    return t;
+}
+
+std::vector<Event>
+decodeEvents(const Trace &t)
+{
+    std::vector<Event> out;
+    out.reserve(t.events);
+    PayloadReader r(t);
+    Event e;
+    while (r.next(e))
+        out.push_back(e);
+    return out;
+}
+
+Trace
+encodeEvents(const std::vector<Event> &events, std::uint64_t finalCost,
+             std::uint32_t numFunctions, std::uint32_t numBlocks)
+{
+    PayloadWriter w;
+    for (const Event &e : events)
+        w.event(e);
+    Trace t;
+    t.payload = w.takeBytes();
+    t.events = events.size();
+    t.finalCost = finalCost;
+    t.numFunctions = numFunctions;
+    t.numBlocks = numBlocks;
+    return t;
+}
+
+} // namespace lp::trace

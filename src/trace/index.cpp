@@ -1,0 +1,59 @@
+#include "trace/index.hpp"
+
+#include "support/error.hpp"
+
+namespace lp::trace {
+
+ModuleIndex::ModuleIndex(const ir::Module &mod)
+{
+    fns_.reserve(mod.functions().size());
+    for (const auto &fn : mod.functions()) {
+        fatalIf(!fn->finalized(),
+                "module not finalized before trace indexing");
+        FnInfo fi;
+        fi.fn = fn.get();
+        fi.fnId = static_cast<std::uint32_t>(fns_.size());
+        fi.blockBase = static_cast<std::uint32_t>(blocks_.size());
+        fi.ipByLocalId.assign(fn->numLocals(), ~0u);
+        for (const auto &bb : fn->blocks()) {
+            blocks_.push_back(bb.get());
+            std::uint32_t ip = 0;
+            for (const auto &instr : bb->instructions())
+                fi.ipByLocalId[instr->localId()] = ip++;
+        }
+        byFn_[fn.get()] = fi.fnId;
+        fns_.push_back(std::move(fi));
+    }
+}
+
+const ModuleIndex::FnInfo &
+ModuleIndex::info(const ir::Function *fn) const
+{
+    auto it = byFn_.find(fn);
+    if (it == byFn_.end())
+        throw InternalError("function @" + fn->name() +
+                            " is not part of the indexed module");
+    return fns_[it->second];
+}
+
+const ir::BasicBlock *
+ModuleIndex::blockById(std::uint64_t id) const
+{
+    if (id >= blocks_.size())
+        throw IoError("trace refers to block id " + std::to_string(id) +
+                      " beyond the module's " +
+                      std::to_string(blocks_.size()) + " blocks");
+    return blocks_[static_cast<std::size_t>(id)];
+}
+
+const ir::Function *
+ModuleIndex::functionById(std::uint64_t id) const
+{
+    if (id >= fns_.size())
+        throw IoError("trace refers to function id " + std::to_string(id) +
+                      " beyond the module's " + std::to_string(fns_.size()) +
+                      " functions");
+    return fns_[static_cast<std::size_t>(id)].fn;
+}
+
+} // namespace lp::trace

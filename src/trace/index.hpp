@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Dense trace ids for a finalized module.
+ *
+ * The trace format refers to IR objects by small dense integers so the
+ * payload delta-compresses well: functions by their position in
+ * Module::functions(), blocks by a module-global block id (the
+ * function's block base + BasicBlock::index()), and memory/call
+ * instructions by their position within their block.  ModuleIndex
+ * assigns these ids once per module; the Recorder and the replay driver
+ * share one instance so ids always agree.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace lp::trace {
+
+/** Id assignment for one finalized module (immutable once built). */
+class ModuleIndex
+{
+  public:
+    /** Per-function id tables. */
+    struct FnInfo
+    {
+        const ir::Function *fn;
+        std::uint32_t fnId;     ///< position in Module::functions()
+        std::uint32_t blockBase; ///< global id of the function's block 0
+        /**
+         * Instruction offset within its parent block, indexed by
+         * localId (dense after Function::renumberLocals); ~0u for
+         * argument slots.
+         */
+        std::vector<std::uint32_t> ipByLocalId;
+    };
+
+    explicit ModuleIndex(const ir::Module &mod);
+
+    /** @throws lp::InternalError for a function not in the module. */
+    const FnInfo &info(const ir::Function *fn) const;
+
+    std::uint32_t
+    blockId(const ir::BasicBlock *bb) const
+    {
+        return info(bb->parent()).blockBase + bb->index();
+    }
+
+    /** @throws lp::IoError when @p id is out of range (corrupt trace). */
+    const ir::BasicBlock *blockById(std::uint64_t id) const;
+    /** @throws lp::IoError when @p id is out of range (corrupt trace). */
+    const ir::Function *functionById(std::uint64_t id) const;
+
+    std::uint32_t
+    numFunctions() const
+    {
+        return static_cast<std::uint32_t>(fns_.size());
+    }
+
+    std::uint32_t
+    numBlocks() const
+    {
+        return static_cast<std::uint32_t>(blocks_.size());
+    }
+
+  private:
+    std::vector<FnInfo> fns_;
+    std::unordered_map<const ir::Function *, std::uint32_t> byFn_;
+    std::vector<const ir::BasicBlock *> blocks_; ///< by global block id
+};
+
+} // namespace lp::trace

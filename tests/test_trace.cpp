@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Tests for the record-once / replay-many subsystem (src/trace + the
+ * rt/core replay front ends): the load-bearing property is that a
+ * replayed limit study is *byte-identical* — as serialized report JSON —
+ * to an interpreted one for every program shape and configuration, so a
+ * sweep may freely interpret once and replay the remaining cells.  Also
+ * covered: trace encode/decode round-trips, the serialized container's
+ * malformed-blob taxonomy (everything is LP_IO), the trace byte budget
+ * (truncated recordings must fail replay, not silently report from a
+ * partial stream), and keep-going sweeps quarantining those failures.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/driver.hpp"
+#include "core/study.hpp"
+#include "guard/budget.hpp"
+#include "helpers.hpp"
+#include "rt/replay.hpp"
+#include "support/error.hpp"
+#include "trace/format.hpp"
+#include "trace/index.hpp"
+
+namespace lp {
+namespace {
+
+using core::Loopapalooza;
+using rt::ExecModel;
+using rt::LPConfig;
+
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { guard::clearBudgetOverride(); }
+    void TearDown() override { guard::clearBudgetOverride(); }
+};
+
+/** Every fixture shape the suite exercises elsewhere. */
+std::vector<std::pair<std::string, std::unique_ptr<ir::Module>>>
+allShapes()
+{
+    std::vector<std::pair<std::string, std::unique_ptr<ir::Module>>> out;
+    out.emplace_back("saxpy", test::buildSaxpy(64));
+    out.emplace_back("sum", test::buildSumReduction(64));
+    out.emplace_back("chase", test::buildPointerChase(48));
+    out.emplace_back("hist", test::buildHistogram(64, 8));
+    out.emplace_back("calls",
+                     test::buildLoopWithCalls(32,
+                                              test::CalleeKind::Pure));
+    out.emplace_back(
+        "calls-inst",
+        test::buildLoopWithCalls(32, test::CalleeKind::Instrumented));
+    return out;
+}
+
+/** The grid the equivalence tests sweep: 3 models x ablations. */
+std::vector<LPConfig>
+configGrid()
+{
+    return {
+        LPConfig::parse("reduc0-dep0-fn0", ExecModel::DoAll),
+        LPConfig::parse("reduc1-dep0-fn2", ExecModel::DoAll),
+        LPConfig::parse("reduc0-dep0-fn0", ExecModel::PartialDoAll),
+        LPConfig::parse("reduc0-dep2-fn2", ExecModel::PartialDoAll),
+        LPConfig::parse("reduc1-dep3-fn3", ExecModel::PartialDoAll),
+        LPConfig::parse("reduc0-dep0-fn2", ExecModel::Helix),
+        LPConfig::parse("reduc1-dep1-fn2", ExecModel::Helix),
+        LPConfig::parse("reduc1-dep3-fn3", ExecModel::Helix),
+    };
+}
+
+// ------------------------------------------- replay == interpret, bytes
+
+TEST_F(TraceTest, ReplayReportsAreByteIdenticalAcrossTheGrid)
+{
+    for (auto &[name, mod] : allShapes()) {
+        Loopapalooza lp(*mod);
+        for (const LPConfig &cfg : configGrid()) {
+            std::string interp =
+                lp.run(cfg).toJson(/*withObsSnapshot=*/false).dump(2);
+            std::string replay = lp.runReplay(cfg)
+                                     .toJson(/*withObsSnapshot=*/false)
+                                     .dump(2);
+            EXPECT_EQ(interp, replay)
+                << name << " under " << cfg.str();
+        }
+    }
+}
+
+TEST_F(TraceTest, ReplayWithOracleIsByteIdentical)
+{
+    auto mod = test::buildSumReduction(64);
+    Loopapalooza lp(*mod);
+    for (const LPConfig &cfg : configGrid()) {
+        std::string interp = lp.runWithOracle(cfg)
+                                 .toJson(/*withObsSnapshot=*/false)
+                                 .dump(2);
+        std::string replay = lp.runReplayWithOracle(cfg)
+                                 .toJson(/*withObsSnapshot=*/false)
+                                 .dump(2);
+        EXPECT_EQ(interp, replay) << cfg.str();
+    }
+}
+
+TEST_F(TraceTest, StudySweepWithTraceReplayMatchesInterpret)
+{
+    std::vector<core::BenchProgram> progs;
+    progs.push_back(
+        {"saxpy", "unit", [] { return test::buildSaxpy(32); }});
+    progs.push_back(
+        {"sum", "unit", [] { return test::buildSumReduction(32); }});
+    core::Study study(progs, /*jobs=*/1);
+
+    core::Study::SuiteRunOptions interp;
+    interp.jobs = 1;
+    core::Study::SuiteRunOptions replay;
+    replay.jobs = 1;
+    replay.traceReplay = true;
+
+    const LPConfig cfg =
+        LPConfig::parse("reduc1-dep1-fn2", ExecModel::Helix);
+    auto a = study.runSuite("unit", cfg, interp);
+    auto b = study.runSuite("unit", cfg, replay);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].toJson(false).dump(2), b[i].toJson(false).dump(2));
+}
+
+// ----------------------------------------------------- trace round-trip
+
+TEST_F(TraceTest, DecodeEncodeRoundTripIsPayloadStable)
+{
+    auto mod = test::buildHistogram(64, 8);
+    Loopapalooza lp(*mod);
+    const trace::Trace &t = lp.trace();
+    ASSERT_FALSE(t.truncated);
+    ASSERT_GT(t.events, 0u);
+
+    std::vector<trace::Event> events = trace::decodeEvents(t);
+    EXPECT_EQ(events.size(), t.events);
+    trace::Trace reencoded =
+        trace::encodeEvents(events, t.finalCost, t.numFunctions,
+                            t.numBlocks);
+    EXPECT_EQ(reencoded.payload, t.payload);
+    EXPECT_EQ(reencoded, t);
+}
+
+TEST_F(TraceTest, SerializeDeserializeRoundTrip)
+{
+    auto mod = test::buildSaxpy(32);
+    Loopapalooza lp(*mod);
+    const trace::Trace &t = lp.trace();
+
+    std::vector<std::uint8_t> blob = trace::serialize(t);
+    trace::Trace back = trace::deserialize(blob.data(), blob.size());
+    EXPECT_EQ(back, t);
+    EXPECT_EQ(trace::serialize(back), blob);
+}
+
+TEST_F(TraceTest, TraceFingerprintMatchesTheModule)
+{
+    auto mod = test::buildSaxpy(32);
+    Loopapalooza lp(*mod);
+    const trace::Trace &t = lp.trace();
+    EXPECT_EQ(t.numFunctions, lp.traceIndex().numFunctions());
+    EXPECT_EQ(t.numBlocks, lp.traceIndex().numBlocks());
+    EXPECT_EQ(t.payload.size() <= (1ULL << 30), true);
+}
+
+// ----------------------------------------------- malformed-blob taxonomy
+
+TEST_F(TraceTest, DeserializeRejectsMalformedBlobs)
+{
+    auto mod = test::buildSaxpy(16);
+    Loopapalooza lp(*mod);
+    std::vector<std::uint8_t> blob = trace::serialize(lp.trace());
+
+    // Too short to even hold the header.
+    EXPECT_THROW(trace::deserialize(blob.data(), 8), IoError);
+
+    // Bad magic.
+    auto bad = blob;
+    bad[0] ^= 0xff;
+    EXPECT_THROW(trace::deserialize(bad.data(), bad.size()), IoError);
+
+    // Unsupported version.
+    bad = blob;
+    bad[4] = 0x7f;
+    EXPECT_THROW(trace::deserialize(bad.data(), bad.size()), IoError);
+
+    // Payload shorter than the header promises.
+    EXPECT_THROW(trace::deserialize(blob.data(), blob.size() - 1),
+                 IoError);
+}
+
+TEST_F(TraceTest, ReaderRejectsCorruptPayload)
+{
+    auto mod = test::buildSaxpy(16);
+    Loopapalooza lp(*mod);
+    const trace::Trace &t = lp.trace();
+    ASSERT_GT(t.payload.size(), 4u);
+
+    auto drain = [](const std::vector<std::uint8_t> &bytes) {
+        trace::PayloadReader r(bytes.data(), bytes.size());
+        trace::Event e;
+        while (r.next(e)) {
+        }
+    };
+
+    // Unknown event tag: must fail loudly, never skip.
+    auto bad = t.payload;
+    bad.push_back(0x3f);
+    EXPECT_THROW(drain(bad), IoError);
+
+    // Event tag whose operand varint is chopped off mid-stream.
+    bad = t.payload;
+    bad.push_back(static_cast<std::uint8_t>(trace::EventKind::Charge));
+    EXPECT_THROW(drain(bad), IoError);
+}
+
+TEST_F(TraceTest, ReplayRejectsAForeignTrace)
+{
+    auto saxpy = test::buildSaxpy(32);
+    auto sum = test::buildSumReduction(32);
+    Loopapalooza lpa(*saxpy);
+    Loopapalooza lpb(*sum);
+    const LPConfig cfg =
+        LPConfig::parse("reduc0-dep0-fn0", ExecModel::DoAll);
+    // saxpy's trace replayed against sum's plan: the function/block
+    // fingerprint differs, so replay refuses up front.
+    EXPECT_THROW(rt::replayLimitStudy(lpb.plan(), lpb.traceIndex(),
+                                      lpa.trace(), cfg, "mismatch"),
+                 IoError);
+}
+
+// ------------------------------------------------------ trace byte cap
+
+TEST_F(TraceTest, TinyTraceBudgetTruncatesAndFailsReplay)
+{
+    guard::RunBudget b = guard::defaultBudget();
+    b.maxTraceBytes = 64;
+    guard::setBudgetOverride(b);
+
+    auto mod = test::buildSaxpy(64);
+    Loopapalooza lp(*mod);
+    const trace::Trace &t = lp.trace();
+    EXPECT_TRUE(t.truncated);
+    EXPECT_LE(t.payload.size(), 64u + 16u); // cap plus one event slop
+
+    const LPConfig cfg =
+        LPConfig::parse("reduc0-dep0-fn0", ExecModel::DoAll);
+    try {
+        lp.runReplay(cfg);
+        FAIL() << "replaying a truncated trace must throw";
+    }
+    catch (const IoError &e) {
+        EXPECT_STREQ(e.codeName(), "LP_IO");
+    }
+}
+
+TEST_F(TraceTest, KeepGoingSweepQuarantinesTruncatedTraces)
+{
+    guard::RunBudget b = guard::defaultBudget();
+    b.maxTraceBytes = 64;
+    guard::setBudgetOverride(b);
+
+    std::vector<core::BenchProgram> progs;
+    progs.push_back(
+        {"saxpy", "unit", [] { return test::buildSaxpy(64); }});
+    core::Study study(progs, /*jobs=*/1);
+
+    core::Study::SuiteRunOptions opts;
+    opts.keepGoing = true;
+    opts.traceReplay = true;
+    opts.jobs = 1;
+    opts.maxRetries = 1;
+    opts.backoffBaseMs = 1;
+    const LPConfig cfg =
+        LPConfig::parse("reduc0-dep0-fn0", ExecModel::DoAll);
+    auto reports = study.runSuite("unit", cfg, opts);
+    ASSERT_EQ(reports.size(), 1u);
+    EXPECT_EQ(reports[0].status, rt::RunStatus::Failed);
+    EXPECT_EQ(reports[0].errorCode, "LP_IO");
+}
+
+// -------------------------------------------------------- varint corner
+
+TEST_F(TraceTest, ZigzagRoundTripsExtremes)
+{
+    for (std::int64_t v :
+         {std::int64_t(0), std::int64_t(-1), std::int64_t(1),
+          std::int64_t(INT64_MAX), std::int64_t(INT64_MIN)})
+        EXPECT_EQ(trace::zigzagDecode(trace::zigzagEncode(v)), v);
+}
+
+} // namespace
+} // namespace lp
