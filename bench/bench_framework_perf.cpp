@@ -21,6 +21,7 @@
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
 #include "predict/predictor.hpp"
+#include "prof/collector.hpp"
 #include "rt/tracker.hpp"
 #include "suites/kernels.hpp"
 
@@ -318,6 +319,44 @@ writeBenchBaseline()
         tr.set("replay", std::move(replay));
         tr.set("speedup", sr > 0 ? si / sr : 0.0);
         doc.set("trace_replay", std::move(tr));
+    }
+
+    // Contention baseline (lp::prof): the same 14-config sweep, once
+    // serial and once on 4 workers, with lock-site telemetry and
+    // per-worker utilization recording.  Runs after every timing
+    // section above so profiler overhead cannot perturb them; the
+    // next scaling fix shows up here as lock-wait ns moving, not as a
+    // guess (ROADMAP "flat parallel scaling").
+    {
+        core::Study study(suites::nonNumericPrograms(), /*jobs=*/1);
+        std::vector<rt::LPConfig> configs;
+        for (const auto &named : core::paperConfigs())
+            configs.push_back(named.config);
+        prof::Collector &collector = prof::Collector::instance();
+        auto profiledSweep = [&](unsigned jobs) {
+            collector.reset();
+            collector.setEnabled(true);
+            collector.beginRegion();
+            exec::parallelFor(
+                configs.size(),
+                [&](std::size_t i) {
+                    auto reports =
+                        study.runSuite("cint2000", configs[i], 1);
+                    benchmark::DoNotOptimize(reports.data());
+                },
+                jobs);
+            collector.endRegion();
+            collector.setEnabled(false);
+            obs::Json out = obs::Json::object();
+            out.set("contention", collector.contentionJson());
+            out.set("workers", collector.workersJson());
+            return out;
+        };
+        obs::Json contention = obs::Json::object();
+        contention.set("jobs1", profiledSweep(1));
+        contention.set("jobs4", profiledSweep(4));
+        collector.reset();
+        doc.set("contention", std::move(contention));
     }
 
     // One instrumented analyze+run so the snapshot reflects real counter

@@ -61,6 +61,17 @@
  *                                    (N=0 or "auto": all hardware
  *                                    threads).  Tables and JSON reports
  *                                    are identical to a serial run.
+ *
+ * Profiling (see docs/profiling.md):
+ *   --profile[=json|chrome[:PATH]]   contention-aware profile of the
+ *   (or LP_PROFILE=...)              run: per-site lock-wait telemetry,
+ *                                    per-worker utilization and
+ *                                    load-imbalance, one record per
+ *                                    sweep cell (json also streams
+ *                                    PATH.cells.jsonl).  chrome writes a
+ *                                    Perfetto-loadable timeline instead.
+ *                                    Run reports stay byte-identical
+ *                                    with profiling on or off.
  */
 
 #include <algorithm>
@@ -85,6 +96,7 @@
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
+#include "prof/collector.hpp"
 #include "suites/registry.hpp"
 #include "support/error.hpp"
 #include "support/stats.hpp"
@@ -205,6 +217,30 @@ reportOne(const rt::ProgramReport &rep)
     return maybeWriteReport(rep.toJson());
 }
 
+/**
+ * Run one program/config inside a profiler region + cell, so single
+ * runs show up in --profile reports and timelines just like sweep
+ * cells do (one lane, one span).  A run that throws records as
+ * status="failed" before the exception propagates.
+ */
+template <typename Fn>
+rt::ProgramReport
+profiledSingleRun(const std::string &program, const std::string &suite,
+                  const std::string &config, Fn &&run)
+{
+    prof::Collector::instance().beginRegion();
+    rt::ProgramReport rep;
+    {
+        prof::CellScope cellProf(program, suite, config);
+        cellProf.setAttempts(1);
+        rep = run();
+        cellProf.setInstructions(rep.serialCost);
+        cellProf.setStatus("ok");
+    }
+    prof::Collector::instance().endRegion();
+    return rep;
+}
+
 int
 runFile(const std::string &path, const std::string &flags,
         const std::string &model)
@@ -228,8 +264,9 @@ runFile(const std::string &path, const std::string &flags,
     }
     core::Loopapalooza lp(*mod);
     rt::LPConfig cfg = rt::LPConfig::parse(flags, parseModel(model));
-    return reportOne(g_lintMode != 0 ? lp.runWithOracle(cfg)
-                                     : lp.run(cfg));
+    return reportOne(profiledSingleRun(path, "file", flags, [&] {
+        return g_lintMode != 0 ? lp.runWithOracle(cfg) : lp.run(cfg);
+    }));
 }
 
 int
@@ -250,8 +287,10 @@ runSingle(const std::string &name, const std::string &flags,
             }
         }
         rt::LPConfig cfg = rt::LPConfig::parse(flags, parseModel(model));
-        return reportOne(g_lintMode != 0 ? prepared.runWithOracle(cfg)
-                                         : prepared.run(cfg));
+        return reportOne(profiledSingleRun(name, prog.suite, flags, [&] {
+            return g_lintMode != 0 ? prepared.runWithOracle(cfg)
+                                   : prepared.run(cfg);
+        }));
     }
     std::cerr << "unknown benchmark: " << name << "\n";
     return 1;
@@ -358,6 +397,8 @@ runSuites(const std::string &onlySuite, const SweepOptions &sweep)
     auto runCell = [&](std::size_t i) {
         Cell &cell = cells[i];
         const rt::LPConfig &cfg = cell.config->config;
+        prof::CellScope cellProf(cell.program, cell.suite,
+                             cell.config->label);
         if (!cell.prepared) {
             // Program never prepared: the cell was not attempted.
             // Synthesized fresh every run (never checkpointed), which
@@ -371,6 +412,7 @@ runSuites(const std::string &onlySuite, const SweepOptions &sweep)
             rep.errorMessage = "prepare failed: " + pf->verdict.message;
             rep.attempts = static_cast<unsigned>(pf->verdict.attempts);
             cell.json = rep.toJson(/*withObsSnapshot=*/false);
+            cellProf.setStatus("skipped");
             return;
         }
         auto lintFail = lintFailByName.find(cell.program);
@@ -384,6 +426,7 @@ runSuites(const std::string &onlySuite, const SweepOptions &sweep)
             rep.errorCode = errorCodeName(ErrorCode::Lint);
             rep.errorMessage = lintFail->second;
             cell.json = rep.toJson(/*withObsSnapshot=*/false);
+            cellProf.setStatus("skipped");
             return;
         }
         const std::string key = guard::Checkpoint::cellKey(
@@ -391,6 +434,7 @@ runSuites(const std::string &onlySuite, const SweepOptions &sweep)
         if (ckpt) {
             if (const obs::Json *stored = ckpt->find(key)) {
                 cell.json = *stored;
+                cellProf.setStatus("resumed");
                 return;
             }
         }
@@ -409,13 +453,16 @@ runSuites(const std::string &onlySuite, const SweepOptions &sweep)
                            : cell.prepared->runWithOracle(cfg))
                     : (sweep.traceReplay ? cell.prepared->runReplay(cfg)
                                          : cell.prepared->run(cfg));
+            cellProf.setInstructions(rep.serialCost);
             cell.json = rep.toJson(/*withObsSnapshot=*/false);
             if (ckpt)
                 ckpt->record(key, cell.json);
         };
         if (!sweep.keepGoing) {
             try {
+                cellProf.setAttempts(1);
                 work();
+                cellProf.setStatus("ok");
             }
             catch (Error &e) {
                 e.noteCell(cell.program, cell.suite, cell.config->label);
@@ -427,6 +474,9 @@ runSuites(const std::string &onlySuite, const SweepOptions &sweep)
             cell.program + " [" + cell.config->label + " " + cell.suite +
                 "]",
             work);
+        cellProf.setAttempts(static_cast<unsigned>(v.attempts));
+        if (v.ok)
+            cellProf.setStatus("ok");
         if (!v.ok) {
             rt::ProgramReport rep;
             rep.program = cell.program;
@@ -440,7 +490,11 @@ runSuites(const std::string &onlySuite, const SweepOptions &sweep)
             // resume, and a flaky one deserves the fresh attempt.
         }
     };
+    // The profiled region is the cell dispatch: queue-wait and worker
+    // utilization are measured against it.
+    prof::Collector::instance().beginRegion();
     exec::parallelFor(cells.size(), runCell);
+    prof::Collector::instance().endRegion();
 
     const bool wantJson = !g_reportPath.empty();
     obs::Json suitesJson = obs::Json::array();
@@ -574,6 +628,19 @@ main(int argc, char **argv)
         else
             sweep.traceReplay = v == 1;
     }
+    // LP_PROFILE: same one-time-warning contract as LP_LOG/LP_TRACE/
+    // LP_JOBS — an unrecognized value warns once and profiling stays
+    // off; the --profile flag (parsed below) wins over the environment.
+    if (const char *env = std::getenv("LP_PROFILE")) {
+        if (!prof::Collector::instance().configure(env))
+            obs::logMessage(obs::Level::Error,
+                            std::string("LP_PROFILE value not "
+                                        "understood: ") +
+                                env +
+                                " (want json|chrome[:PATH] or off); "
+                                "profiling stays off",
+                            /*force=*/true);
+    }
     guard::RunBudget budget = guard::defaultBudget();
     bool budgetTouched = false;
 
@@ -642,6 +709,17 @@ main(int argc, char **argv)
                 budgetTouched = true;
                 continue;
             }
+            if (a == "--profile" || a.rfind("--profile=", 0) == 0) {
+                std::string spec = a == "--profile"
+                                       ? "json"
+                                       : a.substr(sizeof("--profile=") -
+                                                  1);
+                if (!prof::Collector::instance().configure(spec))
+                    fatal("bad --profile value (want json|chrome[:PATH] "
+                          "or off): " +
+                          spec);
+                continue;
+            }
             if (a == "--trace-replay") {
                 sweep.traceReplay = true;
                 continue;
@@ -676,13 +754,20 @@ main(int argc, char **argv)
         if (budgetTouched)
             guard::setBudgetOverride(budget);
 
+        // Write the profile (if one was requested) whatever the verb:
+        // even a failing run's contention evidence is evidence.
+        auto finishProfile = [](int rc) {
+            return prof::Collector::instance().finish() ? rc
+                   : rc != 0                            ? rc
+                                                        : 1;
+        };
         if (args.size() >= 4 && args[0] == "--file")
-            return runFile(args[1], args[2], args[3]);
+            return finishProfile(runFile(args[1], args[2], args[3]));
         if (args.size() >= 3)
-            return runSingle(args[0], args[1], args[2]);
+            return finishProfile(runSingle(args[0], args[1], args[2]));
         if (args.size() == 1)
-            return runSuites(args[0], sweep);
-        return runSuites("", sweep);
+            return finishProfile(runSuites(args[0], sweep));
+        return finishProfile(runSuites("", sweep));
     } catch (const FatalError &e) {
         std::cerr << "error: " << e.what() << "\n";
         return 1;

@@ -69,7 +69,7 @@ Loopapalooza::run(const rt::LPConfig &cfg, rt::OracleCapture &cap) const
 const trace::Trace &
 Loopapalooza::trace() const
 {
-    std::lock_guard<std::mutex> lock(traceMu_);
+    std::lock_guard<prof::TimedMutex> lock(traceMu_);
     if (trace_)
         return *trace_;
     if (traceError_)

@@ -23,6 +23,7 @@
 #include "rt/tracker.hpp"
 #include "trace/format.hpp"
 #include "trace/index.hpp"
+#include "prof/timed_mutex.hpp"
 
 namespace lp::core {
 
@@ -104,7 +105,7 @@ class Loopapalooza
     std::unique_ptr<rt::ModulePlan> plan_;
     std::unique_ptr<trace::ModuleIndex> index_;
 
-    mutable std::mutex traceMu_;
+    mutable prof::TimedMutex traceMu_{"core.trace_record"};
     mutable std::unique_ptr<trace::Trace> trace_;
     mutable std::exception_ptr traceError_;
 };

@@ -6,6 +6,7 @@
 #include "interp/machine.hpp"
 #include "obs/log.hpp"
 #include "obs/timer.hpp"
+#include "prof/collector.hpp"
 #include "support/error.hpp"
 #include "support/stats.hpp"
 #include "support/text.hpp"
@@ -174,8 +175,13 @@ Study::runSuite(const std::string &suite, const rt::LPConfig &cfg,
         exec::parallelFor(
             members.size(),
             [&](std::size_t i) {
+                prof::CellScope cell(members[i]->name(), suite,
+                                     cfg.str());
+                cell.setAttempts(1);
                 try {
                     out[i] = runCell(i);
+                    cell.setInstructions(out[i].serialCost);
+                    cell.setStatus("ok");
                 }
                 catch (Error &e) {
                     // Stamp the failing cell's identity before the
@@ -195,6 +201,7 @@ Study::runSuite(const std::string &suite, const rt::LPConfig &cfg,
     exec::parallelFor(
         members.size(),
         [&](std::size_t i) {
+            prof::CellScope cell(members[i]->name(), suite, cfg.str());
             guard::RunVerdict v = guard::guardedRun(
                 members[i]->name() + " [" + cfg.str() + "]",
                 [&] { out[i] = runCell(i); },
@@ -205,9 +212,13 @@ Study::runSuite(const std::string &suite, const rt::LPConfig &cfg,
                 out[i].status = rt::RunStatus::Failed;
                 out[i].errorCode = v.codeName();
                 out[i].errorMessage = v.message;
+            } else {
+                cell.setInstructions(out[i].serialCost);
+                cell.setStatus("ok");
             }
             out[i].config = cfg;
             out[i].attempts = static_cast<unsigned>(v.attempts);
+            cell.setAttempts(out[i].attempts);
         },
         opts.jobs);
     return out;

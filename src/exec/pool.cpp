@@ -77,7 +77,7 @@ ThreadPool::ThreadPool(unsigned workers)
 ThreadPool::~ThreadPool()
 {
     {
-        std::unique_lock<std::mutex> lock(mu_);
+        std::unique_lock<prof::TimedMutex> lock(mu_);
         stop_ = true;
     }
     workCv_.notify_all();
@@ -89,7 +89,7 @@ void
 ThreadPool::post(std::function<void()> task)
 {
     {
-        std::unique_lock<std::mutex> lock(mu_);
+        std::unique_lock<prof::TimedMutex> lock(mu_);
         panicIf(stop_, "ThreadPool::post after shutdown");
         queue_.push_back(std::move(task));
     }
@@ -99,7 +99,7 @@ ThreadPool::post(std::function<void()> task)
 void
 ThreadPool::wait()
 {
-    std::unique_lock<std::mutex> lock(mu_);
+    std::unique_lock<prof::TimedMutex> lock(mu_);
     idleCv_.wait(lock,
                  [this] { return queue_.empty() && active_ == 0; });
 }
@@ -110,7 +110,7 @@ ThreadPool::workerLoop()
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mu_);
+            std::unique_lock<prof::TimedMutex> lock(mu_);
             workCv_.wait(lock,
                          [this] { return stop_ || !queue_.empty(); });
             if (queue_.empty())
@@ -126,7 +126,7 @@ ThreadPool::workerLoop()
                   "exceptions)");
         }
         {
-            std::unique_lock<std::mutex> lock(mu_);
+            std::unique_lock<prof::TimedMutex> lock(mu_);
             --active_;
             if (queue_.empty() && active_ == 0)
                 idleCv_.notify_all();

@@ -39,6 +39,8 @@
 #include <thread>
 #include <vector>
 
+#include "prof/timed_mutex.hpp"
+
 namespace lp::exec {
 
 /**
@@ -88,9 +90,13 @@ class ThreadPool
 
     std::vector<std::thread> threads_;
     std::deque<std::function<void()>> queue_;
-    std::mutex mu_;
-    std::condition_variable workCv_; ///< signals workers: task or stop
-    std::condition_variable idleCv_; ///< signals wait(): drained
+    /// Instrumented so queue contention shows up in profiles
+    /// (docs/profiling.md); cv waits use condition_variable_any.  Only
+    /// the reacquire after a wakeup counts as lock-wait — idle blocking
+    /// is idle, not contention.
+    prof::TimedMutex mu_{"exec.pool_queue"};
+    std::condition_variable_any workCv_; ///< signals workers: task/stop
+    std::condition_variable_any idleCv_; ///< signals wait(): drained
     std::size_t active_ = 0;
     bool stop_ = false;
 };

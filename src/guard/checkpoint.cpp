@@ -77,7 +77,7 @@ Checkpoint::cellKey(const std::string &config, const std::string &suite,
 const obs::Json *
 Checkpoint::find(const std::string &key) const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<prof::TimedMutex> lock(mu_);
     auto it = cells_.find(key);
     return it == cells_.end() ? nullptr : &it->second;
 }
@@ -91,7 +91,7 @@ Checkpoint::record(const std::string &key, const obs::Json &cell)
     rec.set("key", key);
     rec.set("cell", cell);
     std::string line = rec.dump();
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<prof::TimedMutex> lock(mu_);
     out_ << line << '\n';
     out_.flush();
     if (!out_)
@@ -102,7 +102,7 @@ Checkpoint::record(const std::string &key, const obs::Json &cell)
 std::size_t
 Checkpoint::loadedCells() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<prof::TimedMutex> lock(mu_);
     return loaded_;
 }
 

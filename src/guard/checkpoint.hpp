@@ -29,6 +29,7 @@
 #include <string>
 
 #include "obs/json.hpp"
+#include "prof/timed_mutex.hpp"
 
 namespace lp::guard {
 
@@ -66,7 +67,7 @@ class Checkpoint
   private:
     void loadExisting();
 
-    mutable std::mutex mu_;
+    mutable prof::TimedMutex mu_{"guard.checkpoint"};
     std::string path_;
     std::ofstream out_;
     std::map<std::string, obs::Json> cells_;

@@ -6,6 +6,7 @@
 
 #include "guard/fault.hpp"
 #include "obs/metrics.hpp"
+#include "prof/collector.hpp"
 #include "support/error.hpp"
 #include "support/text.hpp"
 #include "trace/recorder.hpp"
@@ -41,7 +42,9 @@ asI64(std::uint64_t bits)
  * Instructions between wall-clock deadline polls.  A clock read every
  * ~262k instructions is a few hundred reads per simulated second —
  * invisible next to the interpreter loop — while bounding deadline
- * overshoot to a few milliseconds.
+ * overshoot to a few milliseconds.  The profiler piggybacks on the
+ * same poll (prof::kEpochStrideInstructions matches this stride) to
+ * flush interp/record time epochs without adding a hot-loop branch.
  */
 constexpr std::uint64_t kDeadlineStride = 1ULL << 18;
 
@@ -154,10 +157,32 @@ Machine::throwFuelExhausted(const ir::Function *fn) const
 }
 
 void
-Machine::checkDeadline(const ir::Function *fn)
+Machine::flushEpoch()
 {
-    nextDeadlineCheckCost_ = cost_ + kDeadlineStride;
-    if (std::chrono::steady_clock::now() <= deadline_)
+    const auto now = std::chrono::steady_clock::now();
+    const std::uint64_t instructions = cost_ - epochStartCost_;
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            now - epochStartTime_)
+            .count();
+    if (instructions > 0 || ns > 0)
+        prof::Collector::instance().addEpoch(
+            recorder_ ? prof::EpochKind::Record : prof::EpochKind::Interp,
+            instructions, static_cast<std::uint64_t>(ns));
+    epochStartCost_ = cost_;
+    epochStartTime_ = now;
+}
+
+void
+Machine::pollBudgets(const ir::Function *fn)
+{
+    nextPollCost_ = cost_ + kDeadlineStride;
+    // Attribute before any deadline throw: an aborted run's time is
+    // still time spent.
+    if (profiling_)
+        flushEpoch();
+    if (wallLimitMs_ == 0 ||
+        std::chrono::steady_clock::now() <= deadline_)
         return;
     throw ResourceExhausted(
         ErrorCode::Deadline,
@@ -174,10 +199,14 @@ Machine::run()
     fatalIf(ran_, "Machine::run may only be called once");
     ran_ = true;
     guard::faultPoint("interp");
-    if (wallLimitMs_ != 0) {
+    profiling_ = prof::profilingOn();
+    if (wallLimitMs_ != 0)
         deadline_ = std::chrono::steady_clock::now() +
                     std::chrono::milliseconds(wallLimitMs_);
-        nextDeadlineCheckCost_ = 0;
+    if (wallLimitMs_ != 0 || profiling_) {
+        nextPollCost_ = 0; // first block reaches the cold poll
+        epochStartCost_ = cost_;
+        epochStartTime_ = std::chrono::steady_clock::now();
     }
 
     for (const auto &g : mod_.globals()) {
@@ -192,6 +221,8 @@ Machine::run()
     fatalIf(!main->args().empty(), "main() must take no arguments");
     std::uint64_t result = execFunction(main, {});
 
+    if (profiling_)
+        flushEpoch(); // attribute the tail of the final epoch
     if (obs::metricsOn()) {
         obs::Registry &reg = obs::Registry::instance();
         reg.counter("interp.instructions").add(cost_);
@@ -266,9 +297,8 @@ Machine::execFunctionT(const ir::Function *fn,
         ipInBlock_ = 0;
         if (cost_ > costLimit_) [[unlikely]]
             throwFuelExhausted(fn);
-        if (wallLimitMs_ != 0 && cost_ >= nextDeadlineCheckCost_)
-            [[unlikely]]
-            checkDeadline(fn);
+        if (cost_ >= nextPollCost_) [[unlikely]]
+            pollBudgets(fn);
         sink.blockEnter(bb);
 
         // Phis resolve in parallel against the incoming edge.

@@ -124,8 +124,17 @@ class Machine
                                    std::vector<std::uint64_t> &regs,
                                    Sink sink);
     [[noreturn]] void throwFuelExhausted(const ir::Function *fn) const;
-    /** Poll the wall-clock deadline (cold; called every ~262k insts). */
-    void checkDeadline(const ir::Function *fn);
+    /**
+     * The unified cold poll, reached every ~262k instructions when a
+     * wall-clock deadline is armed or profiling is on (nextPollCost_ is
+     * UINT64_MAX otherwise, so the hot path stays one compare).  It
+     * attributes the elapsed epoch to the profiler, then checks the
+     * deadline — profiling an extra concern into an existing poll
+     * instead of adding a branch of its own.
+     */
+    void pollBudgets(const ir::Function *fn);
+    /** Attribute instructions/wall-ns since the last epoch mark. */
+    void flushEpoch();
 
     const ir::Module &mod_;
     ExecListener *listener_;
@@ -134,8 +143,11 @@ class Machine
     std::uint64_t cost_ = 0;
     std::uint64_t costLimit_ = 50'000'000'000ULL;
     std::uint64_t wallLimitMs_ = 0; ///< 0 = no deadline
-    std::uint64_t nextDeadlineCheckCost_ = 0;
+    std::uint64_t nextPollCost_ = UINT64_MAX; ///< armed by run()
     std::chrono::steady_clock::time_point deadline_{};
+    bool profiling_ = false; ///< sampled once per run()
+    std::uint64_t epochStartCost_ = 0;
+    std::chrono::steady_clock::time_point epochStartTime_{};
     std::uint64_t curBlockSize_ = 0;
     std::uint64_t ipInBlock_ = 0;
     std::uint64_t sp_ = Memory::kStackBase;

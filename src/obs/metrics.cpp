@@ -21,7 +21,13 @@ Histogram::Histogram(std::vector<std::uint64_t> bounds)
     std::sort(bounds_.begin(), bounds_.end());
     bounds_.erase(std::unique(bounds_.begin(), bounds_.end()),
                   bounds_.end());
-    counts_.assign(bounds_.size() + 1, 0);
+    const std::size_t buckets = bounds_.size() + 1;
+    for (Shard &s : shards_) {
+        s.counts =
+            std::make_unique<std::atomic<std::uint64_t>[]>(buckets);
+        for (std::size_t i = 0; i < buckets; ++i)
+            s.counts[i].store(0, std::memory_order_relaxed);
+    }
 }
 
 void
@@ -30,27 +36,58 @@ Histogram::record(std::uint64_t sample)
     std::size_t i = 0;
     while (i < bounds_.size() && sample > bounds_[i])
         ++i;
-    std::lock_guard<std::mutex> lock(mu_);
-    counts_[i] += 1;
-    count_ += 1;
-    sum_ += sample;
+    Shard &s = shards_[threadLane() & (kShards - 1)];
+    s.counts[i].fetch_add(1, std::memory_order_relaxed);
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(sample, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t>
+Histogram::bucketCounts() const
+{
+    std::vector<std::uint64_t> out(bounds_.size() + 1, 0);
+    for (const Shard &s : shards_)
+        for (std::size_t i = 0; i < out.size(); ++i)
+            out[i] += s.counts[i].load(std::memory_order_relaxed);
+    return out;
+}
+
+std::uint64_t
+Histogram::count() const
+{
+    std::uint64_t total = 0;
+    for (const Shard &s : shards_)
+        total += s.count.load(std::memory_order_relaxed);
+    return total;
+}
+
+std::uint64_t
+Histogram::sum() const
+{
+    std::uint64_t total = 0;
+    for (const Shard &s : shards_)
+        total += s.sum.load(std::memory_order_relaxed);
+    return total;
 }
 
 double
 Histogram::mean() const
 {
-    return count_ == 0
-        ? 0.0
-        : static_cast<double>(sum_) / static_cast<double>(count_);
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0
+                  : static_cast<double>(sum()) / static_cast<double>(n);
 }
 
 void
 Histogram::reset()
 {
-    std::lock_guard<std::mutex> lock(mu_);
-    std::fill(counts_.begin(), counts_.end(), 0);
-    count_ = 0;
-    sum_ = 0;
+    const std::size_t buckets = bounds_.size() + 1;
+    for (Shard &s : shards_) {
+        for (std::size_t i = 0; i < buckets; ++i)
+            s.counts[i].store(0, std::memory_order_relaxed);
+        s.count.store(0, std::memory_order_relaxed);
+        s.sum.store(0, std::memory_order_relaxed);
+    }
 }
 
 Registry &
@@ -63,8 +100,9 @@ Registry::instance()
 Counter &
 Registry::counter(const std::string &name)
 {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto &slot = counters_[name];
+    Shard &sh = shardFor(name);
+    std::lock_guard<prof::TimedMutex> lock(sh.mu);
+    auto &slot = sh.counters[name];
     if (!slot)
         slot = std::make_unique<Counter>();
     return *slot;
@@ -73,8 +111,9 @@ Registry::counter(const std::string &name)
 Gauge &
 Registry::gauge(const std::string &name)
 {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto &slot = gauges_[name];
+    Shard &sh = shardFor(name);
+    std::lock_guard<prof::TimedMutex> lock(sh.mu);
+    auto &slot = sh.gauges[name];
     if (!slot)
         slot = std::make_unique<Gauge>();
     return *slot;
@@ -84,8 +123,9 @@ Histogram &
 Registry::histogram(const std::string &name,
                     std::vector<std::uint64_t> bounds)
 {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto &slot = histograms_[name];
+    Shard &sh = shardFor(name);
+    std::lock_guard<prof::TimedMutex> lock(sh.mu);
+    auto &slot = sh.histograms[name];
     if (!slot)
         slot = std::make_unique<Histogram>(std::move(bounds));
     return *slot;
@@ -94,30 +134,45 @@ Registry::histogram(const std::string &name,
 void
 Registry::resetAll()
 {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (auto &[name, c] : counters_)
-        c->reset();
-    for (auto &[name, g] : gauges_)
-        g->reset();
-    for (auto &[name, h] : histograms_)
-        h->reset();
+    for (Shard &sh : shards_) {
+        std::lock_guard<prof::TimedMutex> lock(sh.mu);
+        for (auto &[name, c] : sh.counters)
+            c->reset();
+        for (auto &[name, g] : sh.gauges)
+            g->reset();
+        for (auto &[name, h] : sh.histograms)
+            h->reset();
+    }
 }
 
 Json
 Registry::toJson() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    // Merge the shards back into name order (std::map) so the snapshot
+    // is byte-identical to the unsharded registry's output.
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, const Histogram *> histograms;
+    for (const Shard &sh : shards_) {
+        std::lock_guard<prof::TimedMutex> lock(sh.mu);
+        for (const auto &[name, c] : sh.counters)
+            counters.emplace(name, c->value());
+        for (const auto &[name, g] : sh.gauges)
+            gauges.emplace(name, g->value());
+        for (const auto &[name, h] : sh.histograms)
+            histograms.emplace(name, h.get());
+    }
 
-    Json counters = Json::object();
-    for (const auto &[name, c] : counters_)
-        counters.set(name, c->value());
+    Json countersJson = Json::object();
+    for (const auto &[name, v] : counters)
+        countersJson.set(name, v);
 
-    Json gauges = Json::object();
-    for (const auto &[name, g] : gauges_)
-        gauges.set(name, g->value());
+    Json gaugesJson = Json::object();
+    for (const auto &[name, v] : gauges)
+        gaugesJson.set(name, v);
 
-    Json histograms = Json::object();
-    for (const auto &[name, h] : histograms_) {
+    Json histogramsJson = Json::object();
+    for (const auto &[name, h] : histograms) {
         Json bounds = Json::array();
         for (std::uint64_t b : h->bounds())
             bounds.push(b);
@@ -130,13 +185,13 @@ Registry::toJson() const
         one.set("count", h->count());
         one.set("sum", h->sum());
         one.set("mean", h->mean());
-        histograms.set(name, std::move(one));
+        histogramsJson.set(name, std::move(one));
     }
 
     Json out = Json::object();
-    out.set("counters", std::move(counters));
-    out.set("gauges", std::move(gauges));
-    out.set("histograms", std::move(histograms));
+    out.set("counters", std::move(countersJson));
+    out.set("gauges", std::move(gaugesJson));
+    out.set("histograms", std::move(histogramsJson));
     return out;
 }
 

@@ -10,11 +10,13 @@
  * update is one well-predicted branch.
  *
  * Thread-safety (see docs/observability.md): every update path is safe
- * under concurrent use by lp::exec workers.  Counters shard their value
- * across cache-line-padded atomic cells indexed by threadLane(), so
- * parallel sweeps do not ping-pong one hot line; gauges are single
- * atomics; histograms take a private mutex per record (loop-instance
- * granularity, far off the per-instruction path).  value()/snapshot
+ * under concurrent use by lp::exec workers.  Counters and histograms
+ * shard their state across cache-line-padded atomic cells indexed by
+ * threadLane(), so parallel sweeps do not ping-pong one hot line and
+ * record() never takes a lock; gauges are single atomics.  The registry
+ * itself is sharded by name hash, each shard behind an instrumented
+ * prof::TimedMutex ("obs.registry") so lookup contention shows up in
+ * profiles instead of hiding (docs/profiling.md).  value()/snapshot
  * reads are exact once the writing threads have been joined (the only
  * time the framework snapshots); concurrent reads see a momentary
  * approximation.  resetAll() and toJson() are quiescent-only by
@@ -36,6 +38,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -43,6 +46,7 @@
 #include <vector>
 
 #include "obs/json.hpp"
+#include "prof/timed_mutex.hpp"
 
 namespace lp::obs {
 
@@ -131,8 +135,10 @@ class Gauge
  * Fixed-bucket histogram: bucket i counts samples <= bounds[i]; one
  * overflow bucket counts the rest.  Bounds are chosen at registration
  * and never change, so record() is a linear scan over a handful of
- * integers (bucket counts are small by design) under a private mutex.
- * The accessors return exact values once writers are quiesced.
+ * integers followed by three relaxed atomic adds on the calling
+ * thread's shard — lock-free, the same sharding discipline Counter
+ * uses.  The accessors sum the shards: exact once writers are
+ * quiesced, a momentary approximation while they run.
  */
 class Histogram
 {
@@ -146,28 +152,34 @@ class Histogram
 
     const std::vector<std::uint64_t> &bounds() const { return bounds_; }
     /** bucketCounts().size() == bounds().size() + 1 (overflow last). */
-    const std::vector<std::uint64_t> &bucketCounts() const
-    {
-        return counts_;
-    }
-    std::uint64_t count() const { return count_; }
-    std::uint64_t sum() const { return sum_; }
+    std::vector<std::uint64_t> bucketCounts() const;
+    std::uint64_t count() const;
+    std::uint64_t sum() const;
     double mean() const;
     void reset();
 
   private:
+    static constexpr std::size_t kShards = 8;
+    struct alignas(64) Shard
+    {
+        std::unique_ptr<std::atomic<std::uint64_t>[]> counts;
+        std::atomic<std::uint64_t> count{0};
+        std::atomic<std::uint64_t> sum{0};
+    };
+
     std::vector<std::uint64_t> bounds_;
-    std::vector<std::uint64_t> counts_;
-    std::uint64_t count_ = 0;
-    std::uint64_t sum_ = 0;
-    std::mutex mu_;
+    Shard shards_[kShards];
 };
 
 /**
  * The process-wide registry.  Metrics are created on first lookup and
  * live forever, so cached pointers stay valid; resetAll() zeroes values
- * without invalidating them.  Lookup takes the registry mutex; updates
- * through cached pointers never do.
+ * without invalidating them.  Lookups hash the name to one of a few
+ * independent shards (each behind an instrumented mutex), so concurrent
+ * first-lookups of different metrics do not serialize on one lock;
+ * updates through cached pointers never lock at all.  toJson() merges
+ * the shards back into name order, so its output is independent of the
+ * sharding.
  */
 class Registry
 {
@@ -194,12 +206,23 @@ class Registry
     Json toJson() const;
 
   private:
+    static constexpr std::size_t kShards = 8;
+    struct Shard
+    {
+        mutable prof::TimedMutex mu{"obs.registry"};
+        std::map<std::string, std::unique_ptr<Counter>> counters;
+        std::map<std::string, std::unique_ptr<Gauge>> gauges;
+        std::map<std::string, std::unique_ptr<Histogram>> histograms;
+    };
+
     Registry() = default;
 
-    mutable std::mutex mu_;
-    std::map<std::string, std::unique_ptr<Counter>> counters_;
-    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+    Shard &shardFor(const std::string &name)
+    {
+        return shards_[std::hash<std::string>{}(name) & (kShards - 1)];
+    }
+
+    Shard shards_[kShards];
 };
 
 } // namespace lp::obs

@@ -44,8 +44,10 @@ JsonlSink::event(const std::string &kind, Json body)
     rec.set("ts_us", Session::instance().nowMicros());
     rec.set("tid", threadLane());
     rec.set("data", std::move(body));
-    std::lock_guard<std::mutex> lock(mu_);
-    *out_ << rec.dump() << '\n';
+    // Serialize outside the lock; the critical section is one write.
+    std::string line = rec.dump();
+    std::lock_guard<prof::TimedMutex> lock(mu_);
+    *out_ << line << '\n';
 }
 
 void
@@ -59,14 +61,15 @@ JsonlSink::span(const std::string &name, double tsMicros, double durMicros,
     rec.set("dur_us", durMicros);
     rec.set("tid", tid);
     rec.set("args", std::move(args));
-    std::lock_guard<std::mutex> lock(mu_);
-    *out_ << rec.dump() << '\n';
+    std::string line = rec.dump();
+    std::lock_guard<prof::TimedMutex> lock(mu_);
+    *out_ << line << '\n';
 }
 
 void
 JsonlSink::flush()
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<prof::TimedMutex> lock(mu_);
     out_->flush();
 }
 
@@ -87,7 +90,7 @@ ChromeTraceSink::event(const std::string &kind, Json body)
     Json args = Json::object();
     args.set("data", std::move(body));
     e.set("args", std::move(args));
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<prof::TimedMutex> lock(mu_);
     events_.push(std::move(e));
 }
 
@@ -104,14 +107,14 @@ ChromeTraceSink::span(const std::string &name, double tsMicros,
     e.set("pid", 1);
     e.set("tid", tid);
     e.set("args", std::move(args));
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<prof::TimedMutex> lock(mu_);
     events_.push(std::move(e));
 }
 
 Json
 ChromeTraceSink::document() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<prof::TimedMutex> lock(mu_);
     Json doc = Json::object();
     doc.set("traceEvents", events_);
     doc.set("displayTimeUnit", "ms");

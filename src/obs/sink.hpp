@@ -32,6 +32,7 @@
 #include <string>
 
 #include "obs/json.hpp"
+#include "prof/timed_mutex.hpp"
 
 namespace lp::obs {
 
@@ -92,7 +93,7 @@ class JsonlSink : public Sink
   private:
     std::ofstream file_;
     std::ostream *out_;
-    std::mutex mu_;
+    prof::TimedMutex mu_{"obs.sink"};
 };
 
 /**
@@ -116,7 +117,7 @@ class ChromeTraceSink : public Sink
   private:
     std::string path_;
     Json events_ = Json::array();
-    mutable std::mutex mu_;
+    mutable prof::TimedMutex mu_{"obs.sink"};
 };
 
 /**

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 
 #include "obs/log.hpp"
 #include "obs/timer.hpp"
+#include "prof/collector.hpp"
 #include "support/error.hpp"
 #include "support/text.hpp"
 #include "trace/format.hpp"
@@ -763,6 +765,32 @@ LoopRuntime::consumeTrace(const trace::ModuleIndex &index,
         facts[index.blockId(bb)].watches = &ws;
 
     std::uint64_t cost = 0;
+    // Epoch attribution mirrors the interpreter's budget poll: one
+    // compare per block entry against a sentinel that is UINT64_MAX
+    // when profiling is off (prof::profilingOn() sampled once per
+    // replay), so the disabled cost is a never-taken predictable branch.
+    const bool profiling = prof::profilingOn();
+    std::uint64_t nextEpochCost =
+        profiling ? prof::kEpochStrideInstructions : UINT64_MAX;
+    std::uint64_t epochStartCost = 0;
+    auto epochStartTime = std::chrono::steady_clock::time_point{};
+    if (profiling)
+        epochStartTime = std::chrono::steady_clock::now();
+    auto flushEpoch = [&] {
+        const auto now = std::chrono::steady_clock::now();
+        const std::uint64_t instructions = cost - epochStartCost;
+        const auto ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                now - epochStartTime)
+                .count();
+        if (instructions > 0 || ns > 0)
+            prof::Collector::instance().addEpoch(
+                prof::EpochKind::Replay, instructions,
+                static_cast<std::uint64_t>(ns));
+        epochStartCost = cost;
+        epochStartTime = now;
+        nextEpochCost = cost + prof::kEpochStrideInstructions;
+    };
     trace::PayloadReader r(t);
     trace::Event e;
     while (r.next(e)) {
@@ -792,6 +820,8 @@ LoopRuntime::consumeTrace(const trace::ModuleIndex &index,
             f.blockSize = bb->instructions().size();
             f.phiIdx = 0;
             cost += f.blockSize;
+            if (cost >= nextEpochCost) [[unlikely]]
+                flushEpoch();
             const BlockFacts &bf = facts[e.a];
             feedBlockEnterAt(bb, cost - f.blockSize,
                              e.kind == EventKind::BlockEnterHeader
@@ -846,6 +876,8 @@ LoopRuntime::consumeTrace(const trace::ModuleIndex &index,
           }
         }
     }
+    if (profiling)
+        flushEpoch(); // attribute the tail of the final epoch
     if (!frames.empty())
         throw IoError("trace ended with " +
                       std::to_string(frames.size()) +

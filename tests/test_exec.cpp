@@ -236,9 +236,9 @@ TEST(ConcurrentMetrics, HistogramTotalsMatchSerialSum)
         kThreads);
 
     EXPECT_EQ(h.count(), kThreads * kPerThread);
+    const std::vector<std::uint64_t> buckets = h.bucketCounts();
     std::uint64_t bucketSum = std::accumulate(
-        h.bucketCounts().begin(), h.bucketCounts().end(),
-        std::uint64_t{0});
+        buckets.begin(), buckets.end(), std::uint64_t{0});
     EXPECT_EQ(bucketSum, h.count());
     h.reset();
     obs::setMetricsEnabled(was);
