@@ -61,6 +61,19 @@
  *                                    (N=0 or "auto": all hardware
  *                                    threads).  Tables and JSON reports
  *                                    are identical to a serial run.
+ *   --shards I/N --checkpoint PATH   run shard I of an N-way sweep:
+ *                                    this process owns every Nth cell
+ *                                    and checkpoints it to
+ *                                    PATH.shard<I>of<N>.  Launch one
+ *                                    process per shard (any order, any
+ *                                    machines sharing the filesystem).
+ *   --shards N --merge --checkpoint PATH
+ *                                    absorb all N shard checkpoints,
+ *                                    run whatever cells no shard
+ *                                    finished (crash recovery), and
+ *                                    report exactly like an unsharded
+ *                                    sweep — the table and --json
+ *                                    document are byte-identical.
  *
  * Profiling (see docs/profiling.md):
  *   --profile[=json|chrome[:PATH]]   contention-aware profile of the
@@ -74,33 +87,27 @@
  *                                    with profiling on or off.
  */
 
-#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
-#include <map>
 #include <memory>
 #include <sstream>
 
 #include "core/configs.hpp"
 #include "core/driver.hpp"
 #include "core/study.hpp"
+#include "core/sweep.hpp"
 #include "exec/pool.hpp"
 #include "guard/budget.hpp"
-#include "guard/checkpoint.hpp"
-#include "guard/quarantine.hpp"
 #include "interp/stdlib.hpp"
 #include "ir/parser.hpp"
 #include "lint/engine.hpp"
 #include "obs/json.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
-#include "obs/timer.hpp"
 #include "prof/collector.hpp"
 #include "suites/registry.hpp"
 #include "support/error.hpp"
-#include "support/stats.hpp"
-#include "support/table.hpp"
 #include "support/text.hpp"
 
 using namespace lp;
@@ -150,22 +157,6 @@ lintOne(const ir::Module &mod)
         std::cout << "lint: " << d.str() << "\n";
     return res;
 }
-
-/** Sweep behavior collected from the command line. */
-struct SweepOptions
-{
-    bool keepGoing = true; ///< sweeps quarantine failures by default
-    /**
-     * Record-once / replay-many (--trace-replay / LP_TRACE_REPLAY).
-     * Defaults on: a sweep visits every program under many
-     * configurations, so paying the interpreter once per program and
-     * replaying the trace for the other cells is a pure win; reports
-     * are byte-identical either way (tests/test_trace.cpp).
-     */
-    bool traceReplay = true;
-    std::string checkpointPath;
-    bool resume = false;
-};
 
 /** Parse an on/off spelling; -1 when not understood. */
 int
@@ -297,303 +288,19 @@ runSingle(const std::string &name, const std::string &flags,
 }
 
 int
-runSuites(const std::string &onlySuite, const SweepOptions &sweep)
+runSuites(const std::string &onlySuite, core::SweepRequest sweep)
 {
-    std::vector<core::BenchProgram> progs;
-    for (const auto &p : suites::allPrograms())
-        if (onlySuite.empty() || p.suite == onlySuite)
-            progs.push_back(p);
-    if (progs.empty()) {
-        std::cerr << "no benchmarks match suite '" << onlySuite << "'\n";
-        return 1;
+    sweep.suite = onlySuite;
+    sweep.lintMode = g_lintMode;
+    sweep.wantJson = !g_reportPath.empty();
+    core::SweepResult res = core::runSweep(suites::allPrograms(), sweep);
+    int rc = res.exitCode;
+    if (res.hasDocument) {
+        int wrc = maybeWriteReport(res.document);
+        if (rc == 0)
+            rc = wrc;
     }
-
-    core::StudyOptions studyOpts;
-    studyOpts.keepGoing = sweep.keepGoing;
-    core::Study study(progs, studyOpts);
-
-    std::map<std::string, const core::PreparedProgram *> preparedByName;
-    for (const auto &p : study.programs())
-        preparedByName[p->name()] = p.get();
-    std::map<std::string, const core::PrepareFailure *> prepFailByName;
-    for (const auto &f : study.prepareFailures())
-        prepFailByName[f.program] = &f;
-
-    // Pre-sweep lint gate (--lint / LP_LINT): every prepared module is
-    // linted once, before any cell runs.  A module with error-level
-    // findings never executes — strict mode aborts the sweep, keep-going
-    // quarantines all its cells as status=skipped / LP_LINT.
-    std::map<std::string, std::string> lintFailByName;
-    if (g_lintMode != 0) {
-        obs::ScopedPhase phase("lint");
-        for (const auto &p : study.programs()) {
-            lint::LintResult res = lintOne(p->driver().module());
-            if (!res.hasErrors())
-                continue;
-            std::string first;
-            for (const lint::Diagnostic &d : res.diags)
-                if (d.severity == lint::Severity::Error) {
-                    first = d.str();
-                    break;
-                }
-            std::string msg =
-                "lint: " +
-                std::to_string(res.countAtLeast(lint::Severity::Error)) +
-                " error-level finding(s); first: " + first;
-            if (!sweep.keepGoing) {
-                ErrorContext ctx;
-                ctx.program = p->name();
-                ctx.suite = p->suite();
-                throw LintError(msg, ctx);
-            }
-            lintFailByName[p->name()] = msg;
-        }
-    }
-
-    // Suite order from the registration list, not study.suites(): a
-    // suite whose every program failed to prepare must still show up
-    // (as skipped cells), not silently vanish.
-    std::vector<std::string> suiteOrder;
-    for (const auto &p : progs)
-        if (std::find(suiteOrder.begin(), suiteOrder.end(), p.suite) ==
-            suiteOrder.end())
-            suiteOrder.push_back(p.suite);
-
-    std::unique_ptr<guard::Checkpoint> ckpt;
-    if (!sweep.checkpointPath.empty())
-        ckpt = std::make_unique<guard::Checkpoint>(sweep.checkpointPath,
-                                                   sweep.resume);
-    if (ckpt && ckpt->loadedCells() != 0)
-        LP_LOG_INFO("resuming: %zu cell(s) loaded from %s",
-                    ckpt->loadedCells(), ckpt->path().c_str());
-
-    // The sweep is a flat list of (configuration, suite, program)
-    // cells — the unit of parallelism, of quarantine and of
-    // checkpointing.  Results are stored by cell index, so the table
-    // and the JSON document come out identical whatever the worker
-    // count, and identical between a resumed and an uninterrupted run
-    // (resumed cells reuse their stored JSON verbatim).
-    struct Cell
-    {
-        const core::NamedConfig *config;
-        std::string suite;
-        std::string program;
-        const core::PreparedProgram *prepared; ///< null = prepare failed
-        obs::Json json;
-    };
-    std::vector<Cell> cells;
-    for (const core::NamedConfig &named : core::paperConfigs())
-        for (const std::string &suite : suiteOrder)
-            for (const auto &p : progs) {
-                if (p.suite != suite)
-                    continue;
-                auto it = preparedByName.find(p.name);
-                cells.push_back(
-                    {&named, suite, p.name,
-                     it == preparedByName.end() ? nullptr : it->second,
-                     obs::Json()});
-            }
-
-    auto runCell = [&](std::size_t i) {
-        Cell &cell = cells[i];
-        const rt::LPConfig &cfg = cell.config->config;
-        prof::CellScope cellProf(cell.program, cell.suite,
-                             cell.config->label);
-        if (!cell.prepared) {
-            // Program never prepared: the cell was not attempted.
-            // Synthesized fresh every run (never checkpointed), which
-            // is still deterministic — the prepare verdict is.
-            const core::PrepareFailure *pf = prepFailByName[cell.program];
-            rt::ProgramReport rep;
-            rep.program = cell.program;
-            rep.config = cfg;
-            rep.status = rt::RunStatus::Skipped;
-            rep.errorCode = pf->verdict.codeName();
-            rep.errorMessage = "prepare failed: " + pf->verdict.message;
-            rep.attempts = static_cast<unsigned>(pf->verdict.attempts);
-            cell.json = rep.toJson(/*withObsSnapshot=*/false);
-            cellProf.setStatus("skipped");
-            return;
-        }
-        auto lintFail = lintFailByName.find(cell.program);
-        if (lintFail != lintFailByName.end()) {
-            // Quarantined by the lint gate; like prepare failures these
-            // cells are synthesized fresh every run, never checkpointed.
-            rt::ProgramReport rep;
-            rep.program = cell.program;
-            rep.config = cfg;
-            rep.status = rt::RunStatus::Skipped;
-            rep.errorCode = errorCodeName(ErrorCode::Lint);
-            rep.errorMessage = lintFail->second;
-            cell.json = rep.toJson(/*withObsSnapshot=*/false);
-            cellProf.setStatus("skipped");
-            return;
-        }
-        const std::string key = guard::Checkpoint::cellKey(
-            cell.config->label, cell.suite, cell.program);
-        if (ckpt) {
-            if (const obs::Json *stored = ckpt->find(key)) {
-                cell.json = *stored;
-                cellProf.setStatus("resumed");
-                return;
-            }
-        }
-        // Run and checkpoint as one guarded unit: a transient failure
-        // while recording the cell retries the whole unit, so a cell is
-        // checkpointed iff it really finished.
-        auto work = [&] {
-            // Under --lint the consistency oracle rides along on every
-            // cell (the report gains its "oracle" section; reports of
-            // lint-free runs are unchanged, keeping checkpoint resume
-            // byte-identical).
-            rt::ProgramReport rep =
-                g_lintMode != 0
-                    ? (sweep.traceReplay
-                           ? cell.prepared->runReplayWithOracle(cfg)
-                           : cell.prepared->runWithOracle(cfg))
-                    : (sweep.traceReplay ? cell.prepared->runReplay(cfg)
-                                         : cell.prepared->run(cfg));
-            cellProf.setInstructions(rep.serialCost);
-            cell.json = rep.toJson(/*withObsSnapshot=*/false);
-            if (ckpt)
-                ckpt->record(key, cell.json);
-        };
-        if (!sweep.keepGoing) {
-            try {
-                cellProf.setAttempts(1);
-                work();
-                cellProf.setStatus("ok");
-            }
-            catch (Error &e) {
-                e.noteCell(cell.program, cell.suite, cell.config->label);
-                throw;
-            }
-            return;
-        }
-        guard::RunVerdict v = guard::guardedRun(
-            cell.program + " [" + cell.config->label + " " + cell.suite +
-                "]",
-            work);
-        cellProf.setAttempts(static_cast<unsigned>(v.attempts));
-        if (v.ok)
-            cellProf.setStatus("ok");
-        if (!v.ok) {
-            rt::ProgramReport rep;
-            rep.program = cell.program;
-            rep.config = cfg;
-            rep.status = rt::RunStatus::Failed;
-            rep.errorCode = v.codeName();
-            rep.errorMessage = v.message;
-            rep.attempts = static_cast<unsigned>(v.attempts);
-            cell.json = rep.toJson(/*withObsSnapshot=*/false);
-            // Not checkpointed: a deterministic failure reproduces on
-            // resume, and a flaky one deserves the fresh attempt.
-        }
-    };
-    // The profiled region is the cell dispatch: queue-wait and worker
-    // utilization are measured against it.
-    prof::Collector::instance().beginRegion();
-    exec::parallelFor(cells.size(), runCell);
-    prof::Collector::instance().endRegion();
-
-    const bool wantJson = !g_reportPath.empty();
-    obs::Json suitesJson = obs::Json::array();
-    obs::Json reportsJson = obs::Json::array();
-    TextTable t({"configuration", "suite", "geomean speedup",
-                 "geomean coverage", "ok", "failed", "skipped"});
-    std::vector<const Cell *> unhealthy;
-    std::uint64_t oraclePhisChecked = 0, oracleMismatches = 0;
-    std::size_t oracleCells = 0;
-
-    // Aggregate per (configuration, suite) group.  Everything — status,
-    // geomean inputs — is read back from the cell JSON, so fresh and
-    // checkpoint-resumed cells flow through the identical computation.
-    std::size_t at = 0;
-    for (const core::NamedConfig &named : core::paperConfigs()) {
-        for (const std::string &suite : suiteOrder) {
-            GeomeanAccum accSpeedup, accCoverage;
-            std::size_t ok = 0, failed = 0, skipped = 0;
-            for (; at < cells.size() && cells[at].config == &named &&
-                   cells[at].suite == suite;
-                 ++at) {
-                const Cell &cell = cells[at];
-                const std::string &status =
-                    cell.json.at("status").asString();
-                if (status == "ok") {
-                    ++ok;
-                    accSpeedup.add(std::max(
-                        cell.json.at("speedup").asDouble(), 1e-6));
-                    accCoverage.add(std::max(
-                        cell.json.at("coverage").asDouble() * 100.0,
-                        0.1));
-                } else {
-                    (status == "failed" ? failed : skipped) += 1;
-                    unhealthy.push_back(&cell);
-                }
-                if (cell.json.contains("oracle")) {
-                    const obs::Json &o = cell.json.at("oracle");
-                    oraclePhisChecked += o.at("phis_checked").asU64();
-                    oracleMismatches += o.at("mismatches").asU64();
-                    ++oracleCells;
-                }
-                if (wantJson)
-                    reportsJson.push(cell.json);
-            }
-            double speedup = accSpeedup.value();
-            double coverage = accCoverage.value();
-            t.addRow({named.label, suite, TextTable::num(speedup) + "x",
-                      TextTable::num(coverage, 1) + "%",
-                      std::to_string(ok), std::to_string(failed),
-                      std::to_string(skipped)});
-            if (wantJson) {
-                obs::Json row = obs::Json::object();
-                row.set("config", named.label);
-                row.set("suite", suite);
-                row.set("geomean_speedup", speedup);
-                row.set("geomean_coverage_pct", coverage);
-                row.set("ok", ok);
-                row.set("failed", failed);
-                row.set("skipped", skipped);
-                suitesJson.push(std::move(row));
-            }
-        }
-    }
-    t.print(std::cout);
-
-    if (oracleCells != 0)
-        std::cout << "oracle: " << oraclePhisChecked
-                  << " phi(s) checked across " << oracleCells
-                  << " cell(s), " << oracleMismatches << " mismatch(es)\n";
-
-    if (!unhealthy.empty()) {
-        std::cout << unhealthy.size()
-                  << " cell(s) did not complete:\n";
-        for (const Cell *cell : unhealthy)
-            std::cout << "  " << cell->json.at("status").asString()
-                      << "  " << cell->program << " ["
-                      << cell->config->label << " " << cell->suite
-                      << "]  " << cell->json.at("error_code").asString()
-                      << "\n";
-    }
-
-    if (wantJson) {
-        obs::Json doc = obs::Json::object();
-        doc.set("suites", std::move(suitesJson));
-        doc.set("reports", std::move(reportsJson));
-        // Metrics and phase timings hold wall-clock values, which would
-        // break the resume guarantee (a resumed run's report must be
-        // byte-identical to an uninterrupted one); they join the sweep
-        // document only when metrics are explicitly on.
-        if (obs::metricsOn()) {
-            doc.set("metrics", obs::Registry::instance().toJson());
-            doc.set("phases", obs::PhaseTree::instance().toJson());
-        }
-        int rc = maybeWriteReport(doc);
-        return oracleMismatches != 0 ? 1 : rc;
-    }
-    // A static-vs-dynamic inconsistency is a defect in the framework's
-    // classifier, not in the benchmark: fail the sweep.
-    return oracleMismatches != 0 ? 1 : 0;
+    return rc;
 }
 
 } // namespace
@@ -615,7 +322,7 @@ main(int argc, char **argv)
             g_lintMode = mode;
     }
 
-    SweepOptions sweep;
+    core::SweepRequest sweep;
     if (const char *env = std::getenv("LP_TRACE_REPLAY")) {
         int v = parseOnOff(env);
         if (v < 0)
@@ -681,6 +388,37 @@ main(int argc, char **argv)
             }
             if (a == "--resume") {
                 sweep.resume = true;
+                continue;
+            }
+            if (a == "--shards") {
+                // "I/N" runs one shard; a plain "N" names the shard
+                // count for --merge.
+                std::string spec = value("--shards");
+                auto bad = [&]() -> unsigned {
+                    fatal("bad --shards value (want I/N or N): " + spec);
+                };
+                auto parseCount = [&](const std::string &s) -> unsigned {
+                    char *end = nullptr;
+                    unsigned long v = std::strtoul(s.c_str(), &end, 10);
+                    if (s.empty() || *end != '\0' || v == 0 || v > 4096)
+                        return bad();
+                    return static_cast<unsigned>(v);
+                };
+                std::size_t slash = spec.find('/');
+                if (slash == std::string::npos) {
+                    sweep.shardIndex = 0;
+                    sweep.shardCount = parseCount(spec);
+                } else {
+                    sweep.shardIndex = parseCount(spec.substr(0, slash));
+                    sweep.shardCount =
+                        parseCount(spec.substr(slash + 1));
+                    if (sweep.shardIndex > sweep.shardCount)
+                        fatal("shard index out of range: " + spec);
+                }
+                continue;
+            }
+            if (a == "--merge") {
+                sweep.merge = true;
                 continue;
             }
             if (a == "--budget-instructions") {
@@ -751,6 +489,16 @@ main(int argc, char **argv)
 
         if (sweep.resume && sweep.checkpointPath.empty())
             fatal("--resume requires --checkpoint PATH");
+        if (sweep.merge && sweep.shardCount == 0)
+            fatal("--merge requires --shards N");
+        if (!sweep.merge && sweep.shardCount != 0 &&
+            sweep.shardIndex == 0)
+            fatal("--shards N runs nothing by itself: use --shards I/N "
+                  "for one shard, or add --merge to combine them");
+        if ((sweep.shardIndex != 0 || sweep.merge) &&
+            sweep.checkpointPath.empty())
+            fatal("--shards requires --checkpoint PATH (the shard "
+                  "checkpoints are the merge protocol)");
         if (budgetTouched)
             guard::setBudgetOverride(budget);
 

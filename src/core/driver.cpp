@@ -27,6 +27,7 @@ Loopapalooza::Loopapalooza(const ir::Module &mod) : mod_(mod)
         obs::ScopedPhase phase("analyze");
         plan_ = std::make_unique<rt::ModulePlan>(mod);
         index_ = std::make_unique<trace::ModuleIndex>(mod);
+        replayFacts_ = rt::buildReplayBlockFacts(*plan_, *index_);
     }
 
     std::size_t loops = 0;
@@ -107,7 +108,8 @@ Loopapalooza::runReplay(const rt::LPConfig &cfg) const
     const trace::Trace &t = trace();
     LP_LOG_DEBUG("replaying %s under %s", mod_.name().c_str(),
                  cfg.str().c_str());
-    return rt::replayLimitStudy(*plan_, *index_, t, cfg, mod_.name());
+    return rt::replayLimitStudy(*plan_, *index_, t, cfg, mod_.name(),
+                                nullptr, &replayFacts_);
 }
 
 rt::ProgramReport
@@ -124,8 +126,8 @@ Loopapalooza::runReplay(const rt::LPConfig &cfg,
     const trace::Trace &t = trace();
     LP_LOG_DEBUG("replaying %s under %s (oracle attached)",
                  mod_.name().c_str(), cfg.str().c_str());
-    rt::ProgramReport rep =
-        rt::replayLimitStudy(*plan_, *index_, t, cfg, mod_.name(), &cap);
+    rt::ProgramReport rep = rt::replayLimitStudy(
+        *plan_, *index_, t, cfg, mod_.name(), &cap, &replayFacts_);
     lint::applyOracle(cap, rep);
     return rep;
 }

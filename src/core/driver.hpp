@@ -19,6 +19,7 @@
 #include "ir/module.hpp"
 #include "rt/oracle_capture.hpp"
 #include "rt/plan.hpp"
+#include "rt/replay.hpp"
 #include "rt/report.hpp"
 #include "rt/tracker.hpp"
 #include "trace/format.hpp"
@@ -100,10 +101,19 @@ class Loopapalooza
 
     const ir::Module &module() const { return mod_; }
 
+    /**
+     * The shared per-block replay facts (build-once-share-many): one
+     * table per program, read-only across every replayed cell.  Built
+     * in the constructor — it is config-independent, derived purely
+     * from the plan and the trace index.
+     */
+    const rt::ReplayBlockFacts &replayFacts() const { return replayFacts_; }
+
   private:
     const ir::Module &mod_;
     std::unique_ptr<rt::ModulePlan> plan_;
     std::unique_ptr<trace::ModuleIndex> index_;
+    rt::ReplayBlockFacts replayFacts_;
 
     mutable prof::TimedMutex traceMu_{"core.trace_record"};
     mutable std::unique_ptr<trace::Trace> trace_;

@@ -1,0 +1,461 @@
+#include "core/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <iostream>
+#include <map>
+#include <memory>
+
+#include "core/configs.hpp"
+#include "exec/pool.hpp"
+#include "guard/checkpoint.hpp"
+#include "guard/quarantine.hpp"
+#include "lint/engine.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+#include "prof/collector.hpp"
+#include "support/error.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "support/text.hpp"
+
+namespace lp::core {
+
+namespace {
+
+/**
+ * Lint one module under @p lintMode, print every finding, and bump the
+ * lint counters.
+ */
+lint::LintResult
+lintOne(const ir::Module &mod, int lintMode)
+{
+    lint::LintOptions lo;
+    lo.warningsAsErrors = lintMode == 2;
+    lint::LintResult res = lint::lintModule(mod, lo);
+    if (obs::metricsOn()) {
+        obs::Registry::instance().counter("lint.modules_linted").add(1);
+        obs::Registry::instance()
+            .counter("lint.findings")
+            .add(res.diags.size());
+    }
+    for (const lint::Diagnostic &d : res.diags)
+        std::cout << "lint: " << d.str() << "\n";
+    return res;
+}
+
+} // namespace
+
+std::string
+shardCheckpointPath(const std::string &base, unsigned index,
+                    unsigned count)
+{
+    return base + ".shard" + std::to_string(index) + "of" +
+           std::to_string(count);
+}
+
+SweepResult
+runSweep(const std::vector<BenchProgram> &programs, const SweepRequest &req)
+{
+    const bool sharded = req.shardIndex != 0;
+    if (sharded || req.merge) {
+        // Shard ownership is positional (cell index mod shard count),
+        // so every validation failure here is a config error, not a
+        // recoverable condition.
+        if (req.checkpointPath.empty())
+            fatal("--shards requires --checkpoint PATH (the shard "
+                  "checkpoints are the merge protocol)");
+        if (req.shardCount == 0)
+            fatal("--shards needs a shard count");
+        if (sharded && req.merge)
+            fatal("--shards I/N runs one shard; --merge takes the plain "
+                  "count (--shards N --merge)");
+        if (sharded && req.shardIndex > req.shardCount)
+            fatal("shard index " + std::to_string(req.shardIndex) +
+                  " out of range (have " +
+                  std::to_string(req.shardCount) + " shard(s))");
+        if (sharded && req.wantJson)
+            fatal("a shard run produces no report (merge the shards "
+                  "with --merge --json)");
+    }
+
+    SweepResult result;
+
+    std::vector<BenchProgram> progs;
+    for (const auto &p : programs)
+        if (req.suite.empty() || p.suite == req.suite)
+            progs.push_back(p);
+    if (progs.empty()) {
+        std::cerr << "no benchmarks match suite '" << req.suite << "'\n";
+        result.exitCode = 1;
+        return result;
+    }
+
+    StudyOptions studyOpts;
+    studyOpts.keepGoing = req.keepGoing;
+    Study study(progs, studyOpts);
+
+    std::map<std::string, const PreparedProgram *> preparedByName;
+    for (const auto &p : study.programs())
+        preparedByName[p->name()] = p.get();
+    std::map<std::string, const PrepareFailure *> prepFailByName;
+    for (const auto &f : study.prepareFailures())
+        prepFailByName[f.program] = &f;
+
+    // Pre-sweep lint gate (--lint / LP_LINT): every prepared module is
+    // linted once, before any cell runs.  A module with error-level
+    // findings never executes — strict mode aborts the sweep, keep-going
+    // quarantines all its cells as status=skipped / LP_LINT.
+    std::map<std::string, std::string> lintFailByName;
+    if (req.lintMode != 0) {
+        obs::ScopedPhase phase("lint");
+        for (const auto &p : study.programs()) {
+            lint::LintResult res =
+                lintOne(p->driver().module(), req.lintMode);
+            if (!res.hasErrors())
+                continue;
+            std::string first;
+            for (const lint::Diagnostic &d : res.diags)
+                if (d.severity == lint::Severity::Error) {
+                    first = d.str();
+                    break;
+                }
+            std::string msg =
+                "lint: " +
+                std::to_string(res.countAtLeast(lint::Severity::Error)) +
+                " error-level finding(s); first: " + first;
+            if (!req.keepGoing) {
+                ErrorContext ctx;
+                ctx.program = p->name();
+                ctx.suite = p->suite();
+                throw LintError(msg, ctx);
+            }
+            lintFailByName[p->name()] = msg;
+        }
+    }
+
+    // Suite order from the registration list, not study.suites(): a
+    // suite whose every program failed to prepare must still show up
+    // (as skipped cells), not silently vanish.
+    std::vector<std::string> suiteOrder;
+    for (const auto &p : progs)
+        if (std::find(suiteOrder.begin(), suiteOrder.end(), p.suite) ==
+            suiteOrder.end())
+            suiteOrder.push_back(p.suite);
+
+    std::unique_ptr<guard::Checkpoint> ckpt;
+    if (sharded) {
+        // Each shard appends to its own checkpoint file, so concurrent
+        // shard processes never contend on (or tear) a shared file.
+        ckpt = std::make_unique<guard::Checkpoint>(
+            shardCheckpointPath(req.checkpointPath, req.shardIndex,
+                                req.shardCount),
+            req.resume);
+    } else if (req.merge) {
+        // The merge is itself a resumable sweep: its own checkpoint
+        // (".merge") carries any cells the merge ran on a previous
+        // attempt, and absorbing the shard files loads everything the
+        // shards completed.  Whatever remains — the in-flight cells of
+        // a crashed shard, a shard that never ran — is executed below
+        // like any other un-checkpointed cell.
+        ckpt = std::make_unique<guard::Checkpoint>(
+            req.checkpointPath + ".merge", /*resume=*/true);
+        std::size_t absorbed = 0;
+        for (unsigned i = 1; i <= req.shardCount; ++i)
+            absorbed += ckpt->absorb(shardCheckpointPath(
+                req.checkpointPath, i, req.shardCount));
+        LP_LOG_INFO("merge: absorbed %zu cell(s) from %u shard "
+                    "checkpoint(s)",
+                    absorbed, req.shardCount);
+    } else if (!req.checkpointPath.empty()) {
+        ckpt = std::make_unique<guard::Checkpoint>(req.checkpointPath,
+                                                   req.resume);
+    }
+    if (ckpt && ckpt->loadedCells() != 0)
+        LP_LOG_INFO("resuming: %zu cell(s) loaded from %s",
+                    ckpt->loadedCells(), ckpt->path().c_str());
+
+    // The sweep is a flat list of (configuration, suite, program)
+    // cells — the unit of parallelism, of quarantine, of checkpointing
+    // and of sharding.  Results are stored by cell index, so the table
+    // and the JSON document come out identical whatever the worker
+    // count, and identical between a resumed and an uninterrupted run
+    // (resumed cells reuse their stored JSON verbatim).  Sharding
+    // leans on the same flatness: the list order is deterministic, so
+    // "cell index mod shard count" partitions it without coordination.
+    struct Cell
+    {
+        const NamedConfig *config;
+        std::string suite;
+        std::string program;
+        const PreparedProgram *prepared; ///< null = prepare failed
+        obs::Json json;
+    };
+    std::vector<Cell> cells;
+    for (const NamedConfig &named : paperConfigs())
+        for (const std::string &suite : suiteOrder)
+            for (const auto &p : progs) {
+                if (p.suite != suite)
+                    continue;
+                auto it = preparedByName.find(p.name);
+                cells.push_back(
+                    {&named, suite, p.name,
+                     it == preparedByName.end() ? nullptr : it->second,
+                     obs::Json()});
+            }
+
+    // Shard-summary counters (harmless in unsharded runs).
+    std::atomic<std::size_t> nResumed{0};
+
+    auto runCell = [&](std::size_t i) {
+        Cell &cell = cells[i];
+        const rt::LPConfig &cfg = cell.config->config;
+        prof::CellScope cellProf(cell.program, cell.suite,
+                                 cell.config->label);
+        if (!cell.prepared) {
+            // Program never prepared: the cell was not attempted.
+            // Synthesized fresh every run (never checkpointed), which
+            // is still deterministic — the prepare verdict is.
+            const PrepareFailure *pf = prepFailByName[cell.program];
+            rt::ProgramReport rep;
+            rep.program = cell.program;
+            rep.config = cfg;
+            rep.status = rt::RunStatus::Skipped;
+            rep.errorCode = pf->verdict.codeName();
+            rep.errorMessage = "prepare failed: " + pf->verdict.message;
+            rep.attempts = static_cast<unsigned>(pf->verdict.attempts);
+            cell.json = rep.toJson(/*withObsSnapshot=*/false);
+            cellProf.setStatus("skipped");
+            return;
+        }
+        auto lintFail = lintFailByName.find(cell.program);
+        if (lintFail != lintFailByName.end()) {
+            // Quarantined by the lint gate; like prepare failures these
+            // cells are synthesized fresh every run, never checkpointed.
+            rt::ProgramReport rep;
+            rep.program = cell.program;
+            rep.config = cfg;
+            rep.status = rt::RunStatus::Skipped;
+            rep.errorCode = errorCodeName(ErrorCode::Lint);
+            rep.errorMessage = lintFail->second;
+            cell.json = rep.toJson(/*withObsSnapshot=*/false);
+            cellProf.setStatus("skipped");
+            return;
+        }
+        const std::string key = guard::Checkpoint::cellKey(
+            cell.config->label, cell.suite, cell.program);
+        if (ckpt) {
+            if (const obs::Json *stored = ckpt->find(key)) {
+                cell.json = *stored;
+                cellProf.setStatus("resumed");
+                nResumed.fetch_add(1, std::memory_order_relaxed);
+                return;
+            }
+        }
+        // Run and checkpoint as one guarded unit: a transient failure
+        // while recording the cell retries the whole unit, so a cell is
+        // checkpointed iff it really finished.
+        auto work = [&] {
+            // Under --lint the consistency oracle rides along on every
+            // cell (the report gains its "oracle" section; reports of
+            // lint-free runs are unchanged, keeping checkpoint resume
+            // byte-identical).
+            rt::ProgramReport rep =
+                req.lintMode != 0
+                    ? (req.traceReplay
+                           ? cell.prepared->runReplayWithOracle(cfg)
+                           : cell.prepared->runWithOracle(cfg))
+                    : (req.traceReplay ? cell.prepared->runReplay(cfg)
+                                       : cell.prepared->run(cfg));
+            cellProf.setInstructions(rep.serialCost);
+            cell.json = rep.toJson(/*withObsSnapshot=*/false);
+            if (ckpt)
+                ckpt->record(key, cell.json);
+        };
+        if (!req.keepGoing) {
+            try {
+                cellProf.setAttempts(1);
+                work();
+                cellProf.setStatus("ok");
+            }
+            catch (Error &e) {
+                e.noteCell(cell.program, cell.suite, cell.config->label);
+                throw;
+            }
+            return;
+        }
+        guard::RunVerdict v = guard::guardedRun(
+            cell.program + " [" + cell.config->label + " " + cell.suite +
+                "]",
+            work);
+        cellProf.setAttempts(static_cast<unsigned>(v.attempts));
+        if (v.ok)
+            cellProf.setStatus("ok");
+        if (!v.ok) {
+            rt::ProgramReport rep;
+            rep.program = cell.program;
+            rep.config = cfg;
+            rep.status = rt::RunStatus::Failed;
+            rep.errorCode = v.codeName();
+            rep.errorMessage = v.message;
+            rep.attempts = static_cast<unsigned>(v.attempts);
+            cell.json = rep.toJson(/*withObsSnapshot=*/false);
+            // Not checkpointed: a deterministic failure reproduces on
+            // resume, and a flaky one deserves the fresh attempt.
+        }
+    };
+
+    if (sharded) {
+        // This process owns the cells whose flat index is congruent to
+        // shardIndex-1 mod shardCount — a deterministic, coordination-
+        // free partition that also round-robins each configuration's
+        // cheap and expensive programs across shards.
+        std::vector<std::size_t> owned;
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            if (i % req.shardCount == req.shardIndex - 1)
+                owned.push_back(i);
+
+        prof::Collector::instance().beginRegion();
+        exec::parallelFor(owned.size(),
+                          [&](std::size_t k) { runCell(owned[k]); });
+        prof::Collector::instance().endRegion();
+
+        // No table, no aggregation: a shard sees only its slice, so any
+        // per-(config, suite) geomean it printed would be wrong.  The
+        // merge step owns reporting.
+        std::size_t ok = 0, failed = 0, skipped = 0;
+        std::uint64_t oracleMismatches = 0;
+        for (std::size_t i : owned) {
+            const std::string &status =
+                cells[i].json.at("status").asString();
+            (status == "ok"      ? ok
+             : status == "failed" ? failed
+                                  : skipped) += 1;
+            if (cells[i].json.contains("oracle"))
+                oracleMismatches += cells[i]
+                                        .json.at("oracle")
+                                        .at("mismatches")
+                                        .asU64();
+        }
+        std::cout << "shard " << req.shardIndex << "/" << req.shardCount
+                  << ": " << owned.size() << " of " << cells.size()
+                  << " cell(s) — " << ok << " ok, " << failed
+                  << " failed, " << skipped << " skipped, "
+                  << nResumed.load() << " resumed\n"
+                  << "checkpoint: " << ckpt->path() << "\n";
+        if (oracleMismatches != 0)
+            std::cout << "oracle: " << oracleMismatches
+                      << " mismatch(es) in this shard\n";
+        result.exitCode = oracleMismatches != 0 ? 1 : 0;
+        return result;
+    }
+
+    // The profiled region is the cell dispatch: queue-wait and worker
+    // utilization are measured against it.
+    prof::Collector::instance().beginRegion();
+    exec::parallelFor(cells.size(), runCell);
+    prof::Collector::instance().endRegion();
+
+    obs::Json suitesJson = obs::Json::array();
+    obs::Json reportsJson = obs::Json::array();
+    TextTable t({"configuration", "suite", "geomean speedup",
+                 "geomean coverage", "ok", "failed", "skipped"});
+    std::vector<const Cell *> unhealthy;
+    std::uint64_t oraclePhisChecked = 0, oracleMismatches = 0;
+    std::size_t oracleCells = 0;
+
+    // Aggregate per (configuration, suite) group.  Everything — status,
+    // geomean inputs — is read back from the cell JSON, so fresh,
+    // checkpoint-resumed and shard-merged cells flow through the
+    // identical computation; that shared path is what makes a merged
+    // report byte-identical to an unsharded run's.
+    std::size_t at = 0;
+    for (const NamedConfig &named : paperConfigs()) {
+        for (const std::string &suite : suiteOrder) {
+            GeomeanAccum accSpeedup, accCoverage;
+            std::size_t ok = 0, failed = 0, skipped = 0;
+            for (; at < cells.size() && cells[at].config == &named &&
+                   cells[at].suite == suite;
+                 ++at) {
+                const Cell &cell = cells[at];
+                const std::string &status =
+                    cell.json.at("status").asString();
+                if (status == "ok") {
+                    ++ok;
+                    accSpeedup.add(std::max(
+                        cell.json.at("speedup").asDouble(), 1e-6));
+                    accCoverage.add(std::max(
+                        cell.json.at("coverage").asDouble() * 100.0,
+                        0.1));
+                } else {
+                    (status == "failed" ? failed : skipped) += 1;
+                    unhealthy.push_back(&cell);
+                }
+                if (cell.json.contains("oracle")) {
+                    const obs::Json &o = cell.json.at("oracle");
+                    oraclePhisChecked += o.at("phis_checked").asU64();
+                    oracleMismatches += o.at("mismatches").asU64();
+                    ++oracleCells;
+                }
+                if (req.wantJson)
+                    reportsJson.push(cell.json);
+            }
+            double speedup = accSpeedup.value();
+            double coverage = accCoverage.value();
+            t.addRow({named.label, suite, TextTable::num(speedup) + "x",
+                      TextTable::num(coverage, 1) + "%",
+                      std::to_string(ok), std::to_string(failed),
+                      std::to_string(skipped)});
+            if (req.wantJson) {
+                obs::Json row = obs::Json::object();
+                row.set("config", named.label);
+                row.set("suite", suite);
+                row.set("geomean_speedup", speedup);
+                row.set("geomean_coverage_pct", coverage);
+                row.set("ok", ok);
+                row.set("failed", failed);
+                row.set("skipped", skipped);
+                suitesJson.push(std::move(row));
+            }
+        }
+    }
+    t.print(std::cout);
+
+    if (oracleCells != 0)
+        std::cout << "oracle: " << oraclePhisChecked
+                  << " phi(s) checked across " << oracleCells
+                  << " cell(s), " << oracleMismatches << " mismatch(es)\n";
+
+    if (!unhealthy.empty()) {
+        std::cout << unhealthy.size() << " cell(s) did not complete:\n";
+        for (const Cell *cell : unhealthy)
+            std::cout << "  " << cell->json.at("status").asString()
+                      << "  " << cell->program << " ["
+                      << cell->config->label << " " << cell->suite
+                      << "]  " << cell->json.at("error_code").asString()
+                      << "\n";
+    }
+
+    if (req.wantJson) {
+        obs::Json doc = obs::Json::object();
+        doc.set("suites", std::move(suitesJson));
+        doc.set("reports", std::move(reportsJson));
+        // Metrics and phase timings hold wall-clock values, which would
+        // break the resume guarantee (a resumed run's report must be
+        // byte-identical to an uninterrupted one); they join the sweep
+        // document only when metrics are explicitly on.
+        if (obs::metricsOn()) {
+            doc.set("metrics", obs::Registry::instance().toJson());
+            doc.set("phases", obs::PhaseTree::instance().toJson());
+        }
+        result.hasDocument = true;
+        result.document = std::move(doc);
+    }
+    // A static-vs-dynamic inconsistency is a defect in the framework's
+    // classifier, not in the benchmark: fail the sweep.
+    result.exitCode = oracleMismatches != 0 ? 1 : 0;
+    return result;
+}
+
+} // namespace lp::core

@@ -149,11 +149,15 @@ parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn,
         return;
     }
 
-    std::atomic<std::size_t> next{0};
-    std::mutex errMu;
+    // The claim counter and the failure flag sit on the hottest shared
+    // cache lines of a sweep; keep each on its own line so claiming an
+    // index never invalidates the flag every worker polls (and neither
+    // shares a line with the error state below).
+    alignas(64) std::atomic<std::size_t> next{0};
+    alignas(64) std::atomic<bool> failed{false};
+    alignas(64) std::mutex errMu;
     std::exception_ptr firstError;
     std::size_t firstErrorIndex = 0;
-    std::atomic<bool> failed{false};
 
     auto drain = [&] {
         for (;;) {
@@ -211,7 +215,7 @@ parallelForAll(std::size_t n, const std::function<void(std::size_t)> &fn,
         return errors;
     }
 
-    std::atomic<std::size_t> next{0};
+    alignas(64) std::atomic<std::size_t> next{0};
     auto drain = [&] {
         for (;;) {
             std::size_t i = next.fetch_add(1, std::memory_order_relaxed);

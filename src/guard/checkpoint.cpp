@@ -28,12 +28,10 @@ Checkpoint::Checkpoint(const std::string &path, bool resume) : path_(path)
                 loaded_);
 }
 
-void
-Checkpoint::loadExisting()
+std::size_t
+Checkpoint::loadFrom(std::istream &in, const std::string &name)
 {
-    std::ifstream in(path_);
-    if (!in)
-        return; // nothing to resume from: first run with --resume
+    const std::size_t before = cells_.size();
     std::string line;
     unsigned lineNo = 0;
     while (std::getline(in, line)) {
@@ -44,14 +42,37 @@ Checkpoint::loadExisting()
         obs::Json rec = obs::Json::parse(line, &err);
         if (!err.empty() || !rec.isObject() || !rec.contains("key") ||
             !rec.contains("cell")) {
-            // A torn final line is the expected residue of a killed
-            // sweep; anything else malformed is worth a warning too.
-            LP_LOG_WARN("checkpoint %s: skipping malformed line %u",
-                        path_.c_str(), lineNo);
+            // A torn final line (EOF hit mid-record) is the expected
+            // residue of a killed writer: the cell was in flight, it
+            // just runs again.  A malformed *interior* line means the
+            // file was damaged after the fact — still skipped (the
+            // cell re-runs; never fail, never double-run), but worth
+            // the louder diagnostic.
+            if (in.peek() == std::char_traits<char>::eof())
+                LP_LOG_WARN("checkpoint %s: final line %u is torn "
+                            "(killed mid-append?); its cell will be "
+                            "re-run",
+                            name.c_str(), lineNo);
+            else
+                LP_LOG_WARN("checkpoint %s: skipping malformed "
+                            "interior line %u (file damaged?); its "
+                            "cell will be re-run",
+                            name.c_str(), lineNo);
+            ++skipped_;
             continue;
         }
         cells_[rec.at("key").asString()] = rec.at("cell");
     }
+    return cells_.size() - before;
+}
+
+void
+Checkpoint::loadExisting()
+{
+    std::ifstream in(path_);
+    if (!in)
+        return; // nothing to resume from: first run with --resume
+    loadFrom(in, path_);
     loaded_ = cells_.size();
 
     std::ifstream tail(path_, std::ios::binary);
@@ -64,6 +85,23 @@ Checkpoint::loadExisting()
             sealNeeded_ = last != '\n';
         }
     }
+}
+
+std::size_t
+Checkpoint::absorb(const std::string &otherPath)
+{
+    std::ifstream in(otherPath);
+    if (!in) {
+        LP_LOG_WARN("checkpoint %s: cannot read %s to absorb; its "
+                    "cells will be re-run",
+                    path_.c_str(), otherPath.c_str());
+        return 0;
+    }
+    std::lock_guard<prof::TimedMutex> lock(mu_);
+    std::size_t absorbed = loadFrom(in, otherPath);
+    LP_LOG_INFO("checkpoint %s: absorbed %zu cell(s) from %s",
+                path_.c_str(), absorbed, otherPath.c_str());
+    return absorbed;
 }
 
 std::string
@@ -104,6 +142,13 @@ Checkpoint::loadedCells() const
 {
     std::lock_guard<prof::TimedMutex> lock(mu_);
     return loaded_;
+}
+
+std::size_t
+Checkpoint::skippedLines() const
+{
+    std::lock_guard<prof::TimedMutex> lock(mu_);
+    return skipped_;
 }
 
 } // namespace lp::guard

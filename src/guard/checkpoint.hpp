@@ -59,19 +59,40 @@ class Checkpoint
      *  failure.  Thread-safe. */
     void record(const std::string &key, const obs::Json &cell);
 
+    /**
+     * Load every complete cell of another checkpoint file into this
+     * one's in-memory map WITHOUT appending to this file — the merge
+     * protocol for sharded sweeps (`run_study --shards` writes one
+     * checkpoint per shard; `--merge` absorbs them all, then runs
+     * whatever is missing).  A torn final line in the absorbed file —
+     * the residue of a crashed shard — is skipped exactly like on
+     * resume, so that cell simply runs again in the merge.  A missing
+     * file absorbs zero cells (the whole shard re-runs); that is a
+     * warning, not an error, because the merge is the recovery path.
+     *
+     * @returns the number of cells absorbed.
+     */
+    std::size_t absorb(const std::string &otherPath);
+
     /** Cells loaded from a previous run (resume only). */
     std::size_t loadedCells() const;
+
+    /** Malformed (e.g. torn) lines skipped across load/absorb. */
+    std::size_t skippedLines() const;
 
     const std::string &path() const { return path_; }
 
   private:
     void loadExisting();
+    /** Parse @p file's JSONL lines into cells_; returns cells added. */
+    std::size_t loadFrom(std::istream &in, const std::string &name);
 
     mutable prof::TimedMutex mu_{"guard.checkpoint"};
     std::string path_;
     std::ofstream out_;
     std::map<std::string, obs::Json> cells_;
     std::size_t loaded_ = 0;
+    std::size_t skipped_ = 0;
     bool sealNeeded_ = false; ///< resumed file ends in a torn line
 };
 

@@ -5,7 +5,23 @@
 #include "support/error.hpp"
 #include "support/text.hpp"
 
+#include "support/arena.hpp"
+
 namespace lp::interp {
+
+Memory::Memory()
+    : globals_(support::ByteBufferPool::acquire()),
+      heap_(support::ByteBufferPool::acquire()),
+      stack_(support::ByteBufferPool::acquire())
+{
+}
+
+Memory::~Memory()
+{
+    support::ByteBufferPool::release(std::move(stack_));
+    support::ByteBufferPool::release(std::move(heap_));
+    support::ByteBufferPool::release(std::move(globals_));
+}
 
 namespace {
 

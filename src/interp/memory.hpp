@@ -24,7 +24,14 @@ class Memory
     static constexpr std::uint64_t kStackBase  = 0x8000'0000;
     static constexpr std::uint64_t kStackLimit = 0x9000'0000;
 
-    Memory() = default;
+    /// Segment buffers come from the per-thread pool (support/arena.hpp)
+    /// so cell-after-cell construction reuses warm capacity instead of
+    /// contending on the process allocator from every sweep worker.
+    Memory();
+    ~Memory();
+
+    Memory(const Memory &) = delete;
+    Memory &operator=(const Memory &) = delete;
 
     /** Reserve @p size bytes of zeroed global space; returns the address. */
     std::uint64_t allocGlobal(std::uint64_t size);

@@ -53,6 +53,8 @@ cellToJson(const CellRecord &rec)
 
 Collector::Collector() : epochNanos_(steadyNanos())
 {
+    for (std::atomic<std::uint64_t> &lane : laneIdleSinceNs_)
+        lane.store(0, std::memory_order_relaxed);
     for (EpochSlot &slot : epochs_)
         for (std::size_t k = 0; k < 3; ++k) {
             slot.instructions[k].store(0, std::memory_order_relaxed);
@@ -138,6 +140,8 @@ Collector::reset()
     }
     regionStartNs_.store(0, std::memory_order_relaxed);
     regionWallNs_.store(0, std::memory_order_relaxed);
+    for (std::atomic<std::uint64_t> &lane : laneIdleSinceNs_)
+        lane.store(0, std::memory_order_relaxed);
     for (EpochSlot &slot : epochs_)
         for (std::size_t k = 0; k < 3; ++k) {
             slot.instructions[k].store(0, std::memory_order_relaxed);
@@ -149,6 +153,11 @@ Collector::reset()
 void
 Collector::beginRegion()
 {
+    // A new region means every lane is idle-since-region-start: clear
+    // the per-lane markers so the first cell on each lane measures its
+    // gap from the region start, not from some previous region's cell.
+    for (std::atomic<std::uint64_t> &lane : laneIdleSinceNs_)
+        lane.store(0, std::memory_order_relaxed);
     regionStartNs_.store(nowNs(), std::memory_order_relaxed);
 }
 
@@ -273,7 +282,11 @@ Collector::workersJson() const
         one.set("busy_ns", w.busyNs);
         one.set("idle_ns",
                 regionWall > w.busyNs ? regionWall - w.busyNs : 0);
-        one.set("queue_wait_ns", w.queueWaitNs);
+        // Per-cell gaps on one lane are disjoint, so this sum cannot
+        // logically exceed the region wall; the clamp guards against
+        // clock skew between the region edges and the cell scopes ever
+        // resurrecting the impossible 23s-wait-in-a-1.6s-region reports.
+        one.set("queue_wait_ns", std::min(w.queueWaitNs, regionWall));
         one.set("lock_wait_ns", w.lockWaitNs);
         one.set("instructions", w.instructions);
         one.set("utilization", util);
@@ -435,13 +448,20 @@ CellScope::CellScope(const std::string &program, const std::string &suite,
     rec_.config = config;
     rec_.worker = obs::threadLane();
     rec_.startNs = c.nowNs();
-    // Cells of a batch are all logically enqueued when the region
-    // starts, so queue-wait is region start -> cell start (0 outside a
-    // region).
+    // Queue-wait is the lane's idle gap before this cell: from its
+    // previous cell's end — or the region start, for the lane's first
+    // cell — to now.  Time the lane spent busy on earlier cells is
+    // work, not waiting; billing it here is what once summed a 1.6 s
+    // region's queue-wait to 23 s.
     std::uint64_t region =
         c.regionStartNs_.load(std::memory_order_relaxed);
-    rec_.queueWaitNs =
-        region != 0 && rec_.startNs > region ? rec_.startNs - region : 0;
+    std::uint64_t idleSince =
+        c.laneIdleSinceNs_[rec_.worker & (Collector::kMaxLanes - 1)].load(
+            std::memory_order_relaxed);
+    std::uint64_t waitBase = idleSince != 0 ? idleSince : region;
+    rec_.queueWaitNs = region != 0 && rec_.startNs > waitBase
+                           ? rec_.startNs - waitBase
+                           : 0;
     rec_.status = "failed"; // an unwound scope records a failed cell
     lockWait0_ = threadLockWaitNs();
 }
@@ -451,8 +471,11 @@ CellScope::~CellScope()
     if (!active_)
         return;
     Collector &c = Collector::instance();
-    rec_.wallNs = c.nowNs() - rec_.startNs;
+    std::uint64_t end = c.nowNs();
+    rec_.wallNs = end - rec_.startNs;
     rec_.lockWaitNs = threadLockWaitNs() - lockWait0_;
+    c.laneIdleSinceNs_[rec_.worker & (Collector::kMaxLanes - 1)].store(
+        end, std::memory_order_relaxed);
     c.recordCell(rec_);
 }
 

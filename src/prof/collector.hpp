@@ -60,7 +60,14 @@ struct CellRecord
     unsigned worker = 0; ///< obs::threadLane() of the executing worker
     std::uint64_t startNs = 0;     ///< collector timebase
     std::uint64_t wallNs = 0;
-    std::uint64_t queueWaitNs = 0; ///< region start -> cell start
+    /** Idle gap on this worker's lane before the cell started: from
+     *  the lane's previous cell end (or the region start, for its
+     *  first cell) to this cell's start.  Gaps on one lane are
+     *  disjoint, so a lane's total queue-wait can never exceed the
+     *  region wall — unlike the old "region start -> cell start"
+     *  definition, which billed every already-busy nanosecond to each
+     *  later cell and summed to many times the region. */
+    std::uint64_t queueWaitNs = 0;
     std::uint64_t lockWaitNs = 0;  ///< contended TimedMutex wait inside
     std::uint64_t instructions = 0;
     unsigned attempts = 0;
@@ -163,6 +170,11 @@ class Collector
 
     std::atomic<std::uint64_t> regionStartNs_{0}; ///< 0 = outside
     std::atomic<std::uint64_t> regionWallNs_{0};  ///< accumulated
+
+    /** When each lane last went idle inside the current region (its
+     *  previous cell's end); 0 = no cell yet this region.  Only the
+     *  owning lane writes, so relaxed atomics suffice. */
+    std::atomic<std::uint64_t> laneIdleSinceNs_[kMaxLanes];
 
     EpochSlot epochs_[kMaxLanes];
 };

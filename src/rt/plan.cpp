@@ -62,6 +62,66 @@ ModulePlan::ModulePlan(const ir::Module &mod) : mod_(mod)
             }
         }
     }
+
+    buildSharedRuntimeTables();
+}
+
+void
+ModulePlan::buildSharedRuntimeTables()
+{
+    // Ordinals follow the functionPlans()/loopPlans iteration order the
+    // runtime uses to build its per-configuration loop table, so the
+    // two stay index-compatible by construction.
+    for (auto &fp : plans_) {
+        for (LoopPlan &lplan : fp->loopPlans) {
+            lplan.ordinal = static_cast<unsigned>(loopsByOrdinal_.size());
+            loopsByOrdinal_.push_back(&lplan);
+            if (lplan.loop)
+                headerOrdinal_[lplan.loop->header()] = lplan.ordinal;
+
+            // The maximal tracked list: nonComputable, then reductions
+            // demoted under reduc0.  Configurations select a prefix.
+            lplan.trackedAll = lplan.nonComputable;
+            for (const analysis::ReductionDescriptor &red :
+                 lplan.reductions) {
+                lplan.trackedAll.push_back(
+                    {red.phi, red.chain.back(), true});
+            }
+            for (unsigned i = 0; i < lplan.trackedAll.size(); ++i)
+                lplan.trackedIndex[lplan.trackedAll[i].phi] = i;
+        }
+    }
+
+    // Def watches over the maximal tracked lists, with the plan-time
+    // offsets computed above; resolving them here (instead of per
+    // runtime construction) removes a per-cell hash-map rebuild from
+    // every sweep worker.
+    for (auto &fp : plans_) {
+        for (LoopPlan &lplan : fp->loopPlans) {
+            if (!lplan.loop)
+                continue;
+            for (unsigned i = 0; i < lplan.trackedAll.size(); ++i) {
+                const TrackedPhi &tp = lplan.trackedAll[i];
+                if (!tp.defInstr)
+                    continue;
+                const ir::BasicBlock *bb = tp.defInstr->parent();
+                unsigned offset = 0;
+                auto sites = fp->defSites.find(bb);
+                panicIf(sites == fp->defSites.end(),
+                        "tracked def site missing from the plan");
+                for (const DefSite &d : sites->second) {
+                    if (d.instr == tp.defInstr) {
+                        offset = d.offsetInBlock;
+                        break;
+                    }
+                }
+                panicIf(offset == 0,
+                        "tracked def site missing from the plan");
+                defWatchPlan_[bb].push_back(
+                    {tp.defInstr, offset, lplan.ordinal, i});
+            }
+        }
+    }
 }
 
 void

@@ -59,6 +59,13 @@ struct LoopPlan
 {
     const analysis::Loop *loop = nullptr;
 
+    /** Module-wide loop number, in functionPlans()/loopPlans order.
+     *  The runtime's per-configuration loop table is indexed by this,
+     *  so config-independent lookups (header block -> loop, def watch
+     *  -> loop) resolve through the shared plan instead of per-cell
+     *  hash maps. */
+    unsigned ordinal = 0;
+
     std::vector<const ir::Instruction *> computablePhis; ///< IVs & MIVs
     /**
      * AddRec nesting depth of each computable phi (parallel to
@@ -70,6 +77,19 @@ struct LoopPlan
     std::vector<analysis::ReductionDescriptor> reductions;
     /** Non-computable, non-reduction header phis. */
     std::vector<TrackedPhi> nonComputable;
+
+    /**
+     * Every phi the runtime could ever track: nonComputable first, then
+     * the reductions reduc0 demotes to plain tracked LCDs.  A given
+     * configuration tracks a *prefix-selected* slice of this — all of
+     * it under reduc0, just the nonComputable prefix otherwise — so the
+     * runtime stores one count per loop instead of copying the vector
+     * per cell (the per-cell copies were allocator traffic on every
+     * sweep worker).
+     */
+    std::vector<TrackedPhi> trackedAll;
+    /** Phi -> index into trackedAll (configs ignore out-of-prefix hits). */
+    std::unordered_map<const ir::Instruction *, unsigned> trackedIndex;
 
     /** Loads/stores needing no conflict tracking at this loop's level. */
     std::unordered_set<const ir::Instruction *> untrackedMem;
@@ -85,6 +105,21 @@ struct DefSite
 {
     const ir::Instruction *instr;
     unsigned offsetInBlock; ///< instructions preceding it, inclusive of it
+};
+
+/**
+ * A def site the runtime may need to timestamp, resolved at plan time:
+ * which loop (by ordinal) and which tracked-LCD slot it feeds.  The
+ * per-configuration decision — is that loop eligible, is that slot
+ * inside the config's tracked prefix — is two integer compares at the
+ * use site, so the whole watch table is shared read-only across cells.
+ */
+struct PlannedDefWatch
+{
+    const ir::Instruction *instr;
+    unsigned offsetInBlock;
+    unsigned loopOrdinal; ///< LoopPlan::ordinal of the watched loop
+    unsigned regIndex;    ///< index into that loop's trackedAll
 };
 
 /** Compile-time facts about one function. */
@@ -132,13 +167,46 @@ class ModulePlan
         return plans_;
     }
 
+    /** Loops across the module, in LoopPlan::ordinal order. */
+    std::size_t numLoops() const { return loopsByOrdinal_.size(); }
+
+    /** The loop plan with @p ordinal. */
+    const LoopPlan &
+    loopByOrdinal(unsigned ordinal) const
+    {
+        return *loopsByOrdinal_[ordinal];
+    }
+
+    /** @p bb's loop ordinal if it heads a loop, else -1. */
+    int
+    headerOrdinal(const ir::BasicBlock *bb) const
+    {
+        auto it = headerOrdinal_.find(bb);
+        return it == headerOrdinal_.end() ? -1
+                                          : static_cast<int>(it->second);
+    }
+
+    /** Block -> def watches the runtime samples there (shared, const). */
+    const std::unordered_map<const ir::BasicBlock *,
+                             std::vector<PlannedDefWatch>> &
+    defWatchPlan() const
+    {
+        return defWatchPlan_;
+    }
+
   private:
     void buildFunctionPlan(FunctionPlan &fp);
+    void buildSharedRuntimeTables();
 
     const ir::Module &mod_;
     std::unique_ptr<analysis::PurityAnalysis> purity_;
     std::vector<std::unique_ptr<FunctionPlan>> plans_;
     std::unordered_map<const ir::Function *, FunctionPlan *> byFn_;
+    std::vector<const LoopPlan *> loopsByOrdinal_;
+    std::unordered_map<const ir::BasicBlock *, unsigned> headerOrdinal_;
+    std::unordered_map<const ir::BasicBlock *,
+                       std::vector<PlannedDefWatch>>
+        defWatchPlan_;
 };
 
 /**

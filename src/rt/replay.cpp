@@ -24,6 +24,25 @@ headerBlockFlags(const ModulePlan &plan, const trace::ModuleIndex &index)
     return headers;
 }
 
+ReplayBlockFacts
+buildReplayBlockFacts(const ModulePlan &plan,
+                      const trace::ModuleIndex &index)
+{
+    ReplayBlockFacts facts;
+    facts.blocks.resize(index.numBlocks());
+    for (const auto &fp : plan.functionPlans()) {
+        for (const LoopPlan &lplan : fp->loopPlans) {
+            if (lplan.loop)
+                facts.blocks[index.blockId(lplan.loop->header())]
+                    .headerOrdinal =
+                    static_cast<std::int32_t>(lplan.ordinal);
+        }
+    }
+    for (const auto &[bb, ws] : plan.defWatchPlan())
+        facts.blocks[index.blockId(bb)].watches = &ws;
+    return facts;
+}
+
 trace::Trace
 recordTrace(const ir::Module &mod, const trace::ModuleIndex &index,
             const ModulePlan &plan, const guard::RunBudget &budget)
@@ -42,7 +61,8 @@ recordTrace(const ir::Module &mod, const trace::ModuleIndex &index,
 ProgramReport
 replayLimitStudy(const ModulePlan &plan, const trace::ModuleIndex &index,
                  const trace::Trace &t, const LPConfig &cfg,
-                 const std::string &name, OracleCapture *oracle)
+                 const std::string &name, OracleCapture *oracle,
+                 const ReplayBlockFacts *facts)
 {
     if (t.truncated)
         throw IoError("trace of " + name +
@@ -68,7 +88,7 @@ replayLimitStudy(const ModulePlan &plan, const trace::ModuleIndex &index,
 
     {
         obs::ScopedPhase phase("replay");
-        runtime->consumeTrace(index, t);
+        runtime->consumeTrace(index, t, facts);
         phase.addInstructions(t.finalCost);
     }
 

@@ -23,6 +23,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,29 @@ std::vector<bool> headerBlockFlags(const ModulePlan &plan,
                                    const trace::ModuleIndex &index);
 
 /**
+ * Per-block-id replay facts: does the block head a loop (its plan
+ * ordinal) and which planned def watches fire there.  Everything in
+ * here is configuration-independent, so one table — built once per
+ * program, next to the recording — serves every cell of the sweep
+ * read-only.  Before this existed, each replayed cell rebuilt the
+ * same numBlocks-sized table, and on multicore sweeps those rebuilds
+ * were pure allocator contention.
+ */
+struct ReplayBlockFacts
+{
+    struct PerBlock
+    {
+        std::int32_t headerOrdinal = -1; ///< LoopPlan::ordinal, -1 = none
+        const std::vector<PlannedDefWatch> *watches = nullptr;
+    };
+    std::vector<PerBlock> blocks;
+};
+
+/** Build the shared per-block replay facts for @p plan under @p index. */
+ReplayBlockFacts buildReplayBlockFacts(const ModulePlan &plan,
+                                       const trace::ModuleIndex &index);
+
+/**
  * Record one run of @p mod into a trace: the machine runs with the
  * recording sink (no tracker) under @p budget; the trace payload is
  * capped at budget.maxTraceBytes.
@@ -58,6 +82,8 @@ trace::Trace recordTrace(const ir::Module &mod,
  * Run the limit study for one configuration by replaying @p t.
  * Byte-identical to runLimitStudy() on the same module/config.
  *
+ * @param facts shared per-block facts from buildReplayBlockFacts();
+ *        null makes the cell build its own (slower, same result).
  * @throws lp::IoError when the trace is truncated, does not match the
  *         module, or is malformed.
  */
@@ -65,6 +91,7 @@ ProgramReport replayLimitStudy(const ModulePlan &plan,
                                const trace::ModuleIndex &index,
                                const trace::Trace &t, const LPConfig &cfg,
                                const std::string &name,
-                               OracleCapture *oracle = nullptr);
+                               OracleCapture *oracle = nullptr,
+                               const ReplayBlockFacts *facts = nullptr);
 
 } // namespace lp::rt

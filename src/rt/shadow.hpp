@@ -14,10 +14,19 @@
  * checks — no hashing, no probing.
  *
  * Instance reset is epoch-tagged: every entry stamps the epoch it was
- * written in, and reset() just bumps the map's epoch, invalidating all
- * entries at once — O(1), keeping pages warm for the next instance of
- * the same loop.  Maps are pooled by the tracker so one allocation
- * services many instances.
+ * written in, and reset() just moves the map to a fresh epoch,
+ * invalidating all entries at once — O(1), keeping pages warm for the
+ * next instance of the same loop.  Maps are pooled by the tracker so
+ * one allocation services many instances.
+ *
+ * Epochs are drawn from one process-wide counter, never reused, so a
+ * page can migrate between maps without being re-zeroed: entries
+ * stamped under any other map's epoch simply never match.  That lets
+ * destroyed maps return their pages to a per-thread free list
+ * (recycled page-for-page on the worker that freed them) instead of
+ * round-tripping 12 KiB blocks through the process allocator once per
+ * loop per cell — one of the serialization points behind the flat
+ * multicore sweep scaling this file's pooling exists to fix.
  *
  * Anything outside the three segments (wild addresses a trap is about
  * to reject) falls back to the old hash map, so correctness never
@@ -27,6 +36,8 @@
 #pragma once
 
 #include <array>
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -49,11 +60,22 @@ class ShadowWriteMap
   public:
     ShadowWriteMap() = default;
 
-    /** Invalidate every entry (O(1): epoch bump); pages stay mapped. */
+    ~ShadowWriteMap()
+    {
+        for (Segment &s : segs_)
+            for (auto &p : s.pages)
+                if (p)
+                    recyclePage(std::move(p));
+    }
+
+    ShadowWriteMap(const ShadowWriteMap &) = delete;
+    ShadowWriteMap &operator=(const ShadowWriteMap &) = delete;
+
+    /** Invalidate every entry (O(1): fresh epoch); pages stay mapped. */
     void
     reset()
     {
-        ++epoch_;
+        epoch_ = nextEpoch();
     }
 
     /** The current-instance write to @p granule, or null. */
@@ -87,7 +109,7 @@ class ShadowWriteMap
             if (idx >= seg->pages.size())
                 seg->pages.resize(idx + 1);
             if (!seg->pages[idx])
-                seg->pages[idx] = std::make_unique<Page>();
+                seg->pages[idx] = acquirePage();
             Entry &e = seg->pages[idx]->at[granule & (kPageGranules - 1)];
             e.rec = {iter, offset};
             e.epoch = epoch_;
@@ -112,6 +134,23 @@ class ShadowWriteMap
     static constexpr unsigned kPageBits = 9;
     static constexpr std::uint64_t kPageGranules = 1ULL << kPageBits;
 
+    /// Pages cached per worker thread (~6 MiB at the 12 KiB page size).
+    static constexpr std::size_t kMaxPooledPages = 512;
+
+    /** Pages currently cached on this thread (tests / accounting). */
+    static std::size_t
+    pooledPages()
+    {
+        return pagePool().size();
+    }
+
+    /** Drop this thread's page cache (tests want a cold start). */
+    static void
+    drainPagePool()
+    {
+        pagePool().clear();
+    }
+
   private:
     struct Entry
     {
@@ -123,6 +162,41 @@ class ShadowWriteMap
     {
         std::array<Entry, kPageGranules> at{}; ///< value-init: epoch 0
     };
+
+    /// Process-wide epoch source; epochs are unique for the lifetime
+    /// of the process, which is what makes page recycling sound.
+    static std::uint64_t
+    nextEpoch()
+    {
+        static std::atomic<std::uint64_t> counter{0};
+        return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+    }
+
+    static std::vector<std::unique_ptr<Page>> &
+    pagePool()
+    {
+        thread_local std::vector<std::unique_ptr<Page>> pool;
+        return pool;
+    }
+
+    static std::unique_ptr<Page>
+    acquirePage()
+    {
+        auto &pool = pagePool();
+        if (pool.empty())
+            return std::make_unique<Page>();
+        std::unique_ptr<Page> p = std::move(pool.back());
+        pool.pop_back();
+        return p; // stale entries carry dead epochs: never valid here
+    }
+
+    static void
+    recyclePage(std::unique_ptr<Page> p)
+    {
+        auto &pool = pagePool();
+        if (pool.size() < kMaxPooledPages)
+            pool.push_back(std::move(p));
+    }
 
     /** One dense address band, [base, end) in granules. */
     struct Segment
@@ -162,7 +236,7 @@ class ShadowWriteMap
     };
     /** Granules outside every band (wild addresses). */
     std::unordered_map<std::uint64_t, Entry> fallback_;
-    std::uint64_t epoch_ = 1; ///< starts above the fresh-page epoch 0
+    std::uint64_t epoch_ = nextEpoch(); ///< unique; above fresh-page 0
 };
 
 } // namespace lp::rt

@@ -7,6 +7,7 @@
 #include "obs/log.hpp"
 #include "obs/timer.hpp"
 #include "prof/collector.hpp"
+#include "rt/replay.hpp"
 #include "support/error.hpp"
 #include "support/text.hpp"
 #include "trace/format.hpp"
@@ -42,32 +43,25 @@ LoopRuntime::LoopRuntime(const ModulePlan &plan, const LPConfig &cfg,
         squashesCtr_ = &reg.counter("model.squashes." + model);
     }
 
-    // Build per-run loop info: static verdicts and the effective tracked
-    // register-LCD lists (reductions are demoted to tracked LCDs under
-    // reduc0).
+    // Build per-run loop info: static verdicts and the tracked-prefix
+    // counts (reductions are demoted to tracked LCDs under reduc0).
+    // The tracked lists, phi indexes, and def watches themselves live
+    // in the shared plan — this loop allocates nothing per loop unless
+    // the oracle is attached.
+    runLoops_.resize(plan.numLoops());
     for (const auto &fp : plan.functionPlans()) {
         for (const LoopPlan &lplan : fp->loopPlans) {
-            auto rli = std::make_unique<RunLoopInfo>();
-            rli->plan = &lplan;
-            rli->verdict = staticVerdict(lplan, *fp, plan, cfg_);
-            rli->tracked = lplan.nonComputable;
-            if (cfg_.reduc == 0) {
-                for (const analysis::ReductionDescriptor &red :
-                     lplan.reductions) {
-                    rli->tracked.push_back(
-                        {red.phi, red.chain.back(), true});
-                }
-            }
-            for (unsigned i = 0; i < rli->tracked.size(); ++i)
-                rli->phiIndex[rli->tracked[i].phi] = i;
+            RunLoopInfo &rli = runLoops_[lplan.ordinal];
+            rli.plan = &lplan;
+            rli.verdict = staticVerdict(lplan, *fp, plan, cfg_);
+            rli.trackedCount = static_cast<unsigned>(
+                cfg_.reduc == 0 ? lplan.trackedAll.size()
+                                : lplan.nonComputable.size());
 
-            rli->report.label =
+            rli.report.label =
                 lplan.loop ? lplan.loop->label() : "<?>";
-            rli->report.depth = lplan.loop ? lplan.loop->depth() : 0;
-            rli->report.staticReason = rli->verdict;
-
-            if (lplan.loop)
-                byHeader_[lplan.loop->header()] = rli.get();
+            rli.report.depth = lplan.loop ? lplan.loop->depth() : 0;
+            rli.report.staticReason = rli.verdict;
 
             // Oracle watches: every SCEV-claimed phi (with its claimed
             // AddRec depth) and every tracked LCD (unclaimed, watched at
@@ -83,9 +77,9 @@ LoopRuntime::LoopRuntime(const ModulePlan &plan, const LPConfig &cfg,
                     unsigned w = oracle_->addWatch(
                         {phi, lplan.loop->label(), phi->name(), depth,
                          claimed});
-                    rli->oracleIndex[phi] =
-                        static_cast<unsigned>(rli->oracleSlots.size());
-                    rli->oracleSlots.push_back({w, depth});
+                    rli.oracleIndex[phi] =
+                        static_cast<unsigned>(rli.oracleSlots.size());
+                    rli.oracleSlots.push_back({w, depth});
                 };
                 for (unsigned i = 0; i < lplan.computablePhis.size();
                      ++i) {
@@ -97,33 +91,6 @@ LoopRuntime::LoopRuntime(const ModulePlan &plan, const LPConfig &cfg,
                           oracle_->isForcedClaim(tp.phi));
                 }
             }
-
-            // Def-site watches for the effective tracked LCDs; offsets
-            // come from the plan's precomputed per-block def sites
-            // instead of rescanning the block per watch.
-            if (rli->verdict == SerialReason::None) {
-                for (unsigned i = 0; i < rli->tracked.size(); ++i) {
-                    const TrackedPhi &tp = rli->tracked[i];
-                    if (!tp.defInstr)
-                        continue;
-                    const BasicBlock *bb = tp.defInstr->parent();
-                    unsigned offset = 0;
-                    auto sites = fp->defSites.find(bb);
-                    panicIf(sites == fp->defSites.end(),
-                            "tracked def site missing from the plan");
-                    for (const DefSite &d : sites->second) {
-                        if (d.instr == tp.defInstr) {
-                            offset = d.offsetInBlock;
-                            break;
-                        }
-                    }
-                    panicIf(offset == 0,
-                            "tracked def site missing from the plan");
-                    defWatch_[bb].push_back({tp.defInstr, offset,
-                                             lplan.loop->header(), i});
-                }
-            }
-            runLoops_.push_back(std::move(rli));
         }
     }
     if (oracle_)
@@ -152,6 +119,28 @@ LoopRuntime::releaseShadow(ShadowWriteMap *s)
         shadowFree_.push_back(s);
 }
 
+LoopRuntime::Instance
+LoopRuntime::acquireInstance()
+{
+    if (instancePool_.empty())
+        return {};
+    Instance recycled = std::move(instancePool_.back());
+    instancePool_.pop_back();
+    // Fresh field values, recycled vector capacity.
+    Instance inst;
+    inst.regs = std::move(recycled.regs);
+    inst.regs.clear();
+    inst.oracle = std::move(recycled.oracle);
+    inst.oracle.clear();
+    return inst;
+}
+
+void
+LoopRuntime::recycleInstance(Instance &&inst)
+{
+    instancePool_.push_back(std::move(inst));
+}
+
 void
 LoopRuntime::onFunctionEnter(const ir::Function *fn)
 {
@@ -167,26 +156,34 @@ LoopRuntime::onFunctionExit(const ir::Function *fn)
 void
 LoopRuntime::feedFunctionEnter(const ir::Function *fn)
 {
-    frames_.push_back({&plan_.planFor(fn), {}, 0});
+    // Reuse dead frames above the live prefix: their loopStack
+    // capacity survives, so call-heavy programs stop allocating here.
+    if (frameDepth_ == frames_.size())
+        frames_.emplace_back();
+    FrameCtx &frame = frames_[frameDepth_++];
+    frame.fp = &plan_.planFor(fn);
+    frame.loopStack.clear();
+    frame.savings = 0;
 }
 
 void
 LoopRuntime::feedFunctionExit(const ir::Function *fn, std::uint64_t now)
 {
-    panicIf(frames_.empty() || frames_.back().fp->fn != fn,
+    panicIf(frameDepth_ == 0 || curFrame().fp->fn != fn,
             "function exit does not match runtime frame stack");
-    FrameCtx &frame = frames_.back();
+    FrameCtx &frame = curFrame();
 
     // Early returns may leave loop instances open; close them now.
     while (!frame.loopStack.empty()) {
         Instance inst = std::move(frame.loopStack.back());
         frame.loopStack.pop_back(); // pop first: savings go to the parent
         closeInstance(inst, now);
+        recycleInstance(std::move(inst));
     }
 
     std::uint64_t savings = frame.savings;
-    frames_.pop_back();
-    if (frames_.empty())
+    --frameDepth_;
+    if (frameDepth_ == 0)
         totalSavings_ = savings;
     else
         addSavingsToCurrentContext(savings);
@@ -197,7 +194,7 @@ LoopRuntime::addSavingsToCurrentContext(std::uint64_t s)
 {
     if (s == 0)
         return;
-    FrameCtx &frame = frames_.back();
+    FrameCtx &frame = curFrame();
     if (frame.loopStack.empty())
         frame.savings += s;
     else
@@ -215,20 +212,21 @@ void
 LoopRuntime::feedBlockEnter(const BasicBlock *bb, std::uint64_t nowBefore,
                             std::uint64_t sp)
 {
-    auto hit = byHeader_.find(bb);
-    auto dw = defWatch_.find(bb);
+    const int ord = plan_.headerOrdinal(bb);
+    const auto &watchPlan = plan_.defWatchPlan();
+    auto dw = watchPlan.find(bb);
     feedBlockEnterAt(bb, nowBefore, sp,
-                     hit != byHeader_.end() ? hit->second : nullptr,
-                     dw != defWatch_.end() ? &dw->second : nullptr);
+                     ord >= 0 ? &runLoops_[ord] : nullptr,
+                     dw != watchPlan.end() ? &dw->second : nullptr);
 }
 
 void
 LoopRuntime::feedBlockEnterAt(const BasicBlock *bb,
                               std::uint64_t nowBefore, std::uint64_t sp,
                               RunLoopInfo *headerRli,
-                              const std::vector<DefWatch> *watches)
+                              const std::vector<PlannedDefWatch> *watches)
 {
-    FrameCtx &frame = frames_.back();
+    FrameCtx &frame = curFrame();
     const std::uint64_t now = nowBefore;
 
     // Exited loops: pop every instance that does not contain this block.
@@ -237,6 +235,7 @@ LoopRuntime::feedBlockEnterAt(const BasicBlock *bb,
         Instance inst = std::move(frame.loopStack.back());
         frame.loopStack.pop_back(); // pop first: savings go to the parent
         closeInstance(inst, now);
+        recycleInstance(std::move(inst));
     }
 
     // Loop entry or iteration boundary.
@@ -249,13 +248,20 @@ LoopRuntime::feedBlockEnterAt(const BasicBlock *bb,
         }
     }
 
-    // Timestamp watched def sites in this block.
+    // Timestamp watched def sites in this block.  The watch table is
+    // shared across configurations; whether a watch applies under this
+    // one (eligible loop, slot inside the tracked prefix) is two
+    // integer compares.
     if (watches) {
-        for (const DefWatch &w : *watches) {
+        for (const PlannedDefWatch &w : *watches) {
+            RunLoopInfo &wrli = runLoops_[w.loopOrdinal];
+            if (wrli.verdict != SerialReason::None ||
+                w.regIndex >= wrli.trackedCount)
+                continue;
             // Find the instance of the watched loop on this frame's stack.
             for (auto it = frame.loopStack.rbegin();
                  it != frame.loopStack.rend(); ++it) {
-                if (it->rli->plan->loop->header() == w.header) {
+                if (it->rli == &wrli) {
                     RegState &rs = it->regs[w.regIndex];
                     rs.lastDefTs = now + w.offsetInBlock;
                     rs.defSeen = true;
@@ -270,14 +276,14 @@ void
 LoopRuntime::openInstance(RunLoopInfo *rli, std::uint64_t now,
                           std::uint64_t sp)
 {
-    FrameCtx &frame = frames_.back();
-    Instance inst;
+    FrameCtx &frame = curFrame();
+    Instance inst = acquireInstance();
     inst.rli = rli;
     inst.entryTs = now;
     inst.iterStartTs = now;
     inst.spAtIterStart = sp;
     inst.shadow = acquireShadow();
-    inst.regs.resize(rli->tracked.size());
+    inst.regs.resize(rli->trackedCount);
     if (oracle_)
         inst.oracle.resize(rli->oracleSlots.size());
     frame.loopStack.push_back(std::move(inst));
@@ -319,7 +325,7 @@ LoopRuntime::iterationBoundary(Instance &inst, std::uint64_t now,
     // Register-LCD handling at the boundary: record producer offsets for
     // the iteration that just ended, and apply dep1 semantics.
     const bool eligible = inst.rli->verdict == SerialReason::None;
-    if (eligible && !inst.rli->tracked.empty()) {
+    if (eligible && inst.rli->trackedCount != 0) {
         for (RegState &rs : inst.regs) {
             rs.prevDefOffset =
                 rs.defSeen ? rs.lastDefTs - inst.iterStartTs : 0;
@@ -348,7 +354,7 @@ LoopRuntime::iterationBoundary(Instance &inst, std::uint64_t now,
 
     // dep1 under a speculative model: the lowered LCD conflicts at the
     // top of every iteration after the first.
-    if (eligible && !inst.rli->tracked.empty() && cfg_.dep == 1 &&
+    if (eligible && inst.rli->trackedCount != 0 && cfg_.dep == 1 &&
         cfg_.model != ExecModel::Helix && inst.curIter >= 1) {
         registerConflict(inst);
     }
@@ -464,10 +470,10 @@ LoopRuntime::onPhiResolved(const Instruction *phi, std::uint64_t bits)
 void
 LoopRuntime::feedPhiResolved(const Instruction *phi, std::uint64_t bits)
 {
-    auto hit = byHeader_.find(phi->parent());
-    if (hit == byHeader_.end())
+    const int ord = plan_.headerOrdinal(phi->parent());
+    if (ord < 0)
         return;
-    RunLoopInfo *rli = hit->second;
+    RunLoopInfo *rli = &runLoops_[ord];
 
     // Oracle observation first: it watches computable phis and tracked
     // phis alike, and is independent of this run's verdict (the static
@@ -477,7 +483,7 @@ LoopRuntime::feedPhiResolved(const Instruction *phi, std::uint64_t bits)
     if (oracle_ && !rli->oracleSlots.empty()) {
         auto oi = rli->oracleIndex.find(phi);
         if (oi != rli->oracleIndex.end()) {
-            FrameCtx &oframe = frames_.back();
+            FrameCtx &oframe = curFrame();
             if (!oframe.loopStack.empty() &&
                 oframe.loopStack.back().rli == rli) {
                 Instance &oinst = oframe.loopStack.back();
@@ -488,13 +494,14 @@ LoopRuntime::feedPhiResolved(const Instruction *phi, std::uint64_t bits)
         }
     }
 
-    auto idx = rli->phiIndex.find(phi);
-    if (idx == rli->phiIndex.end())
+    auto idx = rli->plan->trackedIndex.find(phi);
+    if (idx == rli->plan->trackedIndex.end() ||
+        idx->second >= rli->trackedCount)
         return; // computable or decoupled-reduction phi
     if (rli->verdict != SerialReason::None)
         return; // statically sequential loops are not instrumented
 
-    FrameCtx &frame = frames_.back();
+    FrameCtx &frame = curFrame();
     if (frame.loopStack.empty() || frame.loopStack.back().rli != rli)
         return;
     Instance &inst = frame.loopStack.back();
@@ -587,8 +594,8 @@ LoopRuntime::feedLoad(const Instruction *instr, std::uint64_t addr,
     if (metrics_)
         memEventsCtr_->add(1);
     const std::uint64_t granule = addr >> 3;
-    for (FrameCtx &frame : frames_) {
-        for (Instance &inst : frame.loopStack) {
+    for (std::size_t fi = 0; fi < frameDepth_; ++fi) {
+        for (Instance &inst : frames_[fi].loopStack) {
             if (inst.rli->verdict != SerialReason::None)
                 continue;
             if (interp::Memory::isStackAddress(addr) &&
@@ -619,8 +626,8 @@ LoopRuntime::feedStore(const Instruction *instr, std::uint64_t addr,
     if (metrics_)
         memEventsCtr_->add(1);
     const std::uint64_t granule = addr >> 3;
-    for (FrameCtx &frame : frames_) {
-        for (Instance &inst : frame.loopStack) {
+    for (std::size_t fi = 0; fi < frameDepth_; ++fi) {
+        for (Instance &inst : frames_[fi].loopStack) {
             if (inst.rli->verdict != SerialReason::None)
                 continue;
             if (interp::Memory::isStackAddress(addr) &&
@@ -646,7 +653,7 @@ LoopRuntime::finishAt(const std::string &programName,
                       std::uint64_t serialCost)
 {
     panicIf(finished_, "finish called twice");
-    panicIf(!frames_.empty(), "finish with live frames");
+    panicIf(frameDepth_ != 0, "finish with live frames");
     finished_ = true;
 
     ProgramReport rep;
@@ -677,8 +684,8 @@ LoopRuntime::finishAt(const std::string &programName,
 
     // Census.
     Census &c = rep.census;
-    for (const auto &rli : runLoops_) {
-        const LoopPlan &lplan = *rli->plan;
+    for (const RunLoopInfo &rli : runLoops_) {
+        const LoopPlan &lplan = *rli.plan;
         if (!lplan.loop)
             continue;
         c.staticLoops += 1;
@@ -689,7 +696,7 @@ LoopRuntime::finishAt(const std::string &programName,
         if (lplan.hasCalls())
             c.loopsWithCalls += 1;
 
-        const LoopReport &lr = rli->report;
+        const LoopReport &lr = rli.report;
         if (lr.memConflicts > 0 && lr.iterations > 0) {
             double frac = static_cast<double>(lr.conflictIterations) /
                           static_cast<double>(lr.iterations);
@@ -711,10 +718,12 @@ LoopRuntime::finishAt(const std::string &programName,
     }
 
     // Per-loop reports (only loops that actually executed).
-    for (const auto &rli : runLoops_) {
-        LoopReport lr = rli->report;
+    for (const RunLoopInfo &rli : runLoops_) {
+        LoopReport lr = rli.report;
         for (const auto &[phi, ps] : predStats_) {
-            if (rli->phiIndex.count(phi)) {
+            auto ti = rli.plan->trackedIndex.find(phi);
+            if (ti != rli.plan->trackedIndex.end() &&
+                ti->second < rli.trackedCount) {
                 lr.regPredictions += ps.predictions;
                 lr.regMispredicts += ps.mispredicts;
             }
@@ -735,7 +744,8 @@ LoopRuntime::finishAt(const std::string &programName,
 
 void
 LoopRuntime::consumeTrace(const trace::ModuleIndex &index,
-                          const trace::Trace &t)
+                          const trace::Trace &t,
+                          const ReplayBlockFacts *facts)
 {
     using trace::EventKind;
 
@@ -750,19 +760,17 @@ LoopRuntime::consumeTrace(const trace::ModuleIndex &index,
     std::vector<Frame> frames;
 
     // Per-block-id facts (loop header? watched def sites?), resolved
-    // once up front: the stream names every executed block, and the
+    // once per *program* and shared across every cell of the sweep
+    // (rt/replay.hpp): the stream names every executed block, and the
     // hash probes feedBlockEnter would repeat per entry are measurable
-    // across a multi-hundred-thousand-event replay.
-    struct BlockFacts
-    {
-        RunLoopInfo *headerRli = nullptr;
-        const std::vector<DefWatch> *watches = nullptr;
-    };
-    std::vector<BlockFacts> facts(index.numBlocks());
-    for (const auto &[bb, rli] : byHeader_)
-        facts[index.blockId(bb)].headerRli = rli;
-    for (const auto &[bb, ws] : defWatch_)
-        facts[index.blockId(bb)].watches = &ws;
+    // across a multi-hundred-thousand-event replay.  Direct callers
+    // without a shared table get a local one, built from the same plan.
+    ReplayBlockFacts localFacts;
+    if (!facts) {
+        localFacts = buildReplayBlockFacts(plan_, index);
+        facts = &localFacts;
+    }
+    const auto &blockFacts = facts->blocks;
 
     std::uint64_t cost = 0;
     // Epoch attribution mirrors the interpreter's budget poll: one
@@ -822,12 +830,15 @@ LoopRuntime::consumeTrace(const trace::ModuleIndex &index,
             cost += f.blockSize;
             if (cost >= nextEpochCost) [[unlikely]]
                 flushEpoch();
-            const BlockFacts &bf = facts[e.a];
+            const ReplayBlockFacts::PerBlock &bf = blockFacts[e.a];
             feedBlockEnterAt(bb, cost - f.blockSize,
                              e.kind == EventKind::BlockEnterHeader
                                  ? e.b << 3
                                  : 0,
-                             bf.headerRli, bf.watches);
+                             bf.headerOrdinal >= 0
+                                 ? &runLoops_[bf.headerOrdinal]
+                                 : nullptr,
+                             bf.watches);
             break;
           }
           case EventKind::Phi: {

@@ -33,6 +33,8 @@ struct Trace;
 
 namespace lp::rt {
 
+struct ReplayBlockFacts;
+
 /** Run-time dependency tracker and speedup estimator. */
 class LoopRuntime : public interp::ExecListener
 {
@@ -81,10 +83,14 @@ class LoopRuntime : public interp::ExecListener
      * the protocol).  Defined alongside the feed* bodies so the
      * per-event dispatch inlines into them — this loop is the whole
      * hot path of a replayed sweep cell.
+     * @param facts per-block-id facts shared across cells (see
+     *        rt/replay.hpp); null rebuilds them locally, which is
+     *        correct but costs a numBlocks-sized rebuild per cell.
      * @throws lp::IoError on any malformed or mismatched stream.
      */
     void consumeTrace(const trace::ModuleIndex &index,
-                      const trace::Trace &t);
+                      const trace::Trace &t,
+                      const ReplayBlockFacts *facts = nullptr);
     /// @}
 
     /// @name ExecListener interface (live-machine front end)
@@ -114,13 +120,19 @@ class LoopRuntime : public interp::ExecListener
         unsigned depth; ///< difference order - 1
     };
 
-    /** Per-configuration, per-static-loop facts. */
+    /** Per-configuration, per-static-loop facts.
+     *
+     *  The tracked list itself lives in the shared plan
+     *  (LoopPlan::trackedAll); this run's configuration selects the
+     *  prefix [0, trackedCount).  Keeping only the count here (instead
+     *  of the old per-cell vector + phi->index map copies) removes two
+     *  allocations per loop per cell from every sweep worker.
+     */
     struct RunLoopInfo
     {
-        const LoopPlan *plan;
-        SerialReason verdict;
-        std::vector<TrackedPhi> tracked;
-        std::unordered_map<const ir::Instruction *, unsigned> phiIndex;
+        const LoopPlan *plan = nullptr;
+        SerialReason verdict = SerialReason::None;
+        unsigned trackedCount = 0; ///< prefix of plan->trackedAll in play
         LoopReport report;
         /** Oracle watches of this loop's header phis (capture attached). */
         std::vector<OracleSlot> oracleSlots;
@@ -130,10 +142,10 @@ class LoopRuntime : public interp::ExecListener
     /** One dynamic loop instance. */
     struct Instance
     {
-        RunLoopInfo *rli;
-        std::uint64_t entryTs;
-        std::uint64_t iterStartTs;
-        std::uint64_t spAtIterStart;
+        RunLoopInfo *rli = nullptr;
+        std::uint64_t entryTs = 0;
+        std::uint64_t iterStartTs = 0;
+        std::uint64_t spAtIterStart = 0;
         std::uint64_t curIter = 0;       ///< completed iterations so far
         std::uint64_t curIterSavings = 0;
         std::uint64_t totalChildSavings = 0;
@@ -174,25 +186,23 @@ class LoopRuntime : public interp::ExecListener
                          std::uint64_t consumerOffset);
     ShadowWriteMap *acquireShadow();
     void releaseShadow(ShadowWriteMap *s);
+    Instance acquireInstance();
+    void recycleInstance(Instance &&inst);
+
+    FrameCtx &
+    curFrame()
+    {
+        return frames_[frameDepth_ - 1];
+    }
 
     const ModulePlan &plan_;
     LPConfig cfg_;
     interp::Machine *machine_ = nullptr;
     OracleCapture *oracle_ = nullptr;
 
-    std::vector<std::unique_ptr<RunLoopInfo>> runLoops_;
-    std::unordered_map<const ir::BasicBlock *, RunLoopInfo *> byHeader_;
-
-    /** A def-site the runtime timestamps, with its consumer LCD. */
-    struct DefWatch
-    {
-        const ir::Instruction *instr;
-        unsigned offsetInBlock;
-        const ir::BasicBlock *header; ///< identifies the loop/instance
-        unsigned regIndex;
-    };
-    std::unordered_map<const ir::BasicBlock *, std::vector<DefWatch>>
-        defWatch_;
+    /** Indexed by LoopPlan::ordinal (header lookups resolve through
+     *  the shared plan; no per-cell header map). */
+    std::vector<RunLoopInfo> runLoops_;
 
     /**
      * feedBlockEnter with its two per-block lookups (loop header?
@@ -204,7 +214,7 @@ class LoopRuntime : public interp::ExecListener
     void feedBlockEnterAt(const ir::BasicBlock *bb,
                           std::uint64_t nowBefore, std::uint64_t sp,
                           RunLoopInfo *headerRli,
-                          const std::vector<DefWatch> *watches);
+                          const std::vector<PlannedDefWatch> *watches);
 
     /** Shared (hardware-like) per-LCD predictors and their counters. */
     std::unordered_map<const ir::Instruction *,
@@ -234,7 +244,16 @@ class LoopRuntime : public interp::ExecListener
     std::vector<std::unique_ptr<ShadowWriteMap>> shadowPool_;
     std::vector<ShadowWriteMap *> shadowFree_;
 
+    /** Closed Instances parked for reuse, register/oracle vector
+     *  capacity intact — loop entry stops hitting the allocator once
+     *  the nest has been seen once. */
+    std::vector<Instance> instancePool_;
+
+    /** Frame stack; frames_[0, frameDepth_) are live.  Dead frames
+     *  keep their loopStack capacity so call-heavy programs do not
+     *  malloc per function entry. */
     std::vector<FrameCtx> frames_;
+    std::size_t frameDepth_ = 0;
     std::uint64_t totalSavings_ = 0;
     std::vector<std::pair<std::uint64_t, std::uint64_t>> covered_;
     bool finished_ = false;

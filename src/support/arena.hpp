@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Thread-local buffer recycling for per-cell hot paths.
+ *
+ * A limit-study sweep constructs and tears down one interpreter (or
+ * replay runtime) per config cell.  Each construction used to re-grow
+ * the same large byte vectors from scratch — simulated memory
+ * segments, shadow pages, register files — and on multicore sweeps
+ * those malloc/free pairs all funnel through the allocator's
+ * cross-thread arenas: the glibc arena lock plus the mmap/munmap
+ * cycle for large blocks serialize otherwise independent workers
+ * (the flat `speedup_4j` of BENCH_framework.json before this fix).
+ *
+ * The cure is to keep freed capacity on the thread that freed it.
+ * ByteBufferPool is a bounded per-thread stack of `std::vector`
+ * buffers: acquire() pops one (empty, capacity warm), release()
+ * pushes it back.  No locks, no cross-thread traffic, and resize()
+ * on a warm buffer is a memset instead of an mmap.
+ *
+ * The pool is deliberately dumb: correctness never depends on it.
+ * Callers must size and zero what they acquire exactly as they would
+ * a fresh vector — acquire() guarantees size()==0 and nothing else.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace lp::support {
+
+/** Bounded per-thread free list of byte buffers (see @file). */
+class ByteBufferPool
+{
+  public:
+    /// Buffers cached per thread; beyond this, release() frees.
+    static constexpr std::size_t kMaxBuffers = 16;
+    /// Total cached capacity per thread; beyond this, release() frees.
+    static constexpr std::size_t kMaxBytes = 64u << 20;
+
+    /** An empty buffer, reusing capacity freed on this thread. */
+    static std::vector<std::uint8_t>
+    acquire()
+    {
+        Cache &c = cache();
+        if (c.buffers.empty())
+            return {};
+        std::vector<std::uint8_t> buf = std::move(c.buffers.back());
+        c.buffers.pop_back();
+        c.cachedBytes -= buf.capacity();
+        buf.clear();
+        return buf;
+    }
+
+    /** Return @p buf's capacity to this thread's cache (or free it). */
+    static void
+    release(std::vector<std::uint8_t> &&buf)
+    {
+        if (buf.capacity() == 0)
+            return;
+        Cache &c = cache();
+        if (c.buffers.size() >= kMaxBuffers ||
+            c.cachedBytes + buf.capacity() > kMaxBytes) {
+            std::vector<std::uint8_t>().swap(buf);
+            return;
+        }
+        c.cachedBytes += buf.capacity();
+        buf.clear();
+        c.buffers.push_back(std::move(buf));
+    }
+
+    /** Buffers currently cached on this thread (tests / accounting). */
+    static std::size_t
+    cachedCount()
+    {
+        return cache().buffers.size();
+    }
+
+    /** Bytes of capacity currently cached on this thread. */
+    static std::size_t
+    cachedBytes()
+    {
+        return cache().cachedBytes;
+    }
+
+    /** Drop this thread's cache (tests want a cold start). */
+    static void
+    drain()
+    {
+        Cache &c = cache();
+        c.buffers.clear();
+        c.cachedBytes = 0;
+    }
+
+  private:
+    struct Cache
+    {
+        std::vector<std::vector<std::uint8_t>> buffers;
+        std::size_t cachedBytes = 0;
+    };
+
+    static Cache &
+    cache()
+    {
+        thread_local Cache tls;
+        return tls;
+    }
+};
+
+} // namespace lp::support

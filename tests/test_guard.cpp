@@ -506,6 +506,78 @@ TEST_F(GuardTest, CheckpointResumeSkipsTornFinalLine)
     std::remove(path.c_str());
 }
 
+TEST_F(GuardTest, CheckpointCountsSkippedLinesAndInteriorDamage)
+{
+    std::string path = ::testing::TempDir() + "lp_guard_damage.jsonl";
+    std::remove(path.c_str());
+    {
+        // An interior line damaged after the fact, a good line, and a
+        // torn final line: resume must keep the good cell, skip both
+        // bad lines (counting them), and never throw or double-run.
+        std::ofstream out(path, std::ios::trunc);
+        out << "{\"v\":1,\"key\":\"broken" << '\n';
+        out << "{\"v\":1,\"key\":\"good|s|p|0\",\"cell\":{}}" << '\n';
+        out << "{\"v\":1,\"key\":\"torn|s|p|0\",\"cell\":{";
+    }
+    guard::Checkpoint ck(path, /*resume=*/true);
+    EXPECT_EQ(ck.loadedCells(), 1u);
+    EXPECT_EQ(ck.skippedLines(), 2u);
+    EXPECT_NE(ck.find("good|s|p|0"), nullptr);
+    EXPECT_EQ(ck.find("broken"), nullptr);
+    EXPECT_EQ(ck.find("torn|s|p|0"), nullptr);
+    std::remove(path.c_str());
+}
+
+TEST_F(GuardTest, CheckpointAbsorbMergesShardFiles)
+{
+    const std::string base = ::testing::TempDir() + "lp_guard_absorb";
+    const std::string shard1 = base + ".shard1of2";
+    const std::string shard2 = base + ".shard2of2";
+    const std::string merged = base + ".merge";
+    for (const std::string &p : {shard1, shard2, merged})
+        std::remove(p.c_str());
+
+    obs::Json cellA = obs::Json::object();
+    cellA.set("status", "ok");
+    obs::Json cellB = obs::Json::object();
+    cellB.set("status", "failed");
+    {
+        guard::Checkpoint ck(shard1, /*resume=*/false);
+        ck.record("a|s|p|0", cellA);
+    }
+    {
+        guard::Checkpoint ck(shard2, /*resume=*/false);
+        ck.record("b|s|p|0", cellB);
+    }
+    // Tear shard2's tail the way a killed shard process would.
+    {
+        std::ofstream out(shard2, std::ios::app);
+        out << "{\"v\":1,\"key\":\"c|s|p|0\",\"cell\":{";
+    }
+
+    guard::Checkpoint ck(merged, /*resume=*/true);
+    EXPECT_EQ(ck.absorb(shard1), 1u);
+    EXPECT_EQ(ck.absorb(shard2), 1u); // torn line skipped, not loaded
+    EXPECT_EQ(ck.skippedLines(), 1u);
+    // A missing shard file is a warning and zero cells, not an error:
+    // the merge re-runs that shard's cells itself.
+    EXPECT_EQ(ck.absorb(base + ".shard9of9"), 0u);
+
+    ASSERT_NE(ck.find("a|s|p|0"), nullptr);
+    EXPECT_EQ(ck.find("a|s|p|0")->dump(), cellA.dump());
+    ASSERT_NE(ck.find("b|s|p|0"), nullptr);
+    EXPECT_EQ(ck.find("b|s|p|0")->dump(), cellB.dump());
+    EXPECT_EQ(ck.find("c|s|p|0"), nullptr);
+
+    // Absorbed cells live only in memory — the merge checkpoint file
+    // records just the cells the merge itself ran (none here).
+    guard::Checkpoint reopened(merged, /*resume=*/true);
+    EXPECT_EQ(reopened.loadedCells(), 0u);
+
+    for (const std::string &p : {shard1, shard2, merged})
+        std::remove(p.c_str());
+}
+
 TEST_F(GuardTest, CheckpointUnopenablePathIsIoError)
 {
     try {

@@ -314,6 +314,73 @@ TEST_F(ProfSandbox, WorkerTimelinesHaveValidLanesAndUtilization)
     std::remove((path + ".cells.jsonl").c_str());
 }
 
+TEST_F(ProfSandbox, QueueWaitIsLaneIdleGapNotRegionOffset)
+{
+    // Regression: queue-wait used to be "region start -> cell start",
+    // which billed a lane's entire busy history to each of its later
+    // cells — a 1.6 s region once reported 23 s of queue-wait.  The
+    // fixed definition (lane idle gap before the cell) sums to at most
+    // the region wall, because one lane's gaps are disjoint.
+    prof::Collector &c = prof::Collector::instance();
+    c.setEnabled(true);
+
+    c.beginRegion();
+    for (int i = 0; i < 50; ++i) {
+        prof::CellScope cell("p" + std::to_string(i), "prof-test",
+                             "cfg");
+        cell.setStatus("ok");
+        // Busy time inside the cell: under the old definition each
+        // later cell inherited all of it as "queue wait".
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    c.endRegion();
+    c.setEnabled(false);
+
+    obs::Json workers = c.workersJson();
+    const std::uint64_t regionWall =
+        workers.at("region_wall_ns").asU64();
+    ASSERT_GT(regionWall, 0u);
+
+    obs::Json cells = c.cellsJson();
+    ASSERT_EQ(cells.size(), 50u);
+    std::uint64_t totalWait = 0;
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        totalWait += cells.at(i).at("queue_wait_ns").asU64();
+    // The old definition summed to ~125x the region wall here.
+    EXPECT_LE(totalWait, regionWall);
+
+    const obs::Json &lanes = workers.at("workers");
+    for (std::size_t i = 0; i < lanes.size(); ++i)
+        EXPECT_LE(lanes.at(i).at("queue_wait_ns").asU64(), regionWall);
+}
+
+TEST_F(ProfSandbox, ParallelSweepQueueWaitStaysWithinRegionWall)
+{
+    // The same invariant under a real parallel sweep: whatever the
+    // worker count, no lane can have waited longer than the region
+    // lasted.
+    prof::Collector &c = prof::Collector::instance();
+    c.setEnabled(true);
+
+    core::Study study(smallPrograms(), 1);
+    rt::LPConfig cfg =
+        rt::LPConfig::parse("reduc1-dep1-fn2", rt::ExecModel::Helix);
+    c.beginRegion();
+    for (int round = 0; round < 3; ++round)
+        study.runSuite("prof-test", cfg, 4);
+    c.endRegion();
+    c.setEnabled(false);
+
+    obs::Json workers = c.workersJson();
+    const std::uint64_t regionWall =
+        workers.at("region_wall_ns").asU64();
+    const obs::Json &lanes = workers.at("workers");
+    ASSERT_GT(lanes.size(), 0u);
+    for (std::size_t i = 0; i < lanes.size(); ++i)
+        EXPECT_LE(lanes.at(i).at("queue_wait_ns").asU64(), regionWall)
+            << "lane " << lanes.at(i).at("worker").asU64();
+}
+
 TEST_F(ProfSandbox, EpochsAttributeInterpretRecordAndReplayTime)
 {
     prof::Collector &c = prof::Collector::instance();
