@@ -28,6 +28,12 @@ struct BenchProgram
     /** Expected main() return value (self-check); 0 = unchecked. */
     std::uint64_t expected = 0;
     bool checkExpected = false;
+    /**
+     * Generator seed when the program is fuzz-generated (0 = a
+     * hand-written suite program).  Threaded into checkpoint cell keys
+     * and run reports so every failure names its reproducing seed.
+     */
+    std::uint64_t seed = 0;
 };
 
 /** One prepared (built + analyzed) program. */

@@ -189,6 +189,7 @@ runSweep(const std::vector<BenchProgram> &programs, const SweepRequest &req)
         const NamedConfig *config;
         std::string suite;
         std::string program;
+        std::uint64_t seed; ///< generator seed (0 = hand-written)
         const PreparedProgram *prepared; ///< null = prepare failed
         obs::Json json;
     };
@@ -200,7 +201,7 @@ runSweep(const std::vector<BenchProgram> &programs, const SweepRequest &req)
                     continue;
                 auto it = preparedByName.find(p.name);
                 cells.push_back(
-                    {&named, suite, p.name,
+                    {&named, suite, p.name, p.seed,
                      it == preparedByName.end() ? nullptr : it->second,
                      obs::Json()});
             }
@@ -220,6 +221,7 @@ runSweep(const std::vector<BenchProgram> &programs, const SweepRequest &req)
             const PrepareFailure *pf = prepFailByName[cell.program];
             rt::ProgramReport rep;
             rep.program = cell.program;
+            rep.seed = cell.seed;
             rep.config = cfg;
             rep.status = rt::RunStatus::Skipped;
             rep.errorCode = pf->verdict.codeName();
@@ -235,6 +237,7 @@ runSweep(const std::vector<BenchProgram> &programs, const SweepRequest &req)
             // cells are synthesized fresh every run, never checkpointed.
             rt::ProgramReport rep;
             rep.program = cell.program;
+            rep.seed = cell.seed;
             rep.config = cfg;
             rep.status = rt::RunStatus::Skipped;
             rep.errorCode = errorCodeName(ErrorCode::Lint);
@@ -244,7 +247,7 @@ runSweep(const std::vector<BenchProgram> &programs, const SweepRequest &req)
             return;
         }
         const std::string key = guard::Checkpoint::cellKey(
-            cell.config->label, cell.suite, cell.program);
+            cell.config->label, cell.suite, cell.program, cell.seed);
         if (ckpt) {
             if (const obs::Json *stored = ckpt->find(key)) {
                 cell.json = *stored;
@@ -261,13 +264,42 @@ runSweep(const std::vector<BenchProgram> &programs, const SweepRequest &req)
             // cell (the report gains its "oracle" section; reports of
             // lint-free runs are unchanged, keeping checkpoint resume
             // byte-identical).
-            rt::ProgramReport rep =
-                req.lintMode != 0
-                    ? (req.traceReplay
-                           ? cell.prepared->runReplayWithOracle(cfg)
-                           : cell.prepared->runWithOracle(cfg))
-                    : (req.traceReplay ? cell.prepared->runReplay(cfg)
-                                       : cell.prepared->run(cfg));
+            auto interpret = [&] {
+                return req.lintMode != 0 ? cell.prepared->runWithOracle(cfg)
+                                         : cell.prepared->run(cfg);
+            };
+            rt::ProgramReport rep;
+            if (req.traceReplay) {
+                try {
+                    rep = req.lintMode != 0
+                              ? cell.prepared->runReplayWithOracle(cfg)
+                              : cell.prepared->runReplay(cfg);
+                }
+                catch (const IoError &e) {
+                    // The one place replay integrity is decided: a
+                    // trace that cannot be replayed — truncated
+                    // recording, failed checksum, fingerprint mismatch,
+                    // injected replay fault — degrades this cell to
+                    // interpreting instead of failing it.  Replay
+                    // reports are byte-identical to interpreted ones,
+                    // so the sweep's output is unchanged; the warning
+                    // and the sweep.trace_fallbacks counter are the
+                    // only trace the degradation leaves.
+                    LP_LOG_WARN(
+                        "trace replay unavailable for %s [%s %s] (%s: "
+                        "%s); interpreting this cell",
+                        cell.program.c_str(), cell.config->label.c_str(),
+                        cell.suite.c_str(), e.codeName(), e.what());
+                    if (obs::metricsOn())
+                        obs::Registry::instance()
+                            .counter("sweep.trace_fallbacks")
+                            .add(1);
+                    rep = interpret();
+                }
+            } else {
+                rep = interpret();
+            }
+            rep.seed = cell.seed;
             cellProf.setInstructions(rep.serialCost);
             cell.json = rep.toJson(/*withObsSnapshot=*/false);
             if (ckpt)
@@ -295,6 +327,7 @@ runSweep(const std::vector<BenchProgram> &programs, const SweepRequest &req)
         if (!v.ok) {
             rt::ProgramReport rep;
             rep.program = cell.program;
+            rep.seed = cell.seed;
             rep.config = cfg;
             rep.status = rt::RunStatus::Failed;
             rep.errorCode = v.codeName();

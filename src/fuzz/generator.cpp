@@ -1,13 +1,19 @@
-#include "generator.hpp"
+#include "fuzz/generator.hpp"
 
 #include <vector>
 
 #include "ir/builder.hpp"
+#include "support/error.hpp"
 #include "support/rng.hpp"
 
-namespace lp::test {
+namespace lp::fuzz {
 
 using namespace ir;
+
+const std::array<const char *, 6> kOpClassNames = {
+    "arith",        "affine_load", "scrambled_store",
+    "affine_store", "pure_call",   "rmw",
+};
 
 namespace {
 
@@ -17,20 +23,53 @@ struct Scope
     std::vector<Value *> ints; ///< I64 values that dominate this point
 };
 
+/**
+ * Weighted draw over @p weights using exactly one rng.below(total).
+ * With all weights equal to 1 this is draw-for-draw identical to the
+ * historical uniform below(N) — the determinism contract of the
+ * header depends on that.
+ */
+template <std::size_t N>
+unsigned
+weightedPick(Rng &rng, const std::array<unsigned, N> &weights)
+{
+    std::uint64_t total = 0;
+    for (unsigned w : weights)
+        total += w;
+    if (total == 0)
+        throw InternalError("fuzz::GenOptions weight array is all-zero");
+    std::uint64_t r = rng.below(total);
+    for (unsigned i = 0; i < N; ++i) {
+        if (r < weights[i])
+            return i;
+        r -= weights[i];
+    }
+    return static_cast<unsigned>(N - 1); // unreachable
+}
+
+unsigned
+rangePick(Rng &rng, unsigned lo, unsigned hi, const char *what)
+{
+    if (hi < lo)
+        throw InternalError(std::string("fuzz::GenOptions ") + what +
+                            " range is empty");
+    return lo + static_cast<unsigned>(rng.below(hi - lo + 1ULL));
+}
+
 class Generator
 {
   public:
-    explicit Generator(std::uint64_t seed)
-        : rng_(seed * 2 + 1), mod_(std::make_unique<Module>(
-                                  "random-" + std::to_string(seed))),
-          b_(*mod_)
+    Generator(std::uint64_t seed, const GenOptions &opts)
+        : opts_(opts), rng_(seed * 2 + 1),
+          mod_(std::make_unique<Module>(programName(seed))), b_(*mod_)
     {}
 
     std::unique_ptr<Module>
     run()
     {
         // Arrays: power-of-two sizes so indices can be masked safely.
-        unsigned nArrays = 2 + static_cast<unsigned>(rng_.below(3));
+        unsigned nArrays = rangePick(rng_, opts_.minArrays,
+                                     opts_.maxArrays, "arrays");
         for (unsigned i = 0; i < nArrays; ++i) {
             std::uint64_t elems = 64ULL << rng_.below(3);
             arrays_.push_back(
@@ -52,7 +91,8 @@ class Generator
         top.ints.push_back(b_.i64(3));
         top.ints.push_back(b_.i64(17));
 
-        unsigned phases = 2 + static_cast<unsigned>(rng_.below(3));
+        unsigned phases = rangePick(rng_, opts_.minPhases,
+                                    opts_.maxPhases, "phases");
         for (unsigned p = 0; p < phases; ++p)
             emitLoopNest(top, 1);
 
@@ -96,13 +136,14 @@ class Generator
     void
     emitLoopNest(Scope &outer, unsigned depth)
     {
-        std::int64_t trip = 8 + static_cast<std::int64_t>(rng_.below(48));
+        std::int64_t trip = static_cast<std::int64_t>(
+            rangePick(rng_, opts_.minTrip, opts_.maxTrip, "trip"));
         CountedLoop loop(b_, b_.i64(0), b_.i64(trip), b_.i64(1),
                          "L" + std::to_string(loopCounter_++));
 
         // Optional carried recurrence of a random class.
         Instruction *carried = nullptr;
-        unsigned carriedKind = static_cast<unsigned>(rng_.below(4));
+        unsigned carriedKind = weightedPick(rng_, opts_.carriedWeights);
         if (carriedKind != 0) {
             carried = loop.addRecurrence(
                 Type::I64, b_.i64(rng_.range(0, 100)), "c");
@@ -114,10 +155,9 @@ class Generator
             body.ints.push_back(carried);
 
         // Random body: a handful of operations.
-        unsigned ops = 3 + static_cast<unsigned>(rng_.below(8));
-        Value *lastLoad = nullptr;
+        unsigned ops = rangePick(rng_, opts_.minOps, opts_.maxOps, "ops");
         for (unsigned i = 0; i < ops; ++i) {
-            switch (rng_.below(6)) {
+            switch (weightedPick(rng_, opts_.opWeights)) {
               case 0: { // arithmetic
                 Value *v = b_.add(b_.mul(pick(body), b_.i64(3)),
                                   pick(body));
@@ -125,9 +165,9 @@ class Generator
                 break;
               }
               case 1: { // affine load
-                lastLoad = b_.load(Type::I64,
+                Value *v = b_.load(Type::I64,
                                    address(body, true, loop.iv()));
-                body.ints.push_back(lastLoad);
+                body.ints.push_back(v);
                 break;
               }
               case 2: { // scrambled store
@@ -154,7 +194,7 @@ class Generator
         }
 
         // Nested loop with some probability (bounded depth).
-        if (depth < 2 && rng_.chance(0.4))
+        if (depth < opts_.maxDepth && rng_.chance(opts_.nestProb))
             emitLoopNest(body, depth + 1);
 
         // Close the carried recurrence.
@@ -180,6 +220,7 @@ class Generator
         // remains the valid scope (plus nothing).
     }
 
+    GenOptions opts_;
     Rng rng_;
     std::unique_ptr<Module> mod_;
     IRBuilder b_;
@@ -190,10 +231,16 @@ class Generator
 
 } // namespace
 
-std::unique_ptr<Module>
-generateRandomProgram(std::uint64_t seed)
+std::unique_ptr<ir::Module>
+generateProgram(std::uint64_t seed, const GenOptions &opts)
 {
-    return Generator(seed).run();
+    return Generator(seed, opts).run();
 }
 
-} // namespace lp::test
+std::string
+programName(std::uint64_t seed)
+{
+    return "random-" + std::to_string(seed);
+}
+
+} // namespace lp::fuzz

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Seeded random loop-nest generator (`lp::fuzz`).
+ *
+ * Promoted from tests/generator.cpp so the differential torture
+ * harness, the property tests and the lp_fuzz CLI all draw from one
+ * program distribution.  Generates structurally valid,
+ * always-terminating IR programs with a random mix of the dependence
+ * classes from paper Table I: computable IVs, reductions,
+ * unpredictable carried values, affine and scrambled memory accesses,
+ * shared-cell read-modify-writes and pure helper calls.  Every
+ * program verifies, every run terminates, and the whole pipeline's
+ * invariants can be checked against them en masse.
+ *
+ * Determinism contract: generateProgram(seed) with default GenOptions
+ * makes exactly the RNG draws the historical tests/generator.cpp made,
+ * so every seed keeps producing the byte-identical program it always
+ * did (tests/test_property.cpp depends on this).  The knobs exist for
+ * the fuzzer's mix control and for the minimizer: a weight of zero
+ * removes an op class from the draw, smaller ranges shrink programs.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "ir/module.hpp"
+
+namespace lp::fuzz {
+
+/**
+ * Generation knobs.  Defaults reproduce the historical generator
+ * draw-for-draw.  All [min,max] ranges are inclusive.
+ */
+struct GenOptions
+{
+    /// @name Loop-body op mix (the dependence-class knob).
+    /// Index order: 0 arithmetic, 1 affine load, 2 scrambled store,
+    /// 3 affine store, 4 pure call, 5 shared-cell RMW.  A weight of 0
+    /// removes the class; with all weights equal the draw sequence is
+    /// identical to the historical uniform below(6).
+    /// @{
+    std::array<unsigned, 6> opWeights{1, 1, 1, 1, 1, 1};
+    /// @}
+
+    /// Carried-recurrence mix: 0 none, 1 reduction (c += x),
+    /// 2 computable (c += 7), 3 unpredictable (c = c*M + x).
+    std::array<unsigned, 4> carriedWeights{1, 1, 1, 1};
+
+    unsigned minArrays = 2, maxArrays = 4;
+    unsigned minPhases = 2, maxPhases = 4; ///< top-level loop nests
+    unsigned minOps = 3, maxOps = 10;      ///< body ops per loop
+    unsigned minTrip = 8, maxTrip = 55;
+    unsigned maxDepth = 2;  ///< max loop-nest depth
+    double nestProb = 0.4;  ///< chance of nesting below maxDepth
+};
+
+/** Op-class names, index-aligned with GenOptions::opWeights. */
+extern const std::array<const char *, 6> kOpClassNames;
+
+/**
+ * Build a random program from @p seed (same seed + same options =>
+ * same program, byte for byte).  All weight arrays must have at least
+ * one nonzero entry and every max must be >= its min; violations
+ * throw lp::InternalError.
+ */
+std::unique_ptr<ir::Module> generateProgram(std::uint64_t seed,
+                                            const GenOptions &opts = {});
+
+/** The module name generateProgram(seed) produces ("random-<seed>"). */
+std::string programName(std::uint64_t seed);
+
+} // namespace lp::fuzz

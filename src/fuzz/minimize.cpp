@@ -1,0 +1,195 @@
+#include "fuzz/minimize.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "fuzz/differential.hpp"
+#include "support/error.hpp"
+
+namespace lp::fuzz {
+
+namespace {
+
+unsigned
+nonzeroCount(const unsigned *w, std::size_t n)
+{
+    unsigned c = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        c += w[i] != 0;
+    return c;
+}
+
+} // namespace
+
+MinimizeResult
+minimizeOptions(const GenOptions &start,
+                const std::function<bool(const GenOptions &)> &stillFails,
+                unsigned maxEvals)
+{
+    MinimizeResult res;
+    res.options = start;
+
+    auto tryAccept = [&](const GenOptions &candidate) {
+        if (res.evals >= maxEvals)
+            return false;
+        ++res.evals;
+        if (!stillFails(candidate))
+            return false;
+        res.options = candidate;
+        return true;
+    };
+
+    bool changed = true;
+    while (changed && res.evals < maxEvals) {
+        changed = false;
+
+        // 1. Drop whole op classes (keep at least one).
+        for (unsigned i = 0; i < res.options.opWeights.size(); ++i) {
+            if (res.options.opWeights[i] == 0 ||
+                nonzeroCount(res.options.opWeights.data(),
+                             res.options.opWeights.size()) <= 1)
+                continue;
+            GenOptions c = res.options;
+            c.opWeights[i] = 0;
+            changed |= tryAccept(c);
+        }
+
+        // 2. Drop carried-recurrence kinds (keep at least one).
+        for (unsigned i = 0; i < res.options.carriedWeights.size(); ++i) {
+            if (res.options.carriedWeights[i] == 0 ||
+                nonzeroCount(res.options.carriedWeights.data(),
+                             res.options.carriedWeights.size()) <= 1)
+                continue;
+            GenOptions c = res.options;
+            c.carriedWeights[i] = 0;
+            changed |= tryAccept(c);
+        }
+
+        // 3. Flatten structure: no nesting, then collapse each range
+        //    to its minimum (the DDmin "remove half" step degenerates
+        //    to "try the floor" because the ranges are tiny).
+        if (res.options.maxDepth > 1) {
+            GenOptions c = res.options;
+            c.maxDepth = 1;
+            changed |= tryAccept(c);
+        }
+        if (res.options.nestProb > 0.0) {
+            GenOptions c = res.options;
+            c.nestProb = 0.0;
+            changed |= tryAccept(c);
+        }
+        if (res.options.maxPhases > res.options.minPhases) {
+            GenOptions c = res.options;
+            c.maxPhases = c.minPhases = res.options.minPhases;
+            changed |= tryAccept(c);
+        }
+        if (res.options.minPhases > 1) {
+            GenOptions c = res.options;
+            c.minPhases = c.maxPhases = 1;
+            changed |= tryAccept(c);
+        }
+        if (res.options.maxOps > res.options.minOps) {
+            GenOptions c = res.options;
+            c.maxOps = c.minOps = res.options.minOps;
+            changed |= tryAccept(c);
+        }
+        if (res.options.minOps > 1) {
+            GenOptions c = res.options;
+            c.minOps = c.maxOps = 1;
+            changed |= tryAccept(c);
+        }
+        if (res.options.maxArrays > res.options.minArrays) {
+            GenOptions c = res.options;
+            c.maxArrays = c.minArrays = res.options.minArrays;
+            changed |= tryAccept(c);
+        }
+        if (res.options.minArrays > 1) {
+            GenOptions c = res.options;
+            c.minArrays = c.maxArrays = 1;
+            changed |= tryAccept(c);
+        }
+        if (res.options.maxTrip > res.options.minTrip) {
+            GenOptions c = res.options;
+            c.maxTrip = c.minTrip = res.options.minTrip;
+            changed |= tryAccept(c);
+        }
+        if (res.options.minTrip > 2) {
+            GenOptions c = res.options;
+            c.minTrip = c.maxTrip = 2;
+            changed |= tryAccept(c);
+        }
+    }
+    return res;
+}
+
+namespace {
+
+std::string
+describeWeights(const char *label, const unsigned *w, std::size_t n,
+                const std::array<const char *, 6> *names)
+{
+    std::ostringstream os;
+    os << label << "=[";
+    for (std::size_t i = 0; i < n; ++i) {
+        if (i)
+            os << ",";
+        if (names)
+            os << (*names)[i] << ":";
+        os << w[i];
+    }
+    os << "]";
+    return os.str();
+}
+
+} // namespace
+
+std::string
+writeCorpusEntry(const std::string &dir, const std::string &name,
+                 std::uint64_t seed, const GenOptions &opts,
+                 const std::string &oracle, const std::string &detail)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+
+    std::string lirPath = (fs::path(dir) / (name + ".lir")).string();
+    {
+        std::unique_ptr<ir::Module> mod = generateProgram(seed, opts);
+        std::ofstream os(lirPath);
+        if (!os)
+            throw IoError("cannot write corpus file " + lirPath);
+        mod->print(os);
+        if (!os.flush())
+            throw IoError("write to corpus file " + lirPath + " failed");
+    }
+
+    std::string reproPath = (fs::path(dir) / (name + ".repro")).string();
+    {
+        std::ofstream os(reproPath);
+        if (!os)
+            throw IoError("cannot write repro file " + reproPath);
+        os << "seed=" << seed << "\n"
+           << "oracle=" << oracle << "\n"
+           << "repro=" << reproLineFor(seed) << "\n"
+           << "detail=" << detail << "\n"
+           << describeWeights("opWeights", opts.opWeights.data(),
+                              opts.opWeights.size(), &kOpClassNames)
+           << "\n"
+           << describeWeights("carriedWeights",
+                              opts.carriedWeights.data(),
+                              opts.carriedWeights.size(), nullptr)
+           << "\n"
+           << "phases=" << opts.minPhases << ".." << opts.maxPhases
+           << " ops=" << opts.minOps << ".." << opts.maxOps
+           << " trip=" << opts.minTrip << ".." << opts.maxTrip
+           << " arrays=" << opts.minArrays << ".." << opts.maxArrays
+           << " maxDepth=" << opts.maxDepth
+           << " nestProb=" << opts.nestProb << "\n";
+        if (!os.flush())
+            throw IoError("write to repro file " + reproPath + " failed");
+    }
+    return lirPath;
+}
+
+} // namespace lp::fuzz

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * DDmin-style failure minimizer and regression-corpus writer
+ * (`lp::fuzz`).
+ *
+ * Programs are generated from RNG draws, so shrinking operates on the
+ * generation knobs rather than on program text: the minimizer greedily
+ * tries removing op classes, removing carried-recurrence kinds, and
+ * collapsing the size ranges (phases, ops, trip counts, arrays,
+ * nesting) toward their minimum, keeping each simplification that
+ * still fails the caller's predicate, and repeats to a fixpoint.  The
+ * result is the simplest option set whose generated program still
+ * reproduces the failure — typically a single-dependence-class,
+ * single-phase loop.
+ *
+ * Minimized failures land in tests/fuzz_corpus/ as a re-parseable
+ * .lir file plus a .repro sidecar (the parser has no comment syntax,
+ * so metadata cannot ride in the .lir itself) naming the seed, the
+ * failing oracle, and the exact CLI line to reproduce.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "fuzz/generator.hpp"
+
+namespace lp::fuzz {
+
+/** What minimizeOptions found. */
+struct MinimizeResult
+{
+    GenOptions options; ///< simplest still-failing option set
+    unsigned evals = 0; ///< predicate evaluations consumed
+};
+
+/**
+ * Shrink @p start toward the simplest GenOptions for which
+ * @p stillFails returns true.  @p stillFails is never called with an
+ * option set that fails GenOptions validation; it must return true
+ * for @p start itself (callers pass the options that produced the
+ * failure).  At most @p maxEvals predicate calls are made.
+ */
+MinimizeResult
+minimizeOptions(const GenOptions &start,
+                const std::function<bool(const GenOptions &)> &stillFails,
+                unsigned maxEvals = 200);
+
+/**
+ * Write the regression entry for @p seed / @p opts under @p dir:
+ * `<name>.lir` (the generated program, re-parseable) and
+ * `<name>.repro` (seed, oracle, repro CLI line, option summary).
+ * Returns the .lir path.  @throws lp::IoError on write failure.
+ */
+std::string writeCorpusEntry(const std::string &dir,
+                             const std::string &name, std::uint64_t seed,
+                             const GenOptions &opts,
+                             const std::string &oracle,
+                             const std::string &detail);
+
+} // namespace lp::fuzz

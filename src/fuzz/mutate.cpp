@@ -1,0 +1,80 @@
+#include "fuzz/mutate.hpp"
+
+#include "support/rng.hpp"
+
+namespace lp::fuzz {
+
+std::string
+Mutation::describe() const
+{
+    switch (kind) {
+      case Kind::BitFlip:
+        return "bitflip @" + std::to_string(offset) + "." +
+               std::to_string(bit);
+      case Kind::ByteSet:
+        return "byteset @" + std::to_string(offset) + "=" +
+               std::to_string(value);
+      case Kind::Truncate:
+        return "truncate to " + std::to_string(offset);
+      case Kind::Extend:
+        return "extend by " + std::to_string(count);
+    }
+    return "?";
+}
+
+Mutation
+drawMutation(std::uint64_t seed, std::size_t size)
+{
+    Rng rng(seed * 2 + 0x6d757461); // distinct stream from the generator
+    Mutation m;
+    switch (rng.below(4)) {
+      case 0:
+        m.kind = Mutation::Kind::BitFlip;
+        m.offset = size ? rng.below(size) : 0;
+        m.bit = static_cast<unsigned>(rng.below(8));
+        break;
+      case 1:
+        m.kind = Mutation::Kind::ByteSet;
+        m.offset = size ? rng.below(size) : 0;
+        m.value = static_cast<std::uint8_t>(rng.below(256));
+        break;
+      case 2:
+        m.kind = Mutation::Kind::Truncate;
+        m.offset = size ? rng.below(size) : 0;
+        break;
+      default:
+        m.kind = Mutation::Kind::Extend;
+        m.count = 1 + rng.below(16);
+        break;
+    }
+    return m;
+}
+
+std::vector<std::uint8_t>
+applyMutation(const std::vector<std::uint8_t> &blob, const Mutation &m)
+{
+    std::vector<std::uint8_t> out = blob;
+    switch (m.kind) {
+      case Mutation::Kind::BitFlip:
+        if (m.offset < out.size())
+            out[m.offset] ^= static_cast<std::uint8_t>(1u << (m.bit & 7));
+        break;
+      case Mutation::Kind::ByteSet:
+        if (m.offset < out.size())
+            out[m.offset] = m.value;
+        break;
+      case Mutation::Kind::Truncate:
+        if (m.offset < out.size())
+            out.resize(m.offset);
+        break;
+      case Mutation::Kind::Extend: {
+        Rng rng(m.count * 2 + 0x657874); // garbage bytes, reproducible
+        for (std::size_t i = 0; i < m.count; ++i)
+            out.push_back(static_cast<std::uint8_t>(rng.below(256)));
+        break;
+      }
+    }
+    return out;
+}
+
+} // namespace lp::fuzz

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Seeded byte mutation of serialized LPTR traces (`lp::fuzz`).
+ *
+ * The corruption half of the torture harness: take the bytes
+ * trace::serialize() produced, damage them in a reproducible way, and
+ * assert the parse boundary holds — every mutated blob must either be
+ * rejected by trace::deserialize() with a categorized lp::Error
+ * (almost always LP_IO) or, if the mutation happened to be a no-op,
+ * parse back to the byte-identical trace.  Nothing in between:
+ * no crash, no silently wrong replay.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lp::fuzz {
+
+/** One reproducible mutation of a byte blob. */
+struct Mutation
+{
+    enum class Kind
+    {
+        BitFlip,  ///< flip one bit
+        ByteSet,  ///< overwrite one byte with a random value
+        Truncate, ///< drop a suffix
+        Extend,   ///< append random garbage bytes
+    };
+
+    Kind kind = Kind::BitFlip;
+    std::size_t offset = 0; ///< byte offset (BitFlip/ByteSet/Truncate)
+    unsigned bit = 0;       ///< bit index (BitFlip)
+    std::uint8_t value = 0; ///< replacement byte (ByteSet)
+    std::size_t count = 0;  ///< bytes appended (Extend)
+
+    /** Human-readable one-liner, e.g. "bitflip @17.3". */
+    std::string describe() const;
+};
+
+/** Draw a random mutation for a blob of @p size bytes from @p seed. */
+Mutation drawMutation(std::uint64_t seed, std::size_t size);
+
+/** Apply @p m to a copy of @p blob. */
+std::vector<std::uint8_t> applyMutation(const std::vector<std::uint8_t> &blob,
+                                        const Mutation &m);
+
+} // namespace lp::fuzz

@@ -18,6 +18,16 @@
  * Keys are the full cell identity (configuration label, suite, program,
  * seed), so checkpoints are safe to share across re-invocations with
  * different sweep subsets: unknown keys are simply never looked up.
+ *
+ * Conflict policy: when the same key appears more than once — duplicate
+ * lines within one file, or the same cell claimed by several absorbed
+ * shard files — the LAST writer wins (later lines override earlier
+ * ones; later absorb() calls override earlier ones).  The winner is
+ * positional, never content-dependent, so a fixed file + merge order
+ * always resolves identically.  Within one file this makes re-recorded
+ * cells self-healing (the newest generation is the one resumed), and
+ * across shards it means `--merge` callers control precedence purely by
+ * absorb order.
  */
 
 #pragma once
@@ -69,8 +79,11 @@ class Checkpoint
      * resume, so that cell simply runs again in the merge.  A missing
      * file absorbs zero cells (the whole shard re-runs); that is a
      * warning, not an error, because the merge is the recovery path.
+     * A key already present (from this file or an earlier absorb) is
+     * overwritten — last absorb wins, see the conflict policy above.
      *
-     * @returns the number of cells absorbed.
+     * @returns the number of NET NEW keys absorbed; overwritten
+     *          duplicates are not counted.
      */
     std::size_t absorb(const std::string &otherPath);
 

@@ -116,6 +116,10 @@ ProgramReport::toJson(bool withObsSnapshot) const
 
     Json out = Json::object();
     out.set("program", program);
+    // Only fuzz-generated programs carry a seed; emitting the field
+    // conditionally keeps every pre-existing report byte-identical.
+    if (seed != 0)
+        out.set("seed", seed);
     out.set("config", std::move(cfgJson));
     out.set("status", std::string(runStatusName(status)));
     out.set("error_code", errorCode);

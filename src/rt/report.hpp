@@ -98,6 +98,14 @@ struct OracleFinding
 struct ProgramReport
 {
     std::string program;
+    /**
+     * Generator seed for fuzz-produced programs (0 = not generated).
+     * Exported in toJson() only when nonzero, so every failure report
+     * of a generated program is one-command reproducible
+     * (`lp_fuzz --seed=S --minimize`) while hand-written suites keep
+     * their historical byte-identical reports.
+     */
+    std::uint64_t seed = 0;
     LPConfig config;
 
     RunStatus status = RunStatus::Ok;

@@ -1,5 +1,7 @@
 #include "trace/format.hpp"
 
+#include <algorithm>
+#include <array>
 #include <cstring>
 
 #include "support/error.hpp"
@@ -26,6 +28,13 @@ struct Header
 
 constexpr std::size_t kHeaderBytes = 44;
 constexpr std::uint32_t kFlagTruncated = 1u << 0;
+constexpr std::uint32_t kKnownFlags = kFlagTruncated;
+
+std::uint64_t
+chunkCountFor(std::uint64_t payloadBytes)
+{
+    return (payloadBytes + kChecksumChunkBytes - 1) / kChecksumChunkBytes;
+}
 
 void
 put32(std::vector<std::uint8_t> &buf, std::uint32_t v)
@@ -60,6 +69,25 @@ get64(const std::uint8_t *p)
 }
 
 } // namespace
+
+std::uint32_t
+crc32(const std::uint8_t *data, std::size_t size)
+{
+    static const auto table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    std::uint32_t crc = 0xffffffffu;
+    for (std::size_t i = 0; i < size; ++i)
+        crc = table[(crc ^ data[i]) & 0xff] ^ (crc >> 8);
+    return crc ^ 0xffffffffu;
+}
 
 void
 appendVarint(std::vector<std::uint8_t> &buf, std::uint64_t v)
@@ -137,19 +165,74 @@ throwUnknownTag(std::uint8_t tag)
 std::vector<std::uint8_t>
 serialize(const Trace &t)
 {
+    const std::uint64_t payloadBytes = t.payload.size();
+    const std::uint64_t chunks = chunkCountFor(payloadBytes);
     std::vector<std::uint8_t> out;
-    out.reserve(kHeaderBytes + t.payload.size());
+    out.reserve(kHeaderBytes + 8 + 4 * chunks + payloadBytes);
     put32(out, kMagic);
     put32(out, kFormatVersion);
     put32(out, t.numFunctions);
     put32(out, t.numBlocks);
     put64(out, t.events);
     put64(out, t.finalCost);
-    put64(out, static_cast<std::uint64_t>(t.payload.size()));
+    put64(out, payloadBytes);
     put32(out, t.truncated ? kFlagTruncated : 0);
+    put32(out, crc32(out.data(), kHeaderBytes));
+    put32(out, static_cast<std::uint32_t>(chunks));
+    for (std::uint64_t c = 0; c < chunks; ++c) {
+        std::size_t off = c * kChecksumChunkBytes;
+        std::size_t len = std::min(kChecksumChunkBytes,
+                                   t.payload.size() - off);
+        put32(out, crc32(t.payload.data() + off, len));
+    }
     out.insert(out.end(), t.payload.begin(), t.payload.end());
     return out;
 }
+
+namespace {
+
+/**
+ * Decode the whole payload once, checking that what the header claims
+ * about it holds: the byte stream is well-formed, the event count
+ * matches, and every function/block id fits the module fingerprint.
+ * The checks subsume what ModuleIndex would hit lazily mid-replay, so
+ * a corrupt-but-decodable payload fails here, at the parse boundary.
+ */
+void
+validateStructure(const Trace &t)
+{
+    PayloadReader r(t);
+    Event e;
+    std::uint64_t count = 0;
+    while (r.next(e)) {
+        ++count;
+        switch (e.kind) {
+          case EventKind::FuncEnter:
+            if (e.a >= t.numFunctions)
+                throw IoError("trace event " + std::to_string(count - 1) +
+                              " names function id " + std::to_string(e.a) +
+                              " out of range (module has " +
+                              std::to_string(t.numFunctions) + ")");
+            break;
+          case EventKind::BlockEnter:
+          case EventKind::BlockEnterHeader:
+            if (e.a >= t.numBlocks)
+                throw IoError("trace event " + std::to_string(count - 1) +
+                              " names block id " + std::to_string(e.a) +
+                              " out of range (module has " +
+                              std::to_string(t.numBlocks) + ")");
+            break;
+          default:
+            break;
+        }
+    }
+    if (count != t.events)
+        throw IoError("trace payload decodes to " + std::to_string(count) +
+                      " events but header says " +
+                      std::to_string(t.events));
+}
+
+} // namespace
 
 Trace
 deserialize(const std::uint8_t *data, std::size_t size)
@@ -160,9 +243,10 @@ deserialize(const std::uint8_t *data, std::size_t size)
     if (get32(data) != kMagic)
         throw IoError("trace blob has bad magic (not an LPTR trace)");
     std::uint32_t version = get32(data + 4);
-    if (version != kFormatVersion)
+    if (version < kMinFormatVersion || version > kFormatVersion)
         throw IoError("trace format version " + std::to_string(version) +
                       " not supported (expected " +
+                      std::to_string(kMinFormatVersion) + ".." +
                       std::to_string(kFormatVersion) + ")");
     Trace t;
     t.numFunctions = get32(data + 8);
@@ -171,12 +255,51 @@ deserialize(const std::uint8_t *data, std::size_t size)
     t.finalCost = get64(data + 24);
     std::uint64_t payloadBytes = get64(data + 32);
     std::uint32_t flags = get32(data + 40);
+    if (flags & ~kKnownFlags)
+        throw IoError("trace header has unknown flag bits (flags=" +
+                      std::to_string(flags) + ")");
     t.truncated = (flags & kFlagTruncated) != 0;
-    if (size - kHeaderBytes != payloadBytes)
+
+    std::size_t payloadOff = kHeaderBytes;
+    if (version >= 2) {
+        if (size < kHeaderBytes + 8)
+            throw IoError("trace blob too small for its checksum table");
+        std::uint32_t headerCrc = get32(data + kHeaderBytes);
+        if (crc32(data, kHeaderBytes) != headerCrc)
+            throw IoError("trace header checksum mismatch");
+        std::uint64_t chunkCount = get32(data + kHeaderBytes + 4);
+        if (chunkCount != chunkCountFor(payloadBytes))
+            throw IoError("trace checksum table has " +
+                          std::to_string(chunkCount) + " chunks, expected " +
+                          std::to_string(chunkCountFor(payloadBytes)));
+        payloadOff = kHeaderBytes + 8 +
+                     static_cast<std::size_t>(4 * chunkCount);
+        if (size < payloadOff)
+            throw IoError("trace blob too small for its checksum table");
+        if (size - payloadOff != payloadBytes)
+            throw IoError(
+                "trace payload size mismatch: header says " +
+                std::to_string(payloadBytes) + " bytes, blob has " +
+                std::to_string(size - payloadOff));
+        const std::uint8_t *payload = data + payloadOff;
+        for (std::uint64_t c = 0; c < chunkCount; ++c) {
+            std::size_t off = static_cast<std::size_t>(c) *
+                              kChecksumChunkBytes;
+            std::size_t len = std::min(
+                kChecksumChunkBytes,
+                static_cast<std::size_t>(payloadBytes) - off);
+            if (crc32(payload + off, len) !=
+                get32(data + kHeaderBytes + 8 + 4 * c))
+                throw IoError("trace payload chunk " + std::to_string(c) +
+                              " checksum mismatch");
+        }
+    } else if (size - kHeaderBytes != payloadBytes) {
         throw IoError("trace payload size mismatch: header says " +
                       std::to_string(payloadBytes) + " bytes, blob has " +
                       std::to_string(size - kHeaderBytes));
-    t.payload.assign(data + kHeaderBytes, data + size);
+    }
+    t.payload.assign(data + payloadOff, data + size);
+    validateStructure(t);
     return t;
 }
 
@@ -189,6 +312,10 @@ decodeEvents(const Trace &t)
     Event e;
     while (r.next(e))
         out.push_back(e);
+    if (out.size() != t.events)
+        throw IoError("trace payload decodes to " +
+                      std::to_string(out.size()) +
+                      " events but header says " + std::to_string(t.events));
     return out;
 }
 

@@ -36,11 +36,16 @@
  * Serialization adds a fixed header: magic "LPTR", a format version, a
  * truncated flag (the recording hit its byte budget), a module
  * fingerprint (function/block counts), the event count, the final
- * dynamic-instruction cost, and the payload size.  Every malformed
- * input path — bad magic, unknown version, fingerprint mismatch, bytes
- * missing mid-event, trailing garbage — throws lp::IoError (LP_IO), so
- * sweep cells replaying a damaged trace quarantine like any other I/O
- * failure.
+ * dynamic-instruction cost, and the payload size.  Version 2 appends a
+ * CRC32 of the header and one CRC32 per 64 KiB payload chunk, so a
+ * single flipped bit anywhere in a serialized trace is detected before
+ * any event is consumed; version-1 blobs (no checksums) stay readable.
+ * Every malformed input path — bad magic, unknown version or flag bit,
+ * checksum mismatch, fingerprint mismatch, bytes missing mid-event,
+ * out-of-range function/block ids, an event count that disagrees with
+ * the header, trailing garbage — throws lp::IoError (LP_IO), so sweep
+ * cells replaying a damaged trace quarantine (or fall back to
+ * interpreting, see core::runSweep) like any other I/O failure.
  */
 
 #pragma once
@@ -51,7 +56,13 @@
 namespace lp::trace {
 
 /** Format version written by this build; bump on any layout change. */
-constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::uint32_t kFormatVersion = 2;
+
+/** Oldest serialized version deserialize() still accepts. */
+constexpr std::uint32_t kMinFormatVersion = 1;
+
+/** Payload bytes covered by each v2 chunk CRC32. */
+constexpr std::size_t kChecksumChunkBytes = 64 * 1024;
 
 /** Event tags; part of the on-disk format — append, never renumber. */
 enum class EventKind : std::uint8_t {
@@ -232,12 +243,34 @@ class PayloadReader
     std::uint64_t prevGranule_ = 0;
 };
 
-/** Serialize header + payload to one self-contained byte vector. */
+/**
+ * CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) over @p size
+ * bytes at @p data.  Exposed so tests can hand-craft valid v2 blobs.
+ */
+std::uint32_t crc32(const std::uint8_t *data, std::size_t size);
+
+/**
+ * Serialize header + payload to one self-contained byte vector.
+ *
+ * Version-2 layout (all fields little-endian):
+ *
+ *   [0,44)   v1 header: magic, version, numFunctions, numBlocks,
+ *            events, finalCost, payloadBytes, flags
+ *   [44,48)  u32 headerCrc  = crc32 of bytes [0,44)
+ *   [48,52)  u32 chunkCount = ceil(payloadBytes / kChecksumChunkBytes)
+ *   then     chunkCount × u32 chunk CRC32s
+ *   then     payload (payloadBytes bytes)
+ */
 std::vector<std::uint8_t> serialize(const Trace &t);
 
 /**
- * Parse a serialized trace.  @throws lp::IoError on bad magic, unknown
- * version, or a size that does not match the header.
+ * Parse a serialized trace.  Accepts versions kMinFormatVersion
+ * through kFormatVersion.  @throws lp::IoError (LP_IO) on bad magic,
+ * unknown version or flag bit, a size that does not match the header,
+ * a header or chunk checksum mismatch (v2), or a payload that fails
+ * structural validation: undecodable bytes, a decoded event count that
+ * disagrees with the header, or a function/block id outside the
+ * module fingerprint.
  */
 Trace deserialize(const std::uint8_t *data, std::size_t size);
 

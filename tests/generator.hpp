@@ -1,13 +1,11 @@
 /**
  * @file
- * Random-program generator for property-based testing.
- *
- * Generates structurally valid, always-terminating IR programs with a
- * random mix of the dependence classes from paper Table I: computable
- * IVs, reductions, unpredictable carried values, affine and scrambled
- * memory accesses, shared-cell read-modify-writes and pure helper calls.
- * Every program verifies, every run terminates, and the whole pipeline's
- * invariants can be checked against them en masse.
+ * Random-program generator for property-based testing — now a thin
+ * delegate to the promoted lp::fuzz generator (src/fuzz/generator.hpp)
+ * so the property tests and the differential fuzz harness draw from
+ * one program distribution.  lp::fuzz's determinism contract keeps
+ * every seed producing the byte-identical program this header always
+ * produced.
  */
 
 #pragma once
@@ -15,11 +13,15 @@
 #include <cstdint>
 #include <memory>
 
-#include "ir/module.hpp"
+#include "fuzz/generator.hpp"
 
 namespace lp::test {
 
 /** Build a random program from @p seed (same seed => same program). */
-std::unique_ptr<ir::Module> generateRandomProgram(std::uint64_t seed);
+inline std::unique_ptr<ir::Module>
+generateRandomProgram(std::uint64_t seed)
+{
+    return fuzz::generateProgram(seed);
+}
 
 } // namespace lp::test

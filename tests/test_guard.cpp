@@ -578,6 +578,80 @@ TEST_F(GuardTest, CheckpointAbsorbMergesShardFiles)
         std::remove(p.c_str());
 }
 
+TEST_F(GuardTest, CheckpointDuplicateKeyLinesAreLastWriterWins)
+{
+    // The same cell recorded twice in one file — e.g. a cell re-run
+    // across resume generations — must resolve deterministically: the
+    // LAST complete line wins, and the key counts once.
+    std::string path = ::testing::TempDir() + "lp_guard_dup.jsonl";
+    std::remove(path.c_str());
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << "{\"v\":1,\"key\":\"a|s|p|0\",\"cell\":{\"gen\":1}}\n";
+        out << "{\"v\":1,\"key\":\"a|s|p|0\",\"cell\":{\"gen\":2}}\n";
+    }
+    for (int round = 0; round < 2; ++round) { // deterministic on re-load
+        guard::Checkpoint ck(path, /*resume=*/true);
+        EXPECT_EQ(ck.loadedCells(), 1u);
+        EXPECT_EQ(ck.skippedLines(), 0u);
+        ASSERT_NE(ck.find("a|s|p|0"), nullptr);
+        EXPECT_EQ(ck.find("a|s|p|0")->dump(), "{\"gen\":2}");
+    }
+    std::remove(path.c_str());
+}
+
+TEST_F(GuardTest, CheckpointAbsorbConflictsAreLastAbsorbWins)
+{
+    // Two shard files claim the same cell with different contents (a
+    // re-sharded or re-run sweep).  The merge must resolve the conflict
+    // by absorb order — last absorbed file wins — and report only NET
+    // NEW keys in absorb()'s return value, so the caller's "cells
+    // recovered" arithmetic stays honest.
+    const std::string base = ::testing::TempDir() + "lp_guard_conflict";
+    const std::string shard1 = base + ".shard1of2";
+    const std::string shard2 = base + ".shard2of2";
+    const std::string merged = base + ".merge";
+    for (const std::string &p : {shard1, shard2, merged})
+        std::remove(p.c_str());
+
+    obs::Json cellA = obs::Json::object();
+    cellA.set("status", "ok");
+    obs::Json cellB = obs::Json::object();
+    cellB.set("status", "failed");
+    {
+        guard::Checkpoint ck(shard1, /*resume=*/false);
+        ck.record("a|s|p|0", cellA);
+    }
+    {
+        guard::Checkpoint ck(shard2, /*resume=*/false);
+        ck.record("a|s|p|0", cellB);
+        ck.record("b|s|p|0", cellB);
+    }
+
+    {
+        guard::Checkpoint ck(merged, /*resume=*/false);
+        EXPECT_EQ(ck.absorb(shard1), 1u);
+        // Only "b" is a new key; "a" is silently overwritten.
+        EXPECT_EQ(ck.absorb(shard2), 1u);
+        ASSERT_NE(ck.find("a|s|p|0"), nullptr);
+        EXPECT_EQ(ck.find("a|s|p|0")->dump(), cellB.dump());
+    }
+    std::remove(merged.c_str());
+    {
+        // Opposite order, opposite winner — the policy is positional,
+        // not content-dependent, hence deterministic for a fixed merge
+        // command line.
+        guard::Checkpoint ck(merged, /*resume=*/false);
+        EXPECT_EQ(ck.absorb(shard2), 2u);
+        EXPECT_EQ(ck.absorb(shard1), 0u); // no net new keys
+        ASSERT_NE(ck.find("a|s|p|0"), nullptr);
+        EXPECT_EQ(ck.find("a|s|p|0")->dump(), cellA.dump());
+        ASSERT_NE(ck.find("b|s|p|0"), nullptr);
+    }
+    for (const std::string &p : {shard1, shard2, merged})
+        std::remove(p.c_str());
+}
+
 TEST_F(GuardTest, CheckpointUnopenablePathIsIoError)
 {
     try {
