@@ -6,9 +6,14 @@
  *   lp-lint prog.lir [more.lir ...]      # lint .lir files
  *   lp-lint --all-suites                 # lint every bundled suite module
  *   lp-lint --format=sarif prog.lir      # text (default) | json | sarif
+ *   lp-lint --sarif out.sarif prog.lir   # ALSO write SARIF to a file
  *   lp-lint --werror prog.lir            # promote warnings to errors
  *   lp-lint --deps prog.lir              # only the LCD classification
  *   lp-lint --list-rules                 # rule catalog and exit
+ *
+ * --sarif PATH is a side channel: the stdout output (table, json, or
+ * deps) is byte-identical with and without it, so CI can archive a
+ * SARIF artifact while humans keep reading the table.
  *
  * Exit status: 0 = no error-level findings, 1 = at least one error-level
  * finding, 2 = usage or input error (unreadable/unparseable file).
@@ -50,8 +55,9 @@ usage()
 {
     std::cerr
         << "usage: lp-lint [--all-suites] [--format=text|json|sarif]\n"
-        << "               [--werror] [--deps] [--list-rules] "
-           "[FILE.lir ...]\n";
+        << "               [--sarif PATH] [--werror] [--deps] "
+           "[--list-rules]\n"
+        << "               [FILE.lir ...]\n";
     return 2;
 }
 
@@ -61,6 +67,7 @@ int
 main(int argc, char **argv)
 {
     std::string format = "text";
+    std::string sarifPath;
     bool werror = false;
     bool depsOnly = false;
     bool allSuites = false;
@@ -80,6 +87,14 @@ main(int argc, char **argv)
                 std::cerr << "unknown format: " << format << "\n";
                 return usage();
             }
+            continue;
+        }
+        if (a == "--sarif") {
+            if (i + 1 >= argc) {
+                std::cerr << "--sarif requires a path\n";
+                return usage();
+            }
+            sarifPath = argv[++i];
             continue;
         }
         if (a == "--werror") {
@@ -140,6 +155,15 @@ main(int argc, char **argv)
     for (const lint::LintResult &res : results) {
         anyErrors = anyErrors || res.hasErrors();
         findings += res.diags.size();
+    }
+
+    if (!sarifPath.empty()) {
+        std::ofstream out(sarifPath);
+        if (!out) {
+            std::cerr << "cannot write " << sarifPath << "\n";
+            return 2;
+        }
+        out << lint::toSarif(results).dump(2) << "\n";
     }
 
     if (depsOnly) {

@@ -1,0 +1,107 @@
+#include "analysis/scc.hpp"
+
+#include <algorithm>
+
+namespace lp::analysis {
+
+SccGraph::SccGraph(const std::vector<std::vector<unsigned>> &succ)
+{
+    const unsigned n = static_cast<unsigned>(succ.size());
+    constexpr unsigned kUnvisited = ~0u;
+
+    sccOf_.assign(n, kUnvisited);
+    std::vector<unsigned> index(n, kUnvisited);
+    std::vector<unsigned> lowlink(n, 0);
+    std::vector<bool> onStack(n, false);
+    std::vector<unsigned> stack;
+    unsigned nextIndex = 0;
+
+    // Iterative Tarjan: each DFS frame remembers which successor edge
+    // it will examine next, so returning from a child resumes exactly
+    // where the recursive version would.
+    struct Frame
+    {
+        unsigned node;
+        unsigned edge;
+    };
+    std::vector<Frame> dfs;
+
+    // Tarjan emits SCCs in reverse topological order; collect raw ids
+    // first and renumber afterwards so DAG edges go low -> high.
+    unsigned rawSccs = 0;
+
+    for (unsigned root = 0; root < n; ++root) {
+        if (index[root] != kUnvisited)
+            continue;
+        dfs.push_back({root, 0});
+        while (!dfs.empty()) {
+            Frame &f = dfs.back();
+            unsigned v = f.node;
+            if (f.edge == 0) {
+                index[v] = lowlink[v] = nextIndex++;
+                stack.push_back(v);
+                onStack[v] = true;
+            }
+            bool descended = false;
+            while (f.edge < succ[v].size()) {
+                unsigned w = succ[v][f.edge++];
+                if (index[w] == kUnvisited) {
+                    dfs.push_back({w, 0});
+                    descended = true;
+                    break;
+                }
+                if (onStack[w])
+                    lowlink[v] = std::min(lowlink[v], index[w]);
+            }
+            if (descended)
+                continue;
+            if (lowlink[v] == index[v]) {
+                unsigned id = rawSccs++;
+                for (;;) {
+                    unsigned w = stack.back();
+                    stack.pop_back();
+                    onStack[w] = false;
+                    sccOf_[w] = id;
+                    if (w == v)
+                        break;
+                }
+            }
+            dfs.pop_back();
+            if (!dfs.empty()) {
+                unsigned parent = dfs.back().node;
+                lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+            }
+        }
+    }
+
+    // Renumber: raw id r becomes rawSccs - 1 - r, making SCC ids a
+    // topological order of the condensation DAG.
+    for (unsigned v = 0; v < n; ++v)
+        sccOf_[v] = rawSccs - 1 - sccOf_[v];
+
+    members_.assign(rawSccs, {});
+    for (unsigned v = 0; v < n; ++v)
+        members_[sccOf_[v]].push_back(v);
+
+    dagSucc_.assign(rawSccs, {});
+    cyclic_.assign(rawSccs, false);
+    for (unsigned s = 0; s < rawSccs; ++s)
+        if (members_[s].size() > 1)
+            cyclic_[s] = true;
+    for (unsigned v = 0; v < n; ++v) {
+        for (unsigned w : succ[v]) {
+            if (sccOf_[v] == sccOf_[w]) {
+                if (v == w)
+                    cyclic_[sccOf_[v]] = true;
+                continue;
+            }
+            dagSucc_[sccOf_[v]].push_back(sccOf_[w]);
+        }
+    }
+    for (auto &edges : dagSucc_) {
+        std::sort(edges.begin(), edges.end());
+        edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    }
+}
+
+} // namespace lp::analysis

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Strongly-connected-component condensation of a directed graph.
+ *
+ * The PDG consumer (DSWP / PS-DSWP stage partitioning, the static
+ * parallelism classifier) needs the dependence graph collapsed into its
+ * condensation DAG: every cycle — i.e. every dependence that must stay
+ * within one pipeline stage — lands in one SCC, and the DAG between
+ * SCCs is exactly the legal stage order.  This is the graph
+ * `PSDSWPCritic`-style partitioners walk.
+ *
+ * The graph is plain integer-indexed adjacency lists so the same
+ * implementation serves the PDG, call graphs, and tests; it has no IR
+ * dependency.  Tarjan's algorithm, iterative (no recursion — generated
+ * fuzz loops can be deep), with SCC ids renumbered so that every DAG
+ * edge goes from a lower id to a higher id (topological order).
+ */
+
+#pragma once
+
+#include <vector>
+
+namespace lp::analysis {
+
+/** Tarjan condensation of a directed graph over nodes 0..n-1. */
+class SccGraph
+{
+  public:
+    /**
+     * Build from adjacency lists: @p succ[v] are the successors of node
+     * v.  Duplicate and self edges are allowed; @p succ.size() is the
+     * node count.
+     */
+    explicit SccGraph(const std::vector<std::vector<unsigned>> &succ);
+
+    unsigned numNodes() const { return static_cast<unsigned>(sccOf_.size()); }
+    unsigned numSccs() const { return static_cast<unsigned>(members_.size()); }
+
+    /** SCC id of @p node; ids are topologically ordered (see above). */
+    unsigned sccOf(unsigned node) const { return sccOf_[node]; }
+
+    /** Member nodes of @p scc, in ascending node order. */
+    const std::vector<unsigned> &members(unsigned scc) const
+    {
+        return members_[scc];
+    }
+
+    /** Deduplicated condensation-DAG successors of @p scc (ascending). */
+    const std::vector<unsigned> &dagSuccessors(unsigned scc) const
+    {
+        return dagSucc_[scc];
+    }
+
+    /**
+     * Does @p scc contain a cycle?  True for every multi-node SCC and
+     * for a single node with a self edge; false for a trivial SCC.
+     */
+    bool hasCycle(unsigned scc) const { return cyclic_[scc]; }
+
+  private:
+    std::vector<unsigned> sccOf_;
+    std::vector<std::vector<unsigned>> members_;
+    std::vector<std::vector<unsigned>> dagSucc_;
+    std::vector<bool> cyclic_;
+};
+
+} // namespace lp::analysis

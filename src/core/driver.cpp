@@ -64,7 +64,19 @@ Loopapalooza::run(const rt::LPConfig &cfg, rt::OracleCapture &cap) const
     rt::ProgramReport rep =
         rt::runLimitStudy(mod_, *plan_, cfg, mod_.name(), &cap);
     lint::applyOracle(cap, rep);
+    lint::applyVerdictOracle(staticVerdicts(), rep);
     return rep;
+}
+
+const std::vector<analysis::LoopVerdictSummary> &
+Loopapalooza::staticVerdicts() const
+{
+    std::lock_guard<prof::TimedMutex> lock(verdictMu_);
+    if (!verdicts_)
+        verdicts_ =
+            std::make_unique<std::vector<analysis::LoopVerdictSummary>>(
+                analysis::classifyModuleVerdicts(mod_));
+    return *verdicts_;
 }
 
 const trace::Trace &
@@ -129,6 +141,7 @@ Loopapalooza::runReplay(const rt::LPConfig &cfg,
     rt::ProgramReport rep = rt::replayLimitStudy(
         *plan_, *index_, t, cfg, mod_.name(), &cap, &replayFacts_);
     lint::applyOracle(cap, rep);
+    lint::applyVerdictOracle(staticVerdicts(), rep);
     return rep;
 }
 

@@ -16,6 +16,9 @@
 #include <mutex>
 #include <string>
 
+#include <vector>
+
+#include "analysis/pdg.hpp"
 #include "ir/module.hpp"
 #include "rt/oracle_capture.hpp"
 #include "rt/plan.hpp"
@@ -102,6 +105,13 @@ class Loopapalooza
     const ir::Module &module() const { return mod_; }
 
     /**
+     * The PDG classifier's whole-loop verdicts, computed lazily on
+     * first use (config-independent, so one computation serves every
+     * oracle-attached cell of a sweep).  Thread-safe.
+     */
+    const std::vector<analysis::LoopVerdictSummary> &staticVerdicts() const;
+
+    /**
      * The shared per-block replay facts (build-once-share-many): one
      * table per program, read-only across every replayed cell.  Built
      * in the constructor — it is config-independent, derived purely
@@ -118,6 +128,10 @@ class Loopapalooza
     mutable prof::TimedMutex traceMu_{"core.trace_record"};
     mutable std::unique_ptr<trace::Trace> trace_;
     mutable std::exception_ptr traceError_;
+
+    mutable prof::TimedMutex verdictMu_{"core.static_verdicts"};
+    mutable std::unique_ptr<std::vector<analysis::LoopVerdictSummary>>
+        verdicts_;
 };
 
 } // namespace lp::core

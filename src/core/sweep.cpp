@@ -359,6 +359,7 @@ runSweep(const std::vector<BenchProgram> &programs, const SweepRequest &req)
         // merge step owns reporting.
         std::size_t ok = 0, failed = 0, skipped = 0;
         std::uint64_t oracleMismatches = 0;
+        std::uint64_t verdictContradictions = 0;
         for (std::size_t i : owned) {
             const std::string &status =
                 cells[i].json.at("status").asString();
@@ -370,6 +371,11 @@ runSweep(const std::vector<BenchProgram> &programs, const SweepRequest &req)
                                         .json.at("oracle")
                                         .at("mismatches")
                                         .asU64();
+            if (cells[i].json.contains("static_verdict"))
+                verdictContradictions += cells[i]
+                                             .json.at("static_verdict")
+                                             .at("contradictions")
+                                             .asU64();
         }
         std::cout << "shard " << req.shardIndex << "/" << req.shardCount
                   << ": " << owned.size() << " of " << cells.size()
@@ -380,7 +386,11 @@ runSweep(const std::vector<BenchProgram> &programs, const SweepRequest &req)
         if (oracleMismatches != 0)
             std::cout << "oracle: " << oracleMismatches
                       << " mismatch(es) in this shard\n";
-        result.exitCode = oracleMismatches != 0 ? 1 : 0;
+        if (verdictContradictions != 0)
+            std::cout << "static verdicts: " << verdictContradictions
+                      << " contradiction(s) in this shard\n";
+        result.exitCode =
+            oracleMismatches != 0 || verdictContradictions != 0 ? 1 : 0;
         return result;
     }
 
@@ -397,6 +407,8 @@ runSweep(const std::vector<BenchProgram> &programs, const SweepRequest &req)
     std::vector<const Cell *> unhealthy;
     std::uint64_t oraclePhisChecked = 0, oracleMismatches = 0;
     std::size_t oracleCells = 0;
+    std::uint64_t verdictsChecked = 0, verdictContradictions = 0;
+    std::size_t verdictCells = 0;
 
     // Aggregate per (configuration, suite) group.  Everything — status,
     // geomean inputs — is read back from the cell JSON, so fresh,
@@ -431,6 +443,14 @@ runSweep(const std::vector<BenchProgram> &programs, const SweepRequest &req)
                     oracleMismatches += o.at("mismatches").asU64();
                     ++oracleCells;
                 }
+                if (cell.json.contains("static_verdict")) {
+                    const obs::Json &sv =
+                        cell.json.at("static_verdict");
+                    verdictsChecked += sv.at("loops").size();
+                    verdictContradictions +=
+                        sv.at("contradictions").asU64();
+                    ++verdictCells;
+                }
                 if (req.wantJson)
                     reportsJson.push(cell.json);
             }
@@ -459,6 +479,11 @@ runSweep(const std::vector<BenchProgram> &programs, const SweepRequest &req)
         std::cout << "oracle: " << oraclePhisChecked
                   << " phi(s) checked across " << oracleCells
                   << " cell(s), " << oracleMismatches << " mismatch(es)\n";
+    if (verdictCells != 0)
+        std::cout << "static verdicts: " << verdictsChecked
+                  << " loop verdict(s) checked across " << verdictCells
+                  << " cell(s), " << verdictContradictions
+                  << " contradiction(s)\n";
 
     if (!unhealthy.empty()) {
         std::cout << unhealthy.size() << " cell(s) did not complete:\n";
@@ -487,7 +512,8 @@ runSweep(const std::vector<BenchProgram> &programs, const SweepRequest &req)
     }
     // A static-vs-dynamic inconsistency is a defect in the framework's
     // classifier, not in the benchmark: fail the sweep.
-    result.exitCode = oracleMismatches != 0 ? 1 : 0;
+    result.exitCode =
+        oracleMismatches != 0 || verdictContradictions != 0 ? 1 : 0;
     return result;
 }
 

@@ -275,6 +275,41 @@ runDifferential(std::uint64_t seed, const DiffOptions &opts)
                  reproLineFor(seed)});
     }
 
+    // Pair 6: the PDG's whole-loop verdict vs the dynamic tracker.  A
+    // static-doall loop that conflicts frequently at run time is an
+    // error-level contradiction — the PDG's memory edges missed a real
+    // dependence — and must never happen on any generated program,
+    // including ones drawing the may-alias array-pair op class.
+    if (opts.lintOracle) {
+        try {
+            auto mod = generateProgram(seed, opts.gen);
+            core::Loopapalooza lp(*mod);
+            for (const char *flags : {"reduc1-dep2-fn0", "reduc0-dep0-fn0"}) {
+                rt::ProgramReport rep = lp.runWithOracle(rt::LPConfig::parse(
+                    flags, rt::ExecModel::PartialDoAll));
+                if (rep.verdictContradictions == 0)
+                    continue;
+                std::string detail = "[" + std::string(flags) + "] ";
+                for (const rt::OracleFinding &f : rep.verdictFindings)
+                    if (f.severity == "error")
+                        detail += f.message + "; ";
+                failures.push_back({seed, "static-verdict-vs-tracker",
+                                    detail, reproLineFor(seed)});
+                break;
+            }
+        }
+        catch (const Error &e) {
+            // Guarded-run failures (fuel, deadline) are not verdicts:
+            // the other pairs already decide how failures must behave.
+            (void)e;
+        }
+        catch (const std::exception &e) {
+            failures.push_back({seed, "static-verdict-vs-tracker",
+                                std::string("crashed: ") + e.what(),
+                                reproLineFor(seed)});
+        }
+    }
+
     exec::setJobsOverride(0);
     if (faulted)
         guard::setFault("", 0);

@@ -10,9 +10,9 @@ namespace lp::fuzz {
 
 using namespace ir;
 
-const std::array<const char *, 6> kOpClassNames = {
-    "arith",        "affine_load", "scrambled_store",
-    "affine_store", "pure_call",   "rmw",
+const std::array<const char *, 7> kOpClassNames = {
+    "arith",        "affine_load", "scrambled_store", "affine_store",
+    "pure_call",    "rmw",         "may_alias_pair",
 };
 
 namespace {
@@ -183,11 +183,21 @@ class Generator
                 body.ints.push_back(v);
                 break;
               }
-              default: { // shared-cell read-modify-write
+              case 5: { // shared-cell read-modify-write
                 Value *addr = address(body, false, nullptr);
                 Value *old = b_.load(Type::I64, addr);
                 b_.store(b_.add(old, b_.i64(1)), addr);
                 body.ints.push_back(old);
+                break;
+              }
+              default: { // may-alias array pair: scatter via loaded index
+                Value *idx = b_.load(Type::I64,
+                                     address(body, true, loop.iv()));
+                const ArrayInfo &arr =
+                    arrays_[rng_.below(arrays_.size())];
+                Value *masked = b_.and_(
+                    idx, b_.i64(static_cast<std::int64_t>(arr.elems - 1)));
+                b_.store(pick(body), b_.elem(arr.global, masked));
                 break;
               }
             }

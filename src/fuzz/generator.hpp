@@ -39,11 +39,15 @@ struct GenOptions
 {
     /// @name Loop-body op mix (the dependence-class knob).
     /// Index order: 0 arithmetic, 1 affine load, 2 scrambled store,
-    /// 3 affine store, 4 pure call, 5 shared-cell RMW.  A weight of 0
-    /// removes the class; with all weights equal the draw sequence is
-    /// identical to the historical uniform below(6).
+    /// 3 affine store, 4 pure call, 5 shared-cell RMW, 6 may-alias
+    /// array pair (a store addressed through a value loaded from
+    /// another array — the scatter shape whose dependence is only a
+    /// may-edge statically).  A weight of 0 removes the class; class 6
+    /// defaults to 0, so the first six weights being equal keeps the
+    /// draw sequence identical to the historical uniform below(6) and
+    /// every pre-existing seed reproduces byte for byte.
     /// @{
-    std::array<unsigned, 6> opWeights{1, 1, 1, 1, 1, 1};
+    std::array<unsigned, 7> opWeights{1, 1, 1, 1, 1, 1, 0};
     /// @}
 
     /// Carried-recurrence mix: 0 none, 1 reduction (c += x),
@@ -59,7 +63,7 @@ struct GenOptions
 };
 
 /** Op-class names, index-aligned with GenOptions::opWeights. */
-extern const std::array<const char *, 6> kOpClassNames;
+extern const std::array<const char *, 7> kOpClassNames;
 
 /**
  * Build a random program from @p seed (same seed + same options =>

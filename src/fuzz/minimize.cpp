@@ -127,7 +127,7 @@ namespace {
 
 std::string
 describeWeights(const char *label, const unsigned *w, std::size_t n,
-                const std::array<const char *, 6> *names)
+                const std::array<const char *, 7> *names)
 {
     std::ostringstream os;
     os << label << "=[";

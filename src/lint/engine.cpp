@@ -65,6 +65,18 @@ locate(const ir::Instruction *instr)
     return loc;
 }
 
+const std::vector<std::unique_ptr<analysis::LoopPdg>> &
+FunctionAnalyses::pdgs() const
+{
+    if (!pdgsBuilt_) {
+        for (const auto &loop : li.loops())
+            pdgs_.push_back(std::make_unique<analysis::LoopPdg>(
+                loop.get(), mod, li, uses, se, purity));
+        pdgsBuilt_ = true;
+    }
+    return pdgs_;
+}
+
 Engine::Engine() : rules_(standardRules()) {}
 
 void

@@ -22,6 +22,9 @@
 
 #include "analysis/dominators.hpp"
 #include "analysis/loop_info.hpp"
+#include "analysis/pdg.hpp"
+#include "analysis/purity.hpp"
+#include "analysis/scev.hpp"
 #include "analysis/uses.hpp"
 #include "ir/module.hpp"
 #include "obs/json.hpp"
@@ -115,11 +118,26 @@ struct FunctionAnalyses
     analysis::DominatorTree dt;
     analysis::LoopInfo li;
     analysis::UseMap uses;
+    analysis::PurityAnalysis purity;
+    /** Memoizing, hence mutable through the bundle's const ref. */
+    mutable analysis::ScalarEvolution se;
 
     explicit FunctionAnalyses(const ir::Module &m, const ir::Function &f)
-        : mod(m), fn(f), dt(f), li(f, dt), uses(f)
+        : mod(m), fn(f), dt(f), li(f, dt), uses(f), purity(m), se(f, li)
     {
     }
+
+    /**
+     * Per-loop dependence graphs in li.loops() order, built on first
+     * request and shared by every PDG-backed rule of this run.  The
+     * bundle is per-run (Engine::run builds one per function), so the
+     * lazy cache does not break cross-thread Engine sharing.
+     */
+    const std::vector<std::unique_ptr<analysis::LoopPdg>> &pdgs() const;
+
+  private:
+    mutable std::vector<std::unique_ptr<analysis::LoopPdg>> pdgs_;
+    mutable bool pdgsBuilt_ = false;
 };
 
 /** Base class of all lint rules. */

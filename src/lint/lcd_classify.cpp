@@ -2,7 +2,8 @@
 
 #include "analysis/dominators.hpp"
 #include "analysis/loop_info.hpp"
-#include "analysis/reduction.hpp"
+#include "analysis/pdg.hpp"
+#include "analysis/purity.hpp"
 #include "analysis/scev.hpp"
 #include "analysis/uses.hpp"
 
@@ -17,7 +18,11 @@ classifyModule(const ir::Module &mod)
 {
     using obs::Json;
 
+    // The per-phi Table-I classes fall out of PDG construction (they
+    // drive carried-register-edge breakability); render them straight
+    // from the graph's PhiInfo instead of re-deriving.
     Json loops = Json::array();
+    analysis::PurityAnalysis purity(mod);
     for (const auto &fn : mod.functions()) {
         if (fn->entry() == nullptr)
             continue;
@@ -27,29 +32,30 @@ classifyModule(const ir::Module &mod)
         analysis::ScalarEvolution se(*fn, li);
 
         for (const auto &loop : li.loops()) {
+            analysis::LoopPdg pdg(loop.get(), mod, li, uses, se, purity);
+
             Json entry = Json::object();
             entry.set("loop", loop->label());
             entry.set("depth", loop->depth());
             entry.set("canonical", loop->isCanonical());
 
             Json phis = Json::array();
-            for (const ir::Instruction *phi : loop->headerPhis()) {
+            for (const analysis::PhiInfo &pi : pdg.headerPhiInfo()) {
                 Json p = Json::object();
-                p.set("name", phi->name());
-                if (se.isComputablePhi(phi)) {
-                    const analysis::Scev *s = se.phiEvolution(phi);
+                p.set("name", pi.phi->name());
+                switch (pi.cls) {
+                  case analysis::PhiInfo::Cls::Computable:
                     p.set("class", kClassComputable);
-                    p.set("scev", se.str(s));
-                    unsigned depth = 0;
-                    for (; s != nullptr && s->isAddRec(); s = s->rhs)
-                        ++depth;
-                    p.set("addrec_depth", depth);
-                } else if (auto red = analysis::matchReduction(
-                               phi, loop.get(), uses)) {
+                    p.set("scev", pi.scevStr);
+                    p.set("addrec_depth", pi.addrecDepth);
+                    break;
+                  case analysis::PhiInfo::Cls::Reduction:
                     p.set("class", kClassReduction);
-                    p.set("kind", analysis::recurKindName(red->kind));
-                } else {
+                    p.set("kind", pi.recurKind);
+                    break;
+                  case analysis::PhiInfo::Cls::Other:
                     p.set("class", kClassPredictionCandidate);
+                    break;
                 }
                 phis.push(std::move(p));
             }

@@ -85,4 +85,137 @@ applyOracle(const rt::OracleCapture &cap, rt::ProgramReport &report)
     }
 }
 
+namespace {
+
+/** Split a "function.header" label into a diagnostic Location. */
+Location
+labelLocation(const std::string &label)
+{
+    Location loc;
+    const std::size_t dot = label.find('.');
+    if (dot == std::string::npos) {
+        loc.function = label;
+    } else {
+        loc.function = label.substr(0, dot);
+        loc.block = label.substr(dot + 1);
+    }
+    return loc;
+}
+
+/// Frequent memory-LCD test, identical to the census cut (memory
+/// conflicts present AND >5% of iterations conflicted) so the oracle
+/// and Table I agree on "frequent".  The memConflicts guard matters:
+/// under reduc0/pred0 the run deliberately disables a breaking
+/// technique, so register LCDs conflict by configuration — only
+/// *memory* conflicts can refute the PDG's memory edges.
+bool
+frequentMemConflicts(const rt::LoopReport &lr)
+{
+    if (lr.memConflicts == 0 || lr.iterations == 0)
+        return false;
+    return static_cast<double>(lr.conflictIterations) >
+        0.05 * static_cast<double>(lr.iterations);
+}
+
+} // namespace
+
+std::vector<Diagnostic>
+checkVerdicts(const std::vector<analysis::LoopVerdictSummary> &verdicts,
+              const rt::ProgramReport &report)
+{
+    std::vector<Diagnostic> out;
+    for (const analysis::LoopVerdictSummary &v : verdicts) {
+        const rt::LoopReport *dyn = nullptr;
+        for (const rt::LoopReport &lr : report.loops)
+            if (lr.label == v.label) {
+                dyn = &lr;
+                break;
+            }
+        if (dyn == nullptr || dyn->iterations == 0)
+            continue; // loop never executed; nothing to cross-check
+        if (v.kind == analysis::VerdictKind::DoAll) {
+            if (!frequentMemConflicts(*dyn))
+                continue;
+            Diagnostic d;
+            d.rule = "LINT_ORACLE_VERDICT_CONTRADICTED";
+            d.severity = Severity::Error;
+            d.loc = labelLocation(v.label);
+            d.message =
+                "loop " + v.label +
+                " was classified doall (no doomed carried dependence) "
+                "but conflicted in " +
+                std::to_string(dyn->conflictIterations) + " of " +
+                std::to_string(dyn->iterations) +
+                " iteration(s); the PDG's memory edges are unsound here";
+            out.push_back(std::move(d));
+        } else {
+            // Demoted purely by may-edges, yet dynamically spotless:
+            // quantify the precision the static side left on the table.
+            if (v.doomedEdges == 0 || v.doomedEdges != v.doomedMay)
+                continue;
+            if (dyn->memConflicts != 0 || dyn->conflictIterations != 0)
+                continue;
+            Diagnostic d;
+            d.rule = "LINT_ORACLE_STATIC_CONSERVATIVE";
+            d.severity = Severity::Note;
+            d.loc = labelLocation(v.label);
+            d.message =
+                "loop " + v.label + " was demoted to " +
+                analysis::verdictName(v.kind) + " by " +
+                std::to_string(v.doomedMay) +
+                " may edge(s) only, yet ran conflict-free for " +
+                std::to_string(dyn->iterations) +
+                " iteration(s); static precision, not a real dependence, "
+                "cost this loop";
+            out.push_back(std::move(d));
+        }
+    }
+    return out;
+}
+
+void
+applyVerdictOracle(const std::vector<analysis::LoopVerdictSummary> &verdicts,
+                   rt::ProgramReport &report)
+{
+    std::vector<Diagnostic> diags = checkVerdicts(verdicts, report);
+
+    report.staticVerdictsRan = true;
+    report.staticVerdicts.clear();
+    for (const analysis::LoopVerdictSummary &v : verdicts) {
+        rt::StaticLoopVerdict sv;
+        sv.label = v.label;
+        sv.kind = analysis::verdictName(v.kind);
+        sv.doomedEdges = v.doomedEdges;
+        sv.doomedMay = v.doomedMay;
+        sv.doomedControl = v.doomedControl;
+        sv.sccCount = v.sccCount;
+        sv.maxSccCost = v.maxSccCost;
+        report.staticVerdicts.push_back(std::move(sv));
+    }
+
+    report.verdictContradictions = 0;
+    report.verdictFindings.clear();
+    for (const Diagnostic &d : diags) {
+        if (d.severity == Severity::Error)
+            report.verdictContradictions += 1;
+        rt::OracleFinding f;
+        f.rule = d.rule;
+        f.severity = severityName(d.severity);
+        f.loop = d.loc.function.empty()
+            ? std::string()
+            : d.loc.function + "." + d.loc.block;
+        f.message = d.message;
+        report.verdictFindings.push_back(std::move(f));
+    }
+
+    if (obs::metricsOn()) {
+        obs::Registry::instance()
+            .counter("oracle.verdicts_checked")
+            .add(report.staticVerdicts.size());
+        obs::Registry::instance()
+            .counter("oracle.verdict_contradictions")
+            .add(report.verdictContradictions);
+    }
+}
+
 } // namespace lp::lint

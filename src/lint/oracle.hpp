@@ -19,12 +19,28 @@
  *   instance.  Not a defect — per-instance affine behavior (e.g. a
  *   strided pointer chase) is invisible to SCEV by design — but worth
  *   surfacing as a precision report.
+ *
+ * The whole-loop verdict oracle widens the same idea from individual
+ * phis to the PDG classifier's verdict for each loop:
+ *
+ * - LINT_ORACLE_VERDICT_CONTRADICTED (error): a loop the PDG classified
+ *   DOALL (no doomed carried dependence) showed frequent memory
+ *   conflicts at run time (>5% conflicting iterations, the same
+ *   threshold the census uses).  The static model claimed independence
+ *   the dynamic tracker refuted — a soundness bug in the PDG's memory
+ *   edges.
+ *
+ * - LINT_ORACLE_STATIC_CONSERVATIVE (note): a loop demoted from DOALL
+ *   purely by may-edges ran conflict-free.  Not a defect — may-edges
+ *   are conservative by design — but it quantifies exactly how much
+ *   parallelism static precision left on the table.
  */
 
 #pragma once
 
 #include <vector>
 
+#include "analysis/pdg.hpp"
 #include "lint/engine.hpp"
 #include "rt/oracle_capture.hpp"
 #include "rt/report.hpp"
@@ -41,5 +57,24 @@ std::vector<Diagnostic> checkOracle(const rt::OracleCapture &cap);
  * the `oracle.phis_checked` / `oracle.mismatches` counters.
  */
 void applyOracle(const rt::OracleCapture &cap, rt::ProgramReport &report);
+
+/**
+ * Cross-check every static verdict in @p verdicts against the dynamic
+ * per-loop measurements already recorded in @p report (matched by
+ * "function.header" label); returns LINT_ORACLE_VERDICT_* findings.
+ */
+std::vector<Diagnostic>
+checkVerdicts(const std::vector<analysis::LoopVerdictSummary> &verdicts,
+              const rt::ProgramReport &report);
+
+/**
+ * Run checkVerdicts and fold the results into @p report: sets
+ * staticVerdictsRan, staticVerdicts (stringified), verdictContradictions
+ * (error-level findings) and verdictFindings, and bumps the
+ * `oracle.verdicts_checked` / `oracle.verdict_contradictions` counters.
+ */
+void
+applyVerdictOracle(const std::vector<analysis::LoopVerdictSummary> &verdicts,
+                   rt::ProgramReport &report);
 
 } // namespace lp::lint

@@ -5,6 +5,7 @@
  * breaking change.  See docs/static_analysis.md for the catalog.
  */
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
@@ -404,6 +405,304 @@ class InfiniteLoopRule : public Rule
     }
 };
 
+/**
+ * LINT_PDG_MAY_LCD_STORE — the loop's static verdict falls short of
+ * DOALL *solely* because of may-aliased stores: every doomed edge in
+ * its PDG is a may memory dependence touching a store.  Exactly the
+ * loops where sharper alias/subscript reasoning (or the paper's dynamic
+ * tracking) pays off, so the finding quantifies static imprecision.
+ */
+class PdgMayLcdStoreRule : public Rule
+{
+  public:
+    const char *id() const override { return "LINT_PDG_MAY_LCD_STORE"; }
+    const char *
+    description() const override
+    {
+        return "only may-aliased stores keep this loop from a DOALL "
+               "verdict";
+    }
+    Severity severity() const override { return Severity::Note; }
+
+    void
+    run(const FunctionAnalyses &fa, std::vector<Diagnostic> &out) const override
+    {
+        for (const auto &pdg : fa.pdgs()) {
+            const analysis::StaticVerdict &v = pdg->verdict();
+            if (v.kind == analysis::VerdictKind::DoAll ||
+                v.doomedEdges.empty())
+                continue;
+            std::vector<unsigned> stores; // offending store nodes
+            bool onlyMayStores = true;
+            for (unsigned ei : v.doomedEdges) {
+                const analysis::DepEdge &e = pdg->edges()[ei];
+                const ir::Instruction *src = pdg->node(e.src);
+                const ir::Instruction *dst = pdg->node(e.dst);
+                bool touchesStore =
+                    src->opcode() == ir::Opcode::Store ||
+                    dst->opcode() == ir::Opcode::Store;
+                if (e.kind != analysis::DepKind::Memory || !e.may ||
+                    !touchesStore) {
+                    onlyMayStores = false;
+                    break;
+                }
+                unsigned node = src->opcode() == ir::Opcode::Store
+                    ? e.src
+                    : e.dst;
+                if (std::find(stores.begin(), stores.end(), node) ==
+                    stores.end())
+                    stores.push_back(node);
+            }
+            if (!onlyMayStores)
+                continue;
+            for (unsigned node : stores) {
+                Diagnostic d;
+                d.rule = id();
+                d.severity = severity();
+                d.loc = locate(pdg->node(node));
+                d.message = "store may carry a cross-iteration "
+                            "dependence; it is all that demotes loop " +
+                            pdg->loop()->label() + " from doall to " +
+                            analysis::verdictName(v.kind);
+                out.push_back(std::move(d));
+            }
+        }
+    }
+};
+
+/**
+ * LINT_PDG_IMPURE_CALL_CYCLE — a dependence cycle (non-trivial SCC with
+ * a doomed internal edge) runs through a call the purity analysis
+ * cannot clear.  The call's conservative memory edges serialize the
+ * whole cycle; making the callee pure (or annotating it) dissolves it.
+ * Note-level: several bundled SPEC-like kernels do this on purpose
+ * (rand in the placer loop, emit in the tokenizer), so the finding is
+ * advisory, not a gate.
+ */
+class PdgImpureCallCycleRule : public Rule
+{
+  public:
+    const char *id() const override { return "LINT_PDG_IMPURE_CALL_CYCLE"; }
+    const char *
+    description() const override
+    {
+        return "impure call participates in a loop-carried dependence "
+               "cycle";
+    }
+    Severity severity() const override { return Severity::Note; }
+
+    void
+    run(const FunctionAnalyses &fa, std::vector<Diagnostic> &out) const override
+    {
+        for (const auto &pdg : fa.pdgs()) {
+            const analysis::SccGraph &scc = pdg->condensation();
+            for (unsigned s = 0; s < scc.numSccs(); ++s) {
+                if (!scc.hasCycle(s) || !pdg->sccDoomed(s))
+                    continue;
+                for (unsigned node : scc.members(s)) {
+                    const ir::Instruction *instr = pdg->node(node);
+                    std::string callee;
+                    if (instr->opcode() == ir::Opcode::Call &&
+                        instr->callee() != nullptr &&
+                        fa.purity.purity(instr->callee()) !=
+                            analysis::Purity::Pure) {
+                        callee = instr->callee()->name();
+                    } else if (instr->opcode() == ir::Opcode::CallExt &&
+                               instr->externalCallee() != nullptr &&
+                               instr->externalCallee()->attr() !=
+                                   ir::ExtAttr::Pure) {
+                        callee = instr->externalCallee()->name();
+                    } else {
+                        continue;
+                    }
+                    Diagnostic d;
+                    d.rule = id();
+                    d.severity = severity();
+                    d.loc = locate(instr);
+                    d.message =
+                        "call to @" + callee +
+                        " is inside a loop-carried dependence cycle of " +
+                        pdg->loop()->label() + " (" +
+                        std::to_string(scc.members(s).size()) +
+                        " instructions); its side effects serialize "
+                        "the loop";
+                    out.push_back(std::move(d));
+                }
+            }
+        }
+    }
+};
+
+/**
+ * LINT_PDG_REDUCTION_ALIAS — a recognized reduction consumes a load
+ * that may alias a store of the same loop.  Decoupling the reduction
+ * (running partial sums out of order) would reorder that load against
+ * the store, so the reduction class is not actionable as-is.
+ */
+class PdgReductionAliasRule : public Rule
+{
+  public:
+    const char *id() const override { return "LINT_PDG_REDUCTION_ALIAS"; }
+    const char *
+    description() const override
+    {
+        return "reduction update consumes a load that may alias a store "
+               "in the same loop";
+    }
+    Severity severity() const override { return Severity::Warning; }
+
+    void
+    run(const FunctionAnalyses &fa, std::vector<Diagnostic> &out) const override
+    {
+        for (const auto &pdg : fa.pdgs()) {
+            const analysis::Loop *loop = pdg->loop();
+            for (const analysis::PhiInfo &pi : pdg->headerPhiInfo()) {
+                if (pi.cls != analysis::PhiInfo::Cls::Reduction)
+                    continue;
+                for (const ir::Instruction *ld :
+                     updateChainLoads(*pdg, pi.phi, loop)) {
+                    int li = pdg->indexOf(ld);
+                    if (li < 0 || !hasMayStoreEdge(*pdg, unsigned(li)))
+                        continue;
+                    Diagnostic d;
+                    d.rule = id();
+                    d.severity = severity();
+                    d.loc = locate(ld);
+                    d.message =
+                        "reduction %" + pi.phi->name() + " of " +
+                        loop->label() + " consumes %" + ld->name() +
+                        ", which may alias a store in the same loop; "
+                        "decoupling the reduction is unsafe";
+                    out.push_back(std::move(d));
+                }
+            }
+        }
+    }
+
+  private:
+    /** Loads feeding the phi's latch update, via in-loop operand walk. */
+    static std::vector<const ir::Instruction *>
+    updateChainLoads(const analysis::LoopPdg &pdg,
+                     const ir::Instruction *phi, const analysis::Loop *loop)
+    {
+        std::vector<const ir::Instruction *> loads;
+        std::vector<const ir::Instruction *> work;
+        std::unordered_set<const ir::Instruction *> seen;
+        for (const ir::BasicBlock *latch : loop->latches()) {
+            const ir::Value *in = phi->incomingFor(latch);
+            if (in != nullptr &&
+                in->kind() == ir::ValueKind::Instruction)
+                work.push_back(static_cast<const ir::Instruction *>(in));
+        }
+        while (!work.empty()) {
+            const ir::Instruction *instr = work.back();
+            work.pop_back();
+            if (instr == phi || pdg.indexOf(instr) < 0 ||
+                !seen.insert(instr).second)
+                continue;
+            if (instr->opcode() == ir::Opcode::Load) {
+                loads.push_back(instr);
+                continue;
+            }
+            for (const ir::Value *op : instr->operands())
+                if (op->kind() == ir::ValueKind::Instruction)
+                    work.push_back(
+                        static_cast<const ir::Instruction *>(op));
+        }
+        return loads;
+    }
+
+    static bool
+    hasMayStoreEdge(const analysis::LoopPdg &pdg, unsigned node)
+    {
+        for (const analysis::DepEdge &e : pdg.edges()) {
+            if (e.kind != analysis::DepKind::Memory || !e.may)
+                continue;
+            if (e.src != node && e.dst != node)
+                continue;
+            unsigned other = e.src == node ? e.dst : e.src;
+            if (pdg.node(other)->opcode() == ir::Opcode::Store)
+                return true;
+        }
+        return false;
+    }
+};
+
+/**
+ * LINT_PDG_MISSED_COMPUTABLE — a header phi follows a plain linear
+ * recurrence (phi +/- invariant per iteration) yet is not classified
+ * computable, almost always because the loop is not canonical.  SCEV
+ * could regenerate it; the classifier just never got to look.
+ */
+class PdgMissedComputableRule : public Rule
+{
+  public:
+    const char *id() const override { return "LINT_PDG_MISSED_COMPUTABLE"; }
+    const char *
+    description() const override
+    {
+        return "phi follows a linear recurrence but is not classified "
+               "computable";
+    }
+    Severity severity() const override { return Severity::Note; }
+
+    void
+    run(const FunctionAnalyses &fa, std::vector<Diagnostic> &out) const override
+    {
+        for (const auto &pdg : fa.pdgs()) {
+            const analysis::Loop *loop = pdg->loop();
+            for (const analysis::PhiInfo &pi : pdg->headerPhiInfo()) {
+                if (pi.cls != analysis::PhiInfo::Cls::Other)
+                    continue;
+                if (!linearUpdateEverywhere(fa, pi.phi, loop))
+                    continue;
+                Diagnostic d;
+                d.rule = id();
+                d.severity = severity();
+                d.loc = locate(pi.phi);
+                d.message =
+                    "%" + pi.phi->name() + " of " + loop->label() +
+                    " advances by a loop-invariant amount every "
+                    "iteration but is not classified computable" +
+                    (loop->isCanonical() ? "" : " (loop is not canonical)");
+                out.push_back(std::move(d));
+            }
+        }
+    }
+
+  private:
+    static bool
+    linearUpdateEverywhere(const FunctionAnalyses &fa,
+                           const ir::Instruction *phi,
+                           const analysis::Loop *loop)
+    {
+        if (loop->latches().empty())
+            return false;
+        for (const ir::BasicBlock *latch : loop->latches()) {
+            const ir::Value *in = phi->incomingFor(latch);
+            if (in == nullptr ||
+                in->kind() != ir::ValueKind::Instruction)
+                return false;
+            const auto *upd = static_cast<const ir::Instruction *>(in);
+            bool isAdd = upd->opcode() == ir::Opcode::Add;
+            bool isSub = upd->opcode() == ir::Opcode::Sub;
+            if (!isAdd && !isSub)
+                return false;
+            const ir::Value *a = upd->operand(0);
+            const ir::Value *b = upd->operand(1);
+            const ir::Value *step = nullptr;
+            if (a == phi)
+                step = b;
+            else if (b == phi && isAdd)
+                step = a;
+            if (step == nullptr ||
+                !fa.se.isLoopInvariant(step, loop))
+                return false;
+        }
+        return true;
+    }
+};
+
 } // namespace
 
 std::vector<std::unique_ptr<Rule>>
@@ -418,6 +717,10 @@ standardRules()
     rules.push_back(std::make_unique<IrreducibleRule>());
     rules.push_back(std::make_unique<GlobalOobRule>());
     rules.push_back(std::make_unique<InfiniteLoopRule>());
+    rules.push_back(std::make_unique<PdgMayLcdStoreRule>());
+    rules.push_back(std::make_unique<PdgImpureCallCycleRule>());
+    rules.push_back(std::make_unique<PdgReductionAliasRule>());
+    rules.push_back(std::make_unique<PdgMissedComputableRule>());
     return rules;
 }
 
@@ -436,6 +739,14 @@ standardRuleMeta()
     meta.push_back({"LINT_ORACLE_MISSED_IV",
                     "untracked phi behaved like a computable induction "
                     "variable in every observed instance",
+                    Severity::Note});
+    meta.push_back({"LINT_ORACLE_VERDICT_CONTRADICTED",
+                    "loop classified doall statically showed frequent "
+                    "memory conflicts at run time",
+                    Severity::Error});
+    meta.push_back({"LINT_ORACLE_STATIC_CONSERVATIVE",
+                    "loop demoted from doall by may-edges only ran "
+                    "conflict-free at run time",
                     Severity::Note});
     return meta;
 }

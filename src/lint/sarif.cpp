@@ -76,6 +76,19 @@ toSarif(const std::vector<LintResult> &results)
             Json locs = Json::array();
             locs.push(std::move(loc));
             r.set("locations", std::move(locs));
+
+            // Builder-constructed modules have no source text, so every
+            // Location reports line 0 and results would collide under
+            // line-based dedup.  Fall back to a stable structural
+            // ordinal ("@func:block:%instr") so SARIF consumers can
+            // still fingerprint findings on built modules
+            // deterministically across runs.
+            if (d.loc.line == 0 && !fq.empty()) {
+                Json prints = Json::object();
+                prints.set("lpLintOrdinal/v1", "@" + fq);
+                r.set("partialFingerprints", std::move(prints));
+            }
+
             sarifResults.push(std::move(r));
         }
         if (!res.deps.isNull())

@@ -50,6 +50,15 @@ ProgramReport::print(std::ostream &os, bool perLoop) const
             os << "    " << f.severity << " " << f.rule << " " << f.loop
                << " %" << f.phi << ": " << f.message << "\n";
     }
+    if (staticVerdictsRan) {
+        os << strf("  verdicts      : %llu loop(s) classified, "
+                   "%llu contradiction(s)\n",
+                   static_cast<unsigned long long>(staticVerdicts.size()),
+                   static_cast<unsigned long long>(verdictContradictions));
+        for (const OracleFinding &f : verdictFindings)
+            os << "    " << f.severity << " " << f.rule << " " << f.loop
+               << ": " << f.message << "\n";
+    }
 
     if (!perLoop)
         return;
@@ -151,6 +160,38 @@ ProgramReport::toJson(bool withObsSnapshot) const
         }
         oracle.set("findings", std::move(findings));
         out.set("oracle", std::move(oracle));
+    }
+    if (staticVerdictsRan) {
+        // Same conditional-presence contract as "oracle": lint-off runs
+        // stay byte-identical to reports from before the verdict oracle
+        // existed.
+        Json sv = Json::object();
+        sv.set("contradictions", verdictContradictions);
+        Json loopsV = Json::array();
+        for (const StaticLoopVerdict &v : staticVerdicts) {
+            Json one = Json::object();
+            one.set("label", v.label);
+            one.set("kind", v.kind);
+            one.set("doomed_edges", v.doomedEdges);
+            one.set("doomed_may", v.doomedMay);
+            one.set("doomed_control", v.doomedControl);
+            one.set("scc_count", v.sccCount);
+            one.set("max_scc_cost", v.maxSccCost);
+            loopsV.push(std::move(one));
+        }
+        sv.set("loops", std::move(loopsV));
+        Json findings = Json::array();
+        for (const OracleFinding &f : verdictFindings) {
+            Json one = Json::object();
+            one.set("rule", f.rule);
+            one.set("severity", f.severity);
+            one.set("loop", f.loop);
+            one.set("phi", f.phi);
+            one.set("message", f.message);
+            findings.push(std::move(one));
+        }
+        sv.set("findings", std::move(findings));
+        out.set("static_verdict", std::move(sv));
     }
     if (withObsSnapshot) {
         out.set("metrics", obs::Registry::instance().toJson());

@@ -94,6 +94,21 @@ struct OracleFinding
     std::string message;
 };
 
+/**
+ * The static parallelism classifier's output for one loop, rendered to
+ * stable strings (filled by lint::applyVerdictOracle on --lint runs).
+ */
+struct StaticLoopVerdict
+{
+    std::string label; ///< "function.header"
+    std::string kind;  ///< "doall" | "doacross-sync" | "pipeline" | "sequential"
+    unsigned doomedEdges = 0;   ///< carried deps no technique breaks
+    unsigned doomedMay = 0;     ///< doomed subset that is only may
+    unsigned doomedControl = 0; ///< doomed subset that is control
+    unsigned sccCount = 0;      ///< dependence-DAG nodes
+    std::uint64_t maxSccCost = 0; ///< heaviest SCC, static IR units
+};
+
 /** Whole-program result of one run under one configuration. */
 struct ProgramReport
 {
@@ -130,6 +145,14 @@ struct ProgramReport
     std::uint64_t oraclePhisChecked = 0;
     std::uint64_t oracleMismatches = 0; ///< error-level findings only
     std::vector<OracleFinding> oracleFindings;
+    /// @}
+
+    /// @name Whole-loop verdict oracle (lint::applyVerdictOracle)
+    /// @{
+    bool staticVerdictsRan = false; ///< verdict cross-check performed
+    std::uint64_t verdictContradictions = 0; ///< error-level only
+    std::vector<StaticLoopVerdict> staticVerdicts;
+    std::vector<OracleFinding> verdictFindings;
     /// @}
 
     double

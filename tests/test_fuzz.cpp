@@ -111,6 +111,18 @@ TEST_F(FuzzTest, MixKnobControlsDependenceClasses)
         EXPECT_NE(text.find("store"), std::string::npos) << "seed " << seed;
     }
 
+    // May-alias pairs only: every body stores through a loaded index,
+    // so main() has both loads and stores and lints with the may-LCD
+    // store note (the class exists to exercise exactly that PDG path).
+    fuzz::GenOptions mayAliasOnly;
+    mayAliasOnly.opWeights = {0, 0, 0, 0, 0, 0, 1};
+    for (std::uint64_t seed = 0; seed < 6; ++seed) {
+        std::string text =
+            printed(*fuzz::generateProgram(seed, mayAliasOnly));
+        EXPECT_NE(text.find("store"), std::string::npos) << "seed " << seed;
+        EXPECT_NE(text.find("load"), std::string::npos) << "seed " << seed;
+    }
+
     // No carried recurrences when only kind 0 ("none") has weight.
     fuzz::GenOptions noCarried;
     noCarried.carriedWeights = {1, 0, 0, 0};
@@ -279,30 +291,58 @@ TEST_F(FuzzTest, CheckedInCorpusRegressionsStayClean)
     // oracle and the differential pairs, and must stay clean.
     fs::path corpus = fs::path(LP_SOURCE_DIR) / "tests" / "fuzz_corpus";
     ASSERT_TRUE(fs::exists(corpus));
-    fuzz::DiffOptions opts;
-    opts.jobsN = 2;
-    opts.shards = 2;
-    opts.scratchDir = ::testing::TempDir() + "lp_fuzz_test_scratch";
     unsigned entries = 0;
     for (const auto &e : fs::directory_iterator(corpus)) {
         if (e.path().extension() != ".repro")
             continue;
         ++entries;
+        fuzz::DiffOptions opts;
+        opts.jobsN = 2;
+        opts.shards = 2;
+        opts.scratchDir = ::testing::TempDir() + "lp_fuzz_test_scratch";
         std::ifstream in(e.path());
         std::string line;
         std::uint64_t seed = 0;
         bool haveSeed = false;
-        while (std::getline(in, line))
+        while (std::getline(in, line)) {
             if (line.rfind("seed=", 0) == 0) {
                 seed = std::stoull(line.substr(5));
                 haveSeed = true;
             }
+            // Replay the entry under its pinned op mix ("name:w" list,
+            // index-aligned with GenOptions::opWeights) so entries
+            // exercising an off-by-default class — e.g. may_alias_pair
+            // — regenerate the same program shape they pinned.
+            if (line.rfind("opWeights=[", 0) == 0) {
+                std::string list = line.substr(
+                    sizeof("opWeights=[") - 1,
+                    line.size() - sizeof("opWeights=["));
+                std::size_t idx = 0, pos = 0;
+                while (pos < list.size() &&
+                       idx < opts.gen.opWeights.size()) {
+                    std::size_t colon = list.find(':', pos);
+                    std::size_t comma = list.find(',', pos);
+                    if (colon == std::string::npos)
+                        break;
+                    opts.gen.opWeights[idx++] = static_cast<unsigned>(
+                        std::stoul(list.substr(colon + 1)));
+                    if (comma == std::string::npos)
+                        break;
+                    pos = comma + 1;
+                }
+                // Older sidecars list fewer classes: the rest stay at
+                // the (compatible) defaults of 0-weight extensions.
+                while (idx < opts.gen.opWeights.size())
+                    opts.gen.opWeights[idx++] = 0;
+            }
+        }
         ASSERT_TRUE(haveSeed) << e.path();
         for (const fuzz::DiffFailure &f :
              fuzz::runDifferential(seed, opts))
             ADD_FAILURE() << e.path().filename() << ": " << f.oracle
                           << ": " << f.detail;
-        for (const fuzz::DiffFailure &f : fuzz::runCorruption(seed, 16))
+        for (const fuzz::DiffFailure &f :
+             fuzz::runCorruption(seed, 16, opts.gen))
             ADD_FAILURE() << e.path().filename() << ": " << f.oracle
                           << ": " << f.detail;
         // And the checked-in .lir still parses.

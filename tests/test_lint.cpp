@@ -150,10 +150,60 @@ TEST(LintCorpus, Irreducible)
 TEST(LintCorpus, NonCanonicalLoop)
 {
     lint::LintResult res = lintCorpus("noncanonical");
+    // The linear IV escapes canonical-loop SCEV, so the PDG's missed-
+    // computable note rides along with the shape warning.
     EXPECT_EQ(rules(res),
-              (std::vector<std::string>{"LINT_NON_CANONICAL_LOOP"}));
+              (std::vector<std::string>{"LINT_NON_CANONICAL_LOOP",
+                                        "LINT_PDG_MISSED_COMPUTABLE"}));
     EXPECT_NE(res.diags[0].message.find("multiple latches"),
               std::string::npos);
+    EXPECT_NE(res.diags[1].message.find("not canonical"),
+              std::string::npos);
+}
+
+TEST(LintCorpus, MayLcdStore)
+{
+    lint::LintResult res = lintCorpus("may_lcd_store");
+    EXPECT_EQ(rules(res),
+              (std::vector<std::string>{"LINT_PDG_MAY_LCD_STORE"}));
+    EXPECT_FALSE(res.hasErrors());
+    const lint::Diagnostic &d = res.diags[0];
+    EXPECT_EQ(d.severity, lint::Severity::Note);
+    EXPECT_EQ(d.loc.block, "sc.body");
+    // The finding carries edge-level evidence: the scatter store is the
+    // *only* reason the loop is not doall.
+    EXPECT_NE(d.message.find("demotes"), std::string::npos);
+    EXPECT_NE(d.message.find("doall"), std::string::npos);
+}
+
+TEST(LintCorpus, ImpureCallCycle)
+{
+    lint::LintResult res = lintCorpus("impure_call_cycle");
+    ASSERT_FALSE(res.diags.empty());
+    bool sawCycle = false;
+    for (const lint::Diagnostic &d : res.diags)
+        if (d.rule == "LINT_PDG_IMPURE_CALL_CYCLE") {
+            sawCycle = true;
+            EXPECT_EQ(d.severity, lint::Severity::Note);
+            EXPECT_NE(d.message.find("@bump"), std::string::npos);
+        }
+    EXPECT_TRUE(sawCycle);
+    EXPECT_FALSE(res.hasErrors());
+}
+
+TEST(LintCorpus, ReductionAlias)
+{
+    lint::LintResult res = lintCorpus("reduction_alias");
+    bool sawAlias = false;
+    for (const lint::Diagnostic &d : res.diags)
+        if (d.rule == "LINT_PDG_REDUCTION_ALIAS") {
+            sawAlias = true;
+            EXPECT_EQ(d.severity, lint::Severity::Warning);
+            // Anchored at the aliasing load, naming the reduction phi.
+            EXPECT_EQ(d.loc.instr, "x");
+            EXPECT_NE(d.message.find("reduction %s"), std::string::npos);
+        }
+    EXPECT_TRUE(sawAlias);
 }
 
 // ---------------------------------------------------------------------
@@ -187,18 +237,29 @@ TEST(LintOptions, ClassifyOffSuppressesDeps)
 }
 
 // ---------------------------------------------------------------------
-// Clean inputs: zero findings on everything we ship.
+// Clean inputs: nothing we ship has Warning-or-worse findings.  The
+// advisory PDG notes (may-LCD stores, impure call cycles) fire on
+// several SPEC-like kernels *by design* — they describe the kernels'
+// intended dependence structure, not defects.
 // ---------------------------------------------------------------------
 
-TEST(LintClean, BundledSuitesHaveZeroFindings)
+TEST(LintClean, BundledSuitesHaveNoWarningsOrErrors)
 {
+    bool sawPdgNote = false;
     for (const core::BenchProgram &prog : suites::allPrograms()) {
         auto mod = prog.build();
         lint::LintResult res = lint::lintModule(*mod);
-        EXPECT_TRUE(res.diags.empty())
+        EXPECT_EQ(res.countAtLeast(lint::Severity::Warning), 0u)
             << prog.suite << "/" << prog.name << ": "
             << (res.diags.empty() ? "" : res.diags[0].str());
+        for (const lint::Diagnostic &d : res.diags) {
+            EXPECT_EQ(d.severity, lint::Severity::Note) << d.str();
+            EXPECT_EQ(d.rule.rfind("LINT_PDG_", 0), 0u) << d.str();
+            sawPdgNote = true;
+        }
     }
+    // The advisory layer is alive: at least one kernel carries a note.
+    EXPECT_TRUE(sawPdgNote);
 }
 
 TEST(LintClean, SampleLirHasZeroFindings)
@@ -282,12 +343,13 @@ TEST(LintSarif, CorpusFindingsSurviveTheRoundTrip)
     const obs::Json &run = doc.at("runs").at(0);
     const obs::Json &driver = run.at("tool").at("driver");
     EXPECT_EQ(driver.at("name").asString(), "lp-lint");
-    // The rule table covers the 8 static rules plus the 2 oracle rules.
-    EXPECT_EQ(driver.at("rules").size(), 10u);
+    // The rule table covers the 12 static rules plus the 4 oracle rules.
+    EXPECT_EQ(driver.at("rules").size(), 16u);
 
-    // 8 findings total: dom_operand contributes 2, the rest 1 each.
+    // 9 findings total: dom_operand and noncanonical contribute 2 each,
+    // the rest 1.
     const obs::Json &sarifResults = run.at("results");
-    EXPECT_EQ(sarifResults.size(), 8u);
+    EXPECT_EQ(sarifResults.size(), 9u);
     for (std::size_t i = 0; i < sarifResults.size(); ++i) {
         const obs::Json &r = sarifResults.at(i);
         EXPECT_EQ(r.at("ruleId").asString().rfind("LINT_", 0), 0u);
@@ -299,15 +361,67 @@ TEST(LintSarif, CorpusFindingsSurviveTheRoundTrip)
     EXPECT_TRUE(run.at("properties").contains("lint.deps"));
 }
 
+TEST(LintSarif, BuiltModulesGetOrdinalFingerprints)
+{
+    // A builder-constructed module has no source text: every Location
+    // reports line 0, so the emitter falls back to the structural
+    // "@func:block:%instr" ordinal in partialFingerprints.
+    auto mod = test::buildHistogram(32, 4);
+    lint::LintResult res = lint::lintModule(*mod);
+    ASSERT_FALSE(res.diags.empty()); // the may-LCD store note
+    EXPECT_EQ(res.diags[0].loc.line, 0u);
+    res.artifact = "built:hist";
+
+    obs::Json doc = lint::toSarif({res});
+    const obs::Json &results = doc.at("runs").at(0).at("results");
+    ASSERT_GE(results.size(), 1u);
+    const obs::Json &r = results.at(0);
+    ASSERT_TRUE(r.contains("partialFingerprints"));
+    std::string fp = r.at("partialFingerprints")
+                         .at("lpLintOrdinal/v1")
+                         .asString();
+    EXPECT_EQ(fp.rfind("@main:", 0), 0u) << fp;
+
+    // Determinism: the same module built twice fingerprints identically.
+    auto mod2 = test::buildHistogram(32, 4);
+    lint::LintResult res2 = lint::lintModule(*mod2);
+    res2.artifact = "built:hist";
+    EXPECT_EQ(lint::toSarif({res}).dump(2),
+              lint::toSarif({res2}).dump(2));
+}
+
+TEST(LintSarif, ParsedModulesKeepLineRegionsNotFingerprints)
+{
+    // Parsed corpus files carry real line info, so the ordinal
+    // fallback must stay absent and the region present.
+    lint::LintResult res = lintCorpus("dead_def");
+    ASSERT_FALSE(res.diags.empty());
+    EXPECT_NE(res.diags[0].loc.line, 0u);
+    res.artifact = "dead_def.lir";
+
+    obs::Json doc = lint::toSarif({res});
+    const obs::Json &r = doc.at("runs").at(0).at("results").at(0);
+    EXPECT_FALSE(r.contains("partialFingerprints"));
+    EXPECT_TRUE(r.at("locations")
+                    .at(0)
+                    .at("physicalLocation")
+                    .contains("region"));
+}
+
 TEST(LintSarif, RuleMetaIncludesOracleRules)
 {
     bool diverged = false, missed = false;
+    bool contradicted = false, conservative = false;
     for (const lint::RuleMeta &m : lint::standardRuleMeta()) {
         diverged |= m.id == "LINT_ORACLE_COMPUTABLE_DIVERGED";
         missed |= m.id == "LINT_ORACLE_MISSED_IV";
+        contradicted |= m.id == "LINT_ORACLE_VERDICT_CONTRADICTED";
+        conservative |= m.id == "LINT_ORACLE_STATIC_CONSERVATIVE";
     }
     EXPECT_TRUE(diverged);
     EXPECT_TRUE(missed);
+    EXPECT_TRUE(contradicted);
+    EXPECT_TRUE(conservative);
 }
 
 // ---------------------------------------------------------------------
@@ -436,6 +550,141 @@ TEST(LintOracle, SyntheticMissedIvIsANote)
     ASSERT_EQ(diags.size(), 1u);
     EXPECT_EQ(diags[0].rule, "LINT_ORACLE_MISSED_IV");
     EXPECT_EQ(diags[0].severity, lint::Severity::Note);
+}
+
+// ---------------------------------------------------------------------
+// Whole-loop verdict oracle.
+// ---------------------------------------------------------------------
+
+TEST(LintVerdictOracle, CleanRunHasNoContradictions)
+{
+    auto mod = test::buildSaxpy(256);
+    Loopapalooza lp(*mod);
+    ProgramReport rep = lp.runWithOracle(cfg("reduc0-dep0-fn0"));
+
+    EXPECT_TRUE(rep.staticVerdictsRan);
+    ASSERT_FALSE(rep.staticVerdicts.empty());
+    EXPECT_EQ(rep.verdictContradictions, 0u);
+    // Saxpy is the canonical doall kernel; the PDG must agree.
+    bool sawDoall = false;
+    for (const rt::StaticLoopVerdict &v : rep.staticVerdicts)
+        sawDoall |= v.kind == "doall";
+    EXPECT_TRUE(sawDoall);
+    EXPECT_TRUE(rep.toJson(false).contains("static_verdict"));
+}
+
+TEST(LintVerdictOracle, VerdictFreeReportsStayVerdictFree)
+{
+    auto mod = test::buildSaxpy(64);
+    Loopapalooza lp(*mod);
+    ProgramReport rep = lp.run(cfg("reduc0-dep0-fn0"));
+    EXPECT_FALSE(rep.staticVerdictsRan);
+    EXPECT_FALSE(rep.toJson(false).contains("static_verdict"));
+}
+
+TEST(LintVerdictOracle, StaticDoallWithDynamicConflictsIsAnError)
+{
+    // Synthesize the contradiction: the classifier says doall, the
+    // tracker saw frequent conflicts.  This is exactly the defect the
+    // oracle exists to catch.
+    analysis::LoopVerdictSummary v;
+    v.label = "main.hdr";
+    v.kind = analysis::VerdictKind::DoAll;
+
+    ProgramReport rep;
+    rt::LoopReport lr;
+    lr.label = "main.hdr";
+    lr.iterations = 100;
+    lr.memConflicts = 25;
+    lr.conflictIterations = 20; // 20% > the 5% frequent threshold
+    rep.loops.push_back(lr);
+
+    std::vector<lint::Diagnostic> diags = lint::checkVerdicts({v}, rep);
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].rule, "LINT_ORACLE_VERDICT_CONTRADICTED");
+    EXPECT_EQ(diags[0].severity, lint::Severity::Error);
+    EXPECT_EQ(diags[0].loc.function, "main");
+    EXPECT_EQ(diags[0].loc.block, "hdr");
+}
+
+TEST(LintVerdictOracle, RegisterOnlyConflictsDoNotContradictDoall)
+{
+    // reduc0/pred0 runs disable breaking techniques on purpose: the
+    // register LCD conflicts that follow say nothing about the PDG's
+    // memory edges, so static doall stands.
+    analysis::LoopVerdictSummary v;
+    v.label = "main.hdr";
+    v.kind = analysis::VerdictKind::DoAll;
+
+    ProgramReport rep;
+    rt::LoopReport lr;
+    lr.label = "main.hdr";
+    lr.iterations = 64;
+    lr.conflictIterations = 63; // all register-LCD squashes
+    lr.memConflicts = 0;
+    rep.loops.push_back(lr);
+
+    EXPECT_TRUE(lint::checkVerdicts({v}, rep).empty());
+}
+
+TEST(LintVerdictOracle, InfrequentConflictsDoNotContradictDoall)
+{
+    analysis::LoopVerdictSummary v;
+    v.label = "main.hdr";
+    v.kind = analysis::VerdictKind::DoAll;
+
+    ProgramReport rep;
+    rt::LoopReport lr;
+    lr.label = "main.hdr";
+    lr.iterations = 100;
+    lr.conflictIterations = 3; // under the 5% frequent threshold
+    rep.loops.push_back(lr);
+
+    EXPECT_TRUE(lint::checkVerdicts({v}, rep).empty());
+}
+
+TEST(LintVerdictOracle, AllMayDemotionRunningCleanIsANote)
+{
+    analysis::LoopVerdictSummary v;
+    v.label = "main.hdr";
+    v.kind = analysis::VerdictKind::DoAcrossSync;
+    v.doomedEdges = 2;
+    v.doomedMay = 2; // demoted by may-edges alone
+
+    ProgramReport rep;
+    rt::LoopReport lr;
+    lr.label = "main.hdr";
+    lr.iterations = 50; // spotless run
+    rep.loops.push_back(lr);
+
+    std::vector<lint::Diagnostic> diags = lint::checkVerdicts({v}, rep);
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].rule, "LINT_ORACLE_STATIC_CONSERVATIVE");
+    EXPECT_EQ(diags[0].severity, lint::Severity::Note);
+    EXPECT_NE(diags[0].message.find("2 may edge(s)"), std::string::npos);
+}
+
+TEST(LintVerdictOracle, MustDemotionsAndUnexecutedLoopsStayQuiet)
+{
+    // A must-edge demotion is correct by construction; a loop that
+    // never ran has no dynamic evidence either way.
+    analysis::LoopVerdictSummary must;
+    must.label = "main.a";
+    must.kind = analysis::VerdictKind::Sequential;
+    must.doomedEdges = 3;
+    must.doomedMay = 1; // mixed: not a pure-may demotion
+
+    analysis::LoopVerdictSummary unexecuted;
+    unexecuted.label = "main.b";
+    unexecuted.kind = analysis::VerdictKind::DoAll;
+
+    ProgramReport rep;
+    rt::LoopReport lr;
+    lr.label = "main.a";
+    lr.iterations = 10;
+    rep.loops.push_back(lr); // main.b has no dynamic row at all
+
+    EXPECT_TRUE(lint::checkVerdicts({must, unexecuted}, rep).empty());
 }
 
 // ---------------------------------------------------------------------
