@@ -32,6 +32,15 @@
  *                                    sweeps; reports are byte-identical
  *                                    either way.  Single runs always
  *                                    interpret.
+ *   --batch-replay / --no-batch
+ *   (or LP_BATCH_REPLAY=on|off)      batched replay: when several cells
+ *                                    of a program replay the same trace,
+ *                                    decode it once and apply every
+ *                                    event to all those configuration
+ *                                    lanes in one SoA pass.  Default on
+ *                                    (needs trace replay, off under
+ *                                    --lint); reports are byte-identical
+ *                                    either way.
  *   --checkpoint PATH                append one JSONL line per finished
  *                                    sweep cell to PATH
  *   --resume                         reuse cells already in the
@@ -335,6 +344,18 @@ main(int argc, char **argv)
         else
             sweep.traceReplay = v == 1;
     }
+    if (const char *env = std::getenv("LP_BATCH_REPLAY")) {
+        int v = parseOnOff(env);
+        if (v < 0)
+            obs::logMessage(obs::Level::Error,
+                            std::string("LP_BATCH_REPLAY value not "
+                                        "understood: ") +
+                                env + " (want on|off); batched replay "
+                                      "stays on",
+                            /*force=*/true);
+        else
+            sweep.batchReplay = v == 1;
+    }
     // LP_PROFILE: same one-time-warning contract as LP_LOG/LP_TRACE/
     // LP_JOBS — an unrecognized value warns once and profiling stays
     // off; the --profile flag (parsed below) wins over the environment.
@@ -464,6 +485,14 @@ main(int argc, char **argv)
             }
             if (a == "--no-trace-replay") {
                 sweep.traceReplay = false;
+                continue;
+            }
+            if (a == "--batch-replay") {
+                sweep.batchReplay = true;
+                continue;
+            }
+            if (a == "--no-batch") {
+                sweep.batchReplay = false;
                 continue;
             }
             if (a == "--jobs") {

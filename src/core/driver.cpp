@@ -28,6 +28,7 @@ Loopapalooza::Loopapalooza(const ir::Module &mod) : mod_(mod)
         plan_ = std::make_unique<rt::ModulePlan>(mod);
         index_ = std::make_unique<trace::ModuleIndex>(mod);
         replayFacts_ = rt::buildReplayBlockFacts(*plan_, *index_);
+        dispatch_ = trace::buildBatchDispatchTable(*index_);
     }
 
     std::size_t loops = 0;
@@ -122,6 +123,17 @@ Loopapalooza::runReplay(const rt::LPConfig &cfg) const
                  cfg.str().c_str());
     return rt::replayLimitStudy(*plan_, *index_, t, cfg, mod_.name(),
                                 nullptr, &replayFacts_);
+}
+
+std::vector<rt::ProgramReport>
+Loopapalooza::runReplayBatched(const std::vector<rt::LPConfig> &cfgs) const
+{
+    const trace::Trace &t = trace();
+    LP_LOG_DEBUG("batch-replaying %s across %zu configuration(s)",
+                 mod_.name().c_str(), cfgs.size());
+    return rt::replayLimitStudyBatched(*plan_, *index_, t, cfgs,
+                                       mod_.name(), &replayFacts_,
+                                       &dispatch_);
 }
 
 rt::ProgramReport

@@ -25,6 +25,7 @@
 #include "rt/replay.hpp"
 #include "rt/report.hpp"
 #include "rt/tracker.hpp"
+#include "trace/batch.hpp"
 #include "trace/format.hpp"
 #include "trace/index.hpp"
 #include "prof/timed_mutex.hpp"
@@ -89,6 +90,20 @@ class Loopapalooza
                                 rt::OracleCapture &cap) const;
 
     /**
+     * Replay the recorded trace once for ALL of @p cfgs: the event
+     * stream is decoded a single time and applied to every
+     * configuration lane in one structure-of-arrays pass
+     * (rt::replayLimitStudyBatched).  Reports come back in @p cfgs
+     * order, each byte-identical to runReplay() on that configuration.
+     * Thread-safe, same first-call recording behaviour as runReplay().
+     *
+     * @throws lp::IoError as runReplay() — the whole batch shares the
+     *         trace, so one malformed stream fails every lane.
+     */
+    std::vector<rt::ProgramReport>
+    runReplayBatched(const std::vector<rt::LPConfig> &cfgs) const;
+
+    /**
      * The recorded event trace, recording it on first use.  Recording
      * failures that are deterministic (trap, fuel, ...) are cached and
      * rethrown on every later call; transient ones (wall-clock deadline)
@@ -119,11 +134,23 @@ class Loopapalooza
      */
     const rt::ReplayBlockFacts &replayFacts() const { return replayFacts_; }
 
+    /**
+     * The flat threaded-code dispatch table for batched replay: every
+     * per-block/per-instruction fact the decode loop needs, lowered
+     * into contiguous arrays indexed by trace ids.  Config-independent
+     * and built in the constructor, like replayFacts().
+     */
+    const trace::BatchDispatchTable &dispatchTable() const
+    {
+        return dispatch_;
+    }
+
   private:
     const ir::Module &mod_;
     std::unique_ptr<rt::ModulePlan> plan_;
     std::unique_ptr<trace::ModuleIndex> index_;
     rt::ReplayBlockFacts replayFacts_;
+    trace::BatchDispatchTable dispatch_;
 
     mutable prof::TimedMutex traceMu_{"core.trace_record"};
     mutable std::unique_ptr<trace::Trace> trace_;

@@ -72,6 +72,16 @@ PreparedProgram::runReplayWithOracle(const rt::LPConfig &cfg) const
     return rep;
 }
 
+std::vector<rt::ProgramReport>
+PreparedProgram::runReplayBatched(
+    const std::vector<rt::LPConfig> &cfgs) const
+{
+    std::vector<rt::ProgramReport> reps = lp_->runReplayBatched(cfgs);
+    for (rt::ProgramReport &rep : reps)
+        rep.program = prog_.name;
+    return reps;
+}
+
 Study::Study(const std::vector<BenchProgram> &programs, unsigned jobs)
 {
     StudyOptions opts;

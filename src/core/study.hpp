@@ -61,6 +61,15 @@ class PreparedProgram
     /** As runWithOracle(), replaying the recorded trace. */
     rt::ProgramReport runReplayWithOracle(const rt::LPConfig &cfg) const;
 
+    /**
+     * Replay the recorded trace for ALL of @p cfgs at once: one decode
+     * of the event stream feeds every configuration lane
+     * (Loopapalooza::runReplayBatched).  Reports come back in @p cfgs
+     * order, each byte-identical to runReplay() on that configuration.
+     */
+    std::vector<rt::ProgramReport>
+    runReplayBatched(const std::vector<rt::LPConfig> &cfgs) const;
+
     const Loopapalooza &driver() const { return *lp_; }
 
   private:

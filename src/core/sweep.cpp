@@ -339,19 +339,213 @@ runSweep(const std::vector<BenchProgram> &programs, const SweepRequest &req)
         }
     };
 
-    if (sharded) {
-        // This process owns the cells whose flat index is congruent to
-        // shardIndex-1 mod shardCount — a deterministic, coordination-
-        // free partition that also round-robins each configuration's
-        // cheap and expensive programs across shards.
-        std::vector<std::size_t> owned;
-        for (std::size_t i = 0; i < cells.size(); ++i)
-            if (i % req.shardCount == req.shardIndex - 1)
-                owned.push_back(i);
+    // This process owns every cell (unsharded) or the cells whose flat
+    // index is congruent to shardIndex-1 mod shardCount — a
+    // deterministic, coordination-free partition that also round-robins
+    // each configuration's cheap and expensive programs across shards.
+    std::vector<std::size_t> owned;
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        if (!sharded || i % req.shardCount == req.shardIndex - 1)
+            owned.push_back(i);
 
+    auto cellKeyOf = [&](const Cell &cell) {
+        return guard::Checkpoint::cellKey(cell.config->label, cell.suite,
+                                          cell.program, cell.seed);
+    };
+
+    // Dispatch the owned cells.  Two phases, both inside the profiled
+    // region:
+    //
+    //  A. Batched replay (the default): the runnable cells are grouped
+    //     by program and each group's trace is decoded ONCE, every
+    //     event applied to all the group's configuration lanes in one
+    //     SoA pass.  A group that cannot batch-replay (truncated trace,
+    //     injected fault, ...) is simply left to phase B.
+    //  B. The per-cell path for everything else: resumed cells,
+    //     prepare/lint-quarantined cells, singleton groups, lanes a
+    //     failed batch demoted, and the whole sweep under --no-batch
+    //     or --lint (the consistency oracle needs a per-cell capture).
+    //
+    // Both phases dispatch expensive work first (LPT order, weighted by
+    // each program's recorded trace cost): lp::exec workers claim
+    // indices dynamically, so ordering is what decides whether the
+    // costliest task straggles at the tail of the sweep and leaves the
+    // other workers idle.
+    std::vector<char> done(cells.size(), 0);
+    auto dispatchCells = [&] {
+        // Cells that will actually run in this process: not
+        // prepare-failed, not lint-gated, not checkpoint-resumed.
+        std::vector<std::size_t> runnable;
+        for (std::size_t i : owned) {
+            const Cell &cell = cells[i];
+            if (!cell.prepared || lintFailByName.count(cell.program))
+                continue;
+            if (ckpt && ckpt->find(cellKeyOf(cell)))
+                continue;
+            runnable.push_back(i);
+        }
+
+        // Warm the per-program recordings in parallel (best effort) and
+        // collect each trace's final cost as the LPT weight.  Recording
+        // would otherwise happen lazily inside the first cell of each
+        // program, serializing sibling cells on the recording mutex.
+        // Failures are swallowed here — the owning cells re-raise them
+        // on the per-cell path, where quarantine policy applies.
+        std::map<const PreparedProgram *, std::uint64_t> progCost;
+        if (req.traceReplay) {
+            std::vector<const PreparedProgram *> uniq;
+            for (std::size_t i : runnable)
+                if (progCost.emplace(cells[i].prepared, 0).second)
+                    uniq.push_back(cells[i].prepared);
+            std::vector<std::uint64_t> costs(uniq.size(), 0);
+            exec::parallelFor(uniq.size(), [&](std::size_t k) {
+                try {
+                    costs[k] = uniq[k]->driver().trace().finalCost;
+                }
+                catch (...) {
+                }
+            });
+            for (std::size_t k = 0; k < uniq.size(); ++k)
+                progCost[uniq[k]] = costs[k];
+        }
+        auto costOf = [&](std::size_t i) -> std::uint64_t {
+            auto it = progCost.find(cells[i].prepared);
+            return it == progCost.end() ? 0 : it->second;
+        };
+
+        // Phase A: batched replay over the >= 2-lane program groups.
+        const bool batching =
+            req.batchReplay && req.traceReplay && req.lintMode == 0;
+        if (batching) {
+            struct BatchTask
+            {
+                const PreparedProgram *prog;
+                std::vector<std::size_t> idxs; ///< cell indices (lanes)
+            };
+            std::map<const PreparedProgram *, std::vector<std::size_t>>
+                byProg;
+            for (std::size_t i : runnable)
+                byProg[cells[i].prepared].push_back(i);
+            std::vector<BatchTask> tasks;
+            for (auto &[prog, idxs] : byProg) {
+                if (idxs.size() < 2)
+                    continue; // a lone cell decodes once either way
+                // Respect the engine's 64-lane chunk while keeping
+                // every task big enough to amortize its decode.
+                for (std::size_t lo = 0; lo < idxs.size(); lo += 64)
+                    tasks.push_back(
+                        {prog,
+                         {idxs.begin() +
+                              static_cast<std::ptrdiff_t>(lo),
+                          idxs.begin() +
+                              static_cast<std::ptrdiff_t>(std::min(
+                                  lo + 64, idxs.size()))}});
+            }
+            // Fewer tasks than workers leaves cores idle for the whole
+            // batched phase: split the heaviest >= 4-lane tasks until
+            // the pool is covered (each split re-decodes the trace
+            // once more, so never below 2 lanes per task).
+            auto weight = [&](const BatchTask &t) {
+                const std::uint64_t c = std::max<std::uint64_t>(
+                    progCost.count(t.prog) ? progCost.at(t.prog) : 0, 1);
+                return c * t.idxs.size();
+            };
+            const std::size_t workers = exec::defaultJobs();
+            for (;;) {
+                if (tasks.size() >= workers)
+                    break;
+                std::size_t best = tasks.size();
+                std::uint64_t bestW = 0;
+                for (std::size_t k = 0; k < tasks.size(); ++k)
+                    if (tasks[k].idxs.size() >= 4 &&
+                        weight(tasks[k]) > bestW) {
+                        best = k;
+                        bestW = weight(tasks[k]);
+                    }
+                if (best == tasks.size())
+                    break;
+                BatchTask &t = tasks[best];
+                const std::size_t half = t.idxs.size() / 2;
+                BatchTask tail{
+                    t.prog,
+                    {t.idxs.begin() + static_cast<std::ptrdiff_t>(half),
+                     t.idxs.end()}};
+                t.idxs.resize(half);
+                tasks.push_back(std::move(tail));
+            }
+            std::stable_sort(tasks.begin(), tasks.end(),
+                             [&](const BatchTask &a, const BatchTask &b) {
+                                 return weight(a) > weight(b);
+                             });
+
+            exec::parallelFor(tasks.size(), [&](std::size_t k) {
+                const BatchTask &task = tasks[k];
+                std::vector<rt::LPConfig> cfgs;
+                cfgs.reserve(task.idxs.size());
+                for (std::size_t i : task.idxs)
+                    cfgs.push_back(cells[i].config->config);
+                std::vector<rt::ProgramReport> reps;
+                try {
+                    reps = task.prog->runReplayBatched(cfgs);
+                }
+                catch (const Error &e) {
+                    // Whatever broke the batch (truncated trace,
+                    // injected fault, deadline) is re-raised lane by
+                    // lane on the per-cell path, where the established
+                    // fallback and quarantine policy decide; reports
+                    // stay byte-identical.
+                    LP_LOG_WARN("batched replay unavailable for %s "
+                                "(%zu lane(s); %s: %s); running those "
+                                "cells individually",
+                                task.prog->name().c_str(),
+                                task.idxs.size(), e.codeName(), e.what());
+                    if (obs::metricsOn())
+                        obs::Registry::instance()
+                            .counter("sweep.batch_fallbacks")
+                            .add(1);
+                    return;
+                }
+                for (std::size_t l = 0; l < task.idxs.size(); ++l) {
+                    Cell &cell = cells[task.idxs[l]];
+                    rt::ProgramReport &rep = reps[l];
+                    rep.seed = cell.seed;
+                    {
+                        // One record per lane: the profile keeps its
+                        // per-cell rows (worker, status, instructions);
+                        // the shared decode's wall time shows up in the
+                        // replay_batch epochs rather than under any one
+                        // lane.
+                        prof::CellScope cellProf(cell.program,
+                                                 cell.suite,
+                                                 cell.config->label);
+                        cellProf.setAttempts(1);
+                        cellProf.setInstructions(rep.serialCost);
+                        cellProf.setStatus("ok");
+                    }
+                    cell.json = rep.toJson(/*withObsSnapshot=*/false);
+                    if (ckpt)
+                        ckpt->record(cellKeyOf(cell), cell.json);
+                    done[task.idxs[l]] = 1;
+                }
+            });
+        }
+
+        // Phase B: everything not completed by a batch, costliest first.
+        std::vector<std::size_t> pending;
+        for (std::size_t i : owned)
+            if (!done[i])
+                pending.push_back(i);
+        std::stable_sort(pending.begin(), pending.end(),
+                         [&](std::size_t a, std::size_t b) {
+                             return costOf(a) > costOf(b);
+                         });
+        exec::parallelFor(pending.size(),
+                          [&](std::size_t k) { runCell(pending[k]); });
+    };
+
+    if (sharded) {
         prof::Collector::instance().beginRegion();
-        exec::parallelFor(owned.size(),
-                          [&](std::size_t k) { runCell(owned[k]); });
+        dispatchCells();
         prof::Collector::instance().endRegion();
 
         // No table, no aggregation: a shard sees only its slice, so any
@@ -397,7 +591,7 @@ runSweep(const std::vector<BenchProgram> &programs, const SweepRequest &req)
     // The profiled region is the cell dispatch: queue-wait and worker
     // utilization are measured against it.
     prof::Collector::instance().beginRegion();
-    exec::parallelFor(cells.size(), runCell);
+    dispatchCells();
     prof::Collector::instance().endRegion();
 
     obs::Json suitesJson = obs::Json::array();

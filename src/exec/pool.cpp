@@ -1,5 +1,6 @@
 #include "exec/pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <exception>
@@ -49,6 +50,14 @@ resolveJobs(unsigned jobs)
         return jobs;
     unsigned hw = std::thread::hardware_concurrency();
     return hw == 0 ? 1 : hw;
+}
+
+unsigned
+hardwareThreads()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    unsigned cfg = defaultJobs();
+    return std::max({hw, cfg, 1u});
 }
 
 unsigned

@@ -58,6 +58,15 @@ void setJobsOverride(unsigned jobs);
 /** Map a jobs spec to a worker count: 0 = all hardware threads. */
 unsigned resolveJobs(unsigned jobs);
 
+/**
+ * Best-effort hardware width for scaling reports.  Guards the two
+ * degenerate answers std::thread::hardware_concurrency() may give — 0
+ * ("unknown") and 1 (restrictive container/cgroup masks even when more
+ * workers run fine): whichever of the reported width and the configured
+ * worker count (defaultJobs()) is larger wins.  Always >= 1.
+ */
+unsigned hardwareThreads();
+
 /** Fixed-size worker pool draining one FIFO task queue. */
 class ThreadPool
 {

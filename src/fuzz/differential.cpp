@@ -310,6 +310,23 @@ runDifferential(std::uint64_t seed, const DiffOptions &opts)
         }
     }
 
+    // Pair 7: batched replay vs per-cell replay.  replayOut above ran
+    // the default decode-once SoA batch path (SweepRequest.batchReplay);
+    // the --no-batch side decodes the trace once per cell.  Reports
+    // must match byte for byte — this is the whole-batch-engine oracle
+    // (tests/test_batch.cpp is the unit version; this runs it over
+    // every generated program, and transitively against interpret via
+    // pair 1).
+    {
+        core::SweepRequest nobatch = base;
+        nobatch.traceReplay = true;
+        nobatch.batchReplay = false;
+        std::string nobatchOut =
+            sweepOutcome(progs, nobatch, opts.faultSite, opts.faultNth);
+        comparePair(ctx, "batched-vs-per-cell-replay", replayOut,
+                    nobatchOut);
+    }
+
     exec::setJobsOverride(0);
     if (faulted)
         guard::setFault("", 0);

@@ -5,8 +5,9 @@
  * The framework promises that one program produces byte-identical
  * reports whichever way it is driven: interpret vs trace replay,
  * one worker vs many, sharded-and-merged vs unsharded, killed-and-
- * resumed vs straight-through — and that lint's static classification
- * agrees with the dynamic oracle.  Each generated program is pushed
+ * resumed vs straight-through, batched (decode-once SoA) replay vs
+ * per-cell replay — and that lint's static classification agrees with
+ * the dynamic oracle.  Each generated program is pushed
  * through every pair and any divergence is a harness failure carrying
  * the reproducing seed and the exact CLI line to replay it.
  *

@@ -75,7 +75,7 @@ struct CellRecord
 };
 
 /** What an epoch of attributed execution time was spent doing. */
-enum class EpochKind { Interp = 0, Record = 1, Replay = 2 };
+enum class EpochKind { Interp = 0, Record = 1, Replay = 2, ReplayBatch = 3 };
 
 class Collector
 {
@@ -155,8 +155,8 @@ class Collector
 
     struct alignas(64) EpochSlot
     {
-        std::atomic<std::uint64_t> instructions[3];
-        std::atomic<std::uint64_t> wallNs[3];
+        std::atomic<std::uint64_t> instructions[4];
+        std::atomic<std::uint64_t> wallNs[4];
     };
     static constexpr std::size_t kMaxLanes = 64;
 

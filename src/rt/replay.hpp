@@ -35,6 +35,10 @@
 #include "trace/format.hpp"
 #include "trace/index.hpp"
 
+namespace lp::trace {
+struct BatchDispatchTable;
+} // namespace lp::trace
+
 namespace lp::rt {
 
 /**
@@ -93,5 +97,31 @@ ProgramReport replayLimitStudy(const ModulePlan &plan,
                                const std::string &name,
                                OracleCapture *oracle = nullptr,
                                const ReplayBlockFacts *facts = nullptr);
+
+/**
+ * Run the limit study for @p cfgs — many configurations at once — by
+ * decoding @p t exactly once and applying every event to all
+ * configuration lanes in one structure-of-arrays pass (rt/batch.cpp).
+ * Reports come back in @p cfgs order and are byte-identical to calling
+ * replayLimitStudy() per configuration (and hence to interpreting).
+ *
+ * More than 64 configurations are processed in chunks of 64 (lane sets
+ * are 64-bit masks); the paper grid is 14, so one chunk.
+ *
+ * @param facts shared per-block facts (buildReplayBlockFacts); null
+ *        builds a local table.
+ * @param table shared flat dispatch table (buildBatchDispatchTable);
+ *        null builds a local one.
+ * @throws lp::IoError when the trace is truncated, does not match the
+ *         module, or is malformed — same taxonomy as replayLimitStudy.
+ */
+std::vector<ProgramReport>
+replayLimitStudyBatched(const ModulePlan &plan,
+                        const trace::ModuleIndex &index,
+                        const trace::Trace &t,
+                        const std::vector<LPConfig> &cfgs,
+                        const std::string &name,
+                        const ReplayBlockFacts *facts = nullptr,
+                        const trace::BatchDispatchTable *table = nullptr);
 
 } // namespace lp::rt

@@ -34,6 +34,7 @@ struct Trace;
 namespace lp::rt {
 
 struct ReplayBlockFacts;
+class BatchReplayer;
 
 /** Run-time dependency tracker and speedup estimator. */
 class LoopRuntime : public interp::ExecListener
@@ -105,6 +106,17 @@ class LoopRuntime : public interp::ExecListener
     /// @}
 
   private:
+    /**
+     * The batched replayer (rt/batch.cpp) drives N LoopRuntime lanes
+     * from one decoded event stream: it maintains the frame/instance
+     * structure itself (it is configuration-independent) and writes
+     * each lane's per-loop reports, savings, predictor stats and
+     * covered intervals directly, then hands the lanes back for the
+     * normal finishAt().  That requires reaching the per-run state the
+     * feed* methods would otherwise populate.
+     */
+    friend class BatchReplayer;
+
     /** Per-instance state of one tracked register LCD. */
     struct RegState
     {

@@ -10,7 +10,8 @@
  *  - partitioning: shardCheckpointPath naming, every cell owned by
  *    exactly one shard, shard runs produce no report document;
  *  - differential: merged vs unsharded byte-identity, plain and under
- *    crash recovery and lint;
+ *    crash recovery and lint, and batched (decode-once) shards vs a
+ *    --no-batch unsharded reference;
  *  - validation: the config errors runSweep promises (missing
  *    checkpoint, index out of range, --json on a shard run).
  */
@@ -220,6 +221,35 @@ TEST(ShardSweep, MergedLintSweepMatchesUnshardedIncludingOracle)
     EXPECT_EQ(merged.document.dump(2), reference);
 
     cleanBase("lp_shard_lint.jsonl", 2);
+}
+
+TEST(ShardSweep, BatchedShardedMergeMatchesNoBatchUnsharded)
+{
+    // Cross-axis byte-identity: each shard above runs with batched
+    // replay on (the default), splitting its slice into decode-once
+    // lane batches, while the reference sweep disables batching
+    // entirely.  Sharding and batching together must change nothing
+    // in the merged report.
+    std::string reference;
+    {
+        core::SweepRequest req;
+        req.wantJson = true;
+        req.batchReplay = false;
+        core::SweepResult res = core::runSweep(shardPrograms(), req);
+        EXPECT_EQ(res.exitCode, 0);
+        EXPECT_TRUE(res.hasDocument);
+        reference = res.document.dump(2);
+    }
+
+    const std::string base = cleanBase("lp_shard_batch.jsonl", 3);
+    for (unsigned i = 1; i <= 3; ++i)
+        EXPECT_EQ(runShard(i, 3, base).exitCode, 0);
+    core::SweepResult merged = runMerge(3, base);
+    EXPECT_EQ(merged.exitCode, 0);
+    ASSERT_TRUE(merged.hasDocument);
+    EXPECT_EQ(merged.document.dump(2), reference);
+
+    cleanBase("lp_shard_batch.jsonl", 3);
 }
 
 TEST(ShardSweep, InvalidShardRequestsAreConfigErrors)
